@@ -1,0 +1,9 @@
+//! E3 table + kernel timing.
+use criterion::Criterion;
+
+fn main() {
+    println!("{}", spinn_bench::experiments::e03_emergency_routing::run(!spinn_bench::full_mode()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("e03_failed_link_scenario", |b| b.iter(|| spinn_bench::experiments::e03_emergency_routing::scenario("bench", 200, 500, true, true)));
+    c.final_summary();
+}

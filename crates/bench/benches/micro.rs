@@ -1,0 +1,70 @@
+//! Microbenchmarks of the hot kernels: neuron update, CAM lookup, ring
+//! operations, hex-torus math, packet codec, link symbol transfer.
+use criterion::{criterion_group, criterion_main, Criterion};
+use spinn_neuron::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+use spinn_neuron::model::NeuronModel;
+use spinn_neuron::ring::InputRing;
+use spinn_noc::mesh::{NodeCoord, Torus};
+use spinn_noc::packet::Packet;
+use spinn_noc::table::{McTable, McTableEntry, RouteSet};
+
+fn kernels(c: &mut Criterion) {
+    c.bench_function("izhikevich_step_1ms", |b| {
+        let mut n = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+        b.iter(|| n.step_1ms(std::hint::black_box(8.0)))
+    });
+
+    c.bench_function("mc_table_lookup_1024", |b| {
+        let mut t = McTable::new(1024);
+        for i in 0..1024u32 {
+            t.insert(McTableEntry {
+                key: i << 11,
+                mask: 0xFFFF_F800,
+                route: RouteSet::EMPTY.with_core((i % 16) as usize),
+            })
+            .unwrap();
+        }
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(0x801);
+            t.lookup(std::hint::black_box(k & 0x001F_FFFF))
+        })
+    });
+
+    c.bench_function("ring_deposit_and_tick_256", |b| {
+        let mut ring = InputRing::new(256);
+        b.iter(|| {
+            for i in 0..64 {
+                ring.deposit(1 + (i % 16) as u8, i % 256, 100);
+            }
+            ring.tick().len()
+        })
+    });
+
+    c.bench_function("hex_distance_torus_256", |b| {
+        let t = Torus::new(256, 256);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(97);
+            t.hex_distance(
+                NodeCoord::new(i % 256, (i / 7) % 256),
+                NodeCoord::new((i / 3) % 256, (i / 11) % 256),
+            )
+        })
+    });
+
+    c.bench_function("packet_encode_decode", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E3779B9);
+            Packet::decode(Packet::multicast(std::hint::black_box(k)).encode())
+        })
+    });
+
+    c.bench_function("nrz_link_64_symbols", |b| {
+        b.iter(|| spinn_link::throughput::measure_nrz(2000, 64))
+    });
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

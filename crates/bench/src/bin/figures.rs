@@ -1,0 +1,6 @@
+//! Prints the structural figures of the paper (Figs. 1-5, 7) rendered
+//! from the model objects.
+
+fn main() {
+    println!("{}", spinn_bench::figures::all());
+}

@@ -1,0 +1,30 @@
+//! Prints every experiment's table (E1-E11). `SPINN_FULL=1` for the
+//! full-size versions recorded in EXPERIMENTS.md.
+
+use spinn_bench::experiments as e;
+
+fn main() {
+    let quick = !spinn_bench::full_mode();
+    let mode = if quick { "quick" } else { "full" };
+    println!("SpiNNaker reproduction — experiment suite ({mode} mode)\n");
+    let runs: [(&str, fn(bool) -> String); 13] = [
+        ("E1", e::e01_glitch_deadlock::run),
+        ("E2", e::e02_link_protocols::run),
+        ("E3", e::e03_emergency_routing::run),
+        ("E4", e::e04_realtime_latency::run),
+        ("E5", e::e05_flood_fill::run),
+        ("E6", e::e06_boot::run),
+        ("E7", e::e07_cost_energy::run),
+        ("E8", e::e08_multicast_vs_broadcast::run),
+        ("E9", e::e09_scaling::run),
+        ("E10", e::e10_placement::run),
+        ("E11", e::e11_retina::run),
+        ("A1", e::a01_router_waits::run),
+        ("A2", e::a02_default_route_elision::run),
+    ];
+    for (name, f) in runs {
+        println!("==================================================================");
+        println!("{}", f(quick));
+        let _ = name;
+    }
+}

@@ -1,0 +1,935 @@
+//! The experiments, one module per entry in DESIGN.md's index.
+
+use std::fmt::Write as _;
+
+/// E1 — glitch-induced deadlock: conventional vs transition-sensing
+/// phase converters (Fig. 6, §5.1).
+pub mod e01_glitch_deadlock {
+    use super::*;
+    use spinn_link::glitch::{deadlock_study, DeadlockStudy, GlitchTrialConfig};
+
+    /// Runs the paired Monte-Carlo study across glitch rates.
+    pub fn study(trials: u64) -> Vec<DeadlockStudy> {
+        let cfg = GlitchTrialConfig::default();
+        let rates = [1e5, 3e5, 1e6, 3e6, 1e7];
+        // Parallel Monte Carlo: one thread per rate.
+        let mut results: Vec<Option<DeadlockStudy>> = vec![None; rates.len()];
+        crossbeam::thread::scope(|scope| {
+            for (slot, &rate) in results.iter_mut().zip(&rates) {
+                let cfg = &cfg;
+                scope.spawn(move |_| {
+                    *slot = Some(deadlock_study(cfg, rate, trials, 0xE1));
+                });
+            }
+        })
+        .expect("threads join");
+        results.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// The E1 table.
+    pub fn run(quick: bool) -> String {
+        let trials = if quick { 150 } else { 2000 };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E1: glitch-induced deadlock, conventional vs transition-sensing (Fig. 6)"
+        );
+        let _ = writeln!(out, "   {trials} paired trials x 200 symbols per rate\n");
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>12} {:>10} {:>12} {:>12}",
+            "glitch rate", "conv dead", "t-s dead", "factor", "conv corr", "t-s corr"
+        );
+        for s in study(trials) {
+            let factor = if s.transition_sensing_deadlocks == 0 {
+                format!(">{:.0}", s.improvement_factor())
+            } else {
+                format!("{:.0}", s.improvement_factor())
+            };
+            let _ = writeln!(
+                out,
+                "{:>10.0e}Hz {:>8}/{:<4} {:>8}/{:<4} {:>9}x {:>12.2} {:>12.2}",
+                s.glitch_rate_hz,
+                s.conventional_deadlocks,
+                s.trials,
+                s.transition_sensing_deadlocks,
+                s.trials,
+                factor,
+                s.conventional_corruption,
+                s.transition_sensing_corruption,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: transition sensing 'reduced the occurrence of deadlocks in our\nglitch simulations by a factor 1,000' and 'will keep passing data (albeit\nwith errors)' — the t-s column keeps capturing (corrupt) symbols with\n(near-)zero deadlocks while the conventional converter deadlocks freely."
+        );
+        out
+    }
+}
+
+/// E2 — link protocols: 2-of-7 NRZ vs 3-of-6 RTZ (§5.1).
+pub mod e02_link_protocols {
+    use super::*;
+    use spinn_link::throughput::{measure_nrz, measure_rtz};
+
+    /// The E2 table.
+    pub fn run(quick: bool) -> String {
+        let n = if quick { 300 } else { 2000 };
+        let mut out = String::new();
+        let _ = writeln!(out, "E2: inter-chip link protocols (§5.1)");
+        let _ = writeln!(out, "   {n} symbols per measurement\n");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
+            "wire (ps)", "NRZ Mbit/s", "RTZ Mbit/s", "ratio", "NRZ tr/sym", "RTZ tr/sym", "pJ ratio"
+        );
+        for wire in [500u64, 1_000, 2_000, 5_000, 10_000] {
+            let nrz = measure_nrz(wire, n);
+            let rtz = measure_rtz(wire, n);
+            let _ = writeln!(
+                out,
+                "{:>10} {:>12.1} {:>12.1} {:>7.2}x {:>10.1} {:>10.1} {:>7.2}x",
+                wire,
+                nrz.mbit_per_s,
+                rtz.mbit_per_s,
+                nrz.msymbols_per_s / rtz.msymbols_per_s,
+                nrz.transitions_per_symbol,
+                rtz.transitions_per_symbol,
+                rtz.pj_per_symbol / nrz.pj_per_symbol,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: off-chip 'the 2-of-7 NRZ code delivers twice the performance for\nless than half the energy per 4-bit symbol' (3 vs 8 transitions: exact)."
+        );
+        out
+    }
+}
+
+/// E3 — emergency routing around a failed link (Fig. 8, §5.3).
+pub mod e03_emergency_routing {
+    use super::*;
+    use spinn_noc::direction::Direction;
+    use spinn_noc::fabric::{FabricConfig, FabricEvent, FabricSim};
+    use spinn_noc::mesh::NodeCoord;
+    use spinn_noc::packet::Packet;
+    use spinn_noc::table::{McTableEntry, RouteSet};
+    use spinn_sim::{Engine, SimTime};
+
+    /// One scenario's measurements.
+    pub struct Row {
+        /// Scenario label.
+        pub label: &'static str,
+        /// Fraction of injected packets delivered.
+        pub delivered_pct: f64,
+        /// Mean end-to-end latency, ns.
+        pub mean_latency_ns: f64,
+        /// Emergency reroutes performed.
+        pub reroutes: u64,
+        /// Packets dropped.
+        pub dropped: u64,
+    }
+
+    /// Streams `n` packets down a 6-hop path, with optional mid-path
+    /// link failure and emergency routing on/off.
+    pub fn scenario(
+        label: &'static str,
+        n: u64,
+        interval_ns: u64,
+        fail: bool,
+        emergency: bool,
+    ) -> Row {
+        let mut cfg = FabricConfig::new(8, 8);
+        cfg.router.emergency_enabled = emergency;
+        cfg.router.wait1_ns = 2_000;
+        cfg.router.wait2_ns = 10_000;
+        let mut sim = FabricSim::new(cfg);
+        let key = 0xE3;
+        sim.fabric
+            .router_mut(NodeCoord::new(0, 0))
+            .table
+            .insert(McTableEntry {
+                key,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_link(Direction::East),
+            })
+            .unwrap();
+        sim.fabric
+            .router_mut(NodeCoord::new(6, 0))
+            .table
+            .insert(McTableEntry {
+                key,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_core(1),
+            })
+            .unwrap();
+        if fail {
+            sim.fabric.fail_link(NodeCoord::new(3, 0), Direction::East);
+        }
+        for i in 0..n {
+            sim.queue_injection(i * interval_ns, NodeCoord::new(0, 0), Packet::multicast(key));
+        }
+        let mut engine = Engine::new(sim);
+        engine.schedule_at(SimTime::ZERO, FabricEvent::Pump);
+        engine.run_until(SimTime::new(n * interval_ns + 50_000_000));
+        let sim = engine.into_model();
+        let stats = sim.fabric.total_stats();
+        Row {
+            label,
+            delivered_pct: 100.0 * sim.delivered() as f64 / n as f64,
+            mean_latency_ns: sim.latency().mean(),
+            reroutes: stats.emergency_reroutes,
+            dropped: stats.dropped,
+        }
+    }
+
+    /// The E3 table.
+    pub fn run(quick: bool) -> String {
+        let n = if quick { 300 } else { 3000 };
+        let mut out = String::new();
+        let _ = writeln!(out, "E3: emergency routing around a failed link (Fig. 8)");
+        let _ = writeln!(out, "   {n} packets, 6-hop east path, link (3,0)->E killed\n");
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>12} {:>10} {:>9}",
+            "scenario", "delivered", "mean ns", "reroutes", "dropped"
+        );
+        for row in [
+            scenario("healthy link", n, 500, false, true),
+            scenario("failed link + emergency", n, 500, true, true),
+            scenario("failed link, no emergency", n, 500, true, false),
+            scenario("failed + emergency, heavy load", n, 180, true, true),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>9.1}% {:>12.0} {:>10} {:>9}",
+                row.label, row.delivered_pct, row.mean_latency_ns, row.reroutes, row.dropped
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: packets are redirected 'around the two other sides of one of the\nmesh triangles'; without the mechanism the router 'gives up and drops the\npacket'. The detour costs ~one extra hop of latency."
+        );
+        out
+    }
+}
+
+/// E4 — real-time spike delivery: latency vs distance (Fig. 7, §3.1).
+pub mod e04_realtime_latency {
+    use super::*;
+    use spinn_machine::config::MachineConfig;
+    use spinn_machine::machine::NeuralMachine;
+    use spinn_neuron::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+    use spinn_neuron::model::AnyNeuron;
+    use spinn_neuron::synapse::{SynapticRow, SynapticWord};
+    use spinn_noc::direction::Direction;
+    use spinn_noc::mesh::NodeCoord;
+    use spinn_noc::table::{McTableEntry, RouteSet};
+
+    fn neurons(n: usize) -> Vec<AnyNeuron> {
+        (0..n)
+            .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
+            .collect()
+    }
+
+    /// Latency percentiles for spikes crossing `hops` chips east
+    /// (`hops == 0`: target on a second core of the same chip).
+    pub fn at_distance(hops: u32, ms: u32) -> (u64, u64, u64) {
+        let mut m = NeuralMachine::new(MachineConfig::new(16, 16));
+        let src = NodeCoord::new(0, 0);
+        let dst = NodeCoord::new(hops, 0);
+        let dst_core = if hops == 0 { 2 } else { 1 };
+        m.load_core(src, 1, neurons(60), vec![11.0; 60], 0x4000).unwrap();
+        m.load_core(dst, dst_core, neurons(60), vec![0.0; 60], 0x8000).unwrap();
+        m.router_mut(src)
+            .table
+            .insert(McTableEntry {
+                key: 0x4000,
+                mask: 0xFFFF_C000,
+                route: if hops == 0 {
+                    RouteSet::EMPTY.with_core(dst_core as usize)
+                } else {
+                    RouteSet::EMPTY.with_link(Direction::East)
+                },
+            })
+            .unwrap();
+        if hops > 0 {
+            m.router_mut(dst)
+                .table
+                .insert(McTableEntry {
+                    key: 0x4000,
+                    mask: 0xFFFF_C000,
+                    route: RouteSet::EMPTY.with_core(1),
+                })
+                .unwrap();
+        }
+        for i in 0..60u32 {
+            let row: SynapticRow = (0..60).map(|t| SynapticWord::new(80, 1, t as u16)).collect();
+            m.set_row(dst, dst_core, 0x4000 + i, row);
+        }
+        let m = m.run(ms);
+        let h = m.spike_latency();
+        (h.percentile(50.0), h.percentile(99.0), h.max())
+    }
+
+    /// The E4 table.
+    pub fn run(quick: bool) -> String {
+        let ms = if quick { 100 } else { 400 };
+        let mut out = String::new();
+        let _ = writeln!(out, "E4: spike delivery latency vs distance (§3.1, Fig. 7)");
+        let _ = writeln!(out, "   16x16 torus, 60-neuron source population, {ms} ms runs\n");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>10} {:>10} {:>16}",
+            "hops", "p50 ns", "p99 ns", "max ns", "% of 1 ms budget"
+        );
+        for hops in [0u32, 1, 2, 4, 8] {
+            let (p50, p99, max) = at_distance(hops, ms);
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>10} {:>10} {:>15.2}%",
+                hops,
+                p50,
+                p99,
+                max,
+                100.0 * max as f64 / 1e6
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: 'the communications fabric is designed to deliver mc packets in\nsignificantly under 1 ms, whatever the distance from source to destination'\n— the worst case above uses ~a thousandth of the millisecond budget, so\nsystem-wide synchrony emerges from the 1 ms timers alone."
+        );
+        out
+    }
+}
+
+/// E5 — flood-fill loading time (§5.2, \[15\]).
+pub mod e05_flood_fill {
+    use super::*;
+    use spinn_machine::flood::{FloodConfig, FloodSim};
+
+    /// The E5 table.
+    pub fn run(quick: bool) -> String {
+        let blocks = if quick { 32 } else { 128 };
+        let mut out = String::new();
+        let _ = writeln!(out, "E5: flood-fill application loading (§5.2)");
+        let _ = writeln!(out, "   {blocks} blocks streamed from the host into (0,0)\n");
+        let _ = writeln!(
+            out,
+            "{:>9} {:>4} {:>12} {:>14} {:>12}",
+            "machine", "k", "load (us)", "vs 4x4", "nn packets"
+        );
+        let mut base = None;
+        for (w, k) in [(4u32, 1u8), (8, 1), (12, 1), (16, 1), (24, 1), (8, 2), (8, 3)] {
+            let mut cfg = FloodConfig::new(w, w);
+            cfg.blocks = blocks;
+            cfg.redundancy_k = k;
+            let o = FloodSim::run(cfg);
+            let t = o.load_complete_ns.expect("load completes") as f64 / 1e3;
+            if base.is_none() && k == 1 {
+                base = Some(t);
+            }
+            let _ = writeln!(
+                out,
+                "{:>6}x{:<2} {:>4} {:>12.1} {:>13.2}x {:>12}",
+                w,
+                w,
+                k,
+                t,
+                t / base.unwrap(),
+                o.nn_packets
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: 'load times almost independent of the size of the machine, with\ntrade-offs between load time and the degree of fault-tolerance ... the\nnumber of times a node receives each component'. 36x the chips costs only\npercent-level extra time; k=3 costs a little more than k=1."
+        );
+        out
+    }
+}
+
+/// E6 — boot, monitor election and rescue (§5.2).
+pub mod e06_boot {
+    use super::*;
+    use spinn_machine::boot::{BootConfig, BootSim};
+
+    /// The E6 table.
+    pub fn run(_quick: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "E6: boot — self-test, monitor election, coordinates (§5.2)");
+        let _ = writeln!(
+            out,
+            "\n{:>9} {:>7} {:>9} {:>8} {:>6} {:>12} {:>12}",
+            "machine", "faults", "monitors", "rescued", "dead", "coords us", "reports us"
+        );
+        for (w, fault) in [
+            (4u32, 0.0f64),
+            (8, 0.0),
+            (16, 0.0),
+            (24, 0.0),
+            (8, 0.2),
+            (8, 0.4),
+            (8, 0.6),
+        ] {
+            let mut cfg = BootConfig::new(w, w);
+            cfg.core_fault_prob = fault;
+            cfg.seed = 0xE6;
+            let o = BootSim::run(cfg);
+            assert!(!o.election_violated);
+            let _ = writeln!(
+                out,
+                "{:>6}x{:<2} {:>6.0}% {:>9} {:>8} {:>6} {:>12.1} {:>12.1}",
+                w,
+                w,
+                fault * 100.0,
+                o.monitors_first_round,
+                o.rescued,
+                o.dead_chips,
+                o.coords_complete_ns.map_or(f64::NAN, |t| t as f64 / 1e3),
+                o.reports_complete_ns.map_or(f64::NAN, |t| t as f64 / 1e3),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: the read-sensitive register ensures 'one and only one processor is\nchosen as Monitor' (never violated above); coordinates propagate from (0,0)\nin O(diameter); failed neighbours are rescued over nn packets."
+        );
+        out
+    }
+}
+
+/// E7 — cost-effectiveness: MIPS/mm², MIPS/W, ownership cost (§2, §3.3).
+pub mod e07_cost_energy {
+    use super::*;
+    use spinn_machine::energy::{
+        energy_cost_crossover_years, CostEffectiveness, ProcessorClass, DESKTOP_CLASS,
+        SPINNAKER_NODE_CLASS,
+    };
+    use spinnaker::prelude::*;
+
+    /// The E7 table.
+    pub fn run(quick: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "E7: cost-effectiveness metrics (§2, §3.3)\n");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>8} {:>11} {:>10} {:>10}",
+            "class", "MIPS", "W", "MIPS/mm2", "MIPS/W", "MIPS/$"
+        );
+        for p in [DESKTOP_CLASS, SPINNAKER_NODE_CLASS] {
+            let ce = CostEffectiveness::of(&p);
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10.0} {:>8.1} {:>11.1} {:>10.0} {:>10.0}",
+                p.name, p.mips, p.watts, ce.mips_per_mm2, ce.mips_per_watt, ce.mips_per_usd
+            );
+        }
+        let d = CostEffectiveness::of(&DESKTOP_CLASS);
+        let s = CostEffectiveness::of(&SPINNAKER_NODE_CLASS);
+        let _ = writeln!(
+            out,
+            "\nratios (node/desktop): MIPS/mm2 {:.1}x, MIPS/W {:.0}x, MIPS/$ {:.0}x",
+            s.mips_per_mm2 / d.mips_per_mm2,
+            s.mips_per_watt / d.mips_per_watt,
+            s.mips_per_usd / d.mips_per_usd
+        );
+        let pc = ProcessorClass {
+            name: "PC",
+            mips: 10_000.0,
+            watts: 300.0,
+            die_mm2: 400.0,
+            cost_usd: 1000.0,
+        };
+        let _ = writeln!(
+            out,
+            "PC purchase-vs-energy crossover at $1/W/year: {:.1} years",
+            energy_cost_crossover_years(&pc, 1.0)
+        );
+
+        // Measured: a live machine under neural load.
+        let ms = if quick { 100 } else { 300 };
+        let mut net = NetworkGraph::new();
+        let a = net.population(
+            "a",
+            1200,
+            NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+            9.0,
+        );
+        let b = net.population(
+            "b",
+            1200,
+            NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+            0.0,
+        );
+        net.project(a, b, Connector::FixedFanOut(30), Synapses::constant(300, 2), 7);
+        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(ms);
+        let meter = done.machine.meter();
+        let cfg = done.machine.config();
+        let dur = done.machine.duration_ns();
+        let _ = writeln!(
+            out,
+            "\nmeasured on a simulated 4x4 machine under load ({} ms, {} spikes):",
+            ms,
+            done.machine.spikes().len()
+        );
+        let _ = writeln!(
+            out,
+            "  mean power {:.2} W, sustained {:.0} MIPS, {:.0} MIPS/W (vs desktop {:.0})",
+            meter.mean_watts(&cfg.energy, dur),
+            meter.mips(dur),
+            meter.mips_per_watt(&cfg.energy, dur),
+            d.mips_per_watt
+        );
+        let _ = writeln!(
+            out,
+            "\npaper: 'on energy-efficiency the embedded processors win by an order of\nmagnitude'; 'the energy cost of a PC equals the purchase cost after a\nlittle more than three years'."
+        );
+        out
+    }
+}
+
+/// E8 — multicast vs broadcast communication loading (§4).
+pub mod e08_multicast_vs_broadcast {
+    use super::*;
+    use spinn_map::route::tree_cost;
+    use spinn_noc::mesh::{NodeCoord, Torus};
+    use spinn_sim::Xoshiro256;
+
+    /// The E8 table.
+    pub fn run(_quick: bool) -> String {
+        let torus = Torus::new(16, 16);
+        let mut rng = Xoshiro256::seed_from_u64(0xE8);
+        let mut out = String::new();
+        let _ = writeln!(out, "E8: multicast vs broadcast communication loading (§4)");
+        let _ = writeln!(out, "   16x16 torus, random destination chip sets, 50 trials each\n");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>11} {:>10} {:>11} {:>13} {:>13}",
+            "dests", "multicast", "unicast", "broadcast", "vs unicast", "vs broadcast"
+        );
+        for k in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let mut mc = 0u64;
+            let mut uc = 0u64;
+            let mut bc = 0u64;
+            for _ in 0..50 {
+                let mut dests = Vec::new();
+                while dests.len() < k {
+                    let d = NodeCoord::new(rng.gen_range_usize(16) as u32, rng.gen_range_usize(16) as u32);
+                    if d != NodeCoord::new(0, 0) && !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+                let c = tree_cost(&torus, NodeCoord::new(0, 0), dests);
+                mc += c.multicast_edges;
+                uc += c.unicast_edges;
+                bc += c.broadcast_edges;
+            }
+            let _ = writeln!(
+                out,
+                "{:>8} {:>11.1} {:>10.1} {:>11.1} {:>12.2}x {:>12.2}x",
+                k,
+                mc as f64 / 50.0,
+                uc as f64 / 50.0,
+                bc as f64 / 50.0,
+                uc as f64 / mc as f64,
+                bc as f64 / mc as f64,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: AER 'has been used principally in bus-based broadcast\ncommunication ... but here we employ a packet-switched multicast mechanism\nto reduce total communication loading'. The tree always beats per-target\nunicast and beats broadcast until the destination set approaches the whole\nmachine."
+        );
+        out
+    }
+}
+
+/// E9 — scaling towards the million-core machine (§1, §6).
+pub mod e09_scaling {
+    use super::*;
+    use spinn_machine::config::MachineConfig;
+    use spinnaker::prelude::*;
+
+    /// One weak-scaling measurement row.
+    pub struct Row {
+        /// Mesh edge (machine is `w x w`).
+        pub w: u32,
+        /// Neurons simulated.
+        pub neurons: u64,
+        /// Synaptic events per biological second.
+        pub syn_events_per_s: f64,
+        /// Sustained MIPS.
+        pub mips: f64,
+        /// Real-time violations.
+        pub violations: u64,
+    }
+
+    /// Runs the weak-scaling sweep: one independent driver->target
+    /// population pair per chip, so per-core neuron count AND packet
+    /// fan-in stay constant as the machine grows.
+    pub fn sweep(sizes: &[u32], ms: u32) -> Vec<Row> {
+        sizes
+            .iter()
+            .map(|&w| {
+                let chips = w * w;
+                let mut net = NetworkGraph::new();
+                for c in 0..chips {
+                    let a = net.population(
+                        &format!("a{c}"),
+                        8 * 128,
+                        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+                        8.6 + 0.1 * (c % 8) as f32,
+                    );
+                    let b = net.population(
+                        &format!("b{c}"),
+                        8 * 128,
+                        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+                        0.0,
+                    );
+                    net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(250, 2), c as u64);
+                }
+                let cfg = SimConfig::new(w, w).with_neurons_per_core(128);
+                let done = Simulation::build(&net, cfg).unwrap().run(ms);
+                let spikes = done.machine.spikes().len() as f64;
+                Row {
+                    w,
+                    neurons: chips as u64 * 16 * 128,
+                    syn_events_per_s: spikes * 20.0 / (ms as f64 / 1e3),
+                    mips: done.machine.meter().mips(done.machine.duration_ns()),
+                    violations: done.machine.realtime_violations(),
+                }
+            })
+            .collect()
+    }
+
+    /// The E9 table.
+    pub fn run(quick: bool) -> String {
+        let (sizes, ms): (&[u32], u32) = if quick {
+            (&[2, 3, 4], 80)
+        } else {
+            (&[2, 4, 6, 8], 200)
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "E9: weak scaling towards the million-core machine (§1, §6)");
+        let _ = writeln!(out, "   128 neurons/core, 16 cores/chip used, {ms} ms runs\n");
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>14} {:>12} {:>11}",
+            "machine", "neurons", "syn events/s", "MIPS", "violations"
+        );
+        for r in sweep(sizes, ms) {
+            let _ = writeln!(
+                out,
+                "{:>5}x{:<2} {:>10} {:>14.2e} {:>12.0} {:>11}",
+                r.w, r.w, r.neurons, r.syn_events_per_s, r.mips, r.violations
+            );
+        }
+        let full = MachineConfig::million_core();
+        let cores = full.chips() as f64 * full.cores_per_chip as f64;
+        let _ = writeln!(
+            out,
+            "\nextrapolation to the full machine (256x256 chips, {:.2}M cores):",
+            cores / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  {:.0} teraIPS peak ({} MIPS x {:.2}M cores) — paper: 'around 200 teraIPS'",
+            cores * full.cpu_mhz as f64 / 1e6,
+            full.cpu_mhz,
+            cores / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "  ~1000 neurons/core x {:.2}M cores ≈ 10^9 neurons — paper: 'a billion\n  spiking neurons in biological real time' (1% of the human brain)",
+            cores / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "\nreal time holds at every measured size (0 violations), and per-core load,\nnot machine size, determines headroom — the architecture's scaling claim."
+        );
+        out
+    }
+}
+
+/// E10 — virtualized topology: placement ablation (§3.2).
+pub mod e10_placement {
+    use super::*;
+    use spinnaker::prelude::*;
+
+    /// Builds a 2-D grid-of-populations network (locally connected).
+    pub fn grid_net(side: u32, pop: u32) -> NetworkGraph {
+        let mut net = NetworkGraph::new();
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(net.population(
+                    &format!("p{x}_{y}"),
+                    pop,
+                    NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+                    if x == 0 && y == 0 { 10.0 } else { 0.0 },
+                ));
+            }
+        }
+        // 4-neighbour local projections, as in a cortical sheet.
+        for y in 0..side {
+            for x in 0..side {
+                let src = ids[(y * side + x) as usize];
+                for (dx, dy) in [(1i64, 0i64), (0, 1)] {
+                    let nx = (x as i64 + dx).rem_euclid(side as i64) as u32;
+                    let ny = (y as i64 + dy).rem_euclid(side as i64) as u32;
+                    let dst = ids[(ny * side + nx) as usize];
+                    net.project(src, dst, Connector::FixedProbability(0.3),
+                                Synapses::constant(400, 2), (y * side + x) as u64);
+                }
+            }
+        }
+        net
+    }
+
+    /// The E10 table.
+    pub fn run(quick: bool) -> String {
+        let ms = if quick { 80 } else { 200 };
+        let net = grid_net(6, 64);
+        let mut out = String::new();
+        let _ = writeln!(out, "E10: virtualized topology — placement ablation (§3.2)");
+        let _ = writeln!(out, "   6x6 grid of 64-neuron populations, local projections, 8x8 machine\n");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>11} {:>10} {:>9} {:>12} {:>10} {:>9}",
+            "placer", "tree edges", "mean path", "entries", "packet hops", "spikes", "raster="
+        );
+        let mut reference: Option<Vec<spinnaker::PopSpike>> = None;
+        for (label, placer) in [
+            ("locality", Placer::Locality),
+            ("round-robin", Placer::RoundRobin),
+            ("random", Placer::Random { seed: 77 }),
+        ] {
+            let cfg = SimConfig::new(8, 8).with_neurons_per_core(64).with_placer(placer);
+            let sim = Simulation::build(&net, cfg).unwrap();
+            let rs = sim.route_stats().clone();
+            let done = sim.run(ms);
+            let mut spikes = done.spikes();
+            spikes.sort_by_key(|s| (s.time_ms, s.pop.index(), s.neuron));
+            let same = match &reference {
+                None => {
+                    reference = Some(spikes.clone());
+                    true
+                }
+                Some(r) => *r == spikes,
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>11} {:>10.2} {:>9} {:>12} {:>10} {:>9}",
+                label,
+                rs.total_edges,
+                rs.mean_path_len(),
+                rs.total_entries,
+                done.machine.meter().packet_hops,
+                spikes.len(),
+                same
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: 'In principle any neuron can be mapped onto any processor' — the\nspike raster is bit-identical under every placement (virtualized\ntopology); locality merely reduces routing cost ('minimize routing\ncosts, but it is not necessary to do so')."
+        );
+        out
+    }
+}
+
+/// E11 — retina, rank-order codes and graceful degradation (§5.4).
+pub mod e11_retina {
+    use super::*;
+    use spinn_neuron::coding::rank_order_similarity;
+    use spinn_neuron::retina::{Image, RetinaLayer};
+    use spinn_sim::Xoshiro256;
+
+    /// The E11 table.
+    pub fn run(quick: bool) -> String {
+        let trials = if quick { 3 } else { 10 };
+        let stimulus = Image::gaussian_blob(32, 32, 13.0, 19.0, 4.0);
+        let scales: &[(f64, usize)] = &[(1.2, 4), (2.4, 8)];
+        let healthy = RetinaLayer::new(32, 32, scales);
+        let code0 = healthy.encode(&stimulus, 24);
+        let recon0 = healthy.reconstruct(&code0, 0.9);
+        let mut out = String::new();
+        let _ = writeln!(out, "E11: retina, rank-order coding, graceful degradation (§5.4)");
+        let _ = writeln!(
+            out,
+            "   {} DoG ganglion cells at 2 overlapping scales, {trials} damage seeds\n",
+            healthy.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {:>14}",
+            "killed", "code sim", "recon corr", "recon (1scale)"
+        );
+        for frac in [0.0, 0.05, 0.10, 0.20, 0.30, 0.50] {
+            let mut sim_sum = 0.0;
+            let mut corr_sum = 0.0;
+            let mut sparse_sum = 0.0;
+            for t in 0..trials {
+                let mut rng = Xoshiro256::seed_from_u64(0xE11 + t);
+                let mut r = RetinaLayer::new(32, 32, scales);
+                r.kill_fraction(frac, &mut rng);
+                let code = r.encode(&stimulus, 24);
+                sim_sum += rank_order_similarity(&code0, &code, r.len(), 0.9);
+                corr_sum += recon0.correlation(&r.reconstruct(&code, 0.9));
+                // Ablation: a single sparse scale (no overlap) damaged
+                // the same way.
+                let mut rng = Xoshiro256::seed_from_u64(0xE11 + t);
+                let mut sparse = RetinaLayer::new(32, 32, &[(2.4, 8)]);
+                sparse.kill_fraction(frac, &mut rng);
+                let s0 = RetinaLayer::new(32, 32, &[(2.4, 8)]);
+                let ref_recon = s0.reconstruct(&s0.encode(&stimulus, 24), 0.9);
+                sparse_sum += ref_recon.correlation(&sparse.reconstruct(&sparse.encode(&stimulus, 24), 0.9));
+            }
+            let _ = writeln!(
+                out,
+                "{:>7.0}% {:>12.3} {:>12.3} {:>14.3}",
+                frac * 100.0,
+                sim_sum / trials as f64,
+                corr_sum / trials as f64,
+                sparse_sum / trials as f64,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\npaper: 'If a neuron fails ... a near-neighbour with a similar receptive\nfield will take over and very little information will be lost' — the\noverlapping-scale layer degrades gracefully; the single-scale ablation\n(no overlap) loses reconstruction quality faster."
+        );
+        out
+    }
+}
+
+/// A1 — ablation: the programmable router waits (wait1/wait2) trade
+/// packet loss against blocked-time under bursty congestion (§5.3's
+/// "programmable delay" registers).
+pub mod a01_router_waits {
+    use super::*;
+    use spinn_noc::direction::Direction;
+    use spinn_noc::fabric::{FabricConfig, FabricEvent, FabricSim};
+    use spinn_noc::mesh::NodeCoord;
+    use spinn_noc::packet::Packet;
+    use spinn_noc::table::{McTableEntry, RouteSet};
+    use spinn_sim::{Engine, SimTime};
+
+    /// Sends a hard burst into one link and reports the outcome for one
+    /// (wait1, wait2, queue capacity) setting.
+    pub fn burst(wait1: u64, wait2: u64, cap: usize, n: u64) -> (f64, f64, u64) {
+        let mut cfg = FabricConfig::new(8, 8);
+        cfg.router.wait1_ns = wait1;
+        cfg.router.wait2_ns = wait2;
+        cfg.out_queue_cap = cap;
+        let mut sim = FabricSim::new(cfg);
+        let key = 0xA1;
+        sim.fabric
+            .router_mut(NodeCoord::new(0, 0))
+            .table
+            .insert(McTableEntry {
+                key,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_link(Direction::East),
+            })
+            .unwrap();
+        sim.fabric
+            .router_mut(NodeCoord::new(4, 0))
+            .table
+            .insert(McTableEntry {
+                key,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_core(1),
+            })
+            .unwrap();
+        for i in 0..n {
+            // 3x the link's drain rate: a genuine overload burst.
+            sim.queue_injection(i * 55, NodeCoord::new(0, 0), Packet::multicast(key));
+        }
+        let mut engine = Engine::new(sim);
+        engine.schedule_at(SimTime::ZERO, FabricEvent::Pump);
+        engine.run_until(SimTime::new(n * 55 + 100_000_000));
+        let sim = engine.into_model();
+        let stats = sim.fabric.total_stats();
+        (
+            100.0 * sim.delivered() as f64 / n as f64,
+            sim.latency().mean(),
+            stats.dropped,
+        )
+    }
+
+    /// The A1 table.
+    pub fn run(quick: bool) -> String {
+        let n = if quick { 200 } else { 1000 };
+        let mut out = String::new();
+        let _ = writeln!(out, "A1 (ablation): router wait1/wait2 and queue depth under a 3x burst");
+        let _ = writeln!(out, "   {n}-packet burst at 55 ns spacing vs a 160 ns/packet link\n");
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>7} {:>11} {:>12} {:>9}",
+            "wait1 ns", "wait2 ns", "queue", "delivered", "mean lat ns", "dropped"
+        );
+        for (w1, w2, cap) in [
+            (400u64, 800u64, 4usize),
+            (2_000, 10_000, 4),
+            (10_000, 50_000, 4),
+            (2_000, 10_000, 1),
+            (2_000, 10_000, 16),
+        ] {
+            let (pct, lat, dropped) = burst(w1, w2, cap, n);
+            let _ = writeln!(
+                out,
+                "{w1:>9} {w2:>9} {cap:>7} {pct:>10.1}% {lat:>12.0} {dropped:>9}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nlonger waits and deeper queues absorb bursts at the cost of blocked\ntime; the paper leaves both programmable for exactly this trade (§5.3)."
+        );
+        out
+    }
+}
+
+/// A2 — ablation: default-route elision (§5.2): how much of the
+/// 1024-entry CAM does the straight-through trick save?
+pub mod a02_default_route_elision {
+    use super::*;
+    use spinn_map::place::{Placement, Placer};
+    use spinn_map::route::RoutingPlan;
+
+    /// The A2 table.
+    pub fn run(_quick: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "A2 (ablation): default-route elision and CAM pressure (§5.2)");
+        let _ = writeln!(
+            out,
+            "   6x6 grid-of-populations network on an 8x8 machine\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>13} {:>13} {:>9} {:>15}",
+            "placer", "entries", "w/o elision", "saved", "max/chip (cap 1024)"
+        );
+        let net = super::e10_placement::grid_net(6, 64);
+        for (label, placer) in [
+            ("locality", Placer::Locality),
+            ("round-robin", Placer::RoundRobin),
+            ("random", Placer::Random { seed: 77 }),
+        ] {
+            let placement = Placement::compute(&net, 8, 8, 17, 64, placer).unwrap();
+            let with = RoutingPlan::build_with_options(&net, &placement, 8, 8, true);
+            let without = RoutingPlan::build_with_options(&net, &placement, 8, 8, false);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>13} {:>13} {:>8.1}% {:>15}",
+                label,
+                with.total_entries(),
+                without.total_entries(),
+                100.0 * with.stats().elided_entries as f64
+                    / without.total_entries().max(1) as f64,
+                with.stats().max_entries_per_chip,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nthe worse the placement, the longer the straight default-routed runs —\nelision is what keeps arbitrary (virtualized) placements within the\n1024-entry CAM budget."
+        );
+        out
+    }
+}

@@ -1,0 +1,21 @@
+//! # spinn-bench — the experiment harness
+//!
+//! One module per experiment in `DESIGN.md`'s index (E1–E11), each
+//! regenerating a figure or quantitative claim of the paper. Every
+//! module exposes `run(quick) -> String`, returning the table the
+//! paper's claim implies; the Criterion benches under `benches/` print
+//! the quick table and then time the experiment's kernel, and
+//! `src/bin/run_experiments.rs` prints the full tables for
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+
+/// True when the harness should run full-size experiments
+/// (`SPINN_FULL=1`); benches default to quick mode.
+pub fn full_mode() -> bool {
+    std::env::var("SPINN_FULL").map_or(false, |v| v == "1")
+}

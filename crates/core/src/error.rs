@@ -1,0 +1,129 @@
+//! The crate's error type.
+
+use std::fmt;
+
+use spinn_machine::machine::DtcmOverflow;
+use spinn_map::place::NotEnoughCores;
+use spinn_noc::mesh::NodeCoord;
+use spinn_noc::table::TableFull;
+
+/// A chip's synaptic matrices exceed its shared SDRAM.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SdramOverflow {
+    /// The overflowing chip.
+    pub chip: NodeCoord,
+    /// Bytes the chip's cores need.
+    pub required: u64,
+    /// SDRAM available, bytes.
+    pub available: u64,
+}
+
+impl fmt::Display for SdramOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chip {} needs {} B of synaptic data but has {} B of SDRAM",
+            self.chip, self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for SdramOverflow {}
+
+/// Everything that can go wrong building a simulation.
+#[derive(Debug)]
+pub enum SpinnError {
+    /// The network needs more application cores than the machine has.
+    Placement(NotEnoughCores),
+    /// A core's neuron state and ring buffer exceed its 64 KB DTCM.
+    Dtcm(DtcmOverflow),
+    /// A chip's 1024-entry routing CAM overflowed.
+    TableOverflow(TableFull),
+    /// A chip's synaptic data exceeds its shared SDRAM.
+    Sdram(SdramOverflow),
+}
+
+impl fmt::Display for SpinnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpinnError::Placement(e) => write!(f, "placement failed: {e}"),
+            SpinnError::Dtcm(e) => write!(f, "core memory overflow: {e}"),
+            SpinnError::TableOverflow(e) => write!(f, "routing failed: {e}"),
+            SpinnError::Sdram(e) => write!(f, "SDRAM overflow: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpinnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpinnError::Placement(e) => Some(e),
+            SpinnError::Dtcm(e) => Some(e),
+            SpinnError::TableOverflow(e) => Some(e),
+            SpinnError::Sdram(e) => Some(e),
+        }
+    }
+}
+
+impl From<NotEnoughCores> for SpinnError {
+    fn from(e: NotEnoughCores) -> Self {
+        SpinnError::Placement(e)
+    }
+}
+
+impl From<DtcmOverflow> for SpinnError {
+    fn from(e: DtcmOverflow) -> Self {
+        SpinnError::Dtcm(e)
+    }
+}
+
+impl From<TableFull> for SpinnError {
+    fn from(e: TableFull) -> Self {
+        SpinnError::TableOverflow(e)
+    }
+}
+
+impl From<SdramOverflow> for SpinnError {
+    fn from(e: SdramOverflow) -> Self {
+        SpinnError::Sdram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = SpinnError::from(NotEnoughCores {
+            needed: 10,
+            available: 4,
+        });
+        assert!(e.to_string().contains("placement failed"));
+        assert!(e.source().is_some());
+
+        let e = SpinnError::from(TableFull { capacity: 1024 });
+        assert!(e.to_string().contains("routing failed"));
+
+        let e = SpinnError::from(DtcmOverflow {
+            required: 100_000,
+            available: 65_536,
+        });
+        assert!(e.to_string().contains("memory overflow"));
+
+        let e = SpinnError::from(SdramOverflow {
+            chip: NodeCoord::new(1, 2),
+            required: 200_000_000,
+            available: 134_217_728,
+        });
+        assert!(e.to_string().contains("SDRAM overflow"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpinnError>();
+    }
+}

@@ -1,0 +1,212 @@
+//! Delay-insensitive codeword tables: 2-of-7 NRZ and 3-of-6 RTZ.
+//!
+//! Both codes carry one 4-bit symbol per codeword plus one end-of-packet
+//! (EOP) marker, exactly as on the SpiNNaker chip. The wire-transition
+//! costs quoted in §5.1 of the paper fall straight out of the tables:
+//!
+//! * 2-of-7 NRZ: 2 data-wire transitions + 1 ack transition = **3
+//!   transitions per 4-bit symbol**;
+//! * 3-of-6 RTZ: 3 up + 3 down on data wires + ack up + ack down = **8
+//!   transitions per 4-bit symbol**.
+
+/// One symbol on a self-timed link: a 4-bit data nibble or an end-of-packet
+/// marker.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// A data nibble; only the low 4 bits are meaningful.
+    Data(u8),
+    /// End-of-packet.
+    Eop,
+}
+
+impl Symbol {
+    /// The table index used for this symbol (data value, or 16 for EOP).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Symbol::Data(v) => (v & 0xF) as usize,
+            Symbol::Eop => 16,
+        }
+    }
+
+    /// Reconstructs a symbol from a table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 16`.
+    #[inline]
+    pub fn from_index(idx: usize) -> Symbol {
+        match idx {
+            0..=15 => Symbol::Data(idx as u8),
+            16 => Symbol::Eop,
+            _ => panic!("symbol index out of range: {idx}"),
+        }
+    }
+}
+
+/// Generates the first 17 k-of-n wire masks in lexicographic order.
+const fn gen_table<const K: u32>(n: u32) -> [u8; 17] {
+    let mut table = [0u8; 17];
+    let mut found = 0usize;
+    let mut mask: u32 = 0;
+    while found < 17 {
+        mask += 1;
+        if mask >= (1 << n) {
+            panic!("not enough codewords");
+        }
+        if mask.count_ones() == K {
+            table[found] = mask as u8;
+            found += 1;
+        }
+    }
+    table
+}
+
+/// The 17 2-of-7 NRZ codewords (bit i set = wire i toggles), indexed by
+/// [`Symbol::index`].
+pub const NRZ_2OF7: [u8; 17] = gen_table::<2>(7);
+
+/// The 17 3-of-6 RTZ codewords (bit i set = wire i raised), indexed by
+/// [`Symbol::index`].
+pub const RTZ_3OF6: [u8; 17] = gen_table::<3>(6);
+
+/// Encodes a symbol as the set of NRZ data wires that must toggle.
+///
+/// # Example
+///
+/// ```
+/// use spinn_link::code::{nrz_encode, Symbol};
+/// assert_eq!(nrz_encode(Symbol::Data(0)).count_ones(), 2);
+/// ```
+#[inline]
+pub fn nrz_encode(symbol: Symbol) -> u8 {
+    NRZ_2OF7[symbol.index()]
+}
+
+/// Decodes a set of toggled NRZ wires back to a symbol; `None` if the mask
+/// is not a valid 2-of-7 codeword (i.e. the symbol was corrupted).
+pub fn nrz_decode(mask: u8) -> Option<Symbol> {
+    NRZ_2OF7
+        .iter()
+        .position(|&cw| cw == mask)
+        .map(Symbol::from_index)
+}
+
+/// Encodes a symbol as the set of RTZ data wires that must be raised.
+#[inline]
+pub fn rtz_encode(symbol: Symbol) -> u8 {
+    RTZ_3OF6[symbol.index()]
+}
+
+/// Decodes a set of raised RTZ wires back to a symbol; `None` if the mask
+/// is not a valid 3-of-6 codeword.
+pub fn rtz_decode(mask: u8) -> Option<Symbol> {
+    RTZ_3OF6
+        .iter()
+        .position(|&cw| cw == mask)
+        .map(Symbol::from_index)
+}
+
+/// Wire transitions needed to transfer one 4-bit symbol over the NRZ link,
+/// including the acknowledge wire (2 data + 1 ack).
+pub const NRZ_TRANSITIONS_PER_SYMBOL: u32 = 3;
+
+/// Wire transitions needed to transfer one 4-bit symbol over the RTZ link,
+/// including the acknowledge wire (3 up + 3 down + ack up + ack down).
+pub const RTZ_TRANSITIONS_PER_SYMBOL: u32 = 8;
+
+/// Number of data wires in the NRZ link (the 2-of-7 code).
+pub const NRZ_DATA_WIRES: usize = 7;
+
+/// Number of data wires in the RTZ link (the 3-of-6 code).
+pub const RTZ_DATA_WIRES: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_correct_weights() {
+        for &cw in &NRZ_2OF7 {
+            assert_eq!(cw.count_ones(), 2, "codeword {cw:#09b}");
+            assert_eq!(cw & !0x7F, 0, "codeword uses wire >= 7");
+        }
+        for &cw in &RTZ_3OF6 {
+            assert_eq!(cw.count_ones(), 3, "codeword {cw:#08b}");
+            assert_eq!(cw & !0x3F, 0, "codeword uses wire >= 6");
+        }
+    }
+
+    #[test]
+    fn tables_have_distinct_codewords() {
+        for i in 0..17 {
+            for j in (i + 1)..17 {
+                assert_ne!(NRZ_2OF7[i], NRZ_2OF7[j]);
+                assert_ne!(RTZ_3OF6[i], RTZ_3OF6[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_symbols() {
+        for idx in 0..=16 {
+            let s = Symbol::from_index(idx);
+            assert_eq!(nrz_decode(nrz_encode(s)), Some(s));
+            assert_eq!(rtz_decode(rtz_encode(s)), Some(s));
+        }
+    }
+
+    #[test]
+    fn invalid_masks_decode_to_none() {
+        assert_eq!(nrz_decode(0), None);
+        assert_eq!(nrz_decode(0b111), None); // 3 wires: not 2-of-7
+        assert_eq!(nrz_decode(0b1), None);
+        assert_eq!(rtz_decode(0b11), None); // 2 wires: not 3-of-6
+        assert_eq!(rtz_decode(0b1111), None);
+    }
+
+    #[test]
+    fn unused_codewords_decode_to_none() {
+        // There are 21 2-of-7 masks; only 17 are used.
+        let mut unused = 0;
+        for mask in 0u8..=0x7F {
+            if mask.count_ones() == 2 && nrz_decode(mask).is_none() {
+                unused += 1;
+            }
+        }
+        assert_eq!(unused, 21 - 17);
+        // And 20 3-of-6 masks, 17 used.
+        let mut unused = 0;
+        for mask in 0u8..=0x3F {
+            if mask.count_ones() == 3 && rtz_decode(mask).is_none() {
+                unused += 1;
+            }
+        }
+        assert_eq!(unused, 20 - 17);
+    }
+
+    #[test]
+    fn symbol_index_roundtrip() {
+        assert_eq!(Symbol::Data(5).index(), 5);
+        assert_eq!(Symbol::Eop.index(), 16);
+        assert_eq!(Symbol::from_index(16), Symbol::Eop);
+        // Data values are masked to 4 bits.
+        assert_eq!(Symbol::Data(0x1F).index(), 0xF);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_large() {
+        let _ = Symbol::from_index(17);
+    }
+
+    #[test]
+    fn paper_transition_counts() {
+        // §5.1: "a 2-of-7 NRZ code uses 3 off-chip wire transitions to send
+        // 4 bits of data; a 3-of-6 RTZ code uses 8 wire transitions to send
+        // the same 4 bits."
+        assert_eq!(NRZ_TRANSITIONS_PER_SYMBOL, 3);
+        assert_eq!(RTZ_TRANSITIONS_PER_SYMBOL, 8);
+        assert!(RTZ_TRANSITIONS_PER_SYMBOL > 2 * NRZ_TRANSITIONS_PER_SYMBOL);
+    }
+}

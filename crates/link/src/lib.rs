@@ -1,0 +1,54 @@
+//! # spinn-link — transition-level models of SpiNNaker's self-timed links
+//!
+//! SpiNNaker's interconnect is entirely self-timed (§5.1 of the paper):
+//!
+//! * **on-chip** the CHAIN fabric uses a **3-of-6 return-to-zero (RTZ)**
+//!   code — simple logic, but 8 wire transitions and two full handshake
+//!   round trips per 4-bit symbol;
+//! * **inter-chip** links use a **2-of-7 non-return-to-zero (NRZ)** code —
+//!   3 wire transitions and a single round trip per 4-bit symbol, which is
+//!   twice the throughput for less than half the energy where wire delay
+//!   and off-chip capacitance dominate.
+//!
+//! This crate models both protocols at the *wire transition* level on the
+//! deterministic event kernel from [`spinn_sim`], with 1 tick = 1 ps:
+//!
+//! * [`code`] — the 2-of-7 and 3-of-6 codeword tables and codecs (wire
+//!   transition counts are exact, so the paper's 3-vs-8 energy claim is
+//!   reproduced exactly);
+//! * [`nrz`] — a full NRZ link (transmitter, seven data wires + ack,
+//!   receiver) with **two receiver/transmitter phase-converter styles**
+//!   (Fig. 6): the conventional XOR/level-based converter that can lose
+//!   phase state under glitches and deadlock, and the transition-sensing
+//!   converter that absorbs spurious transitions;
+//! * [`rtz`] — the 4-phase RTZ link used on-chip;
+//! * [`glitch`] — Monte-Carlo harness injecting Poisson glitch pulses on
+//!   the wires, counting delivered/corrupted symbols and deadlocks
+//!   (experiment E1), including the 2-token reset-recovery protocol;
+//! * [`throughput`] — fault-free throughput and wire-transition/energy
+//!   measurement for both protocols (experiment E2).
+//!
+//! # Example
+//!
+//! ```
+//! use spinn_link::code::{Symbol, nrz_encode, nrz_decode};
+//!
+//! let mask = nrz_encode(Symbol::Data(0xA));
+//! assert_eq!(mask.count_ones(), 2); // a 2-of-7 codeword
+//! assert_eq!(nrz_decode(mask), Some(Symbol::Data(0xA)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod code;
+pub mod glitch;
+pub mod nrz;
+pub mod rtz;
+pub mod throughput;
+
+pub use code::Symbol;
+pub use glitch::{DeadlockStudy, GlitchOutcome, GlitchTrialConfig};
+pub use nrz::{NrzConfig, NrzLink, RxStyle};
+pub use rtz::{RtzConfig, RtzLink};
+pub use throughput::{measure_nrz, measure_rtz, LinkMeasurement};

@@ -1,0 +1,342 @@
+//! The on-chip 3-of-6 RTZ self-timed channel (CHAIN fabric style),
+//! modelled at the wire transition level (1 tick = 1 ps).
+//!
+//! RTZ is a four-phase protocol: the transmitter raises three of six data
+//! wires, the receiver acknowledges, the transmitter returns all wires to
+//! zero, and the receiver acknowledges the return. Two complete round
+//! trips and 8 wire transitions per 4-bit symbol — which is why SpiNNaker
+//! keeps it on-chip, where wires are short and the simpler logic wins, and
+//! switches to 2-of-7 NRZ for the chip-to-chip hop (§5.1).
+
+use spinn_sim::{Context, Engine, Model, SimTime};
+
+use crate::code::{rtz_decode, rtz_encode, Symbol, RTZ_DATA_WIRES};
+
+/// Timing parameters of the RTZ channel model. All times in ps.
+#[derive(Copy, Clone, Debug)]
+pub struct RtzConfig {
+    /// Propagation delay of every wire, in either direction.
+    pub wire_delay_ps: u64,
+    /// Extra delay between successive data-wire edges of one codeword.
+    pub wire_skew_ps: u64,
+    /// Transmitter logic delay before driving the next phase.
+    pub tx_cycle_ps: u64,
+    /// Receiver completion-detection to acknowledge delay.
+    pub rx_latch_ps: u64,
+}
+
+impl Default for RtzConfig {
+    fn default() -> Self {
+        RtzConfig {
+            wire_delay_ps: 2_000,
+            wire_skew_ps: 100,
+            tx_cycle_ps: 150,
+            rx_latch_ps: 100,
+        }
+    }
+}
+
+impl RtzConfig {
+    /// Nominal symbol cycle: four wire flights plus logic at each phase.
+    pub fn nominal_cycle_ps(&self) -> u64 {
+        4 * self.wire_delay_ps + 2 * self.wire_skew_ps + 2 * self.tx_cycle_ps
+            + 2 * self.rx_latch_ps
+    }
+}
+
+/// Events inside the RTZ channel simulation.
+#[derive(Copy, Clone, Debug)]
+pub enum RtzEvent {
+    /// An edge arrives at the receiver on data wire `wire`.
+    DataEdge {
+        /// Data wire index, `0..6`.
+        wire: u8,
+    },
+    /// An acknowledge edge arrives at the transmitter.
+    AckEdge,
+    /// Transmitter drives the next phase (data-up or return-to-zero).
+    TxDrive,
+    /// Receiver latch delay elapsed: issue acknowledge edge.
+    RxAckDone,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum TxPhase {
+    Idle,
+    SentData,
+    Returning,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RxPhase {
+    WaitData,
+    WaitReturn,
+}
+
+/// Counters published by an RTZ run.
+#[derive(Clone, Debug, Default)]
+pub struct RtzStats {
+    /// Symbols latched by the receiver.
+    pub captures: u64,
+    /// Captures that were not valid 3-of-6 codewords.
+    pub invalid_captures: u64,
+    /// Data-wire transitions delivered (up and down).
+    pub data_edges: u64,
+    /// Acknowledge-wire transitions delivered.
+    pub ack_edges: u64,
+    /// Completion time of the final handshake.
+    pub finish_time_ps: Option<u64>,
+}
+
+/// The complete RTZ channel model.
+///
+/// # Example
+///
+/// ```
+/// use spinn_link::rtz::{RtzLink, RtzConfig};
+/// use spinn_link::code::Symbol;
+///
+/// let symbols: Vec<Symbol> = (0..8).map(Symbol::Data).collect();
+/// let mut engine = RtzLink::engine(RtzConfig::default(), symbols.clone());
+/// engine.run_to_completion(Some(100_000));
+/// assert!(engine.model().is_done());
+/// assert_eq!(engine.model().delivered(), &symbols[..]);
+/// ```
+#[derive(Debug)]
+pub struct RtzLink {
+    cfg: RtzConfig,
+    symbols: Vec<Symbol>,
+    cursor: usize,
+    tx_phase: TxPhase,
+    rx_phase: RxPhase,
+    level: [bool; RTZ_DATA_WIRES],
+    delivered: Vec<Symbol>,
+    stats: RtzStats,
+    done: bool,
+}
+
+impl RtzLink {
+    /// Creates the channel model around a symbol stream.
+    pub fn new(cfg: RtzConfig, symbols: Vec<Symbol>) -> Self {
+        RtzLink {
+            cfg,
+            symbols,
+            cursor: 0,
+            tx_phase: TxPhase::Idle,
+            rx_phase: RxPhase::WaitData,
+            level: [false; RTZ_DATA_WIRES],
+            delivered: Vec::new(),
+            stats: RtzStats::default(),
+            done: false,
+        }
+    }
+
+    /// Convenience: builds an [`Engine`] with the first drive scheduled.
+    pub fn engine(cfg: RtzConfig, symbols: Vec<Symbol>) -> Engine<RtzLink> {
+        let link = RtzLink::new(cfg, symbols);
+        let mut engine = Engine::new(link);
+        engine.schedule_at(SimTime::ZERO, RtzEvent::TxDrive);
+        engine
+    }
+
+    /// The symbols latched by the receiver, in order.
+    pub fn delivered(&self) -> &[Symbol] {
+        &self.delivered
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RtzStats {
+        &self.stats
+    }
+
+    /// True once every symbol's four-phase handshake has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn drive_wires(&mut self, ctx: &mut Context<RtzEvent>, mask: u8) {
+        let mut extra = 0;
+        for w in 0..RTZ_DATA_WIRES {
+            if mask & (1 << w) != 0 {
+                ctx.schedule_in(
+                    self.cfg.wire_delay_ps + extra,
+                    RtzEvent::DataEdge { wire: w as u8 },
+                );
+                extra += self.cfg.wire_skew_ps;
+            }
+        }
+    }
+
+    fn level_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        for w in 0..RTZ_DATA_WIRES {
+            if self.level[w] {
+                mask |= 1 << w;
+            }
+        }
+        mask
+    }
+
+    fn on_tx_drive(&mut self, ctx: &mut Context<RtzEvent>) {
+        match self.tx_phase {
+            TxPhase::Idle => {
+                if self.cursor >= self.symbols.len() {
+                    if !self.done {
+                        self.done = true;
+                        self.stats.finish_time_ps = Some(ctx.now().ticks());
+                        ctx.stop();
+                    }
+                    return;
+                }
+                let mask = rtz_encode(self.symbols[self.cursor]);
+                self.cursor += 1;
+                self.tx_phase = TxPhase::SentData;
+                self.drive_wires(ctx, mask);
+            }
+            TxPhase::Returning => {
+                // Return-to-zero: drive down the wires that are up. The
+                // transmitter knows which: the codeword it just sent.
+                let mask = rtz_encode(self.symbols[self.cursor - 1]);
+                self.drive_wires(ctx, mask);
+                self.tx_phase = TxPhase::SentData; // awaiting the down-ack
+            }
+            TxPhase::SentData => unreachable!("TxDrive while awaiting ack"),
+        }
+    }
+
+    fn on_ack_edge(&mut self, ctx: &mut Context<RtzEvent>) {
+        self.stats.ack_edges += 1;
+        match self.rx_phase_of_ack() {
+            AckKind::DataAck => {
+                self.tx_phase = TxPhase::Returning;
+                ctx.schedule_in(self.cfg.tx_cycle_ps, RtzEvent::TxDrive);
+            }
+            AckKind::ReturnAck => {
+                self.tx_phase = TxPhase::Idle;
+                ctx.schedule_in(self.cfg.tx_cycle_ps, RtzEvent::TxDrive);
+            }
+        }
+    }
+
+    /// Which half of the handshake this acknowledge belongs to: RTZ acks
+    /// alternate strictly (data-ack, return-ack), so parity of the count
+    /// identifies them in the fault-free channel.
+    fn rx_phase_of_ack(&self) -> AckKind {
+        if self.stats.ack_edges % 2 == 1 {
+            AckKind::DataAck
+        } else {
+            AckKind::ReturnAck
+        }
+    }
+
+    fn on_data_edge(&mut self, ctx: &mut Context<RtzEvent>, wire: usize) {
+        self.stats.data_edges += 1;
+        self.level[wire] ^= true;
+        let mask = self.level_mask();
+        match self.rx_phase {
+            RxPhase::WaitData => {
+                if mask.count_ones() == 3 {
+                    self.stats.captures += 1;
+                    match rtz_decode(mask) {
+                        Some(sym) => self.delivered.push(sym),
+                        None => self.stats.invalid_captures += 1,
+                    }
+                    self.rx_phase = RxPhase::WaitReturn;
+                    ctx.schedule_in(self.cfg.rx_latch_ps, RtzEvent::RxAckDone);
+                }
+            }
+            RxPhase::WaitReturn => {
+                if mask == 0 {
+                    self.rx_phase = RxPhase::WaitData;
+                    ctx.schedule_in(self.cfg.rx_latch_ps, RtzEvent::RxAckDone);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+enum AckKind {
+    DataAck,
+    ReturnAck,
+}
+
+impl Model for RtzLink {
+    type Event = RtzEvent;
+
+    fn handle(&mut self, ctx: &mut Context<RtzEvent>, event: RtzEvent) {
+        match event {
+            RtzEvent::DataEdge { wire } => self.on_data_edge(ctx, wire as usize),
+            RtzEvent::AckEdge => self.on_ack_edge(ctx),
+            RtzEvent::TxDrive => self.on_tx_drive(ctx),
+            RtzEvent::RxAckDone => {
+                ctx.schedule_in(self.cfg.wire_delay_ps, RtzEvent::AckEdge);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols(n: usize) -> Vec<Symbol> {
+        (0..n).map(|i| Symbol::Data((i % 16) as u8)).collect()
+    }
+
+    #[test]
+    fn delivers_in_order() {
+        let mut engine = RtzLink::engine(RtzConfig::default(), symbols(64));
+        let outcome = engine.run_to_completion(Some(1_000_000));
+        assert_eq!(outcome, spinn_sim::RunOutcome::Stopped);
+        let link = engine.model();
+        assert!(link.is_done());
+        assert_eq!(link.delivered(), &symbols(64)[..]);
+        assert_eq!(link.stats().invalid_captures, 0);
+    }
+
+    #[test]
+    fn transition_counts_match_paper() {
+        // 3 up + 3 down data edges + 2 ack edges per symbol = 8 (§5.1).
+        let n = 32u64;
+        let mut engine = RtzLink::engine(RtzConfig::default(), symbols(n as usize));
+        engine.run_to_completion(Some(1_000_000));
+        let s = engine.model().stats();
+        assert_eq!(s.data_edges, 6 * n);
+        assert_eq!(s.ack_edges, 2 * n);
+        assert_eq!(s.data_edges + s.ack_edges, 8 * n);
+    }
+
+    #[test]
+    fn rtz_roughly_half_nrz_throughput() {
+        // With identical wire delays, RTZ needs ~2x the time per symbol.
+        use crate::nrz::{NrzConfig, NrzLink};
+        let n = 100;
+        let mut rtz = RtzLink::engine(RtzConfig::default(), symbols(n));
+        rtz.run_to_completion(Some(10_000_000));
+        let rtz_t = rtz.model().stats().finish_time_ps.unwrap();
+        let mut nrz = NrzLink::engine(NrzConfig::default(), symbols(n), 1);
+        nrz.run_to_completion(Some(10_000_000));
+        let nrz_t = nrz.model().stats().finish_time_ps.unwrap();
+        let ratio = rtz_t as f64 / nrz_t as f64;
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "RTZ/NRZ time ratio {ratio:.2} outside [1.6, 2.4]"
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut engine = RtzLink::engine(RtzConfig::default(), vec![]);
+        engine.run_to_completion(Some(10));
+        assert!(engine.model().is_done());
+    }
+
+    #[test]
+    fn eop_roundtrips() {
+        let stream = vec![Symbol::Eop, Symbol::Data(15)];
+        let mut engine = RtzLink::engine(RtzConfig::default(), stream.clone());
+        engine.run_to_completion(Some(10_000));
+        assert_eq!(engine.model().delivered(), &stream[..]);
+    }
+}

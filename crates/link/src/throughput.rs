@@ -1,0 +1,181 @@
+//! Fault-free throughput and energy measurement of both link protocols
+//! (experiment E2, §5.1).
+//!
+//! The paper's claim: off-chip, where chip-to-chip delays dominate
+//! performance and wire transitions dominate power, the 2-of-7 NRZ code
+//! "delivers twice the performance for less than half the energy per
+//! 4-bit symbol" of the 3-of-6 RTZ code.
+
+use crate::code::Symbol;
+use crate::nrz::{NrzConfig, NrzLink, RxStyle};
+use crate::rtz::{RtzConfig, RtzLink};
+
+/// Energy cost of one off-chip wire transition, in picojoules. A
+/// paper-era pad + PCB trace figure; only ratios matter for E2.
+pub const OFF_CHIP_PJ_PER_TRANSITION: f64 = 5.0;
+
+/// Result of measuring one protocol at one wire delay.
+#[derive(Copy, Clone, Debug)]
+pub struct LinkMeasurement {
+    /// Wire delay used, ps.
+    pub wire_delay_ps: u64,
+    /// Symbols transferred.
+    pub symbols: u64,
+    /// Total transfer time, ps.
+    pub duration_ps: u64,
+    /// Wire transitions used (data + acknowledge).
+    pub transitions: u64,
+    /// Throughput in million 4-bit symbols per second.
+    pub msymbols_per_s: f64,
+    /// Data throughput in Mbit/s (4 bits per symbol).
+    pub mbit_per_s: f64,
+    /// Wire transitions per symbol.
+    pub transitions_per_symbol: f64,
+    /// Energy per symbol at [`OFF_CHIP_PJ_PER_TRANSITION`], in pJ.
+    pub pj_per_symbol: f64,
+}
+
+fn measurement(wire_delay_ps: u64, symbols: u64, duration_ps: u64, transitions: u64) -> LinkMeasurement {
+    let msym = symbols as f64 / (duration_ps as f64 * 1e-12) / 1e6;
+    LinkMeasurement {
+        wire_delay_ps,
+        symbols,
+        duration_ps,
+        transitions,
+        msymbols_per_s: msym,
+        mbit_per_s: msym * 4.0,
+        transitions_per_symbol: transitions as f64 / symbols as f64,
+        pj_per_symbol: transitions as f64 / symbols as f64 * OFF_CHIP_PJ_PER_TRANSITION,
+    }
+}
+
+fn stream(n: usize) -> Vec<Symbol> {
+    (0..n).map(|i| Symbol::Data(((i * 7) % 16) as u8)).collect()
+}
+
+/// Measures the NRZ link pushing `n` symbols at the given wire delay.
+///
+/// # Panics
+///
+/// Panics if the link fails to complete (impossible without glitches).
+pub fn measure_nrz(wire_delay_ps: u64, n: usize) -> LinkMeasurement {
+    let cfg = NrzConfig {
+        wire_delay_ps,
+        style: RxStyle::TransitionSensing,
+        ..Default::default()
+    };
+    let mut engine = NrzLink::engine(cfg, stream(n), 1);
+    engine.run_to_completion(Some(100_000_000));
+    let link = engine.model();
+    assert!(link.is_done(), "fault-free NRZ link failed to complete");
+    let s = link.stats();
+    measurement(
+        wire_delay_ps,
+        n as u64,
+        s.finish_time_ps.expect("finished"),
+        s.data_edges + s.ack_edges,
+    )
+}
+
+/// Measures the RTZ channel pushing `n` symbols at the given wire delay.
+///
+/// # Panics
+///
+/// Panics if the channel fails to complete.
+pub fn measure_rtz(wire_delay_ps: u64, n: usize) -> LinkMeasurement {
+    let cfg = RtzConfig {
+        wire_delay_ps,
+        ..Default::default()
+    };
+    let mut engine = RtzLink::engine(cfg, stream(n));
+    engine.run_to_completion(Some(100_000_000));
+    let link = engine.model();
+    assert!(link.is_done(), "fault-free RTZ link failed to complete");
+    let s = link.stats();
+    measurement(
+        wire_delay_ps,
+        n as u64,
+        s.finish_time_ps.expect("finished"),
+        s.data_edges + s.ack_edges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::{NRZ_TRANSITIONS_PER_SYMBOL, RTZ_TRANSITIONS_PER_SYMBOL};
+
+    #[test]
+    fn paper_energy_ratio_is_exact() {
+        let nrz = measure_nrz(2_000, 200);
+        let rtz = measure_rtz(2_000, 200);
+        assert!((nrz.transitions_per_symbol - NRZ_TRANSITIONS_PER_SYMBOL as f64).abs() < 1e-9);
+        assert!((rtz.transitions_per_symbol - RTZ_TRANSITIONS_PER_SYMBOL as f64).abs() < 1e-9);
+        // "less than half the energy per 4-bit symbol"
+        assert!(nrz.pj_per_symbol < rtz.pj_per_symbol / 2.0);
+    }
+
+    #[test]
+    fn paper_throughput_ratio_when_wires_dominate() {
+        // With long wires (off-chip regime) NRZ approaches 2x RTZ.
+        let nrz = measure_nrz(5_000, 200);
+        let rtz = measure_rtz(5_000, 200);
+        let ratio = nrz.msymbols_per_s / rtz.msymbols_per_s;
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "NRZ/RTZ throughput ratio {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn rtz_competitive_on_chip_with_simpler_logic() {
+        // §5.1: "In the on-chip domain the balance is very different, and
+        // the simpler logic of the RTZ code dominates the decision".
+        // On-chip: short wires, negligible skew; the RTZ completion logic
+        // is far simpler than NRZ phase conversion, so its per-phase logic
+        // delay is much shorter.
+        use crate::nrz::{NrzConfig, NrzLink, RxStyle};
+        use crate::rtz::{RtzConfig, RtzLink};
+        let n = 100;
+        let rtz_cfg = RtzConfig {
+            wire_delay_ps: 60,
+            wire_skew_ps: 5,
+            tx_cycle_ps: 40,
+            rx_latch_ps: 40,
+        };
+        let nrz_cfg = NrzConfig {
+            wire_delay_ps: 60,
+            wire_skew_ps: 5,
+            tx_cycle_ps: 180, // NRZ phase-conversion logic is heavier
+            rx_latch_ps: 180,
+            style: RxStyle::TransitionSensing,
+            ..Default::default()
+        };
+        let mut rtz = RtzLink::engine(rtz_cfg, stream(n));
+        rtz.run_to_completion(Some(10_000_000));
+        let rtz_t = rtz.model().stats().finish_time_ps.unwrap();
+        let mut nrz = NrzLink::engine(nrz_cfg, stream(n), 1);
+        nrz.run_to_completion(Some(10_000_000));
+        let nrz_t = nrz.model().stats().finish_time_ps.unwrap();
+        assert!(
+            rtz_t < nrz_t,
+            "on-chip RTZ ({rtz_t} ps) should beat heavier-logic NRZ ({nrz_t} ps)"
+        );
+    }
+
+    #[test]
+    fn throughput_monotone_in_wire_delay() {
+        let fast = measure_nrz(500, 100);
+        let slow = measure_nrz(8_000, 100);
+        assert!(fast.msymbols_per_s > slow.msymbols_per_s);
+    }
+
+    #[test]
+    fn measurement_fields_consistent() {
+        let m = measure_nrz(1_000, 50);
+        assert_eq!(m.symbols, 50);
+        assert!((m.mbit_per_s - 4.0 * m.msymbols_per_s).abs() < 1e-9);
+        assert!(m.duration_ps > 0);
+        assert!((m.pj_per_symbol - m.transitions_per_symbol * OFF_CHIP_PJ_PER_TRANSITION).abs() < 1e-9);
+    }
+}

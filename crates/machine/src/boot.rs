@@ -1,0 +1,551 @@
+//! System bring-up (§5.2): self-test, monitor election, coordinate
+//! propagation from (0,0), p2p readiness, host check-in, and
+//! nearest-neighbour rescue of nodes that failed to boot.
+//!
+//! "SpiNNaker is a highly-distributed homogeneous system with no explicit
+//! means of synchronization" — bring-up must break chip-level symmetry
+//! (the monitor-arbitration register) and then system-level symmetry
+//! (node (0,0) is identified through the Host connection and coordinates
+//! propagate outwards using nn packets)."
+
+use spinn_noc::direction::ALL_DIRECTIONS;
+use spinn_noc::fabric::{p2p_addr, CtxScheduler, Fabric, FabricConfig, NocEvent};
+use spinn_noc::mesh::NodeCoord;
+use spinn_noc::packet::{Packet, PacketKind};
+use spinn_sim::{Context, Engine, Model, SimTime, Xoshiro256};
+
+use crate::chip::ChipState;
+
+/// nn-packet opcodes used during boot (carried in the packet key).
+mod opcode {
+    /// "Your coordinates are in the payload."
+    pub const ASSIGN_COORDS: u32 = 0x0100_0000;
+    /// "You failed to boot: re-run self-test and re-elect."
+    pub const RESCUE: u32 = 0x0200_0000;
+}
+
+/// Boot-process configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct BootConfig {
+    /// Mesh width, chips.
+    pub width: u32,
+    /// Mesh height, chips.
+    pub height: u32,
+    /// Cores per chip.
+    pub cores_per_chip: u8,
+    /// Probability that a core fails its power-on self-test.
+    pub core_fault_prob: f64,
+    /// Fraction of self-test failures that are transient (cured by the
+    /// re-test a rescue triggers).
+    pub transient_fault_frac: f64,
+    /// Self-test completion window: cores finish at a uniform random
+    /// time in `[selftest_min_ns, selftest_max_ns)`.
+    pub selftest_min_ns: u64,
+    /// Upper edge of the self-test window.
+    pub selftest_max_ns: u64,
+    /// When the host assigns (0,0) (must be after the self-test window).
+    pub host_start_ns: u64,
+    /// When neighbours check for dead chips and attempt rescue.
+    pub rescue_at_ns: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl BootConfig {
+    /// Defaults for a `width x height` machine.
+    pub fn new(width: u32, height: u32) -> Self {
+        BootConfig {
+            width,
+            height,
+            cores_per_chip: 20,
+            core_fault_prob: 0.0,
+            transient_fault_frac: 0.8,
+            selftest_min_ns: 10_000,
+            selftest_max_ns: 100_000,
+            host_start_ns: 150_000,
+            rescue_at_ns: 2_000_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Events of the boot simulation.
+#[derive(Copy, Clone, Debug)]
+pub enum BootEvent {
+    /// Fabric internals (nn/p2p packets in flight).
+    Noc(NocEvent),
+    /// A core completes its power-on self-test and bids for Monitor.
+    SelfTest {
+        /// Dense chip id.
+        chip: u32,
+        /// Core index.
+        core: u8,
+    },
+    /// The host assigns (0,0) over Ethernet.
+    HostStart,
+    /// Neighbour chips look for dead nodes and attempt rescue.
+    RescueSweep,
+    /// A chip sends (or re-sends) its p2p check-in report to the host.
+    Report {
+        /// Dense chip id.
+        chip: u32,
+    },
+    /// A monitor re-issues a dropped p2p packet (§5.3: "can recover the
+    /// packet and re-issue it if appropriate").
+    Reissue {
+        /// Dense chip id at which the packet was dropped.
+        node: u32,
+        /// The dropped packet's key.
+        key: u32,
+        /// The dropped packet's payload.
+        payload: u32,
+    },
+}
+
+/// Result summary of a boot run.
+#[derive(Clone, Debug, Default)]
+pub struct BootOutcome {
+    /// Chips that elected exactly one monitor in the first round.
+    pub monitors_first_round: usize,
+    /// Chips rescued by neighbours (monitor after re-test).
+    pub rescued: usize,
+    /// Chips left dead (no functioning monitor).
+    pub dead_chips: usize,
+    /// Time at which every live chip knew its coordinates, ns.
+    pub coords_complete_ns: Option<u64>,
+    /// Time at which the host had received every live chip's p2p
+    /// check-in report, ns.
+    pub reports_complete_ns: Option<u64>,
+    /// Total healthy cores across the machine.
+    pub healthy_cores: usize,
+    /// True if any chip ever had more than one monitor (must never
+    /// happen).
+    pub election_violated: bool,
+}
+
+/// The boot-process simulation.
+///
+/// # Example
+///
+/// ```
+/// use spinn_machine::boot::{BootConfig, BootSim};
+///
+/// let outcome = BootSim::run(BootConfig::new(4, 4));
+/// assert_eq!(outcome.monitors_first_round, 16);
+/// assert_eq!(outcome.dead_chips, 0);
+/// assert!(outcome.coords_complete_ns.is_some());
+/// ```
+#[derive(Debug)]
+pub struct BootSim {
+    cfg: BootConfig,
+    fabric: Fabric,
+    chips: Vec<ChipState>,
+    /// Per-core: failure is permanent (not cured by rescue re-test).
+    permanent_fault: Vec<Vec<bool>>,
+    /// Per-core: failed initial self-test.
+    failed_initial: Vec<Vec<bool>>,
+    rng: Xoshiro256,
+    reports_received: Vec<bool>,
+    rescued: usize,
+    coords_complete_ns: Option<u64>,
+    reports_complete_ns: Option<u64>,
+    election_violated: bool,
+}
+
+impl BootSim {
+    /// Builds the simulation (schedule via [`BootSim::engine`] or use
+    /// [`BootSim::run`]).
+    pub fn new(cfg: BootConfig) -> Self {
+        let fabric = Fabric::new(FabricConfig::new(cfg.width, cfg.height));
+        let n = (cfg.width * cfg.height) as usize;
+        BootSim {
+            fabric,
+            chips: (0..n).map(|_| ChipState::new(cfg.cores_per_chip)).collect(),
+            permanent_fault: vec![vec![false; cfg.cores_per_chip as usize]; n],
+            failed_initial: vec![vec![false; cfg.cores_per_chip as usize]; n],
+            rng: Xoshiro256::seed_from_u64(cfg.seed),
+            reports_received: vec![false; n],
+            rescued: 0,
+            coords_complete_ns: None,
+            reports_complete_ns: None,
+            election_violated: false,
+            cfg,
+        }
+    }
+
+    /// Creates an engine with the full boot schedule queued.
+    pub fn engine(cfg: BootConfig) -> Engine<BootSim> {
+        let sim = BootSim::new(cfg);
+        let mut engine = Engine::new(sim);
+        let span = cfg.selftest_max_ns - cfg.selftest_min_ns;
+        for chip in 0..(cfg.width * cfg.height) {
+            for core in 0..cfg.cores_per_chip {
+                let jitter = engine.model_mut().rng.gen_range_u64(span.max(1));
+                engine.schedule_at(
+                    SimTime::new(cfg.selftest_min_ns + jitter),
+                    BootEvent::SelfTest { chip, core },
+                );
+            }
+        }
+        engine.schedule_at(SimTime::new(cfg.host_start_ns), BootEvent::HostStart);
+        engine.schedule_at(SimTime::new(cfg.rescue_at_ns), BootEvent::RescueSweep);
+        // A second sweep to re-flood coordinates to rescued chips.
+        engine.schedule_at(
+            SimTime::new(cfg.rescue_at_ns + cfg.rescue_at_ns / 2),
+            BootEvent::RescueSweep,
+        );
+        engine
+    }
+
+    /// Runs a complete boot and summarizes it.
+    pub fn run(cfg: BootConfig) -> BootOutcome {
+        let mut engine = BootSim::engine(cfg);
+        engine.run_to_completion(Some(200_000_000));
+        engine.model().outcome()
+    }
+
+    /// The per-chip bring-up states.
+    pub fn chips(&self) -> &[ChipState] {
+        &self.chips
+    }
+
+    /// Summarizes the current state.
+    pub fn outcome(&self) -> BootOutcome {
+        let monitors = self
+            .chips
+            .iter()
+            .filter(|c| c.has_monitor())
+            .count();
+        BootOutcome {
+            monitors_first_round: monitors - self.rescued,
+            rescued: self.rescued,
+            dead_chips: self.chips.len() - monitors,
+            coords_complete_ns: self.coords_complete_ns,
+            reports_complete_ns: self.reports_complete_ns,
+            healthy_cores: self.chips.iter().map(|c| c.healthy_cores()).sum(),
+            election_violated: self.election_violated,
+        }
+    }
+
+    fn torus_coord(&self, chip: usize) -> NodeCoord {
+        self.fabric.torus().coord_of(chip)
+    }
+
+    fn on_self_test(&mut self, chip: usize, core: u8) {
+        let pass = !self.rng.gen_bool(self.cfg.core_fault_prob);
+        if pass {
+            self.chips[chip].core_ok[core as usize] = true;
+            // Passing cores race for the monitor role; the read-sensitive
+            // register arbitrates.
+            let already = self.chips[chip].controller.monitor();
+            let won = self.chips[chip].controller.read_monitor_arbiter(core);
+            if won && already.is_some() {
+                self.election_violated = true;
+            }
+        } else {
+            self.failed_initial[chip][core as usize] = true;
+            if !self.rng.gen_bool(self.cfg.transient_fault_frac) {
+                self.permanent_fault[chip][core as usize] = true;
+            }
+        }
+    }
+
+    /// Assigns coordinates to a chip and floods them onwards.
+    fn assign_coords(
+        &mut self,
+        now: u64,
+        chip: usize,
+        coords: (u32, u32),
+        ctx: &mut Context<BootEvent>,
+    ) {
+        if !self.chips[chip].has_monitor() || self.chips[chip].coords.is_some() {
+            return; // dead chips ignore; duplicates ignored
+        }
+        self.chips[chip].coords = Some(coords);
+        self.chips[chip].p2p_ready = true;
+        if self
+            .chips
+            .iter()
+            .all(|c| !c.has_monitor() || c.coords.is_some())
+            && self.coords_complete_ns.is_none()
+        {
+            self.coords_complete_ns = Some(now);
+        }
+        // Propagate to all six neighbours.
+        let here = self.torus_coord(chip);
+        for d in ALL_DIRECTIONS {
+            let peer = self.fabric.torus().neighbour(here, d);
+            let payload = (peer.x << 16) | peer.y;
+            self.fabric.inject_nn(
+                now,
+                here,
+                d,
+                Packet::nn(opcode::ASSIGN_COORDS, payload),
+                &mut CtxScheduler::new(ctx, BootEvent::Noc),
+            );
+        }
+        // Check in with the host via p2p to (0,0), staggered to avoid
+        // the whole wavefront converging on the origin at once.
+        let jitter = self.rng.gen_range_u64(100_000);
+        ctx.schedule_in(jitter, BootEvent::Report { chip: chip as u32 });
+    }
+
+    fn send_report(&mut self, now: u64, chip: usize, ctx: &mut Context<BootEvent>) {
+        let here = self.torus_coord(chip);
+        let report = Packet::p2p(p2p_addr(here), p2p_addr(NodeCoord::new(0, 0)), chip as u32);
+        self.fabric
+            .inject(now, here, report, &mut CtxScheduler::new(ctx, BootEvent::Noc));
+    }
+
+    fn on_host_start(&mut self, now: u64, ctx: &mut Context<BootEvent>) {
+        // The Ethernet-attached node is identified as the origin.
+        self.assign_coords(now, 0, (0, 0), ctx);
+    }
+
+    fn on_rescue_sweep(&mut self, now: u64, ctx: &mut Context<BootEvent>) {
+        // Every live, configured chip probes its neighbours; dead ones
+        // get a rescue nn packet ("copy boot code into the failed node's
+        // System RAM and instruct it to reboot", §5.2).
+        let n = self.chips.len();
+        for chip in 0..n {
+            if !self.chips[chip].has_monitor() || self.chips[chip].coords.is_none() {
+                continue;
+            }
+            let here = self.torus_coord(chip);
+            for d in ALL_DIRECTIONS {
+                let peer = self.fabric.torus().neighbour(here, d);
+                let pid = self.fabric.torus().id_of(peer);
+                if !self.chips[pid].has_monitor() {
+                    self.fabric.inject_nn(
+                        now,
+                        here,
+                        d,
+                        Packet::nn(opcode::RESCUE, 0),
+                        &mut CtxScheduler::new(ctx, BootEvent::Noc),
+                    );
+                }
+                // Re-flood coordinates so late-rescued chips configure.
+                let payload = (peer.x << 16) | peer.y;
+                self.fabric.inject_nn(
+                    now,
+                    here,
+                    d,
+                    Packet::nn(opcode::ASSIGN_COORDS, payload),
+                    &mut CtxScheduler::new(ctx, BootEvent::Noc),
+                );
+            }
+        }
+    }
+
+    fn on_rescue_packet(&mut self, chip: usize) {
+        if self.chips[chip].has_monitor() {
+            return;
+        }
+        // Re-run self-test: transient faults are cured, permanent ones
+        // are not.
+        let was_dead = !self.chips[chip].has_monitor();
+        self.chips[chip].controller.reset();
+        for core in 0..self.cfg.cores_per_chip as usize {
+            let ok = !self.failed_initial[chip][core] || !self.permanent_fault[chip][core];
+            self.chips[chip].core_ok[core] = ok;
+            if ok {
+                self.chips[chip].controller.read_monitor_arbiter(core as u8);
+            }
+        }
+        if was_dead && self.chips[chip].has_monitor() {
+            self.rescued += 1;
+        }
+    }
+
+    fn drain_deliveries(&mut self, now: u64, ctx: &mut Context<BootEvent>) {
+        // Dropped packets are recovered by the local monitor and
+        // re-issued after a backoff (§5.3).
+        for dropped in self.fabric.take_dropped() {
+            if dropped.packet.kind == PacketKind::PointToPoint {
+                let node = self.fabric.torus().id_of(dropped.node) as u32;
+                let backoff = 50_000 + self.rng.gen_range_u64(100_000);
+                ctx.schedule_in(
+                    backoff,
+                    BootEvent::Reissue {
+                        node,
+                        key: dropped.packet.key,
+                        payload: dropped.packet.payload.unwrap_or(0),
+                    },
+                );
+            }
+        }
+        for d in self.fabric.take_deliveries() {
+            let chip = self.fabric.torus().id_of(d.node);
+            match d.packet.kind {
+                PacketKind::NearestNeighbour => {
+                    if d.packet.key == opcode::ASSIGN_COORDS {
+                        let p = d.packet.payload.unwrap_or(0);
+                        self.assign_coords(now, chip, (p >> 16, p & 0xFFFF), ctx);
+                    } else if d.packet.key == opcode::RESCUE {
+                        self.on_rescue_packet(chip);
+                    }
+                }
+                PacketKind::PointToPoint => {
+                    // Host check-in report arriving at (0,0).
+                    if chip == 0 {
+                        let src = d.packet.payload.unwrap_or(u32::MAX) as usize;
+                        if src < self.reports_received.len() {
+                            self.reports_received[src] = true;
+                        }
+                        let all = self
+                            .chips
+                            .iter()
+                            .enumerate()
+                            .all(|(i, c)| !c.has_monitor() || self.reports_received[i]);
+                        if all && self.reports_complete_ns.is_none() {
+                            self.reports_complete_ns = Some(now);
+                        }
+                    }
+                }
+                PacketKind::Multicast => {}
+            }
+        }
+    }
+}
+
+impl Model for BootSim {
+    type Event = BootEvent;
+
+    fn handle(&mut self, ctx: &mut Context<BootEvent>, ev: BootEvent) {
+        let now = ctx.now().ticks();
+        match ev {
+            BootEvent::Noc(ev) => self.fabric.handle(now, ev, &mut CtxScheduler::new(ctx, BootEvent::Noc)),
+            BootEvent::SelfTest { chip, core } => self.on_self_test(chip as usize, core),
+            BootEvent::HostStart => self.on_host_start(now, ctx),
+            BootEvent::RescueSweep => self.on_rescue_sweep(now, ctx),
+            BootEvent::Report { chip } => self.send_report(now, chip as usize, ctx),
+            BootEvent::Reissue { node, key, payload } => {
+                let here = self.fabric.torus().coord_of(node as usize);
+                let packet = Packet {
+                    kind: PacketKind::PointToPoint,
+                    emergency: Default::default(),
+                    timestamp: 0,
+                    key,
+                    payload: Some(payload),
+                };
+                self.fabric
+                    .inject(now, here, packet, &mut CtxScheduler::new(ctx, BootEvent::Noc));
+            }
+        }
+        self.drain_deliveries(now, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_boot_elects_every_monitor_and_configures() {
+        let outcome = BootSim::run(BootConfig::new(8, 8));
+        assert_eq!(outcome.monitors_first_round, 64);
+        assert_eq!(outcome.rescued, 0);
+        assert_eq!(outcome.dead_chips, 0);
+        assert!(!outcome.election_violated);
+        assert_eq!(outcome.healthy_cores, 64 * 20);
+        assert!(outcome.coords_complete_ns.is_some());
+        assert!(outcome.reports_complete_ns.is_some());
+        assert!(outcome.reports_complete_ns >= outcome.coords_complete_ns);
+    }
+
+    #[test]
+    fn coordinate_propagation_takes_wavefront_time() {
+        // Completion time grows with machine diameter but stays O(diam).
+        let t4 = BootSim::run(BootConfig::new(4, 4))
+            .coords_complete_ns
+            .unwrap();
+        let t12 = BootSim::run(BootConfig::new(12, 12))
+            .coords_complete_ns
+            .unwrap();
+        assert!(t12 > t4, "bigger machine boots later: {t4} vs {t12}");
+        // Diameter grows 3x (2 -> 6 hex-torus eccentricity); allow slack
+        // but reject quadratic blow-up.
+        let hop = (t12 - t4) as f64 / 4.0; // per extra hop
+        assert!(hop < 200_000.0, "per-hop propagation cost too big: {hop}");
+    }
+
+    #[test]
+    fn faulty_cores_still_yield_single_monitors() {
+        let mut cfg = BootConfig::new(6, 6);
+        cfg.core_fault_prob = 0.3;
+        cfg.seed = 42;
+        let outcome = BootSim::run(cfg);
+        assert!(!outcome.election_violated);
+        // With 20 cores at 30% fault rate, all chips virtually certainly
+        // have at least one healthy core.
+        assert_eq!(outcome.dead_chips, 0);
+        assert!(outcome.healthy_cores < 36 * 20);
+        assert!(outcome.healthy_cores > 36 * 10);
+    }
+
+    #[test]
+    fn dead_chip_is_rescued_by_neighbours() {
+        // Force a chip dead: fault probability 1 would kill everything,
+        // so instead run with an extreme per-chip scenario: fault rate
+        // high enough that some chip loses all 20 cores is implausible;
+        // emulate by marking the chip dead after construction.
+        let mut engine = BootSim::engine(BootConfig::new(4, 4));
+        {
+            let sim = engine.model_mut();
+            // Chip 5: all cores fail initial self-test, transiently.
+            for core in 0..20 {
+                sim.permanent_fault[5][core] = false;
+            }
+        }
+        // Intercept the self-tests of chip 5 by setting fault prob per
+        // event: simplest is to run and then check the rescue machinery
+        // with a manual kill before HostStart.
+        engine.run_until(SimTime::new(5_000));
+        {
+            let sim = engine.model_mut();
+            for core in 0..20 {
+                sim.failed_initial[5][core] = true;
+            }
+        }
+        // Swallow chip 5's pending self-tests by marking fault prob 1
+        // only for it: emulate by resetting its state after the window.
+        engine.run_until(SimTime::new(120_000));
+        {
+            let sim = engine.model_mut();
+            sim.chips[5] = ChipState::new(20);
+        }
+        engine.run_to_completion(Some(50_000_000));
+        let outcome = engine.model().outcome();
+        assert_eq!(outcome.dead_chips, 0, "chip 5 must be rescued");
+        assert!(outcome.rescued >= 1);
+        assert!(engine.model().chips()[5].coords.is_some());
+    }
+
+    #[test]
+    fn permanently_dead_chip_stays_dead_but_boot_completes() {
+        let mut engine = BootSim::engine(BootConfig::new(4, 4));
+        engine.run_until(SimTime::new(120_000));
+        {
+            let sim = engine.model_mut();
+            sim.chips[10] = ChipState::new(20);
+            for core in 0..20 {
+                sim.failed_initial[10][core] = true;
+                sim.permanent_fault[10][core] = true;
+            }
+        }
+        engine.run_to_completion(Some(50_000_000));
+        let outcome = engine.model().outcome();
+        assert_eq!(outcome.dead_chips, 1);
+        assert!(outcome.coords_complete_ns.is_some(), "boot must complete");
+        assert!(outcome.reports_complete_ns.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = BootSim::run(BootConfig::new(6, 6));
+        let b = BootSim::run(BootConfig::new(6, 6));
+        assert_eq!(a.coords_complete_ns, b.coords_complete_ns);
+        assert_eq!(a.reports_complete_ns, b.reports_complete_ns);
+        assert_eq!(a.healthy_cores, b.healthy_cores);
+    }
+}

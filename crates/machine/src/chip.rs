@@ -1,0 +1,162 @@
+//! One chip: its cores, the System Controller and monitor arbitration.
+//!
+//! §5.2: "one of these is set aside as Monitor Processor ... The choice
+//! of Monitor Processor is not fixed in the hardware for reasons of fault
+//! tolerance; instead all processors perform self-test at start-up and
+//! then all those that pass the test can bid to serve as Monitor. There
+//! is a read-sensitive register in the System Controller that effectively
+//! serves as arbiter in this process, ensuring that one and only one
+//! processor is chosen as Monitor."
+
+/// The System Controller's monitor-arbitration register.
+///
+/// The first core to read the register after reset becomes Monitor; every
+/// later read returns false. See the crate-level example.
+#[derive(Clone, Debug, Default)]
+pub struct SystemController {
+    monitor: Option<u8>,
+}
+
+impl SystemController {
+    /// A controller fresh out of reset (no monitor chosen).
+    pub fn new() -> Self {
+        SystemController { monitor: None }
+    }
+
+    /// A core reads the read-sensitive register: `true` (and the Monitor
+    /// role) for the first reader only.
+    pub fn read_monitor_arbiter(&mut self, core: u8) -> bool {
+        if self.monitor.is_none() {
+            self.monitor = Some(core);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The elected monitor core, if any.
+    pub fn monitor(&self) -> Option<u8> {
+        self.monitor
+    }
+
+    /// Resets the arbiter (chip reboot, or a neighbour-forced
+    /// re-election during rescue, §5.2).
+    pub fn reset(&mut self) {
+        self.monitor = None;
+    }
+
+    /// Forces a specific monitor choice (used by nn-packet rescue:
+    /// "Using nn packets they can change the choice of Monitor
+    /// Processor").
+    pub fn force_monitor(&mut self, core: u8) {
+        self.monitor = Some(core);
+    }
+}
+
+/// Per-chip bring-up state.
+#[derive(Clone, Debug)]
+pub struct ChipState {
+    /// Which cores passed self-test.
+    pub core_ok: Vec<bool>,
+    /// The System Controller.
+    pub controller: SystemController,
+    /// Coordinates assigned during symmetry-breaking (None until the
+    /// coordinate flood reaches this chip).
+    pub coords: Option<(u32, u32)>,
+    /// Whether the chip's p2p tables are configured (requires coords).
+    pub p2p_ready: bool,
+}
+
+impl ChipState {
+    /// A chip with `cores` untested cores.
+    pub fn new(cores: u8) -> Self {
+        ChipState {
+            core_ok: vec![false; cores as usize],
+            controller: SystemController::new(),
+            coords: None,
+            p2p_ready: false,
+        }
+    }
+
+    /// Number of cores that passed self-test.
+    pub fn healthy_cores(&self) -> usize {
+        self.core_ok.iter().filter(|&&ok| ok).count()
+    }
+
+    /// Whether the chip has a functioning monitor.
+    pub fn has_monitor(&self) -> bool {
+        matches!(self.controller.monitor(), Some(m) if self.core_ok.get(m as usize) == Some(&true))
+    }
+
+    /// Application cores available to the mapper: healthy cores minus
+    /// the Monitor.
+    pub fn app_cores(&self) -> usize {
+        self.healthy_cores().saturating_sub(self.has_monitor() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_monitor_under_racing_reads() {
+        let mut sc = SystemController::new();
+        let winners: Vec<u8> = (0..20).filter(|&c| sc.read_monitor_arbiter(c)).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(sc.monitor(), Some(winners[0]));
+    }
+
+    #[test]
+    fn any_order_still_one_winner() {
+        // Simulate many random race orders.
+        use spinn_sim::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut order: Vec<u8> = (0..20).collect();
+            rng.shuffle(&mut order);
+            let mut sc = SystemController::new();
+            let winners = order
+                .iter()
+                .filter(|&&c| sc.read_monitor_arbiter(c))
+                .count();
+            assert_eq!(winners, 1);
+            assert_eq!(sc.monitor(), Some(order[0]));
+        }
+    }
+
+    #[test]
+    fn reset_allows_re_election() {
+        let mut sc = SystemController::new();
+        assert!(sc.read_monitor_arbiter(1));
+        sc.reset();
+        assert_eq!(sc.monitor(), None);
+        assert!(sc.read_monitor_arbiter(7));
+        assert_eq!(sc.monitor(), Some(7));
+    }
+
+    #[test]
+    fn force_monitor_overrides() {
+        let mut sc = SystemController::new();
+        assert!(sc.read_monitor_arbiter(0));
+        sc.force_monitor(5);
+        assert_eq!(sc.monitor(), Some(5));
+    }
+
+    #[test]
+    fn chip_state_accounting() {
+        let mut chip = ChipState::new(20);
+        assert_eq!(chip.healthy_cores(), 0);
+        assert!(!chip.has_monitor());
+        for i in 0..18 {
+            chip.core_ok[i] = true;
+        }
+        chip.controller.force_monitor(2);
+        assert!(chip.has_monitor());
+        assert_eq!(chip.app_cores(), 17);
+        // A monitor that failed self-test does not count.
+        chip.controller.force_monitor(19);
+        assert!(!chip.has_monitor());
+        assert_eq!(chip.app_cores(), 18);
+    }
+}

@@ -1,0 +1,253 @@
+//! Energy metering and the paper's cost-effectiveness arithmetic.
+//!
+//! §2: "Two metrics determine the cost-effectiveness of a many-core
+//! architecture: MIPS/mm² ... and MIPS/W. On the first of these measures
+//! embedded and high-end processors are roughly equal ... but on
+//! energy-efficiency the embedded processors win by an order of
+//! magnitude."
+//!
+//! §3.3: "A PC costs around $1,000 and consumes 300 W. A Watt costs
+//! $1/year. So the energy cost of a PC equals the purchase cost after a
+//! little more than three years."
+
+use crate::config::EnergyModel;
+
+/// Accumulates energy over a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct EnergyMeter {
+    /// Core-active time integrated over all cores, ns.
+    pub core_active_ns: u64,
+    /// Core-sleep (wait-for-interrupt) time over all cores, ns.
+    pub core_sleep_ns: u64,
+    /// Packets routed (router traversals).
+    pub packets_routed: u64,
+    /// Packet link-hops (inter-chip traversals).
+    pub packet_hops: u64,
+    /// Bytes moved to/from SDRAM.
+    pub sdram_bytes: u64,
+    /// Chip-seconds of overhead power, in chip-ns.
+    pub chip_overhead_ns: u64,
+    /// Instructions executed (for MIPS).
+    pub instructions: u64,
+}
+
+impl EnergyMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy in joules under the given model.
+    pub fn total_joules(&self, m: &EnergyModel) -> f64 {
+        let mw_ns = self.core_active_ns as f64 * m.core_active_mw
+            + self.core_sleep_ns as f64 * m.core_sleep_mw
+            + self.chip_overhead_ns as f64 * m.chip_overhead_mw;
+        // mW x ns = 1e-3 W x 1e-9 s = 1e-12 J.
+        let core_j = mw_ns * 1e-12;
+        let event_j = (self.packets_routed as f64 * m.router_pj_per_packet
+            + self.packet_hops as f64 * m.link_pj_per_hop
+            + self.sdram_bytes as f64 * m.sdram_pj_per_byte)
+            * 1e-12;
+        core_j + event_j
+    }
+
+    /// Mean power over a wall-clock duration, watts.
+    pub fn mean_watts(&self, m: &EnergyModel, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.total_joules(m) / (duration_ns as f64 * 1e-9)
+    }
+
+    /// Achieved MIPS over a duration.
+    pub fn mips(&self, duration_ns: u64) -> f64 {
+        if duration_ns == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / (duration_ns as f64 * 1e-9) / 1e6
+    }
+
+    /// MIPS per watt over a duration.
+    pub fn mips_per_watt(&self, m: &EnergyModel, duration_ns: u64) -> f64 {
+        let w = self.mean_watts(m, duration_ns);
+        if w == 0.0 {
+            0.0
+        } else {
+            self.mips(duration_ns) / w
+        }
+    }
+
+    /// Merges another meter (e.g. per-chip partials).
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.core_active_ns += other.core_active_ns;
+        self.core_sleep_ns += other.core_sleep_ns;
+        self.packets_routed += other.packets_routed;
+        self.packet_hops += other.packet_hops;
+        self.sdram_bytes += other.sdram_bytes;
+        self.chip_overhead_ns += other.chip_overhead_ns;
+        self.instructions += other.instructions;
+    }
+}
+
+/// One processor class in the §2 cost-effectiveness comparison.
+#[derive(Copy, Clone, Debug)]
+pub struct ProcessorClass {
+    /// Label for tables.
+    pub name: &'static str,
+    /// Sustained throughput, MIPS.
+    pub mips: f64,
+    /// Power, watts.
+    pub watts: f64,
+    /// Die area, mm².
+    pub die_mm2: f64,
+    /// Component cost, dollars.
+    pub cost_usd: f64,
+}
+
+/// The paper-era high-end desktop processor (§2: "a SpiNNaker chip with
+/// 20 ARM cores delivers about the same throughput as a high-end desktop
+/// processor").
+pub const DESKTOP_CLASS: ProcessorClass = ProcessorClass {
+    name: "high-end desktop",
+    mips: 4_000.0,
+    watts: 80.0,
+    die_mm2: 250.0,
+    cost_usd: 300.0,
+};
+
+/// The SpiNNaker 20-core node (§3.3: "$20 and a power consumption under
+/// 1 Watt", about a desktop's throughput).
+pub const SPINNAKER_NODE_CLASS: ProcessorClass = ProcessorClass {
+    name: "SpiNNaker node (20 ARM968)",
+    mips: 4_000.0,
+    watts: 0.9,
+    die_mm2: 102.0,
+    cost_usd: 20.0,
+};
+
+/// The §2 / §3.3 comparison derived from two processor classes.
+#[derive(Copy, Clone, Debug)]
+pub struct CostEffectiveness {
+    /// MIPS per mm² of silicon.
+    pub mips_per_mm2: f64,
+    /// MIPS per watt.
+    pub mips_per_watt: f64,
+    /// MIPS per dollar of component cost.
+    pub mips_per_usd: f64,
+}
+
+impl CostEffectiveness {
+    /// Computes the metrics for a processor class.
+    pub fn of(p: &ProcessorClass) -> Self {
+        CostEffectiveness {
+            mips_per_mm2: p.mips / p.die_mm2,
+            mips_per_watt: p.mips / p.watts,
+            mips_per_usd: p.mips / p.cost_usd,
+        }
+    }
+}
+
+/// Years until cumulative energy cost equals purchase cost, at
+/// `usd_per_watt_year` (§3.3 uses $1/W/year).
+pub fn energy_cost_crossover_years(p: &ProcessorClass, usd_per_watt_year: f64) -> f64 {
+    p.cost_usd / (p.watts * usd_per_watt_year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_energy_arithmetic() {
+        let m = EnergyModel::default();
+        let mut meter = EnergyMeter::new();
+        meter.core_active_ns = 1_000_000_000; // 1 core-second active
+        let j = meter.total_joules(&m);
+        assert!((j - m.core_active_mw * 1e-3).abs() < 1e-9, "{j}");
+        meter.packets_routed = 1_000_000;
+        let j2 = meter.total_joules(&m);
+        assert!(j2 > j);
+        assert!((j2 - j - m.router_pj_per_packet * 1e-12 * 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mips_and_watts() {
+        let m = EnergyModel::default();
+        let mut meter = EnergyMeter::new();
+        meter.instructions = 200_000_000;
+        meter.core_active_ns = 1_000_000_000;
+        let mips = meter.mips(1_000_000_000);
+        assert!((mips - 200.0).abs() < 1e-9);
+        let w = meter.mean_watts(&m, 1_000_000_000);
+        assert!((w - 0.035).abs() < 1e-9);
+        assert!(meter.mips_per_watt(&m, 1_000_000_000) > 5000.0);
+        assert_eq!(meter.mips(0), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = EnergyMeter::new();
+        a.instructions = 10;
+        a.packet_hops = 2;
+        let mut b = EnergyMeter::new();
+        b.instructions = 5;
+        b.sdram_bytes = 100;
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.sdram_bytes, 100);
+        assert_eq!(a.packet_hops, 2);
+    }
+
+    #[test]
+    fn paper_claim_mips_per_mm2_roughly_equal() {
+        // §2: "On the first of these measures embedded and high-end
+        // processors are roughly equal."
+        let desktop = CostEffectiveness::of(&DESKTOP_CLASS);
+        let node = CostEffectiveness::of(&SPINNAKER_NODE_CLASS);
+        let ratio = node.mips_per_mm2 / desktop.mips_per_mm2;
+        assert!(
+            (0.5..4.0).contains(&ratio),
+            "MIPS/mm2 ratio {ratio:.2} not 'roughly equal'"
+        );
+    }
+
+    #[test]
+    fn paper_claim_order_of_magnitude_mips_per_watt() {
+        // §2: "on energy-efficiency the embedded processors win by an
+        // order of magnitude."
+        let desktop = CostEffectiveness::of(&DESKTOP_CLASS);
+        let node = CostEffectiveness::of(&SPINNAKER_NODE_CLASS);
+        let ratio = node.mips_per_watt / desktop.mips_per_watt;
+        assert!(
+            ratio >= 10.0,
+            "MIPS/W advantage {ratio:.1}x below an order of magnitude"
+        );
+    }
+
+    #[test]
+    fn paper_claim_pc_crossover_three_years() {
+        // §3.3's PC: $1000, 300 W, $1/W/year -> ~3.3 years.
+        let pc = ProcessorClass {
+            name: "PC",
+            mips: 10_000.0,
+            watts: 300.0,
+            die_mm2: 400.0,
+            cost_usd: 1000.0,
+        };
+        let years = energy_cost_crossover_years(&pc, 1.0);
+        assert!(
+            (3.0..4.0).contains(&years),
+            "crossover {years:.2} years, paper says 'a little more than three'"
+        );
+    }
+
+    #[test]
+    fn embedded_reduces_ownership_costs_by_order_of_magnitude() {
+        // §3.3: "Embedded processors can reduce the capital and energy
+        // costs of a given level of compute power by about an order of
+        // magnitude."
+        let desktop = CostEffectiveness::of(&DESKTOP_CLASS);
+        let node = CostEffectiveness::of(&SPINNAKER_NODE_CLASS);
+        assert!(node.mips_per_usd / desktop.mips_per_usd >= 10.0);
+    }
+}

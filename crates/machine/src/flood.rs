@@ -1,0 +1,270 @@
+//! Application loading by flood-fill (§5.2, \[15\]).
+//!
+//! "The flood-fill mechanism has been shown to give load times almost
+//! independent of the size of the machine, with trade-offs between load
+//! time and the degree of fault-tolerance, which can be controlled by the
+//! number of times a node receives each component of the application."
+//!
+//! The host streams the application image block-by-block into node (0,0);
+//! every chip forwards each block once to all six neighbours, and accepts
+//! a block after receiving it `redundancy_k` times (more receipts = more
+//! confidence under corrupting links, but a longer wait).
+
+use spinn_noc::direction::ALL_DIRECTIONS;
+use spinn_noc::fabric::{CtxScheduler, Fabric, FabricConfig, NocEvent};
+use spinn_noc::packet::{Packet, PacketKind};
+use spinn_sim::{Context, Engine, Model, SimTime};
+
+/// Flood-fill configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct FloodConfig {
+    /// Mesh width, chips.
+    pub width: u32,
+    /// Mesh height, chips.
+    pub height: u32,
+    /// Number of application blocks to load.
+    pub blocks: u32,
+    /// Interval between host block injections, ns (Ethernet-side rate).
+    pub block_interval_ns: u64,
+    /// Copies of each block a chip must receive before accepting it
+    /// (the fault-tolerance/load-time trade-off knob).
+    pub redundancy_k: u8,
+}
+
+impl FloodConfig {
+    /// Defaults: 32 blocks at 10 µs intervals, accept on first copy.
+    pub fn new(width: u32, height: u32) -> Self {
+        FloodConfig {
+            width,
+            height,
+            blocks: 32,
+            block_interval_ns: 10_000,
+            redundancy_k: 1,
+        }
+    }
+}
+
+/// Events of the flood-fill simulation.
+#[derive(Copy, Clone, Debug)]
+pub enum FloodEvent {
+    /// Fabric internals.
+    Noc(NocEvent),
+    /// The host injects one block into node (0,0).
+    HostBlock {
+        /// Block id.
+        id: u32,
+    },
+}
+
+/// Result of a flood-fill load.
+#[derive(Clone, Debug)]
+pub struct FloodOutcome {
+    /// Time at which every chip had accepted every block, ns.
+    pub load_complete_ns: Option<u64>,
+    /// Total nn packets delivered during the load.
+    pub nn_packets: u64,
+    /// Copies of each block received, averaged over chips and blocks.
+    pub mean_copies: f64,
+}
+
+/// The flood-fill loading simulation.
+///
+/// # Example
+///
+/// ```
+/// use spinn_machine::flood::{FloodConfig, FloodSim};
+///
+/// let outcome = FloodSim::run(FloodConfig::new(4, 4));
+/// assert!(outcome.load_complete_ns.is_some());
+/// ```
+#[derive(Debug)]
+pub struct FloodSim {
+    cfg: FloodConfig,
+    /// The communications fabric (exposed for fault injection: §5.2's
+    /// trade-off is precisely about loading through a damaged machine).
+    pub fabric: Fabric,
+    /// `copies[chip][block]`: receipts so far.
+    copies: Vec<Vec<u8>>,
+    /// `forwarded[chip][block]`.
+    forwarded: Vec<Vec<bool>>,
+    /// Accepted blocks per chip.
+    accepted: Vec<u32>,
+    chips_complete: usize,
+    load_complete_ns: Option<u64>,
+}
+
+impl FloodSim {
+    /// Builds the simulation.
+    pub fn new(cfg: FloodConfig) -> Self {
+        let n = (cfg.width * cfg.height) as usize;
+        FloodSim {
+            fabric: Fabric::new(FabricConfig::new(cfg.width, cfg.height)),
+            copies: vec![vec![0; cfg.blocks as usize]; n],
+            forwarded: vec![vec![false; cfg.blocks as usize]; n],
+            accepted: vec![0; n],
+            chips_complete: 0,
+            load_complete_ns: None,
+            cfg,
+        }
+    }
+
+    /// Creates an engine with the host injection schedule queued.
+    pub fn engine(cfg: FloodConfig) -> Engine<FloodSim> {
+        let sim = FloodSim::new(cfg);
+        let mut engine = Engine::new(sim);
+        for id in 0..cfg.blocks {
+            engine.schedule_at(
+                SimTime::new(id as u64 * cfg.block_interval_ns),
+                FloodEvent::HostBlock { id },
+            );
+        }
+        engine
+    }
+
+    /// Runs a complete load and summarizes it.
+    pub fn run(cfg: FloodConfig) -> FloodOutcome {
+        let mut engine = FloodSim::engine(cfg);
+        engine.run_to_completion(Some(500_000_000));
+        engine.model().outcome()
+    }
+
+    /// Summarizes the current state.
+    pub fn outcome(&self) -> FloodOutcome {
+        let total: u64 = self
+            .copies
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&c| c as u64)
+            .sum();
+        let cells = (self.copies.len() * self.cfg.blocks as usize).max(1);
+        FloodOutcome {
+            load_complete_ns: self.load_complete_ns,
+            nn_packets: self.fabric.total_stats().nn_delivered,
+            mean_copies: total as f64 / cells as f64,
+        }
+    }
+
+    fn receive_block(&mut self, now: u64, chip: usize, id: u32, ctx: &mut Context<FloodEvent>) {
+        let b = id as usize;
+        let k = self.cfg.redundancy_k;
+        let prev = self.copies[chip][b];
+        self.copies[chip][b] = prev.saturating_add(1);
+        // Forward once, on first receipt, to all six neighbours.
+        if !self.forwarded[chip][b] {
+            self.forwarded[chip][b] = true;
+            let here = self.fabric.torus().coord_of(chip);
+            for d in ALL_DIRECTIONS {
+                self.fabric.inject_nn(
+                    now,
+                    here,
+                    d,
+                    Packet::nn(id, id),
+                    &mut CtxScheduler::new(ctx, FloodEvent::Noc),
+                );
+            }
+        }
+        // Accept at the k-th copy.
+        if prev + 1 == k {
+            self.accepted[chip] += 1;
+            if self.accepted[chip] == self.cfg.blocks {
+                self.chips_complete += 1;
+                if self.chips_complete == self.copies.len() && self.load_complete_ns.is_none() {
+                    self.load_complete_ns = Some(now);
+                }
+            }
+        }
+    }
+}
+
+impl Model for FloodSim {
+    type Event = FloodEvent;
+
+    fn handle(&mut self, ctx: &mut Context<FloodEvent>, ev: FloodEvent) {
+        let now = ctx.now().ticks();
+        match ev {
+            FloodEvent::Noc(ev) => self.fabric.handle(now, ev, &mut CtxScheduler::new(ctx, FloodEvent::Noc)),
+            FloodEvent::HostBlock { id } => {
+                // The host's Ethernet delivery counts as `k` receipts at
+                // the origin (the host is trusted).
+                for _ in 0..self.cfg.redundancy_k {
+                    self.receive_block(now, 0, id, ctx);
+                }
+            }
+        }
+        let deliveries = self.fabric.take_deliveries();
+        for d in deliveries {
+            if d.packet.kind == PacketKind::NearestNeighbour {
+                let chip = self.fabric.torus().id_of(d.node);
+                self.receive_block(now, chip, d.packet.key, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_chip_receives_every_block() {
+        let outcome = FloodSim::run(FloodConfig::new(6, 6));
+        assert!(outcome.load_complete_ns.is_some());
+        // Every chip forwards every block once on each of 6 links.
+        assert_eq!(outcome.nn_packets, 36 * 32 * 6);
+    }
+
+    #[test]
+    fn load_time_almost_independent_of_machine_size() {
+        // The E5 claim: the wavefront pipelines behind the host stream,
+        // so quadrupling the machine area adds only the extra diameter.
+        let t_small = FloodSim::run(FloodConfig::new(4, 4))
+            .load_complete_ns
+            .unwrap();
+        let t_large = FloodSim::run(FloodConfig::new(12, 12))
+            .load_complete_ns
+            .unwrap();
+        let ratio = t_large as f64 / t_small as f64;
+        assert!(
+            ratio < 1.5,
+            "9x the chips should cost <1.5x the load time, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn redundancy_increases_copies_and_load_time() {
+        let mut cfg = FloodConfig::new(6, 6);
+        cfg.redundancy_k = 1;
+        let k1 = FloodSim::run(cfg);
+        cfg.redundancy_k = 3;
+        let k3 = FloodSim::run(cfg);
+        assert!(k3.load_complete_ns.unwrap() >= k1.load_complete_ns.unwrap());
+        assert!(k3.mean_copies >= k1.mean_copies);
+        assert!(k1.load_complete_ns.is_some() && k3.load_complete_ns.is_some());
+    }
+
+    #[test]
+    fn blocks_scale_load_time_linearly() {
+        let mut cfg = FloodConfig::new(4, 4);
+        cfg.blocks = 8;
+        let t8 = FloodSim::run(cfg).load_complete_ns.unwrap();
+        cfg.blocks = 64;
+        let t64 = FloodSim::run(cfg).load_complete_ns.unwrap();
+        let ratio = t64 as f64 / t8 as f64;
+        assert!(
+            (4.0..12.0).contains(&ratio),
+            "8x blocks should cost ~8x time, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn mean_copies_reflects_six_neighbour_flood() {
+        // Each chip hears each block from each of its 6 neighbours (plus
+        // the host at the origin).
+        let outcome = FloodSim::run(FloodConfig::new(6, 6));
+        assert!(
+            (5.5..7.5).contains(&outcome.mean_copies),
+            "mean copies {}",
+            outcome.mean_copies
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! The abstract neural network: populations, projections, connectors.
+
+use spinn_neuron::izhikevich::IzhikevichParams;
+use spinn_neuron::lif::LifParams;
+use spinn_sim::Xoshiro256;
+
+/// Identifies a population within a [`NetworkGraph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PopulationId(pub(crate) usize);
+
+impl PopulationId {
+    /// The population's index in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Which point-neuron model a population runs.
+#[derive(Copy, Clone, Debug)]
+pub enum NeuronKind {
+    /// Izhikevich with the given parameters.
+    Izhikevich(IzhikevichParams),
+    /// Leaky integrate-and-fire with the given parameters.
+    Lif(LifParams),
+}
+
+/// One population of identical neurons.
+#[derive(Clone, Debug)]
+pub struct Population {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of neurons.
+    pub size: u32,
+    /// Neuron model.
+    pub kind: NeuronKind,
+    /// Constant bias current, nA (stands in for background input).
+    pub bias_na: f32,
+}
+
+/// Connection pattern of a projection.
+#[derive(Copy, Clone, Debug)]
+pub enum Connector {
+    /// Neuron `i` connects to neuron `i` (requires equal sizes).
+    OneToOne,
+    /// Every source to every target; self-connections allowed only when
+    /// the flag is set (relevant for recurrent projections).
+    AllToAll {
+        /// Include `i -> i` when source and target populations coincide.
+        allow_self: bool,
+    },
+    /// Every pair connects independently with this probability.
+    FixedProbability(f64),
+    /// Every source neuron connects to exactly this many distinct,
+    /// uniformly chosen targets.
+    FixedFanOut(u32),
+}
+
+/// Weight/delay specification of a projection's synapses.
+#[derive(Copy, Clone, Debug)]
+pub struct Synapses {
+    /// Minimum weight, 8.8 fixed point (negative = inhibitory).
+    pub weight_min_raw: i16,
+    /// Maximum weight, 8.8 fixed point.
+    pub weight_max_raw: i16,
+    /// Minimum delay, ms (1–16).
+    pub delay_min_ms: u8,
+    /// Maximum delay, ms (1–16).
+    pub delay_max_ms: u8,
+}
+
+impl Synapses {
+    /// Constant weight and delay.
+    pub fn constant(weight_raw: i16, delay_ms: u8) -> Self {
+        Synapses {
+            weight_min_raw: weight_raw,
+            weight_max_raw: weight_raw,
+            delay_min_ms: delay_ms,
+            delay_max_ms: delay_ms,
+        }
+    }
+
+    /// Uniformly distributed weight and delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ranges are inverted or delays are outside 1–16 ms.
+    pub fn uniform(weight_raw: (i16, i16), delay_ms: (u8, u8)) -> Self {
+        assert!(weight_raw.0 <= weight_raw.1, "weight range inverted");
+        assert!(delay_ms.0 <= delay_ms.1, "delay range inverted");
+        assert!(
+            (1..=16).contains(&delay_ms.0) && delay_ms.1 <= 16,
+            "delays must lie in 1..=16 ms"
+        );
+        Synapses {
+            weight_min_raw: weight_raw.0,
+            weight_max_raw: weight_raw.1,
+            delay_min_ms: delay_ms.0,
+            delay_max_ms: delay_ms.1,
+        }
+    }
+
+    /// Draws a concrete (weight, delay) pair.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> (i16, u8) {
+        let w = if self.weight_min_raw == self.weight_max_raw {
+            self.weight_min_raw
+        } else {
+            let span = (self.weight_max_raw as i32 - self.weight_min_raw as i32 + 1) as u64;
+            (self.weight_min_raw as i32 + rng.gen_range_u64(span) as i32) as i16
+        };
+        let d = if self.delay_min_ms == self.delay_max_ms {
+            self.delay_min_ms
+        } else {
+            let span = (self.delay_max_ms - self.delay_min_ms + 1) as u64;
+            self.delay_min_ms + rng.gen_range_u64(span) as u8
+        };
+        (w, d)
+    }
+}
+
+/// One projection between populations.
+#[derive(Clone, Debug)]
+pub struct Projection {
+    /// Source population.
+    pub src: PopulationId,
+    /// Target population.
+    pub dst: PopulationId,
+    /// Connection pattern.
+    pub connector: Connector,
+    /// Synapse parameters.
+    pub synapses: Synapses,
+    /// Expansion seed (same seed = same concrete connectivity).
+    pub seed: u64,
+}
+
+impl Projection {
+    /// Expands the projection into concrete `(src, dst)` neuron pairs,
+    /// deterministically from the seed.
+    pub fn pairs(&self, n_src: u32, n_dst: u32) -> Vec<(u32, u32)> {
+        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x50C1_A11E);
+        match self.connector {
+            Connector::OneToOne => (0..n_src.min(n_dst)).map(|i| (i, i)).collect(),
+            Connector::AllToAll { allow_self } => {
+                let mut v = Vec::with_capacity((n_src * n_dst) as usize);
+                for s in 0..n_src {
+                    for d in 0..n_dst {
+                        if allow_self || self.src != self.dst || s != d {
+                            v.push((s, d));
+                        }
+                    }
+                }
+                v
+            }
+            Connector::FixedProbability(p) => {
+                let mut v = Vec::new();
+                for s in 0..n_src {
+                    for d in 0..n_dst {
+                        if rng.gen_bool(p) {
+                            v.push((s, d));
+                        }
+                    }
+                }
+                v
+            }
+            Connector::FixedFanOut(k) => {
+                let k = k.min(n_dst);
+                let mut v = Vec::with_capacity((n_src * k) as usize);
+                let mut targets: Vec<u32> = (0..n_dst).collect();
+                for s in 0..n_src {
+                    rng.shuffle(&mut targets);
+                    for &d in targets.iter().take(k as usize) {
+                        v.push((s, d));
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+/// The whole abstract network.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkGraph {
+    pops: Vec<Population>,
+    projections: Vec<Projection>,
+}
+
+impl NetworkGraph {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a population and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn population(
+        &mut self,
+        name: &str,
+        size: u32,
+        kind: NeuronKind,
+        bias_na: f32,
+    ) -> PopulationId {
+        assert!(size > 0, "population must have at least one neuron");
+        self.pops.push(Population {
+            name: name.to_string(),
+            size,
+            kind,
+            bias_na,
+        });
+        PopulationId(self.pops.len() - 1)
+    }
+
+    /// Adds a projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the populations do not exist, or if a one-to-one
+    /// connector joins differently sized populations.
+    pub fn project(
+        &mut self,
+        src: PopulationId,
+        dst: PopulationId,
+        connector: Connector,
+        synapses: Synapses,
+        seed: u64,
+    ) {
+        assert!(src.0 < self.pops.len() && dst.0 < self.pops.len());
+        if matches!(connector, Connector::OneToOne) {
+            assert_eq!(
+                self.pops[src.0].size, self.pops[dst.0].size,
+                "one-to-one needs equal population sizes"
+            );
+        }
+        self.projections.push(Projection {
+            src,
+            dst,
+            connector,
+            synapses,
+            seed,
+        });
+    }
+
+    /// The populations, in creation order.
+    pub fn populations(&self) -> &[Population] {
+        &self.pops
+    }
+
+    /// A population by id.
+    pub fn pop(&self, id: PopulationId) -> &Population {
+        &self.pops[id.0]
+    }
+
+    /// The projections.
+    pub fn projections(&self) -> &[Projection] {
+        &self.projections
+    }
+
+    /// Total neuron count.
+    pub fn total_neurons(&self) -> u64 {
+        self.pops.iter().map(|p| p.size as u64).sum()
+    }
+
+    /// Ids of populations that `src` projects to (deduplicated).
+    pub fn targets_of(&self, src: PopulationId) -> Vec<PopulationId> {
+        let mut v: Vec<PopulationId> = self
+            .projections
+            .iter()
+            .filter(|p| p.src == src)
+            .map(|p| p.dst)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kind() -> NeuronKind {
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+    }
+
+    #[test]
+    fn build_network() {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 10, kind(), 0.0);
+        let b = net.population("b", 20, kind(), 1.0);
+        net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 0);
+        assert_eq!(net.populations().len(), 2);
+        assert_eq!(net.total_neurons(), 30);
+        assert_eq!(net.pop(b).size, 20);
+        assert_eq!(net.targets_of(a), vec![b]);
+        assert!(net.targets_of(b).is_empty());
+    }
+
+    #[test]
+    fn one_to_one_pairs() {
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector: Connector::OneToOne,
+            synapses: Synapses::constant(1, 1),
+            seed: 0,
+        };
+        assert_eq!(p.pairs(3, 3), vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn all_to_all_excludes_self_when_recurrent() {
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(0),
+            connector: Connector::AllToAll { allow_self: false },
+            synapses: Synapses::constant(1, 1),
+            seed: 0,
+        };
+        let pairs = p.pairs(4, 4);
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn fixed_probability_density_and_determinism() {
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector: Connector::FixedProbability(0.25),
+            synapses: Synapses::constant(1, 1),
+            seed: 77,
+        };
+        let a = p.pairs(100, 100);
+        let b = p.pairs(100, 100);
+        assert_eq!(a, b, "expansion must be deterministic");
+        let density = a.len() as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&density), "density {density}");
+    }
+
+    #[test]
+    fn fixed_fan_out_exact_and_distinct() {
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector: Connector::FixedFanOut(5),
+            synapses: Synapses::constant(1, 1),
+            seed: 3,
+        };
+        let pairs = p.pairs(10, 50);
+        assert_eq!(pairs.len(), 50);
+        for s in 0..10u32 {
+            let mut t: Vec<u32> = pairs.iter().filter(|&&(a, _)| a == s).map(|&(_, d)| d).collect();
+            assert_eq!(t.len(), 5);
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 5, "targets must be distinct");
+        }
+    }
+
+    #[test]
+    fn synapse_sampling_within_bounds() {
+        let s = Synapses::uniform((-100, 200), (2, 9));
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (w, d) = s.sample(&mut rng);
+            assert!((-100..=200).contains(&w));
+            assert!((2..=9).contains(&d));
+        }
+        let c = Synapses::constant(55, 4);
+        assert_eq!(c.sample(&mut rng), (55, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal population sizes")]
+    fn one_to_one_size_mismatch_rejected() {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 3, kind(), 0.0);
+        let b = net.population("b", 4, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(1, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neuron")]
+    fn empty_population_rejected() {
+        NetworkGraph::new().population("x", 0, kind(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! AER key allocation (§4: "Identifying neuron spikes by using a unique
+//! identifier for the source neuron is known as Address Event
+//! Representation").
+//!
+//! The scheme gives every application core an aligned 2048-key block:
+//!
+//! ```text
+//! key[31:11] = global core index (chip_id * cores_per_chip + core)
+//! key[10:0]  = neuron index within the core
+//! ```
+//!
+//! The 21-bit core field covers the full million-core machine
+//! (256 x 256 chips x 20 cores = 1,310,720 < 2^21) and the 11-bit neuron
+//! field matches the real toolchain's per-core limit (2048 neurons,
+//! comfortably above what the 64 KB DTCM allows anyway).
+//!
+//! All spikes from one source core match a single ternary entry
+//! `(base, 0xFFFF_F800)` — one CAM entry per source core per chip on its
+//! multicast tree, the property the router's 1024-entry CAM depends on.
+
+/// Bits reserved for the neuron index (fits within the synaptic word's
+/// 12-bit target field).
+pub const NEURON_BITS: u32 = 11;
+
+/// The ternary mask matching a whole core's key block.
+pub const CORE_MASK: u32 = !((1 << NEURON_BITS) - 1);
+
+/// The base key of a core's block.
+pub fn core_base_key(global_core: u32) -> u32 {
+    global_core << NEURON_BITS
+}
+
+/// The `(key, mask)` pair matching every neuron on a core.
+pub fn core_key_mask(global_core: u32) -> (u32, u32) {
+    (core_base_key(global_core), CORE_MASK)
+}
+
+/// The key of one neuron on a core.
+///
+/// # Panics
+///
+/// Panics if `neuron` does not fit in the 12-bit field.
+pub fn neuron_key(global_core: u32, neuron: u32) -> u32 {
+    assert!(neuron < (1 << NEURON_BITS), "neuron index {neuron} too large");
+    core_base_key(global_core) | neuron
+}
+
+/// Recovers `(global_core, neuron)` from a key.
+pub fn split_key(key: u32) -> (u32, u32) {
+    (key >> NEURON_BITS, key & !CORE_MASK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for core in [0u32, 1, 17, 1000, 500_000, 1_310_719] {
+            for neuron in [0u32, 1, 2047] {
+                let key = neuron_key(core, neuron);
+                assert_eq!(split_key(key), (core, neuron));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_matches_whole_block_only() {
+        let (base, mask) = core_key_mask(42);
+        for neuron in 0..2048 {
+            let key = neuron_key(42, neuron);
+            assert_eq!(key & mask, base, "neuron {neuron} must match");
+        }
+        let other = neuron_key(43, 0);
+        assert_ne!(other & mask, base, "other cores must not match");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_neuron_rejected() {
+        neuron_key(0, 2048);
+    }
+
+    #[test]
+    fn million_core_machine_fits_keyspace() {
+        // 256x256 chips x 20 cores = 1,310,720 cores < 2^21.
+        let max_core = 256 * 256 * 20 - 1;
+        let key = neuron_key(max_core, 2047);
+        assert_eq!(split_key(key), (max_core, 2047));
+    }
+}

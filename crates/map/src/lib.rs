@@ -1,0 +1,59 @@
+//! # spinn-map — mapping neural networks onto the machine
+//!
+//! "Mapping the biological neural system onto the SpiNNaker machine is
+//! non-trivial \[18\]\[19\]. Neurons must be mapped to processors, multicast
+//! routing tables computed, connectivity data constructed, and relevant
+//! input/output mechanisms deployed." (§5.3)
+//!
+//! This crate is that toolchain:
+//!
+//! * [`graph`] — the abstract network: populations and projections with
+//!   connectors (one-to-one, all-to-all, fixed-probability, fixed
+//!   fan-out), weights and delays; expansion is deterministic per seed.
+//! * [`place`] — slicing populations onto application cores:
+//!   locality-aware (connected populations near each other),
+//!   round-robin, or **random** — the §3.2 "virtualized topology" point
+//!   is precisely that random placement still *works*, locality merely
+//!   cheapens routing (experiment E10).
+//! * [`keys`] — AER key allocation: one aligned key block per source
+//!   core, so each source core costs at most one ternary CAM entry per
+//!   chip on its multicast tree.
+//! * [`route`] — multicast-tree construction over the hex torus, router
+//!   table emission with **default-route elision** (entries are omitted
+//!   where the packet would continue straight anyway), and tree cost
+//!   metrics.
+//! * [`loader`] — expanding projections into per-core synaptic rows (the
+//!   SDRAM data the DMA engine fetches) with memory accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use spinn_map::graph::{NetworkGraph, Connector, NeuronKind, Synapses};
+//! use spinn_map::place::{Placer, Placement};
+//! use spinn_map::route::RoutingPlan;
+//! use spinn_neuron::izhikevich::IzhikevichParams;
+//!
+//! let mut net = NetworkGraph::new();
+//! let a = net.population("a", 100, NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()), 8.0);
+//! let b = net.population("b", 100, NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()), 0.0);
+//! net.project(a, b, Connector::FixedProbability(0.1), Synapses::constant(512, 2), 1);
+//!
+//! let placement = Placement::compute(&net, 8, 8, 16, 100, Placer::Locality).unwrap();
+//! let plan = RoutingPlan::build(&net, &placement, 8, 8);
+//! assert!(plan.total_entries() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod keys;
+pub mod loader;
+pub mod place;
+pub mod route;
+
+pub use graph::{Connector, NetworkGraph, NeuronKind, PopulationId, Synapses};
+pub use keys::{core_base_key, core_key_mask, neuron_key};
+pub use loader::{CoreImage, LoadedApp};
+pub use place::{Placement, Placer};
+pub use route::{tree_cost, RoutingPlan, TreeCost};

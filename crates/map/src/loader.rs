@@ -1,0 +1,249 @@
+//! Expands projections into per-core synaptic rows — the "connectivity
+//! data constructed" step of §5.3, producing the SDRAM images the DMA
+//! engine fetches at run time.
+
+use std::collections::HashMap;
+
+use spinn_neuron::izhikevich::IzhikevichNeuron;
+use spinn_neuron::lif::LifNeuron;
+use spinn_neuron::model::AnyNeuron;
+use spinn_neuron::synapse::{SynapticRow, SynapticWord};
+use spinn_noc::mesh::NodeCoord;
+use spinn_sim::Xoshiro256;
+
+use crate::graph::{NetworkGraph, NeuronKind};
+use crate::keys::neuron_key;
+use crate::place::Placement;
+
+/// Everything one application core needs loading.
+#[derive(Clone, Debug)]
+pub struct CoreImage {
+    /// Chip holding the core.
+    pub chip: NodeCoord,
+    /// Core index (1-based).
+    pub core: u8,
+    /// AER base key of the core's neurons.
+    pub base_key: u32,
+    /// The neuron state vector.
+    pub neurons: Vec<AnyNeuron>,
+    /// Bias currents, nA.
+    pub bias_na: Vec<f32>,
+    /// Synaptic rows keyed by source-neuron AER key.
+    pub rows: HashMap<u32, SynapticRow>,
+}
+
+impl CoreImage {
+    /// SDRAM footprint of this core's synaptic data, bytes.
+    pub fn sdram_bytes(&self) -> u64 {
+        self.rows.values().map(|r| r.size_bytes() as u64).sum()
+    }
+
+    /// Total synapse count.
+    pub fn synapses(&self) -> u64 {
+        self.rows.values().map(|r| r.len() as u64).sum()
+    }
+}
+
+/// The fully expanded application: one image per placed core.
+#[derive(Clone, Debug)]
+pub struct LoadedApp {
+    /// Per-core images.
+    pub images: Vec<CoreImage>,
+}
+
+impl LoadedApp {
+    /// Expands a placed network into core images.
+    pub fn build(net: &NetworkGraph, placement: &Placement) -> LoadedApp {
+        // One image per slice.
+        let mut images: Vec<CoreImage> = placement
+            .slices()
+            .iter()
+            .map(|s| {
+                let n = s.len() as usize;
+                let pop = net.pop(s.pop);
+                let neurons = (0..n)
+                    .map(|_| match pop.kind {
+                        NeuronKind::Izhikevich(p) => {
+                            AnyNeuron::Izhikevich(IzhikevichNeuron::new(p))
+                        }
+                        NeuronKind::Lif(p) => AnyNeuron::Lif(LifNeuron::new(p)),
+                    })
+                    .collect();
+                CoreImage {
+                    chip: s.chip,
+                    core: s.core,
+                    base_key: neuron_key(s.global_core, 0),
+                    neurons,
+                    bias_na: vec![pop.bias_na; n],
+                    rows: HashMap::new(),
+                }
+            })
+            .collect();
+        // Index from slice position to image.
+        let slice_index: HashMap<(u32, u8, u32), usize> = placement
+            .slices()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.global_core, s.core, s.lo), i))
+            .collect();
+        let _ = &slice_index;
+
+        for proj in net.projections() {
+            let n_src = net.pop(proj.src).size;
+            let n_dst = net.pop(proj.dst).size;
+            // The multicast tree delivers every source-core spike to
+            // every core holding target neurons, whether or not that
+            // particular neuron connects there — as on hardware, those
+            // cores hold an *empty* row for the key (the master
+            // population table covers the whole key block).
+            for dst_slice in placement.slices_of(proj.dst) {
+                let img_idx = placement
+                    .slices()
+                    .iter()
+                    .position(|sl| sl == dst_slice)
+                    .expect("slice exists");
+                for src_slice in placement.slices_of(proj.src) {
+                    for n in src_slice.lo..src_slice.hi {
+                        let key = neuron_key(src_slice.global_core, n - src_slice.lo);
+                        images[img_idx].rows.entry(key).or_default();
+                    }
+                }
+            }
+            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x5EED_0F_5EED);
+            for (s, d) in proj.pairs(n_src, n_dst) {
+                let (w, delay) = proj.synapses.sample(&mut rng);
+                let src_slice = placement.locate(proj.src, s);
+                let dst_slice = placement.locate(proj.dst, d);
+                let src_key = neuron_key(src_slice.global_core, s - src_slice.lo);
+                // Find the destination image: slices and images are in
+                // the same order.
+                let img_idx = placement
+                    .slices()
+                    .iter()
+                    .position(|sl| sl == dst_slice)
+                    .expect("slice exists");
+                let local_target = (d - dst_slice.lo) as u16;
+                images[img_idx]
+                    .rows
+                    .entry(src_key)
+                    .or_default()
+                    .push(SynapticWord::new(w, delay, local_target));
+            }
+        }
+        LoadedApp { images }
+    }
+
+    /// Total SDRAM across the machine, bytes.
+    pub fn total_sdram_bytes(&self) -> u64 {
+        self.images.iter().map(|i| i.sdram_bytes()).sum()
+    }
+
+    /// Total synapse count.
+    pub fn total_synapses(&self) -> u64 {
+        self.images.iter().map(|i| i.synapses()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Connector, NeuronKind, Synapses};
+    use crate::place::Placer;
+    use spinn_neuron::izhikevich::IzhikevichParams;
+
+    fn kind() -> NeuronKind {
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+    }
+
+    fn build_app(connector: Connector, sizes: (u32, u32)) -> (NetworkGraph, Placement, LoadedApp) {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", sizes.0, kind(), 5.0);
+        let b = net.population("b", sizes.1, kind(), 0.0);
+        net.project(a, b, connector, Synapses::constant(300, 2), 11);
+        let placement = Placement::compute(&net, 4, 4, 17, 50, Placer::RoundRobin).unwrap();
+        let app = LoadedApp::build(&net, &placement);
+        (net, placement, app)
+    }
+
+    #[test]
+    fn images_cover_all_neurons() {
+        let (net, _, app) = build_app(Connector::OneToOne, (120, 120));
+        let total: usize = app.images.iter().map(|i| i.neurons.len()).sum();
+        assert_eq!(total as u64, net.total_neurons());
+        for img in &app.images {
+            assert_eq!(img.neurons.len(), img.bias_na.len());
+            assert!(img.core >= 1);
+        }
+    }
+
+    #[test]
+    fn one_to_one_synapse_count_and_targets() {
+        let (_, placement, app) = build_app(Connector::OneToOne, (120, 120));
+        assert_eq!(app.total_synapses(), 120);
+        // Every non-empty row has exactly one synapse; empty rows exist
+        // for source neurons whose targets live on other cores.
+        for img in &app.images {
+            for (key, row) in &img.rows {
+                assert!(row.len() <= 1, "one-to-one row for key {key:#x}");
+                if let Some(w) = row.words().first() {
+                    assert_eq!(w.weight_raw(), 300);
+                    assert_eq!(w.delay_ms(), 2);
+                }
+            }
+        }
+        // Every destination core holds a row (possibly empty) for every
+        // source neuron: 3 dest cores x 120 sources.
+        let rows: usize = app.images.iter().map(|i| i.rows.len()).sum();
+        assert_eq!(rows, 3 * 120);
+        let non_empty: usize = app
+            .images
+            .iter()
+            .flat_map(|i| i.rows.values())
+            .filter(|r| !r.is_empty())
+            .count();
+        assert_eq!(non_empty, 120);
+        let _ = placement;
+    }
+
+    #[test]
+    fn all_to_all_row_shapes() {
+        let (_, _, app) = build_app(Connector::AllToAll { allow_self: true }, (30, 40));
+        assert_eq!(app.total_synapses(), 30 * 40);
+        // Each source key's rows, summed over destination cores, must
+        // cover all 40 targets: 40 targets over ceil(40/50)=1 core.
+        let img_b = app.images.iter().find(|i| !i.rows.is_empty()).unwrap();
+        for row in img_b.rows.values() {
+            assert_eq!(row.len(), 40);
+        }
+    }
+
+    #[test]
+    fn sdram_accounting() {
+        let (_, _, app) = build_app(Connector::AllToAll { allow_self: true }, (30, 40));
+        // 30 rows x (4 + 40*4) bytes (all rows non-empty: all-to-all).
+        assert_eq!(app.total_sdram_bytes(), 30 * (4 + 160));
+    }
+
+    #[test]
+    fn deterministic_expansion() {
+        let (_, _, a) = build_app(Connector::FixedProbability(0.3), (50, 50));
+        let (_, _, b) = build_app(Connector::FixedProbability(0.3), (50, 50));
+        assert_eq!(a.total_synapses(), b.total_synapses());
+        for (x, y) in a.images.iter().zip(&b.images) {
+            assert_eq!(x.rows.len(), y.rows.len());
+        }
+    }
+
+    #[test]
+    fn keys_are_consistent_with_placement() {
+        let (_, placement, app) = build_app(Connector::OneToOne, (120, 120));
+        for img in &app.images {
+            let slice = placement
+                .slices()
+                .iter()
+                .find(|s| s.chip == img.chip && s.core == img.core)
+                .unwrap();
+            assert_eq!(img.base_key, crate::keys::neuron_key(slice.global_core, 0));
+        }
+    }
+}

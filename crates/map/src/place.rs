@@ -1,0 +1,379 @@
+//! Placement: slicing populations onto application cores.
+//!
+//! §3.2 ("virtualized topology"): *"In principle any neuron can be mapped
+//! onto any processor. In practice it is likely to be beneficial to map
+//! neurons that are physically close in biology to proximal locations in
+//! SpiNNaker as this will minimize routing costs, but it is not necessary
+//! to do so."* — hence three placers: locality-aware, round-robin and
+//! random, compared in experiment E10.
+
+use spinn_noc::mesh::{NodeCoord, Torus};
+use spinn_sim::Xoshiro256;
+
+use crate::graph::{NetworkGraph, PopulationId};
+
+/// Placement strategy.
+#[derive(Copy, Clone, Debug)]
+pub enum Placer {
+    /// Fill cores in chip id order, populations in creation order.
+    RoundRobin,
+    /// Order populations by connectivity (BFS over the projection
+    /// graph) and chips by distance from the origin, so connected
+    /// populations land on nearby chips.
+    Locality,
+    /// Uniformly random core order (the virtualized-topology stress
+    /// case).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+/// One population slice assigned to one application core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// The population.
+    pub pop: PopulationId,
+    /// First neuron index (inclusive).
+    pub lo: u32,
+    /// Last neuron index (exclusive).
+    pub hi: u32,
+    /// Chip holding the slice.
+    pub chip: NodeCoord,
+    /// Core on the chip (1-based; core 0 is the Monitor).
+    pub core: u8,
+    /// Global core index (for AER key allocation).
+    pub global_core: u32,
+}
+
+impl Slice {
+    /// Number of neurons in the slice.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the slice is empty (never true for produced slices).
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+}
+
+/// Error: the machine has fewer application cores than the network needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NotEnoughCores {
+    /// Cores the network needs.
+    pub needed: usize,
+    /// Application cores available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for NotEnoughCores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "placement needs {} cores but the machine has {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for NotEnoughCores {}
+
+/// A complete placement of a network onto a machine.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    slices: Vec<Slice>,
+    /// Slice indices per population, ordered by `lo`.
+    by_pop: Vec<Vec<usize>>,
+    cores_per_chip: u8,
+}
+
+impl Placement {
+    /// Computes a placement.
+    ///
+    /// `cores_per_chip` includes the Monitor (core 0), which is never
+    /// allocated; `neurons_per_core` is the slice size limit (DTCM
+    /// budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotEnoughCores`] if the network does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons_per_core` is 0 or `cores_per_chip < 2`.
+    pub fn compute(
+        net: &NetworkGraph,
+        width: u32,
+        height: u32,
+        cores_per_chip: u8,
+        neurons_per_core: u32,
+        placer: Placer,
+    ) -> Result<Placement, NotEnoughCores> {
+        assert!(neurons_per_core > 0, "neurons_per_core must be positive");
+        assert!(cores_per_chip >= 2, "need at least one application core");
+        let torus = Torus::new(width, height);
+        let app_cores = cores_per_chip as usize - 1;
+
+        // Core visit order, as (chip, core) pairs.
+        let mut chip_order: Vec<usize> = (0..torus.len()).collect();
+        match placer {
+            Placer::RoundRobin => {}
+            Placer::Locality => {
+                let origin = NodeCoord::new(0, 0);
+                chip_order.sort_by_key(|&id| {
+                    (torus.hex_distance(origin, torus.coord_of(id)), id)
+                });
+            }
+            Placer::Random { .. } => {}
+        }
+        let mut cores: Vec<(usize, u8)> = chip_order
+            .iter()
+            .flat_map(|&chip| (1..=app_cores as u8).map(move |c| (chip, c)))
+            .collect();
+        if let Placer::Random { seed } = placer {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            rng.shuffle(&mut cores);
+        }
+
+        // Population visit order.
+        let pop_order: Vec<usize> = match placer {
+            Placer::Locality => bfs_population_order(net),
+            _ => (0..net.populations().len()).collect(),
+        };
+
+        // Count needed cores first.
+        let needed: usize = net
+            .populations()
+            .iter()
+            .map(|p| p.size.div_ceil(neurons_per_core) as usize)
+            .sum();
+        if needed > cores.len() {
+            return Err(NotEnoughCores {
+                needed,
+                available: cores.len(),
+            });
+        }
+
+        let mut slices = Vec::with_capacity(needed);
+        let mut by_pop = vec![Vec::new(); net.populations().len()];
+        let mut next_core = 0usize;
+        for &p in &pop_order {
+            let size = net.populations()[p].size;
+            let mut lo = 0;
+            while lo < size {
+                let hi = (lo + neurons_per_core).min(size);
+                let (chip, core) = cores[next_core];
+                next_core += 1;
+                let global_core = chip as u32 * cores_per_chip as u32 + core as u32;
+                by_pop[p].push(slices.len());
+                slices.push(Slice {
+                    pop: PopulationId(p),
+                    lo,
+                    hi,
+                    chip: torus.coord_of(chip),
+                    core,
+                    global_core,
+                });
+                lo = hi;
+            }
+        }
+        // Keep per-population slice lists ordered by lo for binary search.
+        for list in &mut by_pop {
+            list.sort_by_key(|&i| slices[i].lo);
+        }
+        Ok(Placement {
+            slices,
+            by_pop,
+            cores_per_chip,
+        })
+    }
+
+    /// All slices.
+    pub fn slices(&self) -> &[Slice] {
+        &self.slices
+    }
+
+    /// Cores per chip (including the Monitor).
+    pub fn cores_per_chip(&self) -> u8 {
+        self.cores_per_chip
+    }
+
+    /// The slices of one population, in neuron order.
+    pub fn slices_of(&self, pop: PopulationId) -> impl Iterator<Item = &Slice> {
+        self.by_pop[pop.0].iter().map(move |&i| &self.slices[i])
+    }
+
+    /// The slice holding `neuron` of `pop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron is out of range.
+    pub fn locate(&self, pop: PopulationId, neuron: u32) -> &Slice {
+        let list = &self.by_pop[pop.0];
+        let idx = list.partition_point(|&i| self.slices[i].hi <= neuron);
+        let slice = &self.slices[list[idx]];
+        assert!(
+            slice.lo <= neuron && neuron < slice.hi,
+            "neuron {neuron} not covered by placement"
+        );
+        slice
+    }
+}
+
+/// BFS over the undirected projection graph, starting from population 0,
+/// visiting stray components in index order.
+fn bfs_population_order(net: &NetworkGraph) -> Vec<usize> {
+    let n = net.populations().len();
+    let mut adj = vec![Vec::new(); n];
+    for proj in net.projections() {
+        adj[proj.src.0].push(proj.dst.0);
+        adj[proj.dst.0].push(proj.src.0);
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(p) = queue.pop_front() {
+            order.push(p);
+            for &q in &adj[p] {
+                if !seen[q] {
+                    seen[q] = true;
+                    queue.push_back(q);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Connector, NeuronKind, Synapses};
+    use spinn_neuron::izhikevich::IzhikevichParams;
+
+    fn kind() -> NeuronKind {
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+    }
+
+    fn sample_net() -> NetworkGraph {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 250, kind(), 0.0);
+        let b = net.population("b", 100, kind(), 0.0);
+        let c = net.population("c", 50, kind(), 0.0);
+        net.project(a, b, Connector::FixedProbability(0.1), Synapses::constant(10, 1), 1);
+        net.project(b, c, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 2);
+        net
+    }
+
+    fn check_complete(net: &NetworkGraph, placement: &Placement) {
+        // Every neuron of every population is covered exactly once.
+        for (p, pop) in net.populations().iter().enumerate() {
+            let mut covered = vec![0u32; pop.size as usize];
+            for s in placement.slices_of(PopulationId(p)) {
+                for n in s.lo..s.hi {
+                    covered[n as usize] += 1;
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "pop {p} coverage broken");
+        }
+        // No core is used twice.
+        let mut used: Vec<u32> = placement.slices().iter().map(|s| s.global_core).collect();
+        used.sort_unstable();
+        let len = used.len();
+        used.dedup();
+        assert_eq!(used.len(), len, "core double-booked");
+        // Core 0 (Monitor) never used.
+        assert!(placement.slices().iter().all(|s| s.core != 0));
+    }
+
+    #[test]
+    fn all_placers_produce_complete_placements() {
+        let net = sample_net();
+        for placer in [Placer::RoundRobin, Placer::Locality, Placer::Random { seed: 9 }] {
+            let p = Placement::compute(&net, 4, 4, 17, 100, placer).unwrap();
+            check_complete(&net, &p);
+            assert_eq!(p.slices().len(), 3 + 1 + 1);
+        }
+    }
+
+    #[test]
+    fn locate_finds_the_right_slice() {
+        let net = sample_net();
+        let p = Placement::compute(&net, 4, 4, 17, 100, Placer::RoundRobin).unwrap();
+        let a = PopulationId(0);
+        assert_eq!(p.locate(a, 0).lo, 0);
+        let s = p.locate(a, 249);
+        assert!(s.lo <= 249 && 249 < s.hi);
+        let s = p.locate(a, 100);
+        assert_eq!(s.lo, 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn locate_out_of_range_panics() {
+        let net = sample_net();
+        let p = Placement::compute(&net, 4, 4, 17, 100, Placer::RoundRobin).unwrap();
+        let _ = p.locate(PopulationId(0), 250);
+    }
+
+    #[test]
+    fn insufficient_cores_reported() {
+        let net = sample_net(); // needs 5 cores of 100
+        let err = Placement::compute(&net, 1, 1, 3, 100, Placer::RoundRobin).unwrap_err();
+        assert_eq!(err.needed, 5);
+        assert_eq!(err.available, 2);
+        assert!(err.to_string().contains("5 cores"));
+    }
+
+    #[test]
+    fn locality_places_connected_pops_close() {
+        let mut net = NetworkGraph::new();
+        // A chain a -> b -> c -> d, one core each.
+        let pops: Vec<_> = (0..4)
+            .map(|i| net.population(&format!("p{i}"), 50, kind(), 0.0))
+            .collect();
+        for w in pops.windows(2) {
+            net.project(w[0], w[1], Connector::OneToOne, Synapses::constant(1, 1), 0);
+        }
+        let local = Placement::compute(&net, 8, 8, 2, 50, Placer::Locality).unwrap();
+        // With 1 app core per chip, the four pops occupy four chips;
+        // successive pops should be within a couple of hops.
+        let torus = Torus::new(8, 8);
+        let chips: Vec<NodeCoord> = (0..4)
+            .map(|i| local.slices_of(PopulationId(i)).next().unwrap().chip)
+            .collect();
+        for w in chips.windows(2) {
+            assert!(
+                torus.hex_distance(w[0], w[1]) <= 2,
+                "locality placer spread chain: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn random_placement_differs_but_is_deterministic() {
+        let net = sample_net();
+        let a = Placement::compute(&net, 4, 4, 17, 100, Placer::Random { seed: 1 }).unwrap();
+        let b = Placement::compute(&net, 4, 4, 17, 100, Placer::Random { seed: 1 }).unwrap();
+        let c = Placement::compute(&net, 4, 4, 17, 100, Placer::Random { seed: 2 }).unwrap();
+        assert_eq!(a.slices(), b.slices());
+        assert_ne!(a.slices(), c.slices());
+    }
+
+    #[test]
+    fn slice_len_accessors() {
+        let net = sample_net();
+        let p = Placement::compute(&net, 4, 4, 17, 100, Placer::RoundRobin).unwrap();
+        let s = p.locate(PopulationId(0), 200);
+        assert_eq!(s.len(), 50); // 250 = 100 + 100 + 50
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Multicast-tree construction and routing-table generation.
+//!
+//! For every placed source core a **shortest-path tree** is grown over
+//! the hex torus from the source chip to every chip holding target
+//! neurons: destinations are attached in order of increasing distance,
+//! grafting the shortest-path suffix onto the existing tree, so every
+//! tree chip has exactly one parent (packets are never duplicated).
+//!
+//! Table emission then exploits the router's **default routing** (§5.2):
+//! a chip where the packet simply continues straight (single output
+//! link opposite the arrival port, no local deliveries) needs *no* CAM
+//! entry at all — the mapper only spends entries on bends, branches and
+//! endpoints, which is what makes the 1024-entry CAM sufficient.
+
+use std::collections::HashMap;
+
+use spinn_noc::direction::Direction;
+use spinn_noc::mesh::{NodeCoord, Torus};
+use spinn_noc::table::{McTableEntry, RouteSet};
+
+use crate::graph::NetworkGraph;
+use crate::keys::core_key_mask;
+use crate::place::Placement;
+
+/// Per-plan statistics.
+#[derive(Clone, Debug, Default)]
+pub struct RouteStats {
+    /// Multicast trees built (one per source core with targets).
+    pub trees: usize,
+    /// CAM entries emitted over all chips.
+    pub total_entries: usize,
+    /// Entries saved by default-route elision.
+    pub elided_entries: usize,
+    /// Total tree edges (inter-chip link traversals per one spike from
+    /// every source core — the traffic cost metric of E8/E10).
+    pub total_edges: u64,
+    /// Largest table on any single chip.
+    pub max_entries_per_chip: usize,
+    /// Sum over (tree, destination) of the tree-path length, for mean
+    /// path computations.
+    pub total_path_len: u64,
+    /// Number of (tree, destination chip) pairs.
+    pub total_dests: u64,
+}
+
+impl RouteStats {
+    /// Mean source→destination path length over all trees.
+    pub fn mean_path_len(&self) -> f64 {
+        if self.total_dests == 0 {
+            0.0
+        } else {
+            self.total_path_len as f64 / self.total_dests as f64
+        }
+    }
+}
+
+/// The routing tables for every chip, plus statistics.
+#[derive(Clone, Debug)]
+pub struct RoutingPlan {
+    tables: Vec<Vec<McTableEntry>>,
+    stats: RouteStats,
+}
+
+impl RoutingPlan {
+    /// Builds the plan for a placed network (with default-route elision).
+    pub fn build(net: &NetworkGraph, placement: &Placement, width: u32, height: u32) -> Self {
+        Self::build_with_options(net, placement, width, height, true)
+    }
+
+    /// Builds the plan, optionally disabling default-route elision (the
+    /// ablation knob: how many CAM entries does the default-routing trick
+    /// actually save?).
+    pub fn build_with_options(
+        net: &NetworkGraph,
+        placement: &Placement,
+        width: u32,
+        height: u32,
+        elide: bool,
+    ) -> Self {
+        let torus = Torus::new(width, height);
+        let mut tables: Vec<Vec<McTableEntry>> = vec![Vec::new(); torus.len()];
+        let mut stats = RouteStats::default();
+
+        for slice in placement.slices() {
+            // Destination cores: every slice of every population this
+            // population projects to.
+            let mut dest_cores: HashMap<usize, u32> = HashMap::new(); // chip id -> core mask
+            for dst_pop in net.targets_of(slice.pop) {
+                for d in placement.slices_of(dst_pop) {
+                    let chip = torus.id_of(d.chip);
+                    *dest_cores.entry(chip).or_insert(0) |= 1 << d.core;
+                }
+            }
+            if dest_cores.is_empty() {
+                continue;
+            }
+            stats.trees += 1;
+            let src_chip = torus.id_of(slice.chip);
+            let tree = grow_tree(&torus, src_chip, dest_cores.keys().copied(), &mut stats);
+            emit_tables(
+                &torus,
+                src_chip,
+                &tree,
+                &dest_cores,
+                slice.global_core,
+                &mut tables,
+                &mut stats,
+                elide,
+            );
+        }
+        for t in &tables {
+            stats.max_entries_per_chip = stats.max_entries_per_chip.max(t.len());
+        }
+        stats.total_entries = tables.iter().map(|t| t.len()).sum();
+        RoutingPlan { tables, stats }
+    }
+
+    /// The table for one chip (by dense chip id).
+    pub fn chip_table(&self, chip_id: usize) -> &[McTableEntry] {
+        &self.tables[chip_id]
+    }
+
+    /// Tables for all chips.
+    pub fn tables(&self) -> &[Vec<McTableEntry>] {
+        &self.tables
+    }
+
+    /// Plan statistics.
+    pub fn stats(&self) -> &RouteStats {
+        &self.stats
+    }
+
+    /// Total CAM entries emitted.
+    pub fn total_entries(&self) -> usize {
+        self.stats.total_entries
+    }
+
+    /// Total tree edges (per-spike link traversals).
+    pub fn total_edges(&self) -> u64 {
+        self.stats.total_edges
+    }
+}
+
+/// Cost of reaching a destination set from one source, three ways: the
+/// multicast tree, per-destination unicast, and whole-machine broadcast
+/// (the E8 comparison — "we employ a packet-switched multicast mechanism
+/// to reduce total communication loading").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TreeCost {
+    /// Link traversals per spike using the multicast tree.
+    pub multicast_edges: u64,
+    /// Link traversals per spike sending one copy per destination.
+    pub unicast_edges: u64,
+    /// Link traversals per spike broadcasting to every chip (bus-style
+    /// AER emulated on the mesh: a spanning tree of the whole machine).
+    pub broadcast_edges: u64,
+}
+
+/// Computes the E8 cost comparison for one source and destination set.
+pub fn tree_cost(
+    torus: &Torus,
+    src: NodeCoord,
+    dests: impl IntoIterator<Item = NodeCoord>,
+) -> TreeCost {
+    let mut stats = RouteStats::default();
+    let src_id = torus.id_of(src);
+    let dests: Vec<usize> = dests.into_iter().map(|d| torus.id_of(d)).collect();
+    let unicast_edges: u64 = dests
+        .iter()
+        .map(|&d| torus.hex_distance(src, torus.coord_of(d)))
+        .sum();
+    let tree = grow_tree(torus, src_id, dests.into_iter(), &mut stats);
+    let _ = tree;
+    TreeCost {
+        multicast_edges: stats.total_edges,
+        unicast_edges,
+        broadcast_edges: torus.len() as u64 - 1,
+    }
+}
+
+/// A tree node's record: parent direction (how packets *arrive*) and the
+/// set of outgoing links.
+#[derive(Clone, Debug, Default)]
+struct TreeNode {
+    /// Direction of the edge from the parent into this chip, as seen
+    /// from the parent (i.e. the hop direction). None for the root.
+    in_hop: Option<Direction>,
+    out: Vec<Direction>,
+    depth: u64,
+}
+
+/// Grows the shortest-path tree: destinations attached in distance
+/// order, each grafting its path suffix from the nearest tree chip.
+fn grow_tree(
+    torus: &Torus,
+    src: usize,
+    dests: impl Iterator<Item = usize>,
+    stats: &mut RouteStats,
+) -> HashMap<usize, TreeNode> {
+    let mut tree: HashMap<usize, TreeNode> = HashMap::new();
+    tree.insert(src, TreeNode::default());
+    let mut dests: Vec<usize> = dests.collect();
+    dests.sort_by_key(|&d| {
+        (
+            torus.hex_distance(torus.coord_of(src), torus.coord_of(d)),
+            d,
+        )
+    });
+    for dest in dests {
+        if tree.contains_key(&dest) {
+            stats.total_dests += 1;
+            stats.total_path_len += tree[&dest].depth;
+            continue;
+        }
+        // Find the tree chip nearest to the destination, then walk the
+        // greedy path from it.
+        let dc = torus.coord_of(dest);
+        let (&attach, _) = tree
+            .iter()
+            .min_by_key(|(&c, node)| {
+                (torus.hex_distance(torus.coord_of(c), dc), node.depth, c)
+            })
+            .expect("tree non-empty");
+        let mut cur = attach;
+        while cur != dest {
+            let cc = torus.coord_of(cur);
+            let hop = torus.p2p_next_hop(cc, dc).expect("cur != dest");
+            let next = torus.id_of(torus.neighbour(cc, hop));
+            let depth = tree[&cur].depth + 1;
+            let cur_node = tree.get_mut(&cur).expect("on tree");
+            if !cur_node.out.contains(&hop) {
+                cur_node.out.push(hop);
+            }
+            stats.total_edges += 1;
+            tree.entry(next).or_insert(TreeNode {
+                in_hop: Some(hop),
+                out: Vec::new(),
+                depth,
+            });
+            cur = next;
+        }
+        stats.total_dests += 1;
+        stats.total_path_len += tree[&dest].depth;
+    }
+    tree
+}
+
+/// Emits CAM entries for one tree, eliding pure straight-through chips
+/// when `elide` is set.
+#[allow(clippy::too_many_arguments)]
+fn emit_tables(
+    torus: &Torus,
+    src: usize,
+    tree: &HashMap<usize, TreeNode>,
+    dest_cores: &HashMap<usize, u32>,
+    global_core: u32,
+    tables: &mut [Vec<McTableEntry>],
+    stats: &mut RouteStats,
+    elide: bool,
+) {
+    let (key, mask) = core_key_mask(global_core);
+    for (&chip, node) in tree {
+        let core_mask = dest_cores.get(&chip).copied().unwrap_or(0);
+        let is_root = chip == src;
+        // Default-route elision: one output continuing straight, no
+        // local deliveries, not the root (locally injected packets have
+        // no arrival port and always need an entry).
+        if elide && !is_root && core_mask == 0 && node.out.len() == 1 {
+            // The packet arrived travelling in direction `in_hop`; it
+            // default-routes out of the port opposite the arrival port,
+            // i.e. it keeps travelling in the same direction.
+            if node.in_hop == Some(node.out[0]) {
+                stats.elided_entries += 1;
+                continue;
+            }
+        }
+        // Terminal chips with no outputs and no cores should not occur,
+        // but guard anyway.
+        if node.out.is_empty() && core_mask == 0 {
+            continue;
+        }
+        let mut route = RouteSet::from_bits(core_mask << 6);
+        for &d in &node.out {
+            route = route.with_link(d);
+        }
+        tables[chip].push(McTableEntry { key, mask, route });
+    }
+    let _ = torus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Connector, NetworkGraph, NeuronKind, Synapses};
+    use crate::place::{Placement, Placer};
+    use spinn_neuron::izhikevich::IzhikevichParams;
+
+    fn kind() -> NeuronKind {
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+    }
+
+    fn line_net(n_pops: u32, pop_size: u32) -> NetworkGraph {
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..n_pops)
+            .map(|i| net.population(&format!("p{i}"), pop_size, kind(), 0.0))
+            .collect();
+        for w in pops.windows(2) {
+            net.project(w[0], w[1], Connector::OneToOne, Synapses::constant(10, 1), 0);
+        }
+        net
+    }
+
+    #[test]
+    fn plan_covers_all_source_cores() {
+        let net = line_net(4, 100);
+        let placement = Placement::compute(&net, 6, 6, 17, 100, Placer::RoundRobin).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 6, 6);
+        // Three of the four pops have targets.
+        assert_eq!(plan.stats().trees, 3);
+        assert!(plan.total_entries() >= 3, "at least root entries");
+    }
+
+    #[test]
+    fn tree_is_a_tree_no_duplicate_parents() {
+        // Grow a tree to many destinations and verify single-parenthood
+        // by construction: every chip reachable once.
+        let torus = Torus::new(10, 10);
+        let mut stats = RouteStats::default();
+        let dests: Vec<usize> = vec![5, 17, 44, 99, 63, 12, 80];
+        let tree = grow_tree(&torus, 0, dests.iter().copied(), &mut stats);
+        // Edges = nodes - 1 for a tree.
+        let edge_count: usize = tree.values().map(|n| n.out.len()).sum();
+        assert_eq!(edge_count as u64, stats.total_edges);
+        assert_eq!(edge_count, tree.len() - 1, "not a tree");
+        // All destinations are in the tree.
+        for d in dests {
+            assert!(tree.contains_key(&d));
+        }
+        // Non-root nodes have a parent hop.
+        for (&c, node) in &tree {
+            assert_eq!(node.in_hop.is_none(), c == 0);
+        }
+    }
+
+    #[test]
+    fn default_route_elision_on_straight_paths() {
+        // Source at (0,0), single dest far east: the intermediate chips
+        // lie on a straight line and need no entries.
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 10, kind(), 0.0);
+        let b = net.population("b", 10, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(1, 1), 0);
+        // Force placement: round robin on a 8x1 strip puts a at chip 0
+        // and b at chip 1... instead use one core per chip so they are
+        // distinct, then check elision count from stats on a long line.
+        let placement = Placement::compute(&net, 8, 1, 2, 10, Placer::RoundRobin).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 8, 1);
+        let s = plan.stats();
+        assert_eq!(s.trees, 1);
+        // a at chip 0, b at chip 1: adjacent, nothing to elide; just
+        // validate the structural invariant: entries = root + dest.
+        assert_eq!(plan.total_entries(), 2);
+
+        // Longer line: place b four chips east by padding populations
+        // (chip 4 on an 8-wide ring is 4 hops in either direction; the
+        // planner picks east deterministically).
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 10, kind(), 0.0);
+        for i in 0..3 {
+            net.population(&format!("pad{i}"), 10, kind(), 0.0);
+        }
+        let b = net.population("b", 10, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(1, 1), 0);
+        let placement = Placement::compute(&net, 8, 1, 2, 10, Placer::RoundRobin).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 8, 1);
+        let s = plan.stats();
+        // Source chip 0 -> dest chip 4: chips 1-3 are straight-through.
+        assert_eq!(s.elided_entries, 3, "{s:?}");
+        assert_eq!(plan.total_entries(), 2);
+    }
+
+    #[test]
+    fn local_delivery_gets_core_bits() {
+        // Source and target on the same chip, different cores.
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 10, kind(), 0.0);
+        let b = net.population("b", 10, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(1, 1), 0);
+        let placement = Placement::compute(&net, 2, 2, 17, 10, Placer::RoundRobin).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 2, 2);
+        // Both cores on chip 0: one entry, no links, one core bit.
+        assert_eq!(plan.total_entries(), 1);
+        let entry = &plan.chip_table(0)[0];
+        assert_eq!(entry.route.links().count(), 0);
+        let b_slice = placement.slices_of(b).next().unwrap();
+        assert!(entry.route.has_core(b_slice.core as usize));
+        assert_eq!(plan.total_edges(), 0);
+    }
+
+    #[test]
+    fn random_placement_costs_more_traffic_than_locality() {
+        // The E10 shape at unit-test scale.
+        let net = line_net(8, 100);
+        let build = |placer| {
+            let placement = Placement::compute(&net, 8, 8, 3, 100, placer).unwrap();
+            RoutingPlan::build(&net, &placement, 8, 8).total_edges()
+        };
+        let local = build(Placer::Locality);
+        let random = build(Placer::Random { seed: 5 });
+        assert!(
+            random > local,
+            "random placement should use more link-hops: {random} vs {local}"
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let net = line_net(5, 80);
+        let placement = Placement::compute(&net, 6, 6, 9, 80, Placer::Locality).unwrap();
+        let a = RoutingPlan::build(&net, &placement, 6, 6);
+        let b = RoutingPlan::build(&net, &placement, 6, 6);
+        assert_eq!(a.total_entries(), b.total_entries());
+        assert_eq!(a.total_edges(), b.total_edges());
+        for (ta, tb) in a.tables().iter().zip(b.tables()) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn elision_ablation_saves_entries() {
+        let net = line_net(6, 50);
+        let placement = Placement::compute(&net, 8, 8, 2, 50, Placer::Random { seed: 2 }).unwrap();
+        let with = RoutingPlan::build_with_options(&net, &placement, 8, 8, true);
+        let without = RoutingPlan::build_with_options(&net, &placement, 8, 8, false);
+        assert!(with.total_entries() <= without.total_entries());
+        assert_eq!(
+            without.total_entries(),
+            with.total_entries() + with.stats().elided_entries
+        );
+        // Same trees either way.
+        assert_eq!(with.total_edges(), without.total_edges());
+    }
+
+    #[test]
+    fn mean_path_len_reported() {
+        let net = line_net(4, 50);
+        let placement = Placement::compute(&net, 8, 8, 2, 50, Placer::Locality).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 8, 8);
+        assert!(plan.stats().mean_path_len() >= 1.0);
+        assert_eq!(plan.stats().total_dests, 3);
+    }
+}

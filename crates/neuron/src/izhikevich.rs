@@ -1,0 +1,293 @@
+//! The Izhikevich spiking neuron in 16.16 fixed point.
+//!
+//! SpiNNaker's reference neuron model \[17\]:
+//!
+//! ```text
+//! v' = 0.04 v² + 5 v + 140 − u + I
+//! u' = a (b v − u)
+//! if v ≥ 30 mV: v ← c, u ← u + d
+//! ```
+//!
+//! integrated with two 0.5 ms Euler half-steps for `v` and one 1 ms step
+//! for `u` per millisecond tick, the scheme used by the SpiNNaker
+//! kernels.
+
+use crate::fixed::Fix1616;
+use crate::model::NeuronModel;
+
+/// Izhikevich model parameters `(a, b, c, d)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct IzhikevichParams {
+    /// Recovery time scale.
+    pub a: f32,
+    /// Recovery sensitivity to `v`.
+    pub b: f32,
+    /// Post-spike reset value of `v` (mV).
+    pub c: f32,
+    /// Post-spike increment of `u`.
+    pub d: f32,
+}
+
+impl IzhikevichParams {
+    /// Cortical regular-spiking (RS) cell: `(0.02, 0.2, −65, 8)`.
+    pub fn regular_spiking() -> Self {
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -65.0,
+            d: 8.0,
+        }
+    }
+
+    /// Fast-spiking (FS) interneuron: `(0.1, 0.2, −65, 2)`.
+    pub fn fast_spiking() -> Self {
+        IzhikevichParams {
+            a: 0.1,
+            b: 0.2,
+            c: -65.0,
+            d: 2.0,
+        }
+    }
+
+    /// Chattering (CH) cell: `(0.02, 0.2, −50, 2)`.
+    pub fn chattering() -> Self {
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -50.0,
+            d: 2.0,
+        }
+    }
+
+    /// Intrinsically bursting (IB) cell: `(0.02, 0.2, −55, 4)`.
+    pub fn intrinsically_bursting() -> Self {
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.2,
+            c: -55.0,
+            d: 4.0,
+        }
+    }
+
+    /// Low-threshold spiking (LTS) interneuron: `(0.02, 0.25, −65, 2)`.
+    pub fn low_threshold_spiking() -> Self {
+        IzhikevichParams {
+            a: 0.02,
+            b: 0.25,
+            c: -65.0,
+            d: 2.0,
+        }
+    }
+}
+
+/// One Izhikevich neuron's state, in fixed point.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+/// use spinn_neuron::model::NeuronModel;
+///
+/// let mut n = IzhikevichNeuron::new(IzhikevichParams::fast_spiking());
+/// // No input: the neuron stays quiet.
+/// assert!((0..100).all(|_| !n.step_1ms(0.0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IzhikevichNeuron {
+    params: IzhikevichParams,
+    a: Fix1616,
+    b: Fix1616,
+    c: Fix1616,
+    d: Fix1616,
+    v: Fix1616,
+    u: Fix1616,
+}
+
+const SPIKE_THRESHOLD_MV: f32 = 30.0;
+
+impl IzhikevichNeuron {
+    /// Creates a neuron at the resting state `v = c`, `u = b·c`.
+    pub fn new(params: IzhikevichParams) -> Self {
+        let v = Fix1616::from_f32(params.c);
+        let b = Fix1616::from_f32(params.b);
+        IzhikevichNeuron {
+            params,
+            a: Fix1616::from_f32(params.a),
+            b,
+            c: Fix1616::from_f32(params.c),
+            d: Fix1616::from_f32(params.d),
+            v,
+            u: b * v,
+        }
+    }
+
+    /// The neuron's parameters.
+    pub fn params(&self) -> IzhikevichParams {
+        self.params
+    }
+
+    /// The recovery variable `u`.
+    pub fn recovery(&self) -> f32 {
+        self.u.to_f32()
+    }
+}
+
+impl NeuronModel for IzhikevichNeuron {
+    fn step_1ms(&mut self, input_current: f32) -> bool {
+        let i = Fix1616::from_f32(input_current);
+        let half = Fix1616::from_f32(0.5);
+        let k004 = Fix1616::from_f32(0.04);
+        let k5 = Fix1616::from_int(5);
+        let k140 = Fix1616::from_int(140);
+        // Two 0.5 ms half-steps for v (numerical stability near spike).
+        for _ in 0..2 {
+            let dv = k004 * self.v * self.v + k5 * self.v + k140 - self.u + i;
+            self.v += dv * half;
+        }
+        // One 1 ms step for u.
+        let du = self.a * (self.b * self.v - self.u);
+        self.u += du;
+        if self.v.to_f32() >= SPIKE_THRESHOLD_MV {
+            self.v = self.c;
+            self.u += self.d;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn membrane_mv(&self) -> f32 {
+        self.v.to_f32()
+    }
+
+    fn reset_state(&mut self) {
+        self.v = self.c;
+        self.u = self.b * self.c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_spikes(params: IzhikevichParams, input: f32, ms: usize) -> usize {
+        let mut n = IzhikevichNeuron::new(params);
+        (0..ms).filter(|_| n.step_1ms(input)).count()
+    }
+
+    #[test]
+    fn quiescent_without_input() {
+        for p in [
+            IzhikevichParams::regular_spiking(),
+            IzhikevichParams::fast_spiking(),
+            IzhikevichParams::chattering(),
+        ] {
+            assert_eq!(count_spikes(p, 0.0, 500), 0);
+        }
+    }
+
+    #[test]
+    fn regular_spiking_rate_increases_with_current() {
+        let lo = count_spikes(IzhikevichParams::regular_spiking(), 6.0, 1000);
+        let hi = count_spikes(IzhikevichParams::regular_spiking(), 14.0, 1000);
+        assert!(lo > 0, "6 nA should elicit spikes");
+        assert!(hi > lo, "rate must grow with drive: {lo} vs {hi}");
+    }
+
+    #[test]
+    fn fast_spiking_outpaces_regular_spiking() {
+        let rs = count_spikes(IzhikevichParams::regular_spiking(), 10.0, 1000);
+        let fs = count_spikes(IzhikevichParams::fast_spiking(), 10.0, 1000);
+        assert!(
+            fs > rs,
+            "FS cells fire faster than RS at equal drive: {fs} vs {rs}"
+        );
+    }
+
+    #[test]
+    fn membrane_resets_after_spike() {
+        let mut n = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+        let mut spiked = false;
+        for _ in 0..200 {
+            if n.step_1ms(15.0) {
+                spiked = true;
+                assert!(
+                    n.membrane_mv() <= -50.0,
+                    "v must reset to c after a spike, got {}",
+                    n.membrane_mv()
+                );
+                break;
+            }
+        }
+        assert!(spiked);
+    }
+
+    #[test]
+    fn fixed_point_tracks_f64_reference_spike_raster() {
+        // The hardware-fidelity property that matters: the fixed-point
+        // kernel produces (nearly) the same spike raster as an f64
+        // reference. Membrane trajectories diverge chaotically near
+        // threshold, so spike counts/times are the right comparison.
+        let p = IzhikevichParams::regular_spiking();
+        let input = 10.0f64;
+        let mut n = IzhikevichNeuron::new(p);
+        let mut fx_spikes = Vec::new();
+        for t in 0..1000 {
+            if n.step_1ms(input as f32) {
+                fx_spikes.push(t);
+            }
+        }
+        let (mut v, mut u) = (p.c as f64, (p.b as f64) * (p.c as f64));
+        let mut ref_spikes = Vec::new();
+        for t in 0..1000 {
+            for _ in 0..2 {
+                let dv = 0.04 * v * v + 5.0 * v + 140.0 - u + input;
+                v += dv * 0.5;
+            }
+            u += p.a as f64 * (p.b as f64 * v - u);
+            if v >= 30.0 {
+                v = p.c as f64;
+                u += p.d as f64;
+                ref_spikes.push(t);
+            }
+        }
+        assert!(!ref_spikes.is_empty());
+        let diff = (fx_spikes.len() as i64 - ref_spikes.len() as i64).abs();
+        assert!(
+            diff <= 1 + ref_spikes.len() as i64 / 10,
+            "spike counts diverge: fixed {} vs reference {}",
+            fx_spikes.len(),
+            ref_spikes.len()
+        );
+        // First spike within a few ms of the reference.
+        let skew = (fx_spikes[0] as i64 - ref_spikes[0] as i64).abs();
+        assert!(skew <= 5, "first-spike skew {skew} ms");
+    }
+
+    #[test]
+    fn reset_state_restores_rest() {
+        let mut n = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+        for _ in 0..50 {
+            n.step_1ms(20.0);
+        }
+        n.reset_state();
+        assert_eq!(n.membrane_mv(), -65.0);
+        assert!((n.recovery() - (-65.0 * 0.2)).abs() < 0.01);
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        let presets = [
+            IzhikevichParams::regular_spiking(),
+            IzhikevichParams::fast_spiking(),
+            IzhikevichParams::chattering(),
+            IzhikevichParams::intrinsically_bursting(),
+            IzhikevichParams::low_threshold_spiking(),
+        ];
+        for i in 0..presets.len() {
+            for j in (i + 1)..presets.len() {
+                assert_ne!(presets[i], presets[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # spinn-neuron — spiking neuron models and neural codes
+//!
+//! The application layer of the SpiNNaker reproduction: everything a
+//! processor core computes when its 1 ms timer fires (§3.1, Fig. 7) and
+//! the coding schemes §5.4 of the paper discusses.
+//!
+//! * [`fixed`] — 16.16 fixed-point arithmetic, as used by the ARM968
+//!   neuron kernels (no FPU on the real chip).
+//! * [`izhikevich`] — the Izhikevich neuron in fixed point, SpiNNaker's
+//!   workhorse model, with the standard parameter presets.
+//! * [`lif`] — leaky integrate-and-fire, a second "local algorithm"
+//!   (§5.3 notes processors may run different local algorithms).
+//! * [`model`] — the [`model::NeuronModel`] trait unifying them.
+//! * [`synapse`] — the packed 32-bit synaptic word and the
+//!   source-indexed synaptic rows stored in SDRAM and DMA-fetched on
+//!   spike arrival (§4).
+//! * [`ring`] — the **deferred-event input ring buffer** implementing
+//!   §3.2's "soft delays": each synapse's programmable 1–16 ms delay is
+//!   re-inserted algorithmically at the target neuron.
+//! * [`stdp`] — pair-based spike-timing-dependent plasticity (the
+//!   adaptive networks the paper's conclusions call for).
+//! * [`poisson`] — stochastic and regular spike sources.
+//! * [`coding`] — N-of-M population codes and rank-order codes \[20\].
+//! * [`retina`] — the §5.4 retina: difference-of-Gaussians
+//!   (centre-surround) ganglion cells at overlapping scales with lateral
+//!   inhibition, rank-order readout, and graceful degradation under cell
+//!   loss.
+//!
+//! # Example
+//!
+//! ```
+//! use spinn_neuron::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+//! use spinn_neuron::model::NeuronModel;
+//!
+//! let mut n = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+//! let mut spikes = 0;
+//! for _ in 0..1000 {
+//!     if n.step_1ms(10.0) {
+//!         spikes += 1;
+//!     }
+//! }
+//! assert!(spikes > 5, "tonic drive must elicit regular spiking");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod fixed;
+pub mod izhikevich;
+pub mod lif;
+pub mod model;
+pub mod poisson;
+pub mod retina;
+pub mod ring;
+pub mod stdp;
+pub mod synapse;
+
+pub use fixed::Fix1616;
+pub use izhikevich::{IzhikevichNeuron, IzhikevichParams};
+pub use lif::{LifNeuron, LifParams};
+pub use model::{AnyNeuron, NeuronModel};
+pub use ring::InputRing;
+pub use synapse::{SynapticRow, SynapticWord};

@@ -1,0 +1,184 @@
+//! Leaky integrate-and-fire neuron.
+//!
+//! A second "local algorithm" (§5.3 of the paper notes that active
+//! processors execute the same three tasks "possibly with different local
+//! algorithms" \[16\]): cheap, widely used, and the model of choice for the
+//! rate-based layers of the retina example.
+
+use crate::model::NeuronModel;
+
+/// LIF parameters.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LifParams {
+    /// Resting potential, mV.
+    pub v_rest: f32,
+    /// Spike threshold, mV.
+    pub v_thresh: f32,
+    /// Post-spike reset potential, mV.
+    pub v_reset: f32,
+    /// Membrane time constant, ms.
+    pub tau_m: f32,
+    /// Membrane resistance, MΩ (input current in nA).
+    pub r_m: f32,
+    /// Absolute refractory period, ms.
+    pub t_refract: u32,
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        LifParams {
+            v_rest: -65.0,
+            v_thresh: -50.0,
+            v_reset: -65.0,
+            tau_m: 20.0,
+            r_m: 10.0,
+            t_refract: 2,
+        }
+    }
+}
+
+/// One LIF neuron's state.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::lif::{LifNeuron, LifParams};
+/// use spinn_neuron::model::NeuronModel;
+///
+/// let mut n = LifNeuron::new(LifParams::default());
+/// let spikes = (0..1000).filter(|_| n.step_1ms(2.0)).count();
+/// assert!(spikes > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LifNeuron {
+    params: LifParams,
+    v: f32,
+    refract_left: u32,
+}
+
+impl LifNeuron {
+    /// Creates a neuron at its resting potential.
+    pub fn new(params: LifParams) -> Self {
+        LifNeuron {
+            v: params.v_rest,
+            refract_left: 0,
+            params,
+        }
+    }
+
+    /// The neuron's parameters.
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Whether the neuron is currently refractory.
+    pub fn is_refractory(&self) -> bool {
+        self.refract_left > 0
+    }
+}
+
+impl NeuronModel for LifNeuron {
+    fn step_1ms(&mut self, input_current: f32) -> bool {
+        if self.refract_left > 0 {
+            self.refract_left -= 1;
+            return false;
+        }
+        let p = &self.params;
+        // Exact exponential-Euler update over 1 ms.
+        let alpha = (-1.0 / p.tau_m).exp();
+        let v_inf = p.v_rest + p.r_m * input_current;
+        self.v = v_inf + (self.v - v_inf) * alpha;
+        if self.v >= p.v_thresh {
+            self.v = p.v_reset;
+            self.refract_left = p.t_refract;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn membrane_mv(&self) -> f32 {
+        self.v
+    }
+
+    fn reset_state(&mut self) {
+        self.v = self.params.v_rest;
+        self.refract_left = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_at_rest_without_input() {
+        let mut n = LifNeuron::new(LifParams::default());
+        for _ in 0..100 {
+            assert!(!n.step_1ms(0.0));
+        }
+        assert!((n.membrane_mv() - (-65.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn subthreshold_drive_never_spikes() {
+        // v_inf = -65 + 10 * 1.0 = -55 < -50 threshold.
+        let mut n = LifNeuron::new(LifParams::default());
+        assert!((0..2000).all(|_| !n.step_1ms(1.0)));
+        assert!((n.membrane_mv() - (-55.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn suprathreshold_drive_spikes_regularly() {
+        let mut n = LifNeuron::new(LifParams::default());
+        let spikes = (0..1000).filter(|_| n.step_1ms(3.0)).count();
+        assert!(spikes >= 20, "got {spikes}");
+    }
+
+    #[test]
+    fn rate_monotone_in_current() {
+        let rate = |i: f32| {
+            let mut n = LifNeuron::new(LifParams::default());
+            (0..2000).filter(|_| n.step_1ms(i)).count()
+        };
+        let (r1, r2, r3) = (rate(2.0), rate(4.0), rate(8.0));
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn refractory_period_enforced() {
+        let mut p = LifParams::default();
+        p.t_refract = 5;
+        let mut n = LifNeuron::new(p);
+        let mut last_spike: Option<i32> = None;
+        for t in 0..2000 {
+            if n.step_1ms(10.0) {
+                if let Some(prev) = last_spike {
+                    assert!(t - prev > 5, "ISI {} violates refractory", t - prev);
+                }
+                last_spike = Some(t);
+            }
+        }
+        assert!(last_spike.is_some());
+    }
+
+    #[test]
+    fn refractory_flag_visible() {
+        let mut p = LifParams::default();
+        p.t_refract = 3;
+        let mut n = LifNeuron::new(p);
+        while !n.step_1ms(10.0) {}
+        assert!(n.is_refractory());
+    }
+
+    #[test]
+    fn reset_state_restores_rest() {
+        let mut n = LifNeuron::new(LifParams::default());
+        for _ in 0..10 {
+            n.step_1ms(10.0);
+        }
+        n.reset_state();
+        assert_eq!(n.membrane_mv(), -65.0);
+        assert!(!n.is_refractory());
+    }
+}

@@ -1,0 +1,100 @@
+//! The common interface of all neuron models.
+
+use crate::izhikevich::IzhikevichNeuron;
+use crate::lif::LifNeuron;
+
+/// A point-neuron model advanced in 1 ms steps by the timer interrupt
+/// (Fig. 7 of the paper: "update_Neurons()" at priority 3).
+pub trait NeuronModel {
+    /// Advances the dynamics by 1 ms under `input_current` (nA summed
+    /// from the deferred-event ring buffer) and reports whether the
+    /// neuron fired.
+    fn step_1ms(&mut self, input_current: f32) -> bool;
+
+    /// Current membrane potential, mV.
+    fn membrane_mv(&self) -> f32;
+
+    /// Returns the neuron to its resting state.
+    fn reset_state(&mut self);
+}
+
+/// Any supported neuron model (enum dispatch keeps per-neuron state
+/// `Sized` and cache-friendly — a core simulates hundreds of these).
+#[derive(Clone, Debug)]
+pub enum AnyNeuron {
+    /// Izhikevich in 16.16 fixed point.
+    Izhikevich(IzhikevichNeuron),
+    /// Leaky integrate-and-fire.
+    Lif(LifNeuron),
+}
+
+impl NeuronModel for AnyNeuron {
+    fn step_1ms(&mut self, input_current: f32) -> bool {
+        match self {
+            AnyNeuron::Izhikevich(n) => n.step_1ms(input_current),
+            AnyNeuron::Lif(n) => n.step_1ms(input_current),
+        }
+    }
+
+    fn membrane_mv(&self) -> f32 {
+        match self {
+            AnyNeuron::Izhikevich(n) => n.membrane_mv(),
+            AnyNeuron::Lif(n) => n.membrane_mv(),
+        }
+    }
+
+    fn reset_state(&mut self) {
+        match self {
+            AnyNeuron::Izhikevich(n) => n.reset_state(),
+            AnyNeuron::Lif(n) => n.reset_state(),
+        }
+    }
+}
+
+impl From<IzhikevichNeuron> for AnyNeuron {
+    fn from(n: IzhikevichNeuron) -> Self {
+        AnyNeuron::Izhikevich(n)
+    }
+}
+
+impl From<LifNeuron> for AnyNeuron {
+    fn from(n: LifNeuron) -> Self {
+        AnyNeuron::Lif(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::izhikevich::IzhikevichParams;
+    use crate::lif::LifParams;
+
+    #[test]
+    fn enum_dispatch_matches_concrete() {
+        let mut direct = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+        let mut any: AnyNeuron = IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into();
+        for t in 0..500 {
+            let i = if t % 3 == 0 { 12.0 } else { 4.0 };
+            assert_eq!(direct.step_1ms(i), any.step_1ms(i), "tick {t}");
+            assert_eq!(direct.membrane_mv(), any.membrane_mv());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let a: AnyNeuron = LifNeuron::new(LifParams::default()).into();
+        assert!(matches!(a, AnyNeuron::Lif(_)));
+        let b: AnyNeuron = IzhikevichNeuron::new(IzhikevichParams::chattering()).into();
+        assert!(matches!(b, AnyNeuron::Izhikevich(_)));
+    }
+
+    #[test]
+    fn reset_through_trait() {
+        let mut a: AnyNeuron = LifNeuron::new(LifParams::default()).into();
+        for _ in 0..20 {
+            a.step_1ms(10.0);
+        }
+        a.reset_state();
+        assert_eq!(a.membrane_mv(), -65.0);
+    }
+}

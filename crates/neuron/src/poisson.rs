@@ -1,0 +1,139 @@
+//! Spike sources: Poisson and regular.
+//!
+//! Stimulus generators for driving networks (Fig. 7's
+//! `update_Stimulus()` task).
+
+use spinn_sim::Xoshiro256;
+
+/// A Poisson spike source with a fixed mean rate.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::poisson::PoissonSource;
+///
+/// let mut src = PoissonSource::new(100.0, 42); // 100 Hz
+/// let spikes: usize = (0..10_000).map(|_| src.tick_1ms() as usize).sum();
+/// assert!((800..1200).contains(&spikes), "{spikes}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PoissonSource {
+    rate_hz: f64,
+    rng: Xoshiro256,
+}
+
+impl PoissonSource {
+    /// Creates a source with the given mean rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is negative.
+    pub fn new(rate_hz: f64, seed: u64) -> Self {
+        assert!(rate_hz >= 0.0, "rate must be non-negative");
+        PoissonSource {
+            rate_hz,
+            rng: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured rate, Hz.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Advances 1 ms; `true` if the source fires in this tick.
+    ///
+    /// (At most one spike per tick, like the hardware implementation —
+    /// accurate for rates well below 1 kHz.)
+    pub fn tick_1ms(&mut self) -> bool {
+        let p = 1.0 - (-self.rate_hz / 1000.0).exp();
+        self.rng.gen_bool(p)
+    }
+}
+
+/// A regular (clock-driven) spike source.
+#[derive(Clone, Debug)]
+pub struct RegularSource {
+    period_ms: u32,
+    phase: u32,
+}
+
+impl RegularSource {
+    /// Fires every `period_ms` milliseconds, starting after one period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ms` is zero.
+    pub fn new(period_ms: u32) -> Self {
+        assert!(period_ms > 0, "period must be positive");
+        RegularSource { period_ms, phase: 0 }
+    }
+
+    /// Advances 1 ms; `true` on firing ticks.
+    pub fn tick_1ms(&mut self) -> bool {
+        self.phase += 1;
+        if self.phase >= self.period_ms {
+            self.phase = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_is_calibrated() {
+        // With at most one spike per 1 ms tick, the firing probability
+        // per tick is 1 - exp(-rate/1000) (≈ rate/1000 at low rates).
+        for rate in [10.0f64, 100.0, 500.0] {
+            let mut src = PoissonSource::new(rate, 7);
+            let n = 100_000;
+            let spikes: usize = (0..n).map(|_| src.tick_1ms() as usize).sum();
+            let expected = (1.0 - (-rate / 1000.0).exp()) * n as f64;
+            let got = spikes as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.05 + 10.0,
+                "rate {rate}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut src = PoissonSource::new(0.0, 1);
+        assert!((0..1000).all(|_| !src.tick_1ms()));
+    }
+
+    #[test]
+    fn poisson_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = PoissonSource::new(50.0, seed);
+            (0..1000).map(|_| s.tick_1ms()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn regular_source_period() {
+        let mut src = RegularSource::new(4);
+        let pattern: Vec<bool> = (0..12).map(|_| src.tick_1ms()).collect();
+        let fire_ticks: Vec<usize> = pattern
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(fire_ticks, vec![3, 7, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = RegularSource::new(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The deferred-event input ring buffer: §3.2's "soft delays".
+//!
+//! Electronic spike transit is effectively instantaneous on biological
+//! timescales, but biological axonal/synaptic delays are "almost
+//! certainly functional, so they can't simply be eliminated in the
+//! model. Instead, they are made 'soft'": every synapse carries a 1–16 ms
+//! delay that is re-inserted at the target neuron \[5\]. The mechanism is
+//! this ring of 16 one-millisecond accumulator slots: a spike arriving
+//! now with delay *d* deposits its weight into the slot that the timer
+//! interrupt will drain *d* ticks later.
+
+/// Number of delay slots (4-bit delay field: 1–16 ms).
+pub const RING_SLOTS: usize = 16;
+
+/// The per-core input ring buffer: `RING_SLOTS` slots × one 8.8
+/// fixed-point accumulator per neuron.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::ring::InputRing;
+///
+/// let mut ring = InputRing::new(4);
+/// ring.deposit(3, 2, 256); // +1.0 nA to neuron 2, 3 ms from now
+/// assert_eq!(ring.tick()[2], 0);   // t+1: nothing
+/// assert_eq!(ring.tick()[2], 0);   // t+2: nothing
+/// assert_eq!(ring.tick()[2], 256); // t+3: arrives
+/// ```
+#[derive(Clone, Debug)]
+pub struct InputRing {
+    slots: Vec<Vec<i32>>,
+    cursor: usize,
+    neurons: usize,
+    drained: Vec<i32>,
+}
+
+impl InputRing {
+    /// Creates a ring for `neurons` accumulators per slot.
+    pub fn new(neurons: usize) -> Self {
+        InputRing {
+            slots: vec![vec![0; neurons]; RING_SLOTS],
+            cursor: 0,
+            neurons,
+            drained: vec![0; neurons],
+        }
+    }
+
+    /// Number of neurons per slot.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Adds `weight_raw` (8.8 fixed point) to `neuron`'s accumulator
+    /// `delay_ms` ticks in the future.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ms` is outside `1..=16` or `neuron` is out of
+    /// range.
+    pub fn deposit(&mut self, delay_ms: u8, neuron: usize, weight_raw: i32) {
+        assert!(
+            (1..=RING_SLOTS as u8).contains(&delay_ms),
+            "delay {delay_ms} outside 1..=16"
+        );
+        assert!(neuron < self.neurons, "neuron {neuron} out of range");
+        let slot = (self.cursor + delay_ms as usize) % RING_SLOTS;
+        self.slots[slot][neuron] = self.slots[slot][neuron].saturating_add(weight_raw);
+    }
+
+    /// Advances the ring by 1 ms and returns the accumulated input for
+    /// the new current tick (8.8 fixed point per neuron). The returned
+    /// slice is valid until the next call.
+    pub fn tick(&mut self) -> &[i32] {
+        self.cursor = (self.cursor + 1) % RING_SLOTS;
+        std::mem::swap(&mut self.drained, &mut self.slots[self.cursor]);
+        self.slots[self.cursor].fill(0);
+        &self.drained
+    }
+
+    /// The input drained by the most recent [`InputRing::tick`].
+    pub fn current(&self) -> &[i32] {
+        &self.drained
+    }
+
+    /// Total absolute charge currently queued (diagnostics).
+    pub fn queued_magnitude(&self) -> i64 {
+        self.slots
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|&w| (w as i64).abs())
+            .sum()
+    }
+
+    /// Memory footprint of the ring in the core's DTCM, bytes.
+    pub fn size_bytes(&self) -> usize {
+        RING_SLOTS * self.neurons * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_exactness_all_delays() {
+        // A weight deposited with delay d arrives after exactly d ticks —
+        // the soft-delay invariant of §3.2.
+        for d in 1..=16u8 {
+            let mut ring = InputRing::new(2);
+            ring.deposit(d, 1, 100);
+            for t in 1..=16 {
+                let drained = ring.tick()[1];
+                if t == d as usize {
+                    assert_eq!(drained, 100, "delay {d} arrived at tick {t}");
+                } else {
+                    assert_eq!(drained, 0, "delay {d} leaked at tick {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accumulation_in_same_slot() {
+        let mut ring = InputRing::new(1);
+        ring.deposit(2, 0, 10);
+        ring.deposit(2, 0, -3);
+        ring.tick();
+        assert_eq!(ring.tick()[0], 7);
+    }
+
+    #[test]
+    fn wraparound_reuse() {
+        let mut ring = InputRing::new(1);
+        for round in 0..5 {
+            ring.deposit(16, 0, round + 1);
+            for t in 1..=16 {
+                let v = ring.tick()[0];
+                if t == 16 {
+                    assert_eq!(v, round + 1);
+                } else {
+                    assert_eq!(v, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deposits_during_drain_cycle_do_not_collide() {
+        let mut ring = InputRing::new(1);
+        ring.deposit(1, 0, 5);
+        assert_eq!(ring.tick()[0], 5);
+        // Slot was cleared after draining: new deposit lands cleanly
+        // 16 ticks out.
+        ring.deposit(16, 0, 9);
+        for t in 1..=16 {
+            let v = ring.tick()[0];
+            assert_eq!(v, if t == 16 { 9 } else { 0 }, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn saturating_accumulator() {
+        let mut ring = InputRing::new(1);
+        ring.deposit(1, 0, i32::MAX);
+        ring.deposit(1, 0, i32::MAX);
+        assert_eq!(ring.tick()[0], i32::MAX);
+    }
+
+    #[test]
+    fn current_mirrors_last_tick() {
+        let mut ring = InputRing::new(3);
+        ring.deposit(1, 2, 42);
+        ring.tick();
+        assert_eq!(ring.current(), &[0, 0, 42]);
+    }
+
+    #[test]
+    fn queued_magnitude_and_size() {
+        let mut ring = InputRing::new(10);
+        assert_eq!(ring.size_bytes(), 16 * 10 * 4);
+        ring.deposit(4, 0, -50);
+        ring.deposit(9, 3, 30);
+        assert_eq!(ring.queued_magnitude(), 80);
+        ring.tick();
+        assert_eq!(ring.queued_magnitude(), 80); // nothing drained yet
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=16")]
+    fn zero_delay_rejected() {
+        InputRing::new(1).deposit(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neuron_bounds_checked() {
+        InputRing::new(1).deposit(1, 1, 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Pair-based spike-timing-dependent plasticity.
+//!
+//! The paper's conclusion calls for platforms on which networks "develop,
+//! learn and adapt"; STDP is the standard SpiNNaker plasticity rule. The
+//! implementation follows the trace formulation: each synapse keeps
+//! exponentially decaying pre- and post-synaptic traces, potentiating on
+//! post-after-pre and depressing on pre-after-post.
+
+/// STDP rule parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct StdpParams {
+    /// Potentiation amplitude per pairing.
+    pub a_plus: f32,
+    /// Depression amplitude per pairing.
+    pub a_minus: f32,
+    /// Potentiation trace time constant, ms.
+    pub tau_plus_ms: f32,
+    /// Depression trace time constant, ms.
+    pub tau_minus_ms: f32,
+    /// Lower weight bound (8.8 fixed point).
+    pub w_min_raw: i16,
+    /// Upper weight bound (8.8 fixed point).
+    pub w_max_raw: i16,
+}
+
+impl Default for StdpParams {
+    fn default() -> Self {
+        StdpParams {
+            a_plus: 8.0,
+            a_minus: 8.5,
+            tau_plus_ms: 20.0,
+            tau_minus_ms: 20.0,
+            w_min_raw: 0,
+            w_max_raw: 4 * 256, // 4 nA
+        }
+    }
+}
+
+/// Per-synapse STDP state: the two traces and their last-update times.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StdpSynapse {
+    /// Pre-synaptic trace (decays with `tau_plus_ms`).
+    pre_trace: f32,
+    /// Post-synaptic trace (decays with `tau_minus_ms`).
+    post_trace: f32,
+    last_pre_ms: f64,
+    last_post_ms: f64,
+}
+
+impl StdpSynapse {
+    /// A synapse with empty traces.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pre-synaptic spike at time `t_ms`; returns the weight
+    /// change (8.8 fixed point, ≤ 0: depression against the post trace).
+    pub fn on_pre(&mut self, t_ms: f64, p: &StdpParams) -> i16 {
+        // Depression: pre arriving after post.
+        let dt = t_ms - self.last_post_ms;
+        let dw = if self.post_trace > 0.0 && dt >= 0.0 {
+            -(p.a_minus * self.post_trace * (-(dt as f32) / p.tau_minus_ms).exp())
+        } else {
+            0.0
+        };
+        // Update the pre trace.
+        let since_pre = (t_ms - self.last_pre_ms) as f32;
+        self.pre_trace = self.pre_trace * (-since_pre / p.tau_plus_ms).exp() + 1.0;
+        self.last_pre_ms = t_ms;
+        dw.round() as i16
+    }
+
+    /// Registers a post-synaptic spike at time `t_ms`; returns the weight
+    /// change (8.8 fixed point, ≥ 0: potentiation against the pre trace).
+    pub fn on_post(&mut self, t_ms: f64, p: &StdpParams) -> i16 {
+        let dt = t_ms - self.last_pre_ms;
+        let dw = if self.pre_trace > 0.0 && dt >= 0.0 {
+            p.a_plus * self.pre_trace * (-(dt as f32) / p.tau_plus_ms).exp()
+        } else {
+            0.0
+        };
+        let since_post = (t_ms - self.last_post_ms) as f32;
+        self.post_trace = self.post_trace * (-since_post / p.tau_minus_ms).exp() + 1.0;
+        self.last_post_ms = t_ms;
+        dw.round() as i16
+    }
+
+    /// The current pre-synaptic trace value (diagnostics).
+    pub fn pre_trace(&self) -> f32 {
+        self.pre_trace
+    }
+
+    /// The current post-synaptic trace value (diagnostics).
+    pub fn post_trace(&self) -> f32 {
+        self.post_trace
+    }
+}
+
+/// Applies a weight delta within the rule's bounds.
+pub fn apply_bounded(weight_raw: i16, dw_raw: i16, p: &StdpParams) -> i16 {
+    (weight_raw.saturating_add(dw_raw)).clamp(p.w_min_raw, p.w_max_raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_then_post_potentiates() {
+        let p = StdpParams::default();
+        let mut s = StdpSynapse::new();
+        assert_eq!(s.on_pre(100.0, &p), 0); // no post trace yet
+        let dw = s.on_post(105.0, &p);
+        assert!(dw > 0, "post 5 ms after pre must potentiate, got {dw}");
+    }
+
+    #[test]
+    fn post_then_pre_depresses() {
+        let p = StdpParams::default();
+        let mut s = StdpSynapse::new();
+        assert_eq!(s.on_post(100.0, &p), 0);
+        let dw = s.on_pre(105.0, &p);
+        assert!(dw < 0, "pre 5 ms after post must depress, got {dw}");
+    }
+
+    #[test]
+    fn magnitude_decays_with_interval() {
+        let p = StdpParams::default();
+        let near = {
+            let mut s = StdpSynapse::new();
+            s.on_pre(0.0, &p);
+            s.on_post(2.0, &p)
+        };
+        let far = {
+            let mut s = StdpSynapse::new();
+            s.on_pre(0.0, &p);
+            s.on_post(40.0, &p)
+        };
+        assert!(near > far, "closer pairing must change more: {near} vs {far}");
+        assert!(far >= 0);
+    }
+
+    #[test]
+    fn traces_accumulate_over_bursts() {
+        let p = StdpParams::default();
+        let mut s = StdpSynapse::new();
+        for t in 0..5 {
+            s.on_pre(t as f64, &p);
+        }
+        assert!(s.pre_trace() > 1.0, "burst should pile the trace up");
+        let dw = s.on_post(6.0, &p);
+        let mut single = StdpSynapse::new();
+        single.on_pre(4.0, &p);
+        let dw_single = single.on_post(6.0, &p);
+        assert!(dw > dw_single, "{dw} vs {dw_single}");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let p = StdpParams::default();
+        assert_eq!(apply_bounded(p.w_max_raw, 100, &p), p.w_max_raw);
+        assert_eq!(apply_bounded(p.w_min_raw, -100, &p), p.w_min_raw);
+        assert_eq!(apply_bounded(100, 20, &p), 120);
+    }
+
+    #[test]
+    fn asymmetry_matches_parameters() {
+        // With a_minus slightly larger than a_plus, symmetric pairings
+        // net-depress — the classic stability condition.
+        let p = StdpParams::default();
+        let mut s1 = StdpSynapse::new();
+        s1.on_pre(0.0, &p);
+        let pot = s1.on_post(10.0, &p) as i32;
+        let mut s2 = StdpSynapse::new();
+        s2.on_post(0.0, &p);
+        let dep = s2.on_pre(10.0, &p) as i32;
+        assert!(pot + dep <= 0, "pot {pot} dep {dep}");
+    }
+}

@@ -1,0 +1,173 @@
+//! The six inter-chip link directions of the triangular mesh.
+//!
+//! SpiNNaker's 2-D mesh has triangular facets (Fig. 2): each chip links to
+//! six neighbours. With the conventional axial layout the direction
+//! vectors are E=(1,0), NE=(1,1), N=(0,1), W=(−1,0), SW=(−1,−1), S=(0,−1).
+//! Note there is no (1,−1) diagonal — the triangles lean one way, which is
+//! exactly what makes the emergency-routing detour (via `d+1` then `d−1`)
+//! close around any single link.
+
+use std::fmt;
+
+/// One of the six inter-chip link directions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Direction {
+    /// +x
+    East = 0,
+    /// +x, +y
+    NorthEast = 1,
+    /// +y
+    North = 2,
+    /// −x
+    West = 3,
+    /// −x, −y
+    SouthWest = 4,
+    /// −y
+    South = 5,
+}
+
+/// All six directions in index order.
+pub const ALL_DIRECTIONS: [Direction; 6] = [
+    Direction::East,
+    Direction::NorthEast,
+    Direction::North,
+    Direction::West,
+    Direction::SouthWest,
+    Direction::South,
+];
+
+impl Direction {
+    /// The direction's link index, `0..6`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Reconstructs a direction from a link index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 6`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Direction {
+        match idx {
+            0 => Direction::East,
+            1 => Direction::NorthEast,
+            2 => Direction::North,
+            3 => Direction::West,
+            4 => Direction::SouthWest,
+            5 => Direction::South,
+            _ => panic!("direction index out of range"),
+        }
+    }
+
+    /// The opposite direction (rotate by 3).
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        Direction::from_index((self.index() + 3) % 6)
+    }
+
+    /// Rotate one step counter-clockwise (`d+1`): the first leg of the
+    /// emergency route around this link.
+    #[inline]
+    pub const fn rotate_ccw(self) -> Direction {
+        Direction::from_index((self.index() + 1) % 6)
+    }
+
+    /// Rotate one step clockwise (`d−1`): the second leg of the emergency
+    /// route around this link.
+    #[inline]
+    pub const fn rotate_cw(self) -> Direction {
+        Direction::from_index((self.index() + 5) % 6)
+    }
+
+    /// The axial coordinate delta of one hop in this direction.
+    #[inline]
+    pub const fn delta(self) -> (i64, i64) {
+        match self {
+            Direction::East => (1, 0),
+            Direction::NorthEast => (1, 1),
+            Direction::North => (0, 1),
+            Direction::West => (-1, 0),
+            Direction::SouthWest => (-1, -1),
+            Direction::South => (0, -1),
+        }
+    }
+
+    /// The two emergency-route legs around this (failed/congested) link:
+    /// the two other sides of a mesh triangle (Fig. 8).
+    #[inline]
+    pub const fn emergency_legs(self) -> (Direction, Direction) {
+        (self.rotate_ccw(), self.rotate_cw())
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::NorthEast => "NE",
+            Direction::North => "N",
+            Direction::West => "W",
+            Direction::SouthWest => "SW",
+            Direction::South => "S",
+        };
+        f.pad(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution_and_negates_delta() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn rotations_are_inverse() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.rotate_ccw().rotate_cw(), d);
+            assert_eq!(d.rotate_cw().rotate_ccw(), d);
+        }
+    }
+
+    #[test]
+    fn emergency_legs_close_the_triangle() {
+        // The paper's Fig. 8 detour: going around legs (d+1) then (d−1)
+        // must land on the same node as the direct hop d.
+        for d in ALL_DIRECTIONS {
+            let (a, b) = d.emergency_legs();
+            let (dx, dy) = d.delta();
+            let (ax, ay) = a.delta();
+            let (bx, by) = b.delta();
+            assert_eq!((ax + bx, ay + by), (dx, dy), "triangle broken for {d}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Direction::East.to_string(), "E");
+        assert_eq!(Direction::SouthWest.to_string(), "SW");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_large() {
+        let _ = Direction::from_index(6);
+    }
+}

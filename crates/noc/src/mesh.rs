@@ -1,0 +1,305 @@
+//! The 2-D toroidal triangular-facet mesh (Fig. 2) and its metric.
+
+use crate::direction::{Direction, ALL_DIRECTIONS};
+
+/// A chip position in the mesh, in axial coordinates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeCoord {
+    /// Column, `0..width`.
+    pub x: u32,
+    /// Row, `0..height`.
+    pub y: u32,
+}
+
+impl NodeCoord {
+    /// Creates a coordinate.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        NodeCoord { x, y }
+    }
+}
+
+impl std::fmt::Display for NodeCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// The toroidal mesh of chips: `width x height` nodes, each linked to six
+/// neighbours, with wraparound in both axes.
+///
+/// # Example
+///
+/// ```
+/// use spinn_noc::mesh::{Torus, NodeCoord};
+///
+/// let m = Torus::new(4, 4);
+/// assert_eq!(m.len(), 16);
+/// let id = m.id_of(NodeCoord::new(3, 2));
+/// assert_eq!(m.coord_of(id), NodeCoord::new(3, 2));
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Torus {
+    width: u32,
+    height: u32,
+}
+
+impl Torus {
+    /// Creates a mesh of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Torus { width, height }
+    }
+
+    /// Mesh width in chips.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Mesh height in chips.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of chips.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    /// Whether the mesh is empty (never true: dimensions are positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dense node id of a coordinate (row-major).
+    #[inline]
+    pub fn id_of(&self, c: NodeCoord) -> usize {
+        debug_assert!(c.x < self.width && c.y < self.height);
+        (c.y * self.width + c.x) as usize
+    }
+
+    /// Coordinate of a dense node id.
+    #[inline]
+    pub fn coord_of(&self, id: usize) -> NodeCoord {
+        let id = id as u32;
+        debug_assert!(id < self.width * self.height);
+        NodeCoord::new(id % self.width, id / self.width)
+    }
+
+    /// Iterates all node coordinates in id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeCoord> + '_ {
+        (0..self.len()).map(move |i| self.coord_of(i))
+    }
+
+    /// The neighbour of `c` one hop in direction `d` (with wraparound).
+    pub fn neighbour(&self, c: NodeCoord, d: Direction) -> NodeCoord {
+        let (dx, dy) = d.delta();
+        let x = (c.x as i64 + dx).rem_euclid(self.width as i64) as u32;
+        let y = (c.y as i64 + dy).rem_euclid(self.height as i64) as u32;
+        NodeCoord::new(x, y)
+    }
+
+    /// The shortest displacement from `from` to `to` as an `(dx, dy)`
+    /// pair, taking wraparound into account (the pair minimising hex
+    /// distance).
+    pub fn displacement(&self, from: NodeCoord, to: NodeCoord) -> (i64, i64) {
+        let w = self.width as i64;
+        let h = self.height as i64;
+        let raw_dx = to.x as i64 - from.x as i64;
+        let raw_dy = to.y as i64 - from.y as i64;
+        let mut best = (raw_dx, raw_dy);
+        let mut best_d = hex_len(raw_dx, raw_dy);
+        for wx in [-w, 0, w] {
+            for wy in [-h, 0, h] {
+                let dx = raw_dx + wx;
+                let dy = raw_dy + wy;
+                let d = hex_len(dx, dy);
+                if d < best_d {
+                    best_d = d;
+                    best = (dx, dy);
+                }
+            }
+        }
+        best
+    }
+
+    /// Hex (link-hop) distance between two nodes on the torus.
+    pub fn hex_distance(&self, a: NodeCoord, b: NodeCoord) -> u64 {
+        let (dx, dy) = self.displacement(a, b);
+        hex_len(dx, dy)
+    }
+
+    /// The next-hop direction of the algorithmic point-to-point route from
+    /// `from` towards `to`; `None` if already there.
+    ///
+    /// Greedy: diagonal steps while both axes agree in sign, axis steps
+    /// otherwise — this walks a shortest path in the hex metric.
+    pub fn p2p_next_hop(&self, from: NodeCoord, to: NodeCoord) -> Option<Direction> {
+        if from == to {
+            return None;
+        }
+        let (dx, dy) = self.displacement(from, to);
+        Some(step_towards(dx, dy))
+    }
+
+    /// The full point-to-point route as a direction sequence.
+    pub fn p2p_route(&self, from: NodeCoord, to: NodeCoord) -> Vec<Direction> {
+        let mut route = Vec::new();
+        let mut cur = from;
+        while let Some(d) = self.p2p_next_hop(cur, to) {
+            route.push(d);
+            cur = self.neighbour(cur, d);
+            debug_assert!(route.len() <= self.len(), "p2p route failed to converge");
+        }
+        route
+    }
+
+    /// All six neighbours of a node.
+    pub fn neighbours(&self, c: NodeCoord) -> [(Direction, NodeCoord); 6] {
+        let mut out = [(Direction::East, c); 6];
+        for (i, d) in ALL_DIRECTIONS.into_iter().enumerate() {
+            out[i] = (d, self.neighbour(c, d));
+        }
+        out
+    }
+}
+
+/// Hex-metric length of a displacement with E/NE/N/W/SW/S steps: diagonal
+/// steps cover (+1,+1) or (−1,−1), so same-sign displacements cost
+/// `max(|dx|, |dy|)` and opposite-sign ones cost `|dx| + |dy|`.
+#[inline]
+pub fn hex_len(dx: i64, dy: i64) -> u64 {
+    if (dx >= 0) == (dy >= 0) {
+        dx.unsigned_abs().max(dy.unsigned_abs())
+    } else {
+        dx.unsigned_abs() + dy.unsigned_abs()
+    }
+}
+
+fn step_towards(dx: i64, dy: i64) -> Direction {
+    if dx > 0 && dy > 0 {
+        Direction::NorthEast
+    } else if dx < 0 && dy < 0 {
+        Direction::SouthWest
+    } else if dx > 0 {
+        Direction::East
+    } else if dx < 0 {
+        Direction::West
+    } else if dy > 0 {
+        Direction::North
+    } else {
+        Direction::South
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let m = Torus::new(5, 3);
+        for id in 0..m.len() {
+            assert_eq!(m.id_of(m.coord_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn neighbour_wraps() {
+        let m = Torus::new(4, 4);
+        assert_eq!(
+            m.neighbour(NodeCoord::new(3, 3), Direction::NorthEast),
+            NodeCoord::new(0, 0)
+        );
+        assert_eq!(
+            m.neighbour(NodeCoord::new(0, 0), Direction::SouthWest),
+            NodeCoord::new(3, 3)
+        );
+    }
+
+    #[test]
+    fn hex_len_cases() {
+        assert_eq!(hex_len(0, 0), 0);
+        assert_eq!(hex_len(3, 0), 3);
+        assert_eq!(hex_len(3, 3), 3); // pure diagonal
+        assert_eq!(hex_len(3, 1), 3); // mixed same-sign: max
+        assert_eq!(hex_len(2, -2), 4); // opposite signs: sum
+        assert_eq!(hex_len(-3, -2), 3);
+    }
+
+    #[test]
+    fn distance_is_zero_iff_equal() {
+        let m = Torus::new(6, 6);
+        let a = NodeCoord::new(2, 3);
+        assert_eq!(m.hex_distance(a, a), 0);
+        assert!(m.hex_distance(a, NodeCoord::new(2, 4)) > 0);
+    }
+
+    #[test]
+    fn distance_symmetric() {
+        let m = Torus::new(7, 5);
+        for a in m.iter() {
+            for b in m.iter() {
+                assert_eq!(m.hex_distance(a, b), m.hex_distance(b, a), "{a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_uses_wraparound() {
+        let m = Torus::new(8, 8);
+        // 7 steps east = 1 step west on the torus.
+        assert_eq!(
+            m.hex_distance(NodeCoord::new(0, 0), NodeCoord::new(7, 0)),
+            1
+        );
+        assert_eq!(
+            m.hex_distance(NodeCoord::new(0, 0), NodeCoord::new(7, 7)),
+            1
+        );
+    }
+
+    #[test]
+    fn p2p_route_lengths_match_distance() {
+        let m = Torus::new(6, 6);
+        for a in m.iter() {
+            for b in m.iter() {
+                let route = m.p2p_route(a, b);
+                assert_eq!(
+                    route.len() as u64,
+                    m.hex_distance(a, b),
+                    "route from {a} to {b} not shortest"
+                );
+                // And the route actually arrives.
+                let mut cur = a;
+                for d in route {
+                    cur = m.neighbour(cur, d);
+                }
+                assert_eq!(cur, b);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_are_at_distance_one() {
+        let m = Torus::new(5, 5);
+        let c = NodeCoord::new(2, 2);
+        for (_, n) in m.neighbours(c) {
+            assert_eq!(m.hex_distance(c, n), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        let _ = Torus::new(0, 4);
+    }
+}

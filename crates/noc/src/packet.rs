@@ -1,0 +1,299 @@
+//! The SpiNNaker packet: "a 40-bit packet that contains 8 bits of packet
+//! management data and a 32-bit identifier of the neuron that fired" (§4),
+//! with an optional 32-bit payload used by system traffic.
+
+/// The three packet types the interconnect fabric and router support
+/// (§5.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Multicast: conveys a neural spike event; routed by the ternary
+    /// key/mask table. The 32-bit content word is the AER identifier of
+    /// the neuron that fired.
+    Multicast,
+    /// Point-to-point: system management traffic with 16-bit source and
+    /// destination node addresses, routed algorithmically.
+    PointToPoint,
+    /// Nearest-neighbour: reaches one of the six directly connected
+    /// chips; used for boot, flood-fill and fault recovery.
+    NearestNeighbour,
+}
+
+impl PacketKind {
+    const fn code(self) -> u8 {
+        match self {
+            PacketKind::Multicast => 0,
+            PacketKind::PointToPoint => 1,
+            PacketKind::NearestNeighbour => 2,
+        }
+    }
+
+    const fn from_code(code: u8) -> Option<PacketKind> {
+        match code {
+            0 => Some(PacketKind::Multicast),
+            1 => Some(PacketKind::PointToPoint),
+            2 => Some(PacketKind::NearestNeighbour),
+            _ => None,
+        }
+    }
+}
+
+/// The 2-bit emergency-routing state carried in the packet header
+/// (§5.3, Fig. 8).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum EmergencyState {
+    /// Normal routing.
+    #[default]
+    Normal,
+    /// First leg of an emergency detour (sent out link `d+1` instead of a
+    /// blocked link `d`).
+    FirstLeg,
+    /// Second leg (the receiving router forwards out `d−1` to close the
+    /// triangle).
+    SecondLeg,
+}
+
+impl EmergencyState {
+    const fn code(self) -> u8 {
+        match self {
+            EmergencyState::Normal => 0,
+            EmergencyState::FirstLeg => 1,
+            EmergencyState::SecondLeg => 2,
+        }
+    }
+
+    const fn from_code(code: u8) -> Option<EmergencyState> {
+        match code {
+            0 => Some(EmergencyState::Normal),
+            1 => Some(EmergencyState::FirstLeg),
+            2 => Some(EmergencyState::SecondLeg),
+            _ => None,
+        }
+    }
+}
+
+/// One SpiNNaker packet.
+///
+/// # Example
+///
+/// ```
+/// use spinn_noc::packet::{Packet, PacketKind, EmergencyState};
+///
+/// let spike = Packet::multicast(0x0000_2A01);
+/// assert_eq!(spike.kind, PacketKind::Multicast);
+/// let bits = spike.encode();
+/// assert_eq!(Packet::decode(bits).unwrap(), spike);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Packet type.
+    pub kind: PacketKind,
+    /// Emergency-routing state (multicast packets only).
+    pub emergency: EmergencyState,
+    /// 2-bit launch-timestamp phase, used to age out packets that have
+    /// circulated too long.
+    pub timestamp: u8,
+    /// The 32-bit content word: AER key (mc), `src << 16 | dst` (p2p), or
+    /// an opcode/address word (nn).
+    pub key: u32,
+    /// Optional 32-bit payload (system traffic, nn boot data).
+    pub payload: Option<u32>,
+}
+
+impl Packet {
+    /// A multicast spike packet carrying an AER routing key.
+    pub fn multicast(key: u32) -> Packet {
+        Packet {
+            kind: PacketKind::Multicast,
+            emergency: EmergencyState::Normal,
+            timestamp: 0,
+            key,
+            payload: None,
+        }
+    }
+
+    /// A point-to-point packet from node address `src` to `dst` with a
+    /// payload word.
+    pub fn p2p(src: u16, dst: u16, payload: u32) -> Packet {
+        Packet {
+            kind: PacketKind::PointToPoint,
+            emergency: EmergencyState::Normal,
+            timestamp: 0,
+            key: (src as u32) << 16 | dst as u32,
+            payload: Some(payload),
+        }
+    }
+
+    /// A nearest-neighbour packet with an opcode/address key and payload.
+    pub fn nn(key: u32, payload: u32) -> Packet {
+        Packet {
+            kind: PacketKind::NearestNeighbour,
+            emergency: EmergencyState::Normal,
+            timestamp: 0,
+            key,
+            payload: Some(payload),
+        }
+    }
+
+    /// The p2p source node address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not point-to-point.
+    pub fn p2p_src(&self) -> u16 {
+        assert_eq!(self.kind, PacketKind::PointToPoint, "not a p2p packet");
+        (self.key >> 16) as u16
+    }
+
+    /// The p2p destination node address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not point-to-point.
+    pub fn p2p_dst(&self) -> u16 {
+        assert_eq!(self.kind, PacketKind::PointToPoint, "not a p2p packet");
+        self.key as u16
+    }
+
+    /// Number of bits on the wire: 40, or 72 with payload.
+    pub fn wire_bits(&self) -> u32 {
+        if self.payload.is_some() {
+            72
+        } else {
+            40
+        }
+    }
+
+    /// Packs the packet into the 40-bit (or 72-bit) wire format, returned
+    /// in the low bits of a `u128`:
+    /// `header[7:0] | key << 8 | payload << 40`.
+    ///
+    /// Header layout: `[7:6]` type, `[5:4]` emergency, `[3:2]` timestamp,
+    /// `\[1\]` payload-present, `\[0\]` odd parity over the whole packet.
+    pub fn encode(&self) -> u128 {
+        let mut header: u8 = (self.kind.code() << 6)
+            | (self.emergency.code() << 4)
+            | ((self.timestamp & 0b11) << 2)
+            | ((self.payload.is_some() as u8) << 1);
+        let mut bits: u128 = (self.key as u128) << 8;
+        if let Some(p) = self.payload {
+            bits |= (p as u128) << 40;
+        }
+        // Odd parity across header+content so the wire word has odd weight.
+        let ones = (bits | header as u128).count_ones();
+        if ones % 2 == 0 {
+            header |= 1;
+        }
+        bits | header as u128
+    }
+
+    /// Decodes a wire word produced by [`Packet::encode`].
+    ///
+    /// Returns `None` on parity failure or an invalid type/emergency code
+    /// (a corrupted packet, which real routers drop with an error
+    /// interrupt).
+    pub fn decode(bits: u128) -> Option<Packet> {
+        if bits.count_ones() % 2 == 0 {
+            return None; // parity error
+        }
+        let header = (bits & 0xFF) as u8;
+        let kind = PacketKind::from_code(header >> 6)?;
+        let emergency = EmergencyState::from_code((header >> 4) & 0b11)?;
+        let timestamp = (header >> 2) & 0b11;
+        let key = ((bits >> 8) & 0xFFFF_FFFF) as u32;
+        let payload = if header & 0b10 != 0 {
+            Some(((bits >> 40) & 0xFFFF_FFFF) as u32)
+        } else {
+            if bits >> 40 != 0 {
+                return None; // stray bits beyond a 40-bit packet
+            }
+            None
+        };
+        Some(Packet {
+            kind,
+            emergency,
+            timestamp,
+            key,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let mc = Packet::multicast(42);
+        assert_eq!(mc.kind, PacketKind::Multicast);
+        assert_eq!(mc.key, 42);
+        assert_eq!(mc.wire_bits(), 40);
+
+        let p = Packet::p2p(3, 9, 0xDEAD);
+        assert_eq!(p.p2p_src(), 3);
+        assert_eq!(p.p2p_dst(), 9);
+        assert_eq!(p.wire_bits(), 72);
+
+        let n = Packet::nn(7, 8);
+        assert_eq!(n.kind, PacketKind::NearestNeighbour);
+        assert_eq!(n.payload, Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a p2p packet")]
+    fn p2p_accessors_guarded() {
+        Packet::multicast(1).p2p_src();
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [
+            Packet::multicast(0),
+            Packet::multicast(u32::MAX),
+            Packet::p2p(0xFFFF, 0, 123),
+            Packet::nn(1, u32::MAX),
+            Packet {
+                kind: PacketKind::Multicast,
+                emergency: EmergencyState::FirstLeg,
+                timestamp: 3,
+                key: 0xCAFE_BABE,
+                payload: None,
+            },
+            Packet {
+                kind: PacketKind::Multicast,
+                emergency: EmergencyState::SecondLeg,
+                timestamp: 1,
+                key: 7,
+                payload: Some(9),
+            },
+        ];
+        for p in cases {
+            assert_eq!(Packet::decode(p.encode()), Some(p), "case {p:?}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_detected() {
+        let p = Packet::multicast(0x1234_5678);
+        let bits = p.encode();
+        for i in 0..40 {
+            let corrupt = bits ^ (1u128 << i);
+            // Parity catches every single-bit flip.
+            assert_eq!(Packet::decode(corrupt), None, "flip at bit {i} undetected");
+        }
+    }
+
+    #[test]
+    fn stray_high_bits_rejected() {
+        let p = Packet::multicast(5);
+        let bits = p.encode() | (1u128 << 50) | (1u128 << 51);
+        assert_eq!(Packet::decode(bits), None);
+    }
+
+    #[test]
+    fn wire_weight_is_odd() {
+        for key in [0u32, 1, 0xFFFF_FFFF, 0xA5A5_A5A5] {
+            assert_eq!(Packet::multicast(key).encode().count_ones() % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! One node's packet router: tables, programmable timeouts and statistics.
+//!
+//! The dynamic behaviour (queues, blocking, emergency redirection, drops)
+//! is driven by [`crate::fabric::Fabric`]; this module holds the per-node
+//! state and the routing *decisions*, which makes them unit-testable in
+//! isolation.
+
+use crate::direction::Direction;
+use crate::packet::{EmergencyState, Packet, PacketKind};
+use crate::table::{McTable, RouteSet};
+
+/// Per-router configuration (§5.3: the waits are programmable registers).
+#[derive(Copy, Clone, Debug)]
+pub struct RouterConfig {
+    /// Multicast CAM capacity (1024 on the SpiNNaker chip).
+    pub table_capacity: usize,
+    /// Time a packet may wait on a blocked output before emergency
+    /// routing is invoked, ns.
+    pub wait1_ns: u64,
+    /// Additional time before the packet is dropped, ns.
+    pub wait2_ns: u64,
+    /// Whether the emergency-routing mechanism is enabled (ablation
+    /// switch for experiment E3).
+    pub emergency_enabled: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            table_capacity: 1024,
+            wait1_ns: 400,
+            wait2_ns: 800,
+            emergency_enabled: true,
+        }
+    }
+}
+
+/// Counters a router exposes to its monitor processor.
+#[derive(Clone, Debug, Default)]
+pub struct RouterStats {
+    /// Multicast packets routed via a table hit.
+    pub mc_table_hits: u64,
+    /// Multicast packets default-routed (no matching entry: straight
+    /// through).
+    pub mc_default_routed: u64,
+    /// Multicast packets delivered to local cores.
+    pub mc_local_deliveries: u64,
+    /// Locally injected multicast packets with no table entry (mapping
+    /// bug): dropped.
+    pub mc_unroutable_local: u64,
+    /// Point-to-point packets forwarded.
+    pub p2p_forwarded: u64,
+    /// Point-to-point packets delivered here.
+    pub p2p_delivered: u64,
+    /// Nearest-neighbour packets delivered here.
+    pub nn_delivered: u64,
+    /// Emergency first-leg redirections performed (§5.3).
+    pub emergency_reroutes: u64,
+    /// Emergency second-leg forwards performed.
+    pub emergency_second_legs: u64,
+    /// Packets dropped after wait1 + wait2 (monitor is notified).
+    pub dropped: u64,
+    /// Packets dropped because they exceeded the hop limit.
+    pub aged_out: u64,
+}
+
+/// The routing decision for one packet at one router.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Send out these links and deliver to these local cores.
+    Multicast(RouteSet),
+    /// Forward one hop towards a p2p destination.
+    Forward(Direction),
+    /// Deliver to this node's monitor/system software.
+    DeliverLocal,
+    /// Drop: locally injected multicast with no table entry.
+    UnroutableLocal,
+}
+
+/// Where a packet entered the router.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Port {
+    /// Injected by a local processor.
+    Local,
+    /// Arrived over an inter-chip link (the link's direction *at this
+    /// node*, i.e. the port id).
+    Link(Direction),
+}
+
+/// One node's router: the multicast CAM plus statistics.
+#[derive(Debug)]
+pub struct Router {
+    /// The multicast routing table.
+    pub table: McTable,
+    /// Router statistics (read by the monitor processor).
+    pub stats: RouterStats,
+    cfg: RouterConfig,
+}
+
+impl Router {
+    /// Creates a router with an empty table.
+    pub fn new(cfg: RouterConfig) -> Self {
+        Router {
+            table: McTable::new(cfg.table_capacity),
+            stats: RouterStats::default(),
+            cfg,
+        }
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Decides where a multicast packet goes. `input` is the arrival
+    /// port; default routing continues straight through (out the port
+    /// opposite the arrival port).
+    pub fn decide_mc(&mut self, key: u32, input: Port) -> RouteDecision {
+        match self.table.lookup(key) {
+            Some(route) => {
+                self.stats.mc_table_hits += 1;
+                RouteDecision::Multicast(route)
+            }
+            None => match input {
+                Port::Link(d) => {
+                    self.stats.mc_default_routed += 1;
+                    RouteDecision::Multicast(RouteSet::EMPTY.with_link(d.opposite()))
+                }
+                Port::Local => {
+                    self.stats.mc_unroutable_local += 1;
+                    RouteDecision::UnroutableLocal
+                }
+            },
+        }
+    }
+
+    /// The emergency second-leg output for a first-leg packet that
+    /// arrived on `arrival_port`: one step counter-clockwise closes the
+    /// mesh triangle (Fig. 8).
+    pub fn second_leg_output(arrival_port: Direction) -> Direction {
+        arrival_port.rotate_ccw()
+    }
+
+    /// The *effective* arrival port of a packet that completed an
+    /// emergency detour: as if it had arrived over the original (blocked)
+    /// link, so that default routing continues on the original heading.
+    pub fn effective_port_after_detour(arrival_port: Direction) -> Direction {
+        arrival_port.rotate_ccw()
+    }
+
+    /// Decides how to handle any packet kind; multicast consults the CAM.
+    pub fn decide(
+        &mut self,
+        packet: &Packet,
+        input: Port,
+        here_is_p2p_dest: bool,
+    ) -> RouteDecision {
+        match packet.kind {
+            PacketKind::Multicast => match packet.emergency {
+                EmergencyState::Normal => self.decide_mc(packet.key, input),
+                // First-leg packets are handled by the fabric (they do
+                // not consult the table); second-leg packets arrive here
+                // already reverted to Normal.
+                _ => self.decide_mc(packet.key, input),
+            },
+            PacketKind::PointToPoint => {
+                if here_is_p2p_dest {
+                    self.stats.p2p_delivered += 1;
+                    RouteDecision::DeliverLocal
+                } else {
+                    self.stats.p2p_forwarded += 1;
+                    // Direction chosen by the fabric (needs mesh
+                    // knowledge); placeholder East is replaced there.
+                    RouteDecision::Forward(Direction::East)
+                }
+            }
+            PacketKind::NearestNeighbour => {
+                self.stats.nn_delivered += 1;
+                RouteDecision::DeliverLocal
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::McTableEntry;
+
+    #[test]
+    fn table_hit_routes_by_entry() {
+        let mut r = Router::new(RouterConfig::default());
+        r.table
+            .insert(McTableEntry {
+                key: 0x10,
+                mask: 0xF0,
+                route: RouteSet::EMPTY.with_link(Direction::North).with_core(3),
+            })
+            .unwrap();
+        match r.decide_mc(0x17, Port::Local) {
+            RouteDecision::Multicast(route) => {
+                assert!(route.has_link(Direction::North));
+                assert!(route.has_core(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.stats.mc_table_hits, 1);
+    }
+
+    #[test]
+    fn default_route_continues_straight() {
+        let mut r = Router::new(RouterConfig::default());
+        // Arrived on the West port => travelling east => leaves East.
+        match r.decide_mc(99, Port::Link(Direction::West)) {
+            RouteDecision::Multicast(route) => {
+                assert!(route.has_link(Direction::East));
+                assert_eq!(route.links().count(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.stats.mc_default_routed, 1);
+    }
+
+    #[test]
+    fn local_injection_without_entry_is_unroutable() {
+        let mut r = Router::new(RouterConfig::default());
+        assert_eq!(r.decide_mc(1, Port::Local), RouteDecision::UnroutableLocal);
+        assert_eq!(r.stats.mc_unroutable_local, 1);
+    }
+
+    #[test]
+    fn second_leg_geometry() {
+        // Blocked link East: first leg NE; arrival port at the
+        // intermediate node is opposite(NE) = SW; second leg must be
+        // South (SW rotated ccw).
+        let arrival = Direction::NorthEast.opposite();
+        assert_eq!(Router::second_leg_output(arrival), Direction::South);
+    }
+
+    #[test]
+    fn p2p_decisions() {
+        let mut r = Router::new(RouterConfig::default());
+        let p = Packet::p2p(1, 2, 0);
+        assert_eq!(r.decide(&p, Port::Local, true), RouteDecision::DeliverLocal);
+        assert!(matches!(
+            r.decide(&p, Port::Local, false),
+            RouteDecision::Forward(_)
+        ));
+        assert_eq!(r.stats.p2p_delivered, 1);
+        assert_eq!(r.stats.p2p_forwarded, 1);
+    }
+
+    #[test]
+    fn nn_always_delivers() {
+        let mut r = Router::new(RouterConfig::default());
+        let p = Packet::nn(0, 0);
+        assert_eq!(
+            r.decide(&p, Port::Link(Direction::East), false),
+            RouteDecision::DeliverLocal
+        );
+        assert_eq!(r.stats.nn_delivered, 1);
+    }
+}

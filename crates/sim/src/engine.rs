@@ -1,0 +1,363 @@
+//! The simulation engine: drives a [`Model`] from the event queue.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation model: owns all mutable state and reacts to events.
+///
+/// The engine pops the earliest event, advances the clock to its timestamp
+/// and calls [`Model::handle`]. Handlers schedule follow-on events through
+/// the [`Context`]; they never see the queue directly, which keeps the
+/// borrow structure simple (the model may freely mutate itself while
+/// scheduling).
+pub trait Model {
+    /// The event payload type this model reacts to.
+    type Event;
+
+    /// Reacts to one event. `ctx.now()` is the event's timestamp.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+/// Handed to every event handler: the current time plus a staging area for
+/// newly scheduled events.
+#[derive(Debug)]
+pub struct Context<E> {
+    now: SimTime,
+    staged: Vec<(SimTime, E)>,
+    stop: bool,
+}
+
+impl<E> Context<E> {
+    /// The timestamp of the event being handled.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` ticks from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.staged.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current event's time):
+    /// causality violations are always model bugs.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.staged.push((at, event));
+    }
+
+    /// Requests that the engine stop after this handler returns.
+    #[inline]
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Why a call to [`Engine::run_until`] / [`Engine::run_to_completion`]
+/// returned.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained: nothing remains to simulate.
+    Exhausted,
+    /// A handler called [`Context::stop`].
+    Stopped,
+    /// The deadline passed; events at later times remain queued.
+    DeadlineReached,
+    /// The event budget was consumed (runaway-model backstop).
+    BudgetExceeded,
+}
+
+/// The discrete-event simulation engine.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    queue: EventQueue<M::Event>,
+    model: M,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero around `model`.
+    pub fn new(model: M) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            model,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an event at an absolute time (before or during a run).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules an event `delay` ticks after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: M::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// The current simulation time (timestamp of the last handled event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events handled so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Timestamp of the next pending event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Shared access to the model.
+    #[inline]
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model (e.g. to inject faults mid-run).
+    #[inline]
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Handles exactly one event, returning its timestamp, or `None` if the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (time, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went back in time");
+        self.now = time;
+        self.processed += 1;
+        let mut ctx = Context {
+            now: time,
+            staged: Vec::new(),
+            stop: false,
+        };
+        self.model.handle(&mut ctx, event);
+        for (at, ev) in ctx.staged {
+            self.queue.push(at, ev);
+        }
+        Some(time)
+    }
+
+    /// Runs until the queue drains, a handler stops the run, or the next
+    /// event would be after `deadline` (events at exactly `deadline` are
+    /// processed).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t > deadline => {
+                    // Advance the clock to the deadline so successive calls
+                    // observe monotonic time.
+                    self.now = deadline;
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(_) => {
+                    let (time, event) = self.queue.pop().expect("peeked");
+                    self.now = time;
+                    self.processed += 1;
+                    let mut ctx = Context {
+                        now: time,
+                        staged: Vec::new(),
+                        stop: false,
+                    };
+                    self.model.handle(&mut ctx, event);
+                    let stop = ctx.stop;
+                    for (at, ev) in ctx.staged {
+                        self.queue.push(at, ev);
+                    }
+                    if stop {
+                        return RunOutcome::Stopped;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains or a handler stops the run, with an
+    /// optional event budget as a backstop against livelocked models.
+    pub fn run_to_completion(&mut self, budget: Option<u64>) -> RunOutcome {
+        let mut remaining = budget;
+        loop {
+            if let Some(r) = remaining.as_mut() {
+                if *r == 0 {
+                    return RunOutcome::BudgetExceeded;
+                }
+                *r -= 1;
+            }
+            let Some((time, event)) = self.queue.pop() else {
+                return RunOutcome::Exhausted;
+            };
+            self.now = time;
+            self.processed += 1;
+            let mut ctx = Context {
+                now: time,
+                staged: Vec::new(),
+                stop: false,
+            };
+            self.model.handle(&mut ctx, event);
+            let stop = ctx.stop;
+            for (at, ev) in ctx.staged {
+                self.queue.push(at, ev);
+            }
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts down; schedules itself until it hits zero.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<u64>,
+    }
+
+    impl Model for Countdown {
+        type Event = ();
+        fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+            self.fired_at.push(ctx.now().ticks());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_in(10, ());
+            }
+        }
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let mut e = Engine::new(Countdown {
+            remaining: 3,
+            fired_at: vec![],
+        });
+        e.schedule_at(SimTime::ZERO, ());
+        assert_eq!(e.run_to_completion(None), RunOutcome::Exhausted);
+        assert_eq!(e.model().fired_at, vec![0, 10, 20, 30]);
+        assert_eq!(e.processed(), 4);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new(Countdown {
+            remaining: 100,
+            fired_at: vec![],
+        });
+        e.schedule_at(SimTime::ZERO, ());
+        assert_eq!(e.run_until(SimTime::new(25)), RunOutcome::DeadlineReached);
+        assert_eq!(e.model().fired_at, vec![0, 10, 20]);
+        assert_eq!(e.now(), SimTime::new(25));
+        // Resume: remaining events still fire.
+        assert_eq!(e.run_until(SimTime::new(45)), RunOutcome::DeadlineReached);
+        assert_eq!(e.model().fired_at, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn budget_backstop() {
+        let mut e = Engine::new(Countdown {
+            remaining: u32::MAX,
+            fired_at: vec![],
+        });
+        e.schedule_at(SimTime::ZERO, ());
+        assert_eq!(e.run_to_completion(Some(5)), RunOutcome::BudgetExceeded);
+        assert_eq!(e.processed(), 5);
+    }
+
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u32;
+        fn handle(&mut self, ctx: &mut Context<u32>, ev: u32) {
+            if ev == 2 {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn stop_from_handler() {
+        let mut e = Engine::new(Stopper);
+        for i in 0..10 {
+            e.schedule_at(SimTime::new(i as u64), i);
+        }
+        assert_eq!(e.run_to_completion(None), RunOutcome::Stopped);
+        assert_eq!(e.now(), SimTime::new(2));
+        assert_eq!(e.pending(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut e = Engine::new(Bad);
+        e.schedule_at(SimTime::new(5), ());
+        e.run_to_completion(None);
+    }
+
+    #[test]
+    fn step_single_event() {
+        let mut e = Engine::new(Countdown {
+            remaining: 1,
+            fired_at: vec![],
+        });
+        e.schedule_at(SimTime::new(3), ());
+        assert_eq!(e.step(), Some(SimTime::new(3)));
+        assert_eq!(e.step(), Some(SimTime::new(13)));
+        assert_eq!(e.step(), None);
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut e = Engine::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        e.schedule_at(SimTime::ZERO, ());
+        e.run_to_completion(None);
+        let m = e.into_model();
+        assert_eq!(m.fired_at.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! The time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of `(time, event)` pairs ordered by time, with FIFO
+/// tie-breaking for events scheduled at the same instant.
+///
+/// The FIFO tie-break is what makes simulations deterministic: two events
+/// scheduled for the same tick are always delivered in the order they were
+/// scheduled, regardless of payload contents.
+///
+/// # Example
+///
+/// ```
+/// use spinn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::new(10), "b");
+/// q.push(SimTime::new(5), "a");
+/// q.push(SimTime::new(10), "c");
+/// assert_eq!(q.pop(), Some((SimTime::new(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::new(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::new(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(30), 3);
+        q.push(SimTime::new(10), 1);
+        q.push(SimTime::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::new(5), ());
+        q.push(SimTime::new(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::new(3)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(10), "late");
+        q.push(SimTime::new(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(SimTime::new(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+}

@@ -1,0 +1,331 @@
+//! Small statistics helpers shared by the experiment harnesses.
+
+use std::fmt;
+
+/// Streaming mean/variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use spinn_sim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`; 0 with fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A fixed-width linear histogram over `u64` samples with overflow bucket,
+/// supporting approximate percentiles. Used for latency distributions.
+///
+/// # Example
+///
+/// ```
+/// use spinn_sim::Histogram;
+///
+/// let mut h = Histogram::new(10, 100); // 10 buckets of width 100
+/// for v in 0..1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((400..=600).contains(&p50), "{p50}");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    width: u64,
+    overflow: u64,
+    count: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` linear buckets of width `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `width == 0`.
+    pub fn new(buckets: usize, width: u64) -> Self {
+        assert!(buckets > 0 && width > 0, "histogram needs buckets and width");
+        Histogram {
+            buckets: vec![0; buckets],
+            width,
+            overflow: 0,
+            count: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (value / self.width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples above the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate percentile `p` (0–100): upper edge of the bucket where
+    /// the cumulative count crosses `p`%. Returns `max()` if the crossing
+    /// lies in the overflow bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 100.0) / 100.0 * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target.max(1) {
+                return (i as u64 + 1) * self.width;
+            }
+        }
+        self.max
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` for all non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (i as u64 * self.width, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
+        for x in 1..=5 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.population_variance() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.push(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_and_overflow() {
+        let mut h = Histogram::new(10, 10); // covers [0, 100)
+        for v in 0..100 {
+            h.record(v);
+        }
+        h.record(500);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), 500);
+        assert!(h.percentile(50.0) <= 60);
+        assert_eq!(h.percentile(100.0), 500);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(4, 25);
+        h.record(0);
+        h.record(100);
+        assert!((h.mean() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty() {
+        let mut h = Histogram::new(5, 10);
+        h.record(12);
+        h.record(13);
+        h.record(44);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(10, 2), (40, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram needs")]
+    fn histogram_rejects_zero_width() {
+        let _ = Histogram::new(10, 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer ticks since the start of
+/// the simulation.
+///
+/// The kernel does not fix the physical meaning of a tick; each simulation
+/// domain chooses its own resolution. Within this repository the
+/// transition-level link simulations use **1 tick = 1 ps** and the
+/// system-level machine simulations use **1 tick = 1 ns**.
+///
+/// # Example
+///
+/// ```
+/// use spinn_sim::SimTime;
+///
+/// let t = SimTime::new(100) + 25;
+/// assert_eq!(t.ticks(), 125);
+/// assert!(t > SimTime::new(100));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time (used as an "infinite" deadline).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    #[inline]
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        SimTime(self.0.saturating_add(delta))
+    }
+
+    /// The number of ticks from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0
+            .checked_sub(earlier.0)
+            .expect("SimTime::since: `earlier` is later than `self`")
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::ZERO.ticks(), 0);
+        assert_eq!(SimTime::new(42).ticks(), 42);
+        assert_eq!(SimTime::from(7u64), SimTime::new(7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::new(1) < SimTime::new(2));
+        assert!(SimTime::MAX > SimTime::new(u64::MAX - 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(10);
+        assert_eq!((t + 5).ticks(), 15);
+        assert_eq!(SimTime::new(15) - t, 5);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.ticks(), 13);
+        assert_eq!(SimTime::MAX.saturating_add(10), SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "later than")]
+    fn since_panics_when_reversed() {
+        let _ = SimTime::new(1).since(SimTime::new(2));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", SimTime::new(9)), "9");
+        assert_eq!(format!("{:?}", SimTime::new(9)), "t=9");
+    }
+}

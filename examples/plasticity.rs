@@ -1,0 +1,76 @@
+//! Learning on the machine: pair-based STDP with SDRAM write-back.
+//!
+//! §5.3 of the paper: on the DMA-complete event the core processes the
+//! connectivity data and "if the connectivity data is modified, a DMA
+//! must be scheduled to write the changes back into SDRAM" — the
+//! plasticity pathway. The conclusion calls understanding how the brain
+//! "develops, learns and adapts" the Grand Challenge the machine serves.
+//!
+//! Here a driven population reliably fires just before its target
+//! (causal, pre→post), so STDP potentiates the pathway; the weights climb
+//! toward the bound and every modified row is written back to SDRAM.
+//!
+//! Run with: `cargo run --release --example plasticity`
+
+use spinnaker::neuron::stdp::StdpParams;
+use spinnaker::prelude::*;
+
+fn main() {
+    let mut net = NetworkGraph::new();
+    let pre = net.population(
+        "pre",
+        60,
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+        11.0,
+    );
+    let post = net.population(
+        "post",
+        60,
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+        0.0,
+    );
+    // Strong feed-forward drive: pre spikes cause post spikes 1-2 ms
+    // later, the classic potentiation protocol.
+    net.project(pre, post, Connector::FixedFanOut(20), Synapses::constant(350, 1), 5);
+
+    println!("{:>10} {:>12} {:>12} {:>14} {:>12}", "run (ms)", "pre spikes", "post spikes", "writebacks", "post rate Hz");
+    for ms in [100u32, 300, 600] {
+        let cfg = SimConfig::new(2, 2).with_stdp(StdpParams {
+            a_plus: 6.0,
+            a_minus: 2.0, // potentiation-dominated protocol
+            w_max_raw: 8 * 256,
+            ..Default::default()
+        });
+        let done = Simulation::build(&net, cfg).unwrap().run(ms);
+        println!(
+            "{:>10} {:>12} {:>12} {:>14} {:>12.1}",
+            ms,
+            done.spike_count(pre),
+            done.spike_count(post),
+            done.machine.weight_writebacks(),
+            done.mean_rate_hz(post, 60, ms),
+        );
+    }
+
+    // Compare static vs plastic outcomes directly.
+    let run = |stdp: bool| {
+        let mut cfg = SimConfig::new(2, 2);
+        if stdp {
+            cfg = cfg.with_stdp(StdpParams {
+                a_plus: 6.0,
+                a_minus: 2.0,
+                w_max_raw: 8 * 256,
+                ..Default::default()
+            });
+        }
+        let done = Simulation::build(&net, cfg).unwrap().run(600);
+        (done.spike_count(post), done.machine.weight_writebacks())
+    };
+    let (static_post, wb0) = run(false);
+    let (plastic_post, wb1) = run(true);
+    println!("\nafter 600 ms: static synapses -> {static_post} post spikes ({wb0} writebacks)");
+    println!("              plastic synapses -> {plastic_post} post spikes ({wb1} writebacks)");
+    println!("\n(causal firing potentiates the pathway; every modified row costs a");
+    println!(" write-back DMA, metered in the energy model — §5.3's plasticity path.)");
+    assert!(plastic_post >= static_post);
+}

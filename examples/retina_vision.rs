@@ -1,0 +1,64 @@
+//! The §5.4 retina: centre-surround ganglion cells, rank-order coding
+//! and fault tolerance by receptive-field overlap.
+//!
+//! Encodes a stimulus with a two-scale DoG ganglion layer, reconstructs
+//! it from the first 24 spikes (a rank-order code), then kills growing
+//! fractions of the retina and watches the reconstruction degrade
+//! *gracefully* — "if a neuron fails ... a near-neighbour with a similar
+//! receptive field will take over and very little information will be
+//! lost".
+//!
+//! Run with: `cargo run --release --example retina_vision`
+
+use spinnaker::neuron::retina::{Image, RetinaLayer};
+use spinnaker::sim::Xoshiro256;
+
+fn render(img: &Image) -> String {
+    let ramp = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let max = img.pixels().iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let mut out = String::new();
+    for y in (0..img.height()).step_by(2) {
+        for x in 0..img.width() {
+            let v = (img.get(x as i64, y as i64) / max).clamp(0.0, 1.0);
+            out.push(ramp[(v * 9.0).round() as usize]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let stimulus = Image::gaussian_blob(32, 32, 12.0, 20.0, 4.0);
+    let healthy = RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
+    println!(
+        "retina: {} ganglion cells at 2 overlapping scales",
+        healthy.len()
+    );
+
+    let code = healthy.encode(&stimulus, 24);
+    println!(
+        "rank-order code: first {} cells to fire = {:?}...",
+        code.len(),
+        &code.order[..code.len().min(8)]
+    );
+    let reference = healthy.reconstruct(&code, 0.9);
+    println!("stimulus:\n{}", render(&stimulus));
+    println!("reconstruction from 24 spikes:\n{}", render(&reference));
+
+    // Progressive cell death.
+    println!("{:>12} {:>8} {:>14}", "killed", "alive", "reconstruction");
+    let mut rng = Xoshiro256::seed_from_u64(2011);
+    for frac in [0.0, 0.05, 0.10, 0.20, 0.30, 0.50, 0.70] {
+        let mut retina = RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
+        retina.kill_fraction(frac, &mut rng);
+        let recon = retina.reconstruct(&retina.encode(&stimulus, 24), 0.9);
+        let quality = reference.correlation(&recon);
+        println!(
+            "{:>11.0}% {:>8} {:>13.3}",
+            frac * 100.0,
+            retina.alive_count(),
+            quality
+        );
+    }
+    println!("\n(10% loss is nearly invisible; degradation is gradual, not a cliff.)");
+}

@@ -1,0 +1,80 @@
+//! A synfire chain across the machine: bounded asynchrony in action
+//! (§3.1) and soft axonal delays (§3.2).
+//!
+//! Ten populations in a feed-forward chain, each on a different chip. A
+//! kick to the first population launches a wave that travels the chain;
+//! the inter-population latency is set *entirely* by the programmed
+//! synaptic delay, not by the (nanosecond-scale) electronic transit —
+//! "time models itself".
+//!
+//! Run with: `cargo run --release --example synfire_chain`
+
+use spinnaker::prelude::*;
+
+fn main() {
+    const STAGES: usize = 10;
+    const STAGE_SIZE: u32 = 60;
+    const STAGE_DELAY_MS: u8 = 5;
+
+    let mut net = NetworkGraph::new();
+    let stages: Vec<PopulationId> = (0..STAGES)
+        .map(|i| {
+            net.population(
+                &format!("stage{i}"),
+                STAGE_SIZE,
+                NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+                // Stage 0 is driven; the rest are quiet until the wave
+                // arrives.
+                if i == 0 { 12.0 } else { 0.0 },
+            )
+        })
+        .collect();
+    for w in stages.windows(2) {
+        net.project(
+            w[0],
+            w[1],
+            Connector::FixedProbability(0.5),
+            Synapses::constant(400, STAGE_DELAY_MS),
+            9,
+        );
+    }
+
+    let sim = Simulation::build(&net, SimConfig::new(4, 4).with_neurons_per_core(64))
+        .expect("fits");
+    println!(
+        "chain of {STAGES} stages placed on {} cores; {} routing entries\n",
+        sim.placement().slices().len(),
+        sim.route_stats().total_entries
+    );
+    let done = sim.run(120);
+
+    // First-spike time per stage shows the wave.
+    println!("{:>8} {:>12} {:>10}", "stage", "first spike", "spikes");
+    let spikes = done.spikes();
+    let mut prev: Option<u32> = None;
+    for (i, &pop) in stages.iter().enumerate() {
+        let first = spikes
+            .iter()
+            .filter(|s| s.pop == pop)
+            .map(|s| s.time_ms)
+            .min();
+        let count = spikes.iter().filter(|s| s.pop == pop).count();
+        match first {
+            Some(t) => {
+                let step = prev.map(|p| format!("(+{} ms)", t - p)).unwrap_or_default();
+                println!("{i:>8} {t:>9} ms {count:>10} {step}");
+                prev = Some(t);
+            }
+            None => println!("{i:>8} {:>12} {count:>10}", "-"),
+        }
+    }
+    println!(
+        "\nwave step ≈ {} ms = the programmed synaptic delay: the biological",
+        STAGE_DELAY_MS
+    );
+    println!("delay is re-inserted at the target although the fabric delivers in ~us.");
+    println!(
+        "fabric p99 latency: {} ns (well within 1 ms)",
+        done.machine.spike_latency().percentile(99.0)
+    );
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration tests: network description → placement →
+//! routing → loading → real-time simulation → readback.
+
+use spinnaker::prelude::*;
+
+fn rs() -> NeuronKind {
+    NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+}
+
+fn fs() -> NeuronKind {
+    NeuronKind::Izhikevich(IzhikevichParams::fast_spiking())
+}
+
+/// A small balanced E/I network used across tests.
+fn balanced_net() -> (NetworkGraph, PopulationId, PopulationId) {
+    let mut net = NetworkGraph::new();
+    let exc = net.population("exc", 300, rs(), 9.0);
+    let inh = net.population("inh", 75, fs(), 0.0);
+    net.project(
+        exc,
+        inh,
+        Connector::FixedProbability(0.1),
+        Synapses::uniform((300, 600), (1, 3)),
+        1,
+    );
+    net.project(inh, exc, Connector::FixedProbability(0.1), Synapses::constant(-350, 1), 2);
+    (net, exc, inh)
+}
+
+#[test]
+fn balanced_network_runs_in_real_time() {
+    let (net, exc, inh) = balanced_net();
+    let done = Simulation::build(&net, SimConfig::new(6, 6)).unwrap().run(400);
+    let exc_rate = done.mean_rate_hz(exc, 300, 400);
+    let inh_rate = done.mean_rate_hz(inh, 75, 400);
+    assert!(exc_rate > 2.0, "excitatory rate {exc_rate} Hz too low");
+    assert!(inh_rate > 1.0, "inhibitory rate {inh_rate} Hz too low");
+    assert_eq!(done.machine.realtime_violations(), 0);
+    assert_eq!(done.machine.row_misses(), 0);
+    assert_eq!(done.machine.router_stats().dropped, 0);
+}
+
+#[test]
+fn inhibition_actually_inhibits() {
+    // Ablate the inhibitory feedback and check the excitatory rate rises.
+    let (net, exc, _) = balanced_net();
+    let with_inh = Simulation::build(&net, SimConfig::new(6, 6)).unwrap().run(300);
+
+    let mut net_no_inh = NetworkGraph::new();
+    let exc2 = net_no_inh.population("exc", 300, rs(), 9.0);
+    let inh2 = net_no_inh.population("inh", 75, fs(), 0.0);
+    net_no_inh.project(
+        exc2,
+        inh2,
+        Connector::FixedProbability(0.1),
+        Synapses::uniform((300, 600), (1, 3)),
+        1,
+    );
+    let without = Simulation::build(&net_no_inh, SimConfig::new(6, 6)).unwrap().run(300);
+    assert!(
+        without.spike_count(exc2) > with_inh.spike_count(exc),
+        "inhibition must reduce excitatory firing: {} vs {}",
+        without.spike_count(exc2),
+        with_inh.spike_count(exc)
+    );
+}
+
+#[test]
+fn spike_latency_well_within_one_ms_even_across_the_machine() {
+    // Force source and target onto distant chips with random placement
+    // and verify §5.3's delivery claim.
+    let mut net = NetworkGraph::new();
+    let a = net.population("a", 200, rs(), 10.0);
+    let b = net.population("b", 200, rs(), 0.0);
+    net.project(a, b, Connector::FixedFanOut(30), Synapses::constant(400, 1), 5);
+    let cfg = SimConfig::new(8, 8).with_placer(Placer::Random { seed: 3 });
+    let done = Simulation::build(&net, cfg).unwrap().run(200);
+    assert!(done.machine.spike_latency().count() > 0);
+    let p99 = done.machine.spike_latency().percentile(99.0);
+    assert!(
+        p99 < 100_000,
+        "p99 fabric latency {p99} ns is not 'significantly under 1 ms'"
+    );
+}
+
+#[test]
+fn tiny_router_cam_overflows_gracefully() {
+    let (net, _, _) = balanced_net();
+    let mut cfg = SimConfig::new(6, 6);
+    cfg.machine.fabric.router.table_capacity = 1;
+    let err = Simulation::build(&net, cfg).unwrap_err();
+    assert!(matches!(err, SpinnError::TableOverflow(_)), "{err}");
+}
+
+#[test]
+fn dtcm_budget_enforced_through_the_facade() {
+    let mut net = NetworkGraph::new();
+    net.population("huge", 2000, rs(), 0.0);
+    let cfg = SimConfig::new(4, 4).with_neurons_per_core(2000);
+    let err = Simulation::build(&net, cfg).unwrap_err();
+    assert!(matches!(err, SpinnError::Dtcm(_)), "{err}");
+}
+
+#[test]
+fn lif_and_izhikevich_coexist() {
+    let mut net = NetworkGraph::new();
+    let a = net.population("izh", 50, rs(), 10.0);
+    let b = net.population(
+        "lif",
+        50,
+        NeuronKind::Lif(LifParams::default()),
+        0.0,
+    );
+    net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(300, 2), 1);
+    let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(300);
+    assert!(done.spike_count(a) > 0);
+    assert!(done.spike_count(b) > 0, "LIF targets must fire too");
+}
+
+#[test]
+fn synaptic_delays_respected_through_full_stack() {
+    // Two identical nets differing only in projection delay: the target's
+    // first spike shifts by the delay difference.
+    let first_spike = |delay: u8| {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 80, rs(), 11.0);
+        let b = net.population("b", 80, rs(), 0.0);
+        net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(150, delay), 1);
+        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(100);
+        let spikes = done.spikes();
+        spikes
+            .iter()
+            .filter(|s| s.pop == b)
+            .map(|s| s.time_ms)
+            .min()
+            .expect("target fired")
+    };
+    let d1 = first_spike(1);
+    let d12 = first_spike(12);
+    assert!(
+        d12 >= d1 + 8,
+        "12 ms delays must shift the response: {d1} -> {d12}"
+    );
+}
+
+#[test]
+fn energy_scales_with_activity() {
+    let run_with_bias = |bias: f32| {
+        let mut net = NetworkGraph::new();
+        net.population("p", 300, rs(), bias);
+        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(200);
+        let j = done
+            .machine
+            .meter()
+            .total_joules(&done.machine.config().energy);
+        (done.machine.spikes().len(), j)
+    };
+    let (quiet_spikes, quiet_j) = run_with_bias(0.0);
+    let (busy_spikes, busy_j) = run_with_bias(14.0);
+    assert_eq!(quiet_spikes, 0);
+    assert!(busy_spikes > 1000);
+    assert!(
+        busy_j > quiet_j,
+        "activity must cost energy: {busy_j} vs {quiet_j}"
+    );
+}
+
+#[test]
+fn deterministic_across_builds() {
+    let (net, _, _) = balanced_net();
+    let run = || {
+        Simulation::build(&net, SimConfig::new(6, 6))
+            .unwrap()
+            .run(150)
+            .spikes()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,69 @@
+//! Flood-fill under link failure: the fault-tolerance half of §5.2's
+//! load-time/fault-tolerance trade-off. The flood reaches every chip via
+//! six redundant directions, so losing links must not lose blocks.
+
+use spinnaker::machine::flood::{FloodConfig, FloodSim};
+use spinnaker::noc::direction::Direction;
+use spinnaker::noc::mesh::NodeCoord;
+
+#[test]
+fn flood_completes_despite_failed_links() {
+    let cfg = FloodConfig::new(8, 8);
+    let mut engine = FloodSim::engine(cfg);
+    // Sever five of the six links into chip (4,4) plus a few others.
+    {
+        let fabric = &mut engine.model_mut().fabric;
+        for d in [
+            Direction::East,
+            Direction::NorthEast,
+            Direction::North,
+            Direction::West,
+            Direction::SouthWest,
+        ] {
+            fabric.fail_link(NodeCoord::new(4, 4), d);
+        }
+        fabric.fail_link(NodeCoord::new(2, 2), Direction::East);
+        fabric.fail_link(NodeCoord::new(6, 1), Direction::North);
+    }
+    engine.run_to_completion(Some(500_000_000));
+    let outcome = engine.model().outcome();
+    assert!(
+        outcome.load_complete_ns.is_some(),
+        "flood-fill must complete around failed links"
+    );
+    // The isolated chip hears fewer copies, but still at least one.
+    assert!(outcome.mean_copies > 4.0);
+}
+
+#[test]
+fn flood_with_redundancy_survives_failures_too() {
+    let mut cfg = FloodConfig::new(6, 6);
+    cfg.redundancy_k = 2;
+    let mut engine = FloodSim::engine(cfg);
+    {
+        let fabric = &mut engine.model_mut().fabric;
+        fabric.fail_link(NodeCoord::new(1, 1), Direction::East);
+        fabric.fail_link(NodeCoord::new(3, 3), Direction::SouthWest);
+    }
+    engine.run_to_completion(Some(500_000_000));
+    let outcome = engine.model().outcome();
+    assert!(outcome.load_complete_ns.is_some());
+}
+
+#[test]
+fn healthy_flood_time_barely_moves_under_damage() {
+    let healthy = FloodSim::run(FloodConfig::new(6, 6))
+        .load_complete_ns
+        .unwrap();
+    let mut engine = FloodSim::engine(FloodConfig::new(6, 6));
+    engine
+        .model_mut()
+        .fabric
+        .fail_link(NodeCoord::new(2, 0), Direction::East);
+    engine.run_to_completion(Some(500_000_000));
+    let damaged = engine.model().outcome().load_complete_ns.unwrap();
+    assert!(
+        (damaged as f64) < healthy as f64 * 1.25,
+        "one failed link should barely affect load time: {healthy} vs {damaged}"
+    );
+}

@@ -1,0 +1,90 @@
+//! Facade-level tests of the extension features: STDP through
+//! `SimConfig`, SDRAM capacity enforcement, and monitor packet re-issue.
+
+use spinnaker::neuron::stdp::StdpParams;
+use spinnaker::prelude::*;
+
+fn rs() -> NeuronKind {
+    NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+}
+
+#[test]
+fn stdp_through_the_facade_writes_back() {
+    let mut net = NetworkGraph::new();
+    let pre = net.population("pre", 60, rs(), 11.0);
+    let post = net.population("post", 60, rs(), 0.0);
+    net.project(pre, post, Connector::FixedFanOut(20), Synapses::constant(500, 1), 5);
+
+    let plastic = Simulation::build(
+        &net,
+        SimConfig::new(2, 2).with_stdp(StdpParams::default()),
+    )
+    .unwrap()
+    .run(300);
+    assert!(plastic.machine.weight_writebacks() > 0);
+
+    let static_run = Simulation::build(&net, SimConfig::new(2, 2)).unwrap().run(300);
+    assert_eq!(static_run.machine.weight_writebacks(), 0);
+}
+
+#[test]
+fn stdp_runs_are_deterministic() {
+    let mut net = NetworkGraph::new();
+    let pre = net.population("pre", 40, rs(), 11.0);
+    let post = net.population("post", 40, rs(), 0.0);
+    net.project(pre, post, Connector::FixedFanOut(10), Synapses::constant(450, 2), 5);
+    let run = || {
+        let done = Simulation::build(
+            &net,
+            SimConfig::new(2, 2).with_stdp(StdpParams::default()),
+        )
+        .unwrap()
+        .run(200);
+        (done.spikes(), done.machine.weight_writebacks())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sdram_overflow_detected() {
+    // A single chip receiving an enormous synaptic matrix: 2000 sources
+    // x all-to-all x 2000 targets on a 1x1 machine ≈ 16 M synapses
+    // ≈ 64 MB — fits; so shrink the configured SDRAM instead.
+    let mut net = NetworkGraph::new();
+    let a = net.population("a", 1000, rs(), 0.0);
+    let b = net.population("b", 1000, rs(), 0.0);
+    net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 1);
+    let mut cfg = SimConfig::new(2, 2);
+    cfg.machine.sdram_bytes = 1024 * 1024; // 1 MB: far too small
+    let err = Simulation::build(&net, cfg).unwrap_err();
+    assert!(matches!(err, SpinnError::Sdram(_)), "{err}");
+    assert!(err.to_string().contains("SDRAM"));
+
+    // With the real 128 MB it builds fine.
+    let ok = Simulation::build(&net, SimConfig::new(2, 2));
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn reissue_is_bounded_by_timestamp_field() {
+    // Permanently unroutable traffic: fail the only route with emergency
+    // off, tiny queues. Reissues must happen but terminate (≤ 3 per
+    // packet), so the run completes.
+    let mut net = NetworkGraph::new();
+    let a = net.population("a", 100, rs(), 12.0);
+    let b = net.population("b", 100, rs(), 0.0);
+    net.project(a, b, Connector::FixedFanOut(10), Synapses::constant(400, 1), 2);
+    let mut cfg = SimConfig::new(2, 2).with_placer(Placer::Random { seed: 4 });
+    cfg.machine.fabric.out_queue_cap = 1;
+    cfg.machine.fabric.router.wait1_ns = 50;
+    cfg.machine.fabric.router.wait2_ns = 50;
+    cfg.machine.fabric.router.emergency_enabled = false;
+    let done = Simulation::build(&net, cfg).unwrap().run(150);
+    let dropped = done.machine.router_stats().dropped;
+    let reissued = done.machine.reissued_packets();
+    if dropped > 0 {
+        assert!(reissued > 0, "drops must trigger monitor re-issue");
+        // Each original packet can be reissued at most 3 times.
+        assert!(reissued <= dropped * 3 + 3);
+    }
+}

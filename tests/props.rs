@@ -1,0 +1,205 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use spinnaker::link::code::{nrz_decode, nrz_encode, rtz_decode, rtz_encode, Symbol};
+use spinnaker::neuron::coding::{rank_order_encode, rank_order_similarity};
+use spinnaker::neuron::fixed::Fix1616;
+use spinnaker::neuron::ring::InputRing;
+use spinnaker::neuron::synapse::SynapticWord;
+use spinnaker::noc::mesh::{NodeCoord, Torus};
+use spinnaker::noc::packet::{EmergencyState, Packet, PacketKind};
+use spinnaker::noc::table::{McTable, McTableEntry, RouteSet};
+
+proptest! {
+    // ------------------------------------------------------------------
+    // Delay-insensitive codecs
+
+    #[test]
+    fn nrz_codec_roundtrip(idx in 0usize..17) {
+        let s = Symbol::from_index(idx);
+        prop_assert_eq!(nrz_decode(nrz_encode(s)), Some(s));
+    }
+
+    #[test]
+    fn rtz_codec_roundtrip(idx in 0usize..17) {
+        let s = Symbol::from_index(idx);
+        prop_assert_eq!(rtz_decode(rtz_encode(s)), Some(s));
+    }
+
+    #[test]
+    fn corrupting_one_wire_never_decodes_wrong(idx in 0usize..17, wire in 0u8..7) {
+        // Flipping one wire of a 2-of-7 codeword yields weight 1 or 3:
+        // never a silent wrong decode.
+        let s = Symbol::from_index(idx);
+        let corrupt = nrz_encode(s) ^ (1 << wire);
+        prop_assert_eq!(nrz_decode(corrupt), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Packets
+
+    #[test]
+    fn packet_roundtrip(key in any::<u32>(), payload in any::<Option<u32>>(),
+                        ts in 0u8..4, kind in 0u8..3, em in 0u8..3) {
+        let p = Packet {
+            kind: match kind { 0 => PacketKind::Multicast, 1 => PacketKind::PointToPoint, _ => PacketKind::NearestNeighbour },
+            emergency: match em { 0 => EmergencyState::Normal, 1 => EmergencyState::FirstLeg, _ => EmergencyState::SecondLeg },
+            timestamp: ts,
+            key,
+            payload,
+        };
+        prop_assert_eq!(Packet::decode(p.encode()), Some(p));
+    }
+
+    #[test]
+    fn packet_single_bit_flips_detected(key in any::<u32>(), bit in 0u32..40) {
+        let p = Packet::multicast(key);
+        prop_assert_eq!(Packet::decode(p.encode() ^ (1u128 << bit)), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Hex-torus metric
+
+    #[test]
+    fn hex_distance_symmetric(w in 2u32..12, h in 2u32..12,
+                              ax in 0u32..12, ay in 0u32..12,
+                              bx in 0u32..12, by in 0u32..12) {
+        let m = Torus::new(w, h);
+        let a = NodeCoord::new(ax % w, ay % h);
+        let b = NodeCoord::new(bx % w, by % h);
+        prop_assert_eq!(m.hex_distance(a, b), m.hex_distance(b, a));
+    }
+
+    #[test]
+    fn hex_distance_triangle_inequality(w in 2u32..10, h in 2u32..10,
+                                        pts in proptest::array::uniform3((0u32..10, 0u32..10))) {
+        let m = Torus::new(w, h);
+        let [pa, pb, pc] = pts;
+        let a = NodeCoord::new(pa.0 % w, pa.1 % h);
+        let b = NodeCoord::new(pb.0 % w, pb.1 % h);
+        let c = NodeCoord::new(pc.0 % w, pc.1 % h);
+        prop_assert!(m.hex_distance(a, c) <= m.hex_distance(a, b) + m.hex_distance(b, c));
+    }
+
+    #[test]
+    fn p2p_routes_are_shortest_and_arrive(w in 2u32..10, h in 2u32..10,
+                                          ax in 0u32..10, ay in 0u32..10,
+                                          bx in 0u32..10, by in 0u32..10) {
+        let m = Torus::new(w, h);
+        let a = NodeCoord::new(ax % w, ay % h);
+        let b = NodeCoord::new(bx % w, by % h);
+        let route = m.p2p_route(a, b);
+        prop_assert_eq!(route.len() as u64, m.hex_distance(a, b));
+        let mut cur = a;
+        for d in route {
+            cur = m.neighbour(cur, d);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Ternary CAM
+
+    #[test]
+    fn mc_table_first_match_semantics(
+        entries in proptest::collection::vec((any::<u32>(), any::<u32>(), 0u32..64), 0..20),
+        probe in any::<u32>(),
+    ) {
+        let mut table = McTable::new(64);
+        for &(key, mask, bits) in &entries {
+            table.insert(McTableEntry { key, mask, route: RouteSet::from_bits(bits) }).unwrap();
+        }
+        // Reference: first matching entry in order.
+        let expect = entries
+            .iter()
+            .find(|(k, m, _)| probe & m == k & m)
+            .map(|&(_, _, bits)| RouteSet::from_bits(bits));
+        prop_assert_eq!(table.lookup(probe), expect);
+    }
+
+    // ------------------------------------------------------------------
+    // Synaptic words
+
+    #[test]
+    fn synaptic_word_roundtrip(w in any::<i16>(), d in 1u8..=16, t in 0u16..=0xFFF) {
+        let s = SynapticWord::new(w, d, t);
+        prop_assert_eq!(s.weight_raw(), w);
+        prop_assert_eq!(s.delay_ms(), d);
+        prop_assert_eq!(s.target(), t);
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred-event ring: the soft-delay invariant
+
+    #[test]
+    fn ring_delivers_at_exact_delay(
+        deposits in proptest::collection::vec((1u8..=16, 0usize..8, -1000i32..1000), 1..40),
+    ) {
+        let mut ring = InputRing::new(8);
+        // Expected arrival: tick t (1-based) accumulates deposits with
+        // delay == t made at tick 0.
+        let mut expected = vec![[0i64; 8]; 17];
+        for &(d, n, w) in &deposits {
+            ring.deposit(d, n, w);
+            expected[d as usize][n] += w as i64;
+        }
+        for t in 1..=16usize {
+            let drained = ring.tick().to_vec();
+            for n in 0..8 {
+                prop_assert_eq!(drained[n] as i64, expected[t][n],
+                    "tick {}, neuron {}", t, n);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fixed point
+
+    #[test]
+    fn fix1616_matches_f64_within_bounds(a in -30000.0f32..30000.0, b in -30000.0f32..30000.0) {
+        let fa = Fix1616::from_f32(a);
+        let fb = Fix1616::from_f32(b);
+        // Addition: saturating, else exact on the quantized inputs.
+        let sum = fa + fb;
+        let ref_sum = (fa.to_f64() + fb.to_f64()).clamp(Fix1616::MIN.to_f64(), Fix1616::MAX.to_f64());
+        prop_assert!((sum.to_f64() - ref_sum).abs() <= 1.0 / 65536.0,
+            "sum {} vs {}", sum.to_f64(), ref_sum);
+    }
+
+    #[test]
+    fn fix1616_mul_commutative(a in -150.0f32..150.0, b in -150.0f32..150.0) {
+        let fa = Fix1616::from_f32(a);
+        let fb = Fix1616::from_f32(b);
+        prop_assert_eq!(fa * fb, fb * fa);
+    }
+
+    // ------------------------------------------------------------------
+    // Rank-order codes
+
+    #[test]
+    fn rank_order_is_ordered_subset(values in proptest::collection::vec(0.0f64..100.0, 1..40),
+                                    n in 1usize..10) {
+        let code = rank_order_encode(&values, n, 0.0);
+        prop_assert!(code.len() <= n);
+        // Indices are unique and in range.
+        let mut seen = std::collections::HashSet::new();
+        for &i in &code.order {
+            prop_assert!((i as usize) < values.len());
+            prop_assert!(seen.insert(i));
+        }
+        // Values are non-increasing along the order.
+        for w in code.order.windows(2) {
+            prop_assert!(values[w[0] as usize] >= values[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn rank_order_self_similarity_is_one(values in proptest::collection::vec(0.1f64..100.0, 4..30)) {
+        let code = rank_order_encode(&values, 8, 0.0);
+        if !code.is_empty() {
+            let s = rank_order_similarity(&code, &code, values.len(), 0.8);
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

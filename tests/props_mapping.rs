@@ -1,0 +1,136 @@
+//! Property-based tests over the mapping pipeline: random networks must
+//! always place completely, route as true trees, and load consistently.
+
+use proptest::prelude::*;
+
+use spinnaker::map::graph::{Connector, NetworkGraph, NeuronKind, Synapses};
+use spinnaker::map::loader::LoadedApp;
+use spinnaker::map::place::{Placement, Placer};
+use spinnaker::map::route::RoutingPlan;
+use spinnaker::neuron::izhikevich::IzhikevichParams;
+
+fn kind() -> NeuronKind {
+    NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+}
+
+/// A random small network: population sizes plus a projection list.
+fn arb_net() -> impl Strategy<Value = NetworkGraph> {
+    (
+        proptest::collection::vec(10u32..200, 1..6),
+        proptest::collection::vec((0usize..6, 0usize..6, 0u8..3, 1u8..16), 0..8),
+        any::<u64>(),
+    )
+        .prop_map(|(sizes, projs, seed)| {
+            let mut net = NetworkGraph::new();
+            let pops: Vec<_> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| net.population(&format!("p{i}"), s, kind(), 1.0))
+                .collect();
+            for (i, (src, dst, conn, delay)) in projs.into_iter().enumerate() {
+                let src = pops[src % pops.len()];
+                let dst = pops[dst % pops.len()];
+                let connector = match conn {
+                    0 => Connector::AllToAll { allow_self: true },
+                    1 => Connector::FixedProbability(0.15),
+                    _ => Connector::FixedFanOut(4),
+                };
+                net.project(
+                    src,
+                    dst,
+                    connector,
+                    Synapses::constant(100, delay.clamp(1, 16)),
+                    seed ^ i as u64,
+                );
+            }
+            net
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn placement_always_complete_and_disjoint(
+        net in arb_net(),
+        placer_sel in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let placer = match placer_sel {
+            0 => Placer::RoundRobin,
+            1 => Placer::Locality,
+            _ => Placer::Random { seed },
+        };
+        let Ok(placement) = Placement::compute(&net, 6, 6, 17, 64, placer) else {
+            // Too big for the machine: acceptable outcome, not a bug.
+            return Ok(());
+        };
+        // Complete, disjoint coverage of every population.
+        for (p, pop) in net.populations().iter().enumerate() {
+            let mut covered = vec![0u8; pop.size as usize];
+            for s in placement.slices().iter().filter(|s| s.pop.index() == p) {
+                prop_assert!(s.hi <= pop.size);
+                prop_assert!(s.lo < s.hi);
+                for n in s.lo..s.hi {
+                    covered[n as usize] += 1;
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c == 1));
+        }
+        // No double-booked cores, never the monitor.
+        let mut cores: Vec<u32> = placement.slices().iter().map(|s| s.global_core).collect();
+        cores.sort_unstable();
+        let before = cores.len();
+        cores.dedup();
+        prop_assert_eq!(cores.len(), before);
+        prop_assert!(placement.slices().iter().all(|s| s.core != 0));
+    }
+
+    #[test]
+    fn routing_plans_are_loop_free_and_bounded(net in arb_net(), seed in any::<u64>()) {
+        let Ok(placement) = Placement::compute(&net, 6, 6, 17, 64, Placer::Random { seed }) else {
+            return Ok(());
+        };
+        let plan = RoutingPlan::build(&net, &placement, 6, 6);
+        let stats = plan.stats();
+        // Tree edges never exceed what per-destination unicast would use.
+        prop_assert!(stats.total_edges <= stats.total_path_len.max(1) * 2 + 36 * stats.trees as u64);
+        // Every emitted entry routes somewhere.
+        for table in plan.tables() {
+            for e in table {
+                prop_assert!(!e.route.is_empty());
+            }
+            prop_assert!(table.len() <= 1024);
+        }
+        // Entry count identity: emitted + elided = total tree chips with
+        // routing work (sanity: elided is never negative / absurd).
+        prop_assert!(stats.elided_entries <= stats.total_edges as usize + stats.trees);
+    }
+
+    #[test]
+    fn loader_synapse_counts_match_expansion(net in arb_net()) {
+        let Ok(placement) = Placement::compute(&net, 6, 6, 17, 64, Placer::RoundRobin) else {
+            return Ok(());
+        };
+        let app = LoadedApp::build(&net, &placement);
+        let expected: u64 = net
+            .projections()
+            .iter()
+            .map(|p| {
+                p.pairs(net.pop(p.src).size, net.pop(p.dst).size).len() as u64
+            })
+            .sum();
+        prop_assert_eq!(app.total_synapses(), expected);
+        // Every synapse's delay is in the hardware's 1..=16 range and
+        // every target index fits its core's slice.
+        for img in &app.images {
+            let n = img.neurons.len() as u16;
+            for row in img.rows.values() {
+                for w in row.words() {
+                    prop_assert!((1..=16).contains(&w.delay_ms()));
+                    prop_assert!(w.target() < n);
+                }
+            }
+        }
+    }
+}

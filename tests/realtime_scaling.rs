@@ -1,0 +1,101 @@
+//! Real-time behaviour under scaling and overload: the §3.1 "bounded
+//! asynchrony" contract.
+//!
+//! The machine's defining property is that every core keeps up with its
+//! 1 ms timer. These tests check that the property holds under weak
+//! scaling (bigger machine, same per-core load) and that the overrun
+//! detector actually fires when a core is overloaded.
+
+use spinnaker::prelude::*;
+
+fn rs() -> NeuronKind {
+    NeuronKind::Izhikevich(IzhikevichParams::regular_spiking())
+}
+
+/// A network sized to `chips` with constant per-core load: one
+/// independent driver->target population pair per chip, so both the
+/// neuron count per core AND the packet fan-in per core stay fixed as
+/// the machine grows (true weak scaling; a machine-wide projection
+/// would grow every core's packet load with machine size).
+fn weak_scaled_net(chips: u32) -> NetworkGraph {
+    let mut net = NetworkGraph::new();
+    for c in 0..chips {
+        // Slightly staggered drive desynchronizes the (otherwise
+        // identical) populations across chips.
+        let a = net.population(&format!("a{c}"), 8 * 128, rs(), 8.6 + 0.1 * (c % 8) as f32);
+        let b = net.population(&format!("b{c}"), 8 * 128, rs(), 0.0);
+        net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(300, 2), c as u64);
+    }
+    net
+}
+
+#[test]
+fn weak_scaling_holds_real_time() {
+    for (w, h) in [(2u32, 2u32), (4, 4), (6, 6)] {
+        let net = weak_scaled_net(w * h);
+        let cfg = SimConfig::new(w, h).with_neurons_per_core(128);
+        let done = Simulation::build(&net, cfg).unwrap().run(100);
+        assert_eq!(
+            done.machine.realtime_violations(),
+            0,
+            "{w}x{h}: real time must hold under weak scaling"
+        );
+        let p99 = done.machine.spike_latency().percentile(99.0);
+        assert!(
+            p99 < 200_000,
+            "{w}x{h}: p99 latency {p99} ns should stay well under 1 ms"
+        );
+    }
+}
+
+#[test]
+fn overload_detector_fires() {
+    // Make the per-neuron cost absurd: a 128-neuron core then needs
+    // ~13 ms per tick and must blow its budget.
+    let net = weak_scaled_net(4);
+    let mut cfg = SimConfig::new(2, 2).with_neurons_per_core(128);
+    cfg.machine.costs.per_neuron_instr = 20_000;
+    let done = Simulation::build(&net, cfg).unwrap().run(50);
+    assert!(
+        done.machine.realtime_violations() > 0,
+        "overloaded cores must report real-time violations"
+    );
+}
+
+#[test]
+fn per_core_load_determines_headroom_not_machine_size() {
+    // Instruction counts scale with neurons simulated, so busy fraction
+    // per core stays ~constant under weak scaling.
+    let busy_fraction = |chips_w: u32| {
+        let net = weak_scaled_net(chips_w * chips_w);
+        let cfg = SimConfig::new(chips_w, chips_w).with_neurons_per_core(128);
+        let done = Simulation::build(&net, cfg).unwrap().run(100);
+        let m = done.machine.meter();
+        m.core_active_ns as f64 / (m.core_active_ns + m.core_sleep_ns) as f64
+    };
+    let f2 = busy_fraction(2);
+    let f5 = busy_fraction(5);
+    assert!(
+        (f2 - f5).abs() < 0.05,
+        "busy fraction should be scale-free: {f2:.3} vs {f5:.3}"
+    );
+}
+
+#[test]
+fn aggregate_mips_grows_with_machine_size() {
+    // The headline scaling claim (E9 in miniature): instructions executed
+    // grow with the machine while real time holds.
+    let mips = |chips_w: u32| {
+        let net = weak_scaled_net(chips_w * chips_w);
+        let cfg = SimConfig::new(chips_w, chips_w).with_neurons_per_core(128);
+        let done = Simulation::build(&net, cfg).unwrap().run(100);
+        assert_eq!(done.machine.realtime_violations(), 0);
+        done.machine.meter().mips(done.machine.duration_ns())
+    };
+    let m2 = mips(2);
+    let m4 = mips(4);
+    assert!(
+        m4 > 3.0 * m2,
+        "4x the chips should deliver ~4x the sustained MIPS: {m2:.0} vs {m4:.0}"
+    );
+}
