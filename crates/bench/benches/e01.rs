@@ -2,8 +2,22 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e01_glitch_deadlock::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e01_glitch_deadlock::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e01_glitch_trial_conventional", |b| b.iter(|| spinn_link::glitch::run_trial(&spinn_link::glitch::GlitchTrialConfig { symbols: 100, ..Default::default() }, spinn_link::nrz::RxStyle::Conventional, 7)));
+    c.bench_function("e01_glitch_trial_conventional", |b| {
+        b.iter(|| {
+            spinn_link::glitch::run_trial(
+                &spinn_link::glitch::GlitchTrialConfig {
+                    symbols: 100,
+                    ..Default::default()
+                },
+                spinn_link::nrz::RxStyle::Conventional,
+                7,
+            )
+        })
+    });
     c.final_summary();
 }

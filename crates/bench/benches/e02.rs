@@ -2,8 +2,13 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e02_link_protocols::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e02_link_protocols::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e02_nrz_200_symbols", |b| b.iter(|| spinn_link::throughput::measure_nrz(2000, 200)));
+    c.bench_function("e02_nrz_200_symbols", |b| {
+        b.iter(|| spinn_link::throughput::measure_nrz(2000, 200))
+    });
     c.final_summary();
 }

@@ -2,8 +2,15 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e03_emergency_routing::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e03_emergency_routing::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e03_failed_link_scenario", |b| b.iter(|| spinn_bench::experiments::e03_emergency_routing::scenario("bench", 200, 500, true, true)));
+    c.bench_function("e03_failed_link_scenario", |b| {
+        b.iter(|| {
+            spinn_bench::experiments::e03_emergency_routing::scenario("bench", 200, 500, true, true)
+        })
+    });
     c.final_summary();
 }

@@ -2,8 +2,13 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e04_realtime_latency::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e04_realtime_latency::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e04_latency_at_4_hops", |b| b.iter(|| spinn_bench::experiments::e04_realtime_latency::at_distance(4, 20)));
+    c.bench_function("e04_latency_at_4_hops", |b| {
+        b.iter(|| spinn_bench::experiments::e04_realtime_latency::at_distance(4, 20))
+    });
     c.final_summary();
 }

@@ -2,8 +2,13 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e06_boot::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e06_boot::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e06_boot_8x8", |b| b.iter(|| spinn_machine::boot::BootSim::run(spinn_machine::boot::BootConfig::new(8, 8))));
+    c.bench_function("e06_boot_8x8", |b| {
+        b.iter(|| spinn_machine::boot::BootSim::run(spinn_machine::boot::BootConfig::new(8, 8)))
+    });
     c.final_summary();
 }

@@ -4,14 +4,38 @@ use spinnaker::prelude::*;
 
 fn machine_run() -> usize {
     let mut net = NetworkGraph::new();
-    let a = net.population("a", 256, NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()), 9.0);
-    let b = net.population("b", 256, NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()), 0.0);
-    net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(300, 2), 7);
-    Simulation::build(&net, SimConfig::new(2, 2)).unwrap().run(50).machine.spikes().len()
+    let a = net.population(
+        "a",
+        256,
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+        9.0,
+    );
+    let b = net.population(
+        "b",
+        256,
+        NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
+        0.0,
+    );
+    net.project(
+        a,
+        b,
+        Connector::FixedFanOut(20),
+        Synapses::constant(300, 2),
+        7,
+    );
+    Simulation::build(&net, SimConfig::new(2, 2))
+        .unwrap()
+        .run(50)
+        .machine
+        .spikes()
+        .len()
 }
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e07_cost_energy::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e07_cost_energy::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("e07_2x2_machine_50ms", |b| b.iter(machine_run));
     c.final_summary();

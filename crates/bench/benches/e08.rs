@@ -2,12 +2,19 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e08_multicast_vs_broadcast::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e08_multicast_vs_broadcast::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e08_tree_cost_32_dests", |b| b.iter(|| {
-        let torus = spinn_noc::mesh::Torus::new(16, 16);
-        let dests: Vec<_> = (1..33u32).map(|i| spinn_noc::mesh::NodeCoord::new(i % 16, (i * 7) % 16)).collect();
-        spinn_map::route::tree_cost(&torus, spinn_noc::mesh::NodeCoord::new(0, 0), dests)
-    }));
+    c.bench_function("e08_tree_cost_32_dests", |b| {
+        b.iter(|| {
+            let torus = spinn_noc::mesh::Torus::new(16, 16);
+            let dests: Vec<_> = (1..33u32)
+                .map(|i| spinn_noc::mesh::NodeCoord::new(i % 16, (i * 7) % 16))
+                .collect();
+            spinn_map::route::tree_cost(&torus, spinn_noc::mesh::NodeCoord::new(0, 0), dests)
+        })
+    });
     c.final_summary();
 }

@@ -2,7 +2,10 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e09_scaling::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e09_scaling::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     c.bench_function("e09_weak_scaled_2x2_30ms", |b| {
         b.iter(|| spinn_bench::experiments::e09_scaling::sweep(&[2], 30))

@@ -2,12 +2,25 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e10_placement::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e10_placement::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e10_route_grid_network", |b| b.iter(|| {
-        let net = spinn_bench::experiments::e10_placement::grid_net(6, 64);
-        let p = spinn_map::place::Placement::compute(&net, 8, 8, 17, 64, spinn_map::place::Placer::Locality).unwrap();
-        spinn_map::route::RoutingPlan::build(&net, &p, 8, 8).total_entries()
-    }));
+    c.bench_function("e10_route_grid_network", |b| {
+        b.iter(|| {
+            let net = spinn_bench::experiments::e10_placement::grid_net(6, 64);
+            let p = spinn_map::place::Placement::compute(
+                &net,
+                8,
+                8,
+                17,
+                64,
+                spinn_map::place::Placer::Locality,
+            )
+            .unwrap();
+            spinn_map::route::RoutingPlan::build(&net, &p, 8, 8).total_entries()
+        })
+    });
     c.final_summary();
 }

@@ -2,13 +2,18 @@
 use criterion::Criterion;
 
 fn main() {
-    println!("{}", spinn_bench::experiments::e11_retina::run(!spinn_bench::full_mode()));
+    println!(
+        "{}",
+        spinn_bench::experiments::e11_retina::run(!spinn_bench::full_mode())
+    );
     let mut c = Criterion::default().sample_size(10).configure_from_args();
-    c.bench_function("e11_retina_encode_reconstruct", |b| b.iter(|| {
-        let img = spinn_neuron::retina::Image::gaussian_blob(32, 32, 13.0, 19.0, 4.0);
-        let r = spinn_neuron::retina::RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
-        let code = r.encode(&img, 24);
-        r.reconstruct(&code, 0.9)
-    }));
+    c.bench_function("e11_retina_encode_reconstruct", |b| {
+        b.iter(|| {
+            let img = spinn_neuron::retina::Image::gaussian_blob(32, 32, 13.0, 19.0, 4.0);
+            let r = spinn_neuron::retina::RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
+            let code = r.encode(&img, 24);
+            r.reconstruct(&code, 0.9)
+        })
+    });
     c.final_summary();
 }

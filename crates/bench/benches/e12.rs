@@ -1,0 +1,24 @@
+//! E12 table + serial-vs-parallel kernel timing.
+use criterion::Criterion;
+use spinn_bench::experiments::e12_parallel_execution as e12;
+use spinnaker::prelude::*;
+
+fn build(threads: u32) -> Simulation {
+    let net = e12::synfire_net(16, 192);
+    let cfg = SimConfig::new(4, 4)
+        .with_neurons_per_core(128)
+        .with_threads(threads);
+    Simulation::build(&net, cfg).expect("synfire fits a 4x4 machine")
+}
+
+fn main() {
+    println!("{}", e12::run(!spinn_bench::full_mode()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("e12_synfire_4x4_60ms_serial", |b| {
+        b.iter(|| build(1).run(60).machine.spikes().len())
+    });
+    c.bench_function("e12_synfire_4x4_60ms_par4", |b| {
+        b.iter(|| build(4).run(60).machine.spikes().len())
+    });
+    c.final_summary();
+}

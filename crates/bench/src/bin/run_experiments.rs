@@ -3,11 +3,14 @@
 
 use spinn_bench::experiments as e;
 
+/// One experiment: its name and table generator.
+type Experiment = (&'static str, fn(bool) -> String);
+
 fn main() {
     let quick = !spinn_bench::full_mode();
     let mode = if quick { "quick" } else { "full" };
     println!("SpiNNaker reproduction — experiment suite ({mode} mode)\n");
-    let runs: [(&str, fn(bool) -> String); 13] = [
+    let runs: [Experiment; 14] = [
         ("E1", e::e01_glitch_deadlock::run),
         ("E2", e::e02_link_protocols::run),
         ("E3", e::e03_emergency_routing::run),
@@ -19,6 +22,7 @@ fn main() {
         ("E9", e::e09_scaling::run),
         ("E10", e::e10_placement::run),
         ("E11", e::e11_retina::run),
+        ("E12", e::e12_parallel_execution::run),
         ("A1", e::a01_router_waits::run),
         ("A2", e::a02_default_route_elision::run),
     ];

@@ -14,15 +14,14 @@ pub mod e01_glitch_deadlock {
         let rates = [1e5, 3e5, 1e6, 3e6, 1e7];
         // Parallel Monte Carlo: one thread per rate.
         let mut results: Vec<Option<DeadlockStudy>> = vec![None; rates.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, &rate) in results.iter_mut().zip(&rates) {
                 let cfg = &cfg;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(deadlock_study(cfg, rate, trials, 0xE1));
                 });
             }
-        })
-        .expect("threads join");
+        });
         results.into_iter().map(|r| r.expect("filled")).collect()
     }
 
@@ -81,7 +80,13 @@ pub mod e02_link_protocols {
         let _ = writeln!(
             out,
             "{:>10} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
-            "wire (ps)", "NRZ Mbit/s", "RTZ Mbit/s", "ratio", "NRZ tr/sym", "RTZ tr/sym", "pJ ratio"
+            "wire (ps)",
+            "NRZ Mbit/s",
+            "RTZ Mbit/s",
+            "ratio",
+            "NRZ tr/sym",
+            "RTZ tr/sym",
+            "pJ ratio"
         );
         for wire in [500u64, 1_000, 2_000, 5_000, 10_000] {
             let nrz = measure_nrz(wire, n);
@@ -167,7 +172,11 @@ pub mod e03_emergency_routing {
             sim.fabric.fail_link(NodeCoord::new(3, 0), Direction::East);
         }
         for i in 0..n {
-            sim.queue_injection(i * interval_ns, NodeCoord::new(0, 0), Packet::multicast(key));
+            sim.queue_injection(
+                i * interval_ns,
+                NodeCoord::new(0, 0),
+                Packet::multicast(key),
+            );
         }
         let mut engine = Engine::new(sim);
         engine.schedule_at(SimTime::ZERO, FabricEvent::Pump);
@@ -188,7 +197,10 @@ pub mod e03_emergency_routing {
         let n = if quick { 300 } else { 3000 };
         let mut out = String::new();
         let _ = writeln!(out, "E3: emergency routing around a failed link (Fig. 8)");
-        let _ = writeln!(out, "   {n} packets, 6-hop east path, link (3,0)->E killed\n");
+        let _ = writeln!(
+            out,
+            "   {n} packets, 6-hop east path, link (3,0)->E killed\n"
+        );
         let _ = writeln!(
             out,
             "{:<34} {:>10} {:>12} {:>10} {:>9}",
@@ -239,8 +251,10 @@ pub mod e04_realtime_latency {
         let src = NodeCoord::new(0, 0);
         let dst = NodeCoord::new(hops, 0);
         let dst_core = if hops == 0 { 2 } else { 1 };
-        m.load_core(src, 1, neurons(60), vec![11.0; 60], 0x4000).unwrap();
-        m.load_core(dst, dst_core, neurons(60), vec![0.0; 60], 0x8000).unwrap();
+        m.load_core(src, 1, neurons(60), vec![11.0; 60], 0x4000)
+            .unwrap();
+        m.load_core(dst, dst_core, neurons(60), vec![0.0; 60], 0x8000)
+            .unwrap();
         m.router_mut(src)
             .table
             .insert(McTableEntry {
@@ -264,7 +278,9 @@ pub mod e04_realtime_latency {
                 .unwrap();
         }
         for i in 0..60u32 {
-            let row: SynapticRow = (0..60).map(|t| SynapticWord::new(80, 1, t as u16)).collect();
+            let row: SynapticRow = (0..60)
+                .map(|t| SynapticWord::new(80, 1, t as u16))
+                .collect();
             m.set_row(dst, dst_core, 0x4000 + i, row);
         }
         let m = m.run(ms);
@@ -277,7 +293,10 @@ pub mod e04_realtime_latency {
         let ms = if quick { 100 } else { 400 };
         let mut out = String::new();
         let _ = writeln!(out, "E4: spike delivery latency vs distance (§3.1, Fig. 7)");
-        let _ = writeln!(out, "   16x16 torus, 60-neuron source population, {ms} ms runs\n");
+        let _ = writeln!(
+            out,
+            "   16x16 torus, 60-neuron source population, {ms} ms runs\n"
+        );
         let _ = writeln!(
             out,
             "{:>6} {:>10} {:>10} {:>10} {:>16}",
@@ -313,14 +332,25 @@ pub mod e05_flood_fill {
         let blocks = if quick { 32 } else { 128 };
         let mut out = String::new();
         let _ = writeln!(out, "E5: flood-fill application loading (§5.2)");
-        let _ = writeln!(out, "   {blocks} blocks streamed from the host into (0,0)\n");
+        let _ = writeln!(
+            out,
+            "   {blocks} blocks streamed from the host into (0,0)\n"
+        );
         let _ = writeln!(
             out,
             "{:>9} {:>4} {:>12} {:>14} {:>12}",
             "machine", "k", "load (us)", "vs 4x4", "nn packets"
         );
         let mut base = None;
-        for (w, k) in [(4u32, 1u8), (8, 1), (12, 1), (16, 1), (24, 1), (8, 2), (8, 3)] {
+        for (w, k) in [
+            (4u32, 1u8),
+            (8, 1),
+            (12, 1),
+            (16, 1),
+            (24, 1),
+            (8, 2),
+            (8, 3),
+        ] {
             let mut cfg = FloodConfig::new(w, w);
             cfg.blocks = blocks;
             cfg.redundancy_k = k;
@@ -356,7 +386,10 @@ pub mod e06_boot {
     /// The E6 table.
     pub fn run(_quick: bool) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "E6: boot — self-test, monitor election, coordinates (§5.2)");
+        let _ = writeln!(
+            out,
+            "E6: boot — self-test, monitor election, coordinates (§5.2)"
+        );
         let _ = writeln!(
             out,
             "\n{:>9} {:>7} {:>9} {:>8} {:>6} {:>12} {:>12}",
@@ -460,8 +493,16 @@ pub mod e07_cost_energy {
             NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
             0.0,
         );
-        net.project(a, b, Connector::FixedFanOut(30), Synapses::constant(300, 2), 7);
-        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(ms);
+        net.project(
+            a,
+            b,
+            Connector::FixedFanOut(30),
+            Synapses::constant(300, 2),
+            7,
+        );
+        let done = Simulation::build(&net, SimConfig::new(4, 4))
+            .unwrap()
+            .run(ms);
         let meter = done.machine.meter();
         let cfg = done.machine.config();
         let dur = done.machine.duration_ns();
@@ -500,7 +541,10 @@ pub mod e08_multicast_vs_broadcast {
         let mut rng = Xoshiro256::seed_from_u64(0xE8);
         let mut out = String::new();
         let _ = writeln!(out, "E8: multicast vs broadcast communication loading (§4)");
-        let _ = writeln!(out, "   16x16 torus, random destination chip sets, 50 trials each\n");
+        let _ = writeln!(
+            out,
+            "   16x16 torus, random destination chip sets, 50 trials each\n"
+        );
         let _ = writeln!(
             out,
             "{:>8} {:>11} {:>10} {:>11} {:>13} {:>13}",
@@ -513,7 +557,10 @@ pub mod e08_multicast_vs_broadcast {
             for _ in 0..50 {
                 let mut dests = Vec::new();
                 while dests.len() < k {
-                    let d = NodeCoord::new(rng.gen_range_usize(16) as u32, rng.gen_range_usize(16) as u32);
+                    let d = NodeCoord::new(
+                        rng.gen_range_usize(16) as u32,
+                        rng.gen_range_usize(16) as u32,
+                    );
                     if d != NodeCoord::new(0, 0) && !dests.contains(&d) {
                         dests.push(d);
                     }
@@ -584,7 +631,13 @@ pub mod e09_scaling {
                         NeuronKind::Izhikevich(IzhikevichParams::regular_spiking()),
                         0.0,
                     );
-                    net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(250, 2), c as u64);
+                    net.project(
+                        a,
+                        b,
+                        Connector::FixedFanOut(20),
+                        Synapses::constant(250, 2),
+                        c as u64,
+                    );
                 }
                 let cfg = SimConfig::new(w, w).with_neurons_per_core(128);
                 let done = Simulation::build(&net, cfg).unwrap().run(ms);
@@ -608,8 +661,14 @@ pub mod e09_scaling {
             (&[2, 4, 6, 8], 200)
         };
         let mut out = String::new();
-        let _ = writeln!(out, "E9: weak scaling towards the million-core machine (§1, §6)");
-        let _ = writeln!(out, "   128 neurons/core, 16 cores/chip used, {ms} ms runs\n");
+        let _ = writeln!(
+            out,
+            "E9: weak scaling towards the million-core machine (§1, §6)"
+        );
+        let _ = writeln!(
+            out,
+            "   128 neurons/core, 16 cores/chip used, {ms} ms runs\n"
+        );
         let _ = writeln!(
             out,
             "{:>8} {:>10} {:>14} {:>12} {:>11}",
@@ -676,8 +735,13 @@ pub mod e10_placement {
                     let nx = (x as i64 + dx).rem_euclid(side as i64) as u32;
                     let ny = (y as i64 + dy).rem_euclid(side as i64) as u32;
                     let dst = ids[(ny * side + nx) as usize];
-                    net.project(src, dst, Connector::FixedProbability(0.3),
-                                Synapses::constant(400, 2), (y * side + x) as u64);
+                    net.project(
+                        src,
+                        dst,
+                        Connector::FixedProbability(0.3),
+                        Synapses::constant(400, 2),
+                        (y * side + x) as u64,
+                    );
                 }
             }
         }
@@ -690,7 +754,10 @@ pub mod e10_placement {
         let net = grid_net(6, 64);
         let mut out = String::new();
         let _ = writeln!(out, "E10: virtualized topology — placement ablation (§3.2)");
-        let _ = writeln!(out, "   6x6 grid of 64-neuron populations, local projections, 8x8 machine\n");
+        let _ = writeln!(
+            out,
+            "   6x6 grid of 64-neuron populations, local projections, 8x8 machine\n"
+        );
         let _ = writeln!(
             out,
             "{:<14} {:>11} {:>10} {:>9} {:>12} {:>10} {:>9}",
@@ -702,7 +769,9 @@ pub mod e10_placement {
             ("round-robin", Placer::RoundRobin),
             ("random", Placer::Random { seed: 77 }),
         ] {
-            let cfg = SimConfig::new(8, 8).with_neurons_per_core(64).with_placer(placer);
+            let cfg = SimConfig::new(8, 8)
+                .with_neurons_per_core(64)
+                .with_placer(placer);
             let sim = Simulation::build(&net, cfg).unwrap();
             let rs = sim.route_stats().clone();
             let done = sim.run(ms);
@@ -751,7 +820,10 @@ pub mod e11_retina {
         let code0 = healthy.encode(&stimulus, 24);
         let recon0 = healthy.reconstruct(&code0, 0.9);
         let mut out = String::new();
-        let _ = writeln!(out, "E11: retina, rank-order coding, graceful degradation (§5.4)");
+        let _ = writeln!(
+            out,
+            "E11: retina, rank-order coding, graceful degradation (§5.4)"
+        );
         let _ = writeln!(
             out,
             "   {} DoG ganglion cells at 2 overlapping scales, {trials} damage seeds\n",
@@ -780,7 +852,8 @@ pub mod e11_retina {
                 sparse.kill_fraction(frac, &mut rng);
                 let s0 = RetinaLayer::new(32, 32, &[(2.4, 8)]);
                 let ref_recon = s0.reconstruct(&s0.encode(&stimulus, 24), 0.9);
-                sparse_sum += ref_recon.correlation(&sparse.reconstruct(&sparse.encode(&stimulus, 24), 0.9));
+                sparse_sum +=
+                    ref_recon.correlation(&sparse.reconstruct(&sparse.encode(&stimulus, 24), 0.9));
             }
             let _ = writeln!(
                 out,
@@ -794,6 +867,169 @@ pub mod e11_retina {
         let _ = writeln!(
             out,
             "\npaper: 'If a neuron fails ... a near-neighbour with a similar receptive\nfield will take over and very little information will be lost' — the\noverlapping-scale layer degrades gracefully; the single-scale ablation\n(no overlap) loses reconstruction quality faster."
+        );
+        out
+    }
+}
+
+/// E12 — sharded parallel execution: the serial engine vs `spinn-par`
+/// (the ROADMAP north star: run as fast as the host hardware allows
+/// while preserving the machine's exact behaviour).
+pub mod e12_parallel_execution {
+    use super::*;
+    use spinn_neuron::retina::{Image, RetinaLayer};
+    use spinnaker::prelude::*;
+    use std::time::Instant;
+
+    /// A synfire chain (Abeles): `stages` populations of `width` neurons
+    /// in a ring, stage 0 tonically driven, each stage exciting the
+    /// next. Once the wave has wrapped, every stage — and therefore
+    /// every chip of the machine — is active on every timestep, which
+    /// is the steady-state load the parallel engine is built for.
+    pub fn synfire_net(stages: u32, width: u32) -> NetworkGraph {
+        let mut net = NetworkGraph::new();
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let pops: Vec<_> = (0..stages)
+            .map(|i| {
+                let bias = if i == 0 { 9.0 } else { 0.0 };
+                net.population(&format!("s{i}"), width, kind, bias)
+            })
+            .collect();
+        for (i, &src) in pops.iter().enumerate() {
+            let dst = pops[(i + 1) % pops.len()];
+            net.project(
+                src,
+                dst,
+                Connector::FixedFanOut(12),
+                Synapses::constant(600, 2),
+                i as u64,
+            );
+        }
+        net
+    }
+
+    /// A retina-driven feed-forward network: a Gaussian-blob stimulus is
+    /// encoded by the E11 DoG ganglion layer, the rank-order code is
+    /// quantized into `groups` bands, and each band's tonic drive
+    /// follows its cells' mean DoG response (earlier rank = stronger
+    /// response = stronger drive) — §5.4's vision front end as a
+    /// machine workload, with the encoded stimulus content shaping the
+    /// firing pattern.
+    pub fn retina_net(groups: u32, width: u32) -> NetworkGraph {
+        let retina = RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
+        let stimulus = Image::gaussian_blob(32, 32, 13.0, 19.0, 4.0);
+        let responses = retina.responses(&stimulus);
+        let code = retina.encode(&stimulus, groups as usize * 4);
+        assert!(!code.is_empty(), "stimulus must excite the retina");
+        let peak = responses[code.order[0] as usize].max(1e-9);
+        let mut net = NetworkGraph::new();
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let out = net.population("out", width, kind, 0.0);
+        for g in 0..groups {
+            // Band g covers one slice of the code's rank order; its
+            // drive scales with the band's mean ganglion response.
+            let lo = ((g as usize * code.len()) / groups as usize).min(code.len() - 1);
+            let hi = (((g as usize + 1) * code.len()) / groups as usize).clamp(lo + 1, code.len());
+            let band_cells = &code.order[lo..hi];
+            let mean = band_cells
+                .iter()
+                .map(|&i| responses[i as usize])
+                .sum::<f64>()
+                / band_cells.len() as f64;
+            let drive = 7.0 + 3.0 * (mean / peak) as f32;
+            let band = net.population(&format!("band{g}"), width, kind, drive);
+            net.project(
+                band,
+                out,
+                Connector::FixedFanOut(10),
+                Synapses::constant(350, 1 + (g % 8) as u8),
+                g as u64,
+            );
+        }
+        net
+    }
+
+    /// Wall-clock ms, spike stream and `(windows, exchanged)` counters
+    /// (zeros for a serial run) of one run.
+    fn timed_run(
+        net: &NetworkGraph,
+        cfg: SimConfig,
+        ms: u32,
+    ) -> (f64, Vec<spinnaker::PopSpike>, (u64, u64)) {
+        let sim = Simulation::build(net, cfg).expect("workload fits the machine");
+        let t0 = Instant::now();
+        let done = sim.run(ms);
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let par = done
+            .machine
+            .par_stats()
+            .map_or((0, 0), |s| (s.windows, s.exchanged));
+        (wall, done.spikes(), par)
+    }
+
+    /// The E12 table.
+    pub fn run(quick: bool) -> String {
+        let (edge, stages, width, ms) = if quick {
+            (4u32, 16u32, 512u32, 150u32)
+        } else {
+            (8, 64, 768, 400)
+        };
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E12: sharded parallel execution — serial engine vs spinn-par"
+        );
+        let _ = writeln!(
+            out,
+            "   {edge}x{edge} machine, conservative windows = min link latency,\n   cross-shard spikes exchanged at window barriers\n   host parallelism: {cores} core(s) — speedup needs as many cores as threads\n"
+        );
+        for (label, net) in [
+            ("synfire chain", synfire_net(stages, width)),
+            ("retina", retina_net(stages / 2, width)),
+        ] {
+            // Random placement scatters core slices over the whole torus,
+            // so every chip — and therefore every shard — carries load and
+            // consecutive synfire stages talk across shard boundaries
+            // (§3.2: placement is free, function identical).
+            let base_cfg = SimConfig::new(edge, edge)
+                .with_neurons_per_core(128)
+                .with_placer(Placer::Random { seed: 0xE12 });
+            let (t1, reference, _) = timed_run(&net, base_cfg.clone(), ms);
+            let _ = writeln!(
+                out,
+                "{label}: {} spikes over {ms} ms biological time",
+                reference.len()
+            );
+            let _ = writeln!(
+                out,
+                "{:>9} {:>12} {:>9} {:>11} {:>10} {:>11}",
+                "threads", "wall ms", "speedup", "identical", "windows", "exchanged"
+            );
+            let _ = writeln!(
+                out,
+                "{:>9} {:>12.1} {:>9} {:>11} {:>10} {:>11}",
+                1, t1, "1.00x", true, "-", "-"
+            );
+            for threads in [2u32, 4, 8] {
+                let (tp, spikes, (windows, exchanged)) =
+                    timed_run(&net, base_cfg.clone().with_threads(threads), ms);
+                let _ = writeln!(
+                    out,
+                    "{:>9} {:>12.1} {:>8.2}x {:>11} {:>10} {:>11}",
+                    threads,
+                    tp,
+                    t1 / tp,
+                    spikes == reference,
+                    windows,
+                    exchanged
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(
+            out,
+            "the machine tolerates loose, locally-synchronized parallelism (§3.1):\nchips only interact through spike packets with >= one link delay of\nlookahead, so shards can run independently inside conservative windows\nand exchange packets at barriers — same spikes, less wall-clock."
         );
         out
     }
@@ -858,8 +1094,14 @@ pub mod a01_router_waits {
     pub fn run(quick: bool) -> String {
         let n = if quick { 200 } else { 1000 };
         let mut out = String::new();
-        let _ = writeln!(out, "A1 (ablation): router wait1/wait2 and queue depth under a 3x burst");
-        let _ = writeln!(out, "   {n}-packet burst at 55 ns spacing vs a 160 ns/packet link\n");
+        let _ = writeln!(
+            out,
+            "A1 (ablation): router wait1/wait2 and queue depth under a 3x burst"
+        );
+        let _ = writeln!(
+            out,
+            "   {n}-packet burst at 55 ns spacing vs a 160 ns/packet link\n"
+        );
         let _ = writeln!(
             out,
             "{:>9} {:>9} {:>7} {:>11} {:>12} {:>9}",
@@ -896,7 +1138,10 @@ pub mod a02_default_route_elision {
     /// The A2 table.
     pub fn run(_quick: bool) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "A2 (ablation): default-route elision and CAM pressure (§5.2)");
+        let _ = writeln!(
+            out,
+            "A2 (ablation): default-route elision and CAM pressure (§5.2)"
+        );
         let _ = writeln!(
             out,
             "   6x6 grid-of-populations network on an 8x8 machine\n"
@@ -921,8 +1166,7 @@ pub mod a02_default_route_elision {
                 label,
                 with.total_entries(),
                 without.total_entries(),
-                100.0 * with.stats().elided_entries as f64
-                    / without.total_entries().max(1) as f64,
+                100.0 * with.stats().elided_entries as f64 / without.total_entries().max(1) as f64,
                 with.stats().max_entries_per_chip,
             );
         }

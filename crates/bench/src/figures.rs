@@ -37,7 +37,10 @@ pub fn fig1_system(width: u32, height: u32) -> String {
 /// Fig. 2 — mesh detail: the triangular facets around one node.
 pub fn fig2_mesh_detail() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Fig. 2 — mesh detail: six links per node, triangular facets\n");
+    let _ = writeln!(
+        out,
+        "Fig. 2 — mesh detail: six links per node, triangular facets\n"
+    );
     let _ = writeln!(out, "        (x-1,y+1)   (x,y+1)--(x+1,y+1)");
     let _ = writeln!(out, "               \\     |  N    /  NE");
     let _ = writeln!(out, "                \\    |      /");
@@ -64,16 +67,31 @@ pub fn fig2_mesh_detail() -> String {
 pub fn fig3_node(cfg: &MachineConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 3 — a SpiNNaker node\n");
-    let _ = writeln!(out, "  +------------------- SpiNNaker MPSoC -------------------+");
+    let _ = writeln!(
+        out,
+        "  +------------------- SpiNNaker MPSoC -------------------+"
+    );
     let _ = writeln!(
         out,
         "  |  {} x ARM968 processor subsystems ({} MHz)             |",
         cfg.cores_per_chip, cfg.cpu_mhz
     );
-    let _ = writeln!(out, "  |        |            |                  |               |");
-    let _ = writeln!(out, "  |  Communications NoC (self-timed, CHAIN 3-of-6 RTZ)    |");
-    let _ = writeln!(out, "  |        |   multicast Packet Router (1024-entry CAM)   |");
-    let _ = writeln!(out, "  |  System NoC --- shared peripherals                    |");
+    let _ = writeln!(
+        out,
+        "  |        |            |                  |               |"
+    );
+    let _ = writeln!(
+        out,
+        "  |  Communications NoC (self-timed, CHAIN 3-of-6 RTZ)    |"
+    );
+    let _ = writeln!(
+        out,
+        "  |        |   multicast Packet Router (1024-entry CAM)   |"
+    );
+    let _ = writeln!(
+        out,
+        "  |  System NoC --- shared peripherals                    |"
+    );
     let _ = writeln!(
         out,
         "  |        |                                               |"
@@ -96,11 +114,28 @@ pub fn fig4_subsystem(cfg: &MachineConfig) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 4 — a SpiNNaker processor subsystem\n");
     let _ = writeln!(out, "  ARM968 core ({} MHz)", cfg.cpu_mhz);
-    let _ = writeln!(out, "    |- ITCM {} KB (instructions)", cfg.itcm_bytes / 1024);
-    let _ = writeln!(out, "    |- DTCM {} KB (neuron state + input ring)", cfg.dtcm_bytes / 1024);
-    let _ = writeln!(out, "    |- timer/counter        (1 ms tick -> priority-3 event)");
-    let _ = writeln!(out, "    |- vectored interrupt controller (3 priorities, Fig. 7)");
-    let _ = writeln!(out, "    |- communications controller (tx/rx neural packets)");
+    let _ = writeln!(
+        out,
+        "    |- ITCM {} KB (instructions)",
+        cfg.itcm_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "    |- DTCM {} KB (neuron state + input ring)",
+        cfg.dtcm_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "    |- timer/counter        (1 ms tick -> priority-3 event)"
+    );
+    let _ = writeln!(
+        out,
+        "    |- vectored interrupt controller (3 priorities, Fig. 7)"
+    );
+    let _ = writeln!(
+        out,
+        "    |- communications controller (tx/rx neural packets)"
+    );
     let _ = writeln!(
         out,
         "    '- DMA controller ({} ns setup) <-> shared SDRAM",
@@ -114,12 +149,18 @@ pub fn fig5_gals() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 5 — GALS organization\n");
     let _ = writeln!(out, "  clocked (synchronous) islands:");
-    let _ = writeln!(out, "    - each ARM968 processor subsystem (own clock, own voltage)");
+    let _ = writeln!(
+        out,
+        "    - each ARM968 processor subsystem (own clock, own voltage)"
+    );
     let _ = writeln!(out, "    - SDRAM interface");
     let _ = writeln!(out, "  self-timed (asynchronous) sea:");
     let _ = writeln!(out, "    - Communications NoC (CHAIN, 3-of-6 RTZ)");
     let _ = writeln!(out, "    - System NoC");
-    let _ = writeln!(out, "    - inter-chip links (2-of-7 NRZ + transition-sensing");
+    let _ = writeln!(
+        out,
+        "    - inter-chip links (2-of-7 NRZ + transition-sensing"
+    );
     let _ = writeln!(out, "      phase converters, Fig. 6)");
     let _ = writeln!(
         out,
@@ -133,11 +174,17 @@ pub fn fig7_event_model() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 7 — event-driven real-time model\n");
     let _ = writeln!(out, "  priority 1: packet-received interrupt");
-    let _ = writeln!(out, "      identify spiking neuron -> fetch_Synaptic_Data()");
+    let _ = writeln!(
+        out,
+        "      identify spiking neuron -> fetch_Synaptic_Data()"
+    );
     let _ = writeln!(out, "      (schedule DMA of the row from SDRAM)");
     let _ = writeln!(out, "  priority 2: DMA-completion interrupt");
     let _ = writeln!(out, "      process row -> deposit weights in the 16-slot");
-    let _ = writeln!(out, "      deferred-event ring at each synapse's 1-16 ms delay");
+    let _ = writeln!(
+        out,
+        "      deferred-event ring at each synapse's 1-16 ms delay"
+    );
     let _ = writeln!(out, "  priority 3: 1 ms timer interrupt");
     let _ = writeln!(out, "      update_Neurons(); update_Stimulus();");
     let _ = writeln!(out, "      (integrate dv/dt, du/dt; emit spike packets)");

@@ -17,5 +17,5 @@ pub mod figures;
 /// True when the harness should run full-size experiments
 /// (`SPINN_FULL=1`); benches default to quick mode.
 pub fn full_mode() -> bool {
-    std::env::var("SPINN_FULL").map_or(false, |v| v == "1")
+    std::env::var("SPINN_FULL").is_ok_and(|v| v == "1")
 }

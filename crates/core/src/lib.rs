@@ -44,9 +44,7 @@ pub use simulation::{Completed, PopSpike, SimConfig, Simulation};
 pub mod prelude {
     pub use crate::{Completed, SimConfig, Simulation, SpinnError};
     pub use spinn_machine::config::MachineConfig;
-    pub use spinn_map::graph::{
-        Connector, NetworkGraph, NeuronKind, PopulationId, Synapses,
-    };
+    pub use spinn_map::graph::{Connector, NetworkGraph, NeuronKind, PopulationId, Synapses};
     pub use spinn_map::place::Placer;
     pub use spinn_neuron::izhikevich::IzhikevichParams;
     pub use spinn_neuron::lif::LifParams;

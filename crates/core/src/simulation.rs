@@ -26,6 +26,10 @@ pub struct SimConfig {
     /// Enable pair-based STDP with these parameters (modified rows are
     /// DMAed back to SDRAM, §5.3).
     pub stdp: Option<spinn_neuron::stdp::StdpParams>,
+    /// Worker threads for the run (1 = the serial engine; more runs the
+    /// machine sharded via `spinn-par`, with bit-identical spike
+    /// output).
+    pub threads: u32,
 }
 
 impl SimConfig {
@@ -37,7 +41,16 @@ impl SimConfig {
             neurons_per_core: 256,
             placer: Placer::Locality,
             stdp: None,
+            threads: 1,
         }
+    }
+
+    /// Runs the machine sharded across `threads` worker threads
+    /// (clamped to at least 1). Spike output is bit-identical to the
+    /// serial engine; only wall-clock time changes.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Enables STDP plasticity.
@@ -66,6 +79,7 @@ pub struct Simulation {
     placement: Placement,
     route_stats: RouteStats,
     pop_names: Vec<String>,
+    threads: u32,
     /// global core -> (population, slice lo).
     slice_of_core: HashMap<u32, (PopulationId, u32)>,
 }
@@ -147,6 +161,7 @@ impl Simulation {
             placement,
             route_stats: plan.stats().clone(),
             pop_names: net.populations().iter().map(|p| p.name.clone()).collect(),
+            threads: cfg.threads.max(1),
             slice_of_core,
         })
     }
@@ -172,9 +187,15 @@ impl Simulation {
         self.machine.fail_link(chip, d);
     }
 
-    /// Runs `ms` milliseconds of biological time.
+    /// Runs `ms` milliseconds of biological time, on the serial engine
+    /// or sharded across [`SimConfig::with_threads`] worker threads —
+    /// the spike output is identical either way.
     pub fn run(self, ms: u32) -> Completed {
-        let machine = self.machine.run(ms);
+        let machine = if self.threads > 1 {
+            self.machine.run_parallel(ms, self.threads as usize)
+        } else {
+            self.machine.run(ms)
+        };
         Completed {
             machine,
             route_stats: self.route_stats,
@@ -298,7 +319,13 @@ mod tests {
         let mut net = NetworkGraph::new();
         let a = net.population("driver", 100, kind(), 10.0);
         let b = net.population("target", 100, kind(), 0.0);
-        net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(700, 1), 3);
+        net.project(
+            a,
+            b,
+            Connector::FixedFanOut(20),
+            Synapses::constant(700, 1),
+            3,
+        );
         (net, a, b)
     }
 
@@ -321,7 +348,9 @@ mod tests {
     #[test]
     fn rate_helper() {
         let (net, a, _) = two_pop_net();
-        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(500);
+        let done = Simulation::build(&net, SimConfig::new(4, 4))
+            .unwrap()
+            .run(500);
         let rate = done.mean_rate_hz(a, 100, 500);
         assert!(rate > 1.0, "driver rate {rate} Hz");
         assert_eq!(done.mean_rate_hz(a, 100, 0), 0.0);
@@ -358,7 +387,9 @@ mod tests {
     #[test]
     fn report_contains_key_sections() {
         let (net, _, _) = two_pop_net();
-        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(50);
+        let done = Simulation::build(&net, SimConfig::new(4, 4))
+            .unwrap()
+            .run(50);
         let report = done.report();
         for needle in [
             "run report",

@@ -201,6 +201,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the paper's 2x claim
     fn paper_transition_counts() {
         // §5.1: "a 2-of-7 NRZ code uses 3 off-chip wire transitions to send
         // 4 bits of data; a 3-of-6 RTZ code uses 8 wire transitions to send

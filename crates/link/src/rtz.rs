@@ -39,8 +39,7 @@ impl Default for RtzConfig {
 impl RtzConfig {
     /// Nominal symbol cycle: four wire flights plus logic at each phase.
     pub fn nominal_cycle_ps(&self) -> u64 {
-        4 * self.wire_delay_ps + 2 * self.wire_skew_ps + 2 * self.tx_cycle_ps
-            + 2 * self.rx_latch_ps
+        4 * self.wire_delay_ps + 2 * self.wire_skew_ps + 2 * self.tx_cycle_ps + 2 * self.rx_latch_ps
     }
 }
 

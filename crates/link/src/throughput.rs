@@ -35,7 +35,12 @@ pub struct LinkMeasurement {
     pub pj_per_symbol: f64,
 }
 
-fn measurement(wire_delay_ps: u64, symbols: u64, duration_ps: u64, transitions: u64) -> LinkMeasurement {
+fn measurement(
+    wire_delay_ps: u64,
+    symbols: u64,
+    duration_ps: u64,
+    transitions: u64,
+) -> LinkMeasurement {
     let msym = symbols as f64 / (duration_ps as f64 * 1e-12) / 1e6;
     LinkMeasurement {
         wire_delay_ps,
@@ -176,6 +181,8 @@ mod tests {
         assert_eq!(m.symbols, 50);
         assert!((m.mbit_per_s - 4.0 * m.msymbols_per_s).abs() < 1e-9);
         assert!(m.duration_ps > 0);
-        assert!((m.pj_per_symbol - m.transitions_per_symbol * OFF_CHIP_PJ_PER_TRANSITION).abs() < 1e-9);
+        assert!(
+            (m.pj_per_symbol - m.transitions_per_symbol * OFF_CHIP_PJ_PER_TRANSITION).abs() < 1e-9
+        );
     }
 }

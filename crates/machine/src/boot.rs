@@ -211,11 +211,7 @@ impl BootSim {
 
     /// Summarizes the current state.
     pub fn outcome(&self) -> BootOutcome {
-        let monitors = self
-            .chips
-            .iter()
-            .filter(|c| c.has_monitor())
-            .count();
+        let monitors = self.chips.iter().filter(|c| c.has_monitor()).count();
         BootOutcome {
             monitors_first_round: monitors - self.rescued,
             rescued: self.rescued,
@@ -293,8 +289,12 @@ impl BootSim {
     fn send_report(&mut self, now: u64, chip: usize, ctx: &mut Context<BootEvent>) {
         let here = self.torus_coord(chip);
         let report = Packet::p2p(p2p_addr(here), p2p_addr(NodeCoord::new(0, 0)), chip as u32);
-        self.fabric
-            .inject(now, here, report, &mut CtxScheduler::new(ctx, BootEvent::Noc));
+        self.fabric.inject(
+            now,
+            here,
+            report,
+            &mut CtxScheduler::new(ctx, BootEvent::Noc),
+        );
     }
 
     fn on_host_start(&mut self, now: u64, ctx: &mut Context<BootEvent>) {
@@ -414,7 +414,10 @@ impl Model for BootSim {
     fn handle(&mut self, ctx: &mut Context<BootEvent>, ev: BootEvent) {
         let now = ctx.now().ticks();
         match ev {
-            BootEvent::Noc(ev) => self.fabric.handle(now, ev, &mut CtxScheduler::new(ctx, BootEvent::Noc)),
+            BootEvent::Noc(ev) => {
+                self.fabric
+                    .handle(now, ev, &mut CtxScheduler::new(ctx, BootEvent::Noc))
+            }
             BootEvent::SelfTest { chip, core } => self.on_self_test(chip as usize, core),
             BootEvent::HostStart => self.on_host_start(now, ctx),
             BootEvent::RescueSweep => self.on_rescue_sweep(now, ctx),
@@ -428,8 +431,12 @@ impl Model for BootSim {
                     key,
                     payload: Some(payload),
                 };
-                self.fabric
-                    .inject(now, here, packet, &mut CtxScheduler::new(ctx, BootEvent::Noc));
+                self.fabric.inject(
+                    now,
+                    here,
+                    packet,
+                    &mut CtxScheduler::new(ctx, BootEvent::Noc),
+                );
             }
         }
         self.drain_deliveries(now, ctx);

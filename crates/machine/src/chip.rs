@@ -91,7 +91,8 @@ impl ChipState {
     /// Application cores available to the mapper: healthy cores minus
     /// the Monitor.
     pub fn app_cores(&self) -> usize {
-        self.healthy_cores().saturating_sub(self.has_monitor() as usize)
+        self.healthy_cores()
+            .saturating_sub(self.has_monitor() as usize)
     }
 }
 

@@ -218,10 +218,7 @@ mod tests {
         // under 1 Watt" per 20-processor node.
         let e = EnergyModel::default();
         let node_mw = e.chip_peak_mw(20);
-        assert!(
-            node_mw < 1000.0,
-            "node peak power {node_mw} mW exceeds 1 W"
-        );
+        assert!(node_mw < 1000.0, "node peak power {node_mw} mW exceeds 1 W");
         assert!(node_mw > 300.0, "implausibly low node power {node_mw} mW");
     }
 

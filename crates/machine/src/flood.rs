@@ -182,7 +182,10 @@ impl Model for FloodSim {
     fn handle(&mut self, ctx: &mut Context<FloodEvent>, ev: FloodEvent) {
         let now = ctx.now().ticks();
         match ev {
-            FloodEvent::Noc(ev) => self.fabric.handle(now, ev, &mut CtxScheduler::new(ctx, FloodEvent::Noc)),
+            FloodEvent::Noc(ev) => {
+                self.fabric
+                    .handle(now, ev, &mut CtxScheduler::new(ctx, FloodEvent::Noc))
+            }
             FloodEvent::HostBlock { id } => {
                 // The host's Ethernet delivery counts as `k` receipts at
                 // the origin (the host is trusted).

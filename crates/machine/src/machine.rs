@@ -23,10 +23,11 @@ use spinn_neuron::model::{AnyNeuron, NeuronModel};
 use spinn_neuron::ring::InputRing;
 use spinn_neuron::stdp::{apply_bounded, StdpParams};
 use spinn_neuron::synapse::SynapticRow;
-use spinn_noc::fabric::{CtxScheduler, Fabric, NocEvent};
+use spinn_noc::fabric::{CtxScheduler, Fabric, NocEvent, Partition};
 use spinn_noc::mesh::NodeCoord;
 use spinn_noc::packet::{Packet, PacketKind};
 use spinn_noc::router::RouterStats;
+use spinn_par::{ParEngine, RemoteEvent, ShardModel};
 use spinn_sim::{Context, Engine, Histogram, Model, SimTime};
 
 use crate::config::MachineConfig;
@@ -193,6 +194,7 @@ pub struct NeuralMachine {
     stdp: Option<StdpParams>,
     reissued_packets: u64,
     weight_writebacks: u64,
+    par_stats: Option<spinn_par::ParStats>,
 }
 
 impl NeuralMachine {
@@ -212,8 +214,15 @@ impl NeuralMachine {
             stdp: None,
             reissued_packets: 0,
             weight_writebacks: 0,
+            par_stats: None,
             cfg,
         }
+    }
+
+    /// Window/exchange counters of the last [`NeuralMachine::run_parallel`]
+    /// call (`None` after a serial run).
+    pub fn par_stats(&self) -> Option<&spinn_par::ParStats> {
+        self.par_stats.as_ref()
     }
 
     /// Enables pair-based STDP on every loaded core. Weight updates are
@@ -361,7 +370,13 @@ impl NeuralMachine {
         core: u8,
         payload: CorePayload,
     ) -> Result<(), DtcmOverflow> {
-        self.load_core(chip, core, payload.neurons, payload.bias_na, payload.base_key)?;
+        self.load_core(
+            chip,
+            core,
+            payload.neurons,
+            payload.bias_na,
+            payload.base_key,
+        )?;
         let idx = self.core_index(chip, core);
         self.cores[idx].as_mut().expect("just loaded").rows = payload.rows;
         Ok(())
@@ -394,7 +409,93 @@ impl NeuralMachine {
         m
     }
 
-    /// All recorded spikes, in firing order.
+    /// Runs the machine for `ms` milliseconds across `threads` worker
+    /// threads (`spinn-par`), producing the same [`SpikeRecord`] stream
+    /// as [`NeuralMachine::run`].
+    ///
+    /// The chips are partitioned into contiguous blocks of dense ids —
+    /// one shard per thread — and each shard advances its own event
+    /// queue inside conservative windows bounded by the minimum
+    /// inter-chip link latency
+    /// ([`spinn_noc::fabric::FabricConfig::min_remote_delay_ns`]).
+    /// Spike packets crossing a shard boundary are exchanged at window
+    /// barriers with their exact arrival timestamps, so the parallel run
+    /// is an event-exact replay of the serial one. `threads` is clamped
+    /// to `[1, chips]`; with one thread this is exactly
+    /// [`NeuralMachine::run`].
+    pub fn run_parallel(mut self, ms: u32, threads: usize) -> NeuralMachine {
+        let chips = self.cfg.chips();
+        let threads = threads.clamp(1, chips);
+        if threads == 1 {
+            return self.run(ms);
+        }
+        let lookahead = self.cfg.fabric.min_remote_delay_ns().max(1);
+        // Contiguous blocks of dense chip ids: row-major neighbours tend
+        // to share a shard, which keeps barrier exchanges small.
+        let owner: Vec<u32> = (0..chips).map(|c| (c * threads / chips) as u32).collect();
+        let stimuli = std::mem::take(&mut self.stimuli);
+        let cfg = self.cfg;
+        let per = cfg.cores_per_chip as usize;
+        let mut shards: Vec<NeuralMachine> = (0..threads)
+            .map(|s| {
+                let mut m = NeuralMachine::new(cfg);
+                m.fabric = self.fabric.clone();
+                m.fabric
+                    .set_partition(Partition::new(owner.clone(), s as u32));
+                m.stdp = self.stdp;
+                m.duration_ms = ms;
+                m
+            })
+            .collect();
+        for (idx, slot) in self.cores.iter_mut().enumerate() {
+            if let Some(core) = slot.take() {
+                shards[owner[idx / per] as usize].cores[idx] = Some(core);
+            }
+        }
+
+        let mut par = ParEngine::new(shards);
+        for (chip, &own) in owner.iter().enumerate() {
+            par.schedule(
+                own as usize,
+                SimTime::new(MS),
+                MachineEvent::Timer { chip: chip as u32 },
+            );
+        }
+        for (t, chip, key) in stimuli {
+            par.schedule(
+                owner[chip as usize] as usize,
+                SimTime::new(t),
+                MachineEvent::InjectSpike { chip, key },
+            );
+        }
+        // One extra millisecond to let in-flight packets drain, exactly
+        // like the serial run.
+        par.run_until(SimTime::new((ms as u64 + 1) * MS), lookahead);
+        let stats = par.stats().clone();
+
+        let mut models = par.into_models().into_iter();
+        let mut base = models.next().expect("threads >= 2");
+        for (i, mut m) in models.enumerate() {
+            base.fabric.adopt_owned(&mut m.fabric, (i + 1) as u32);
+            for (idx, slot) in m.cores.iter_mut().enumerate() {
+                if let Some(core) = slot.take() {
+                    base.cores[idx] = Some(core);
+                }
+            }
+            base.spikes.extend(m.spikes);
+            base.meter.merge(&m.meter);
+            base.spike_latency.merge(&m.spike_latency);
+            base.reissued_packets += m.reissued_packets;
+            base.weight_writebacks += m.weight_writebacks;
+        }
+        base.fabric.clear_partition();
+        base.duration_ms = ms;
+        base.par_stats = Some(stats);
+        base.finalize();
+        base
+    }
+
+    /// All recorded spikes, in canonical `(time_ms, key)` order.
     pub fn spikes(&self) -> &[SpikeRecord] {
         &self.spikes
     }
@@ -408,11 +509,7 @@ impl NeuralMachine {
     /// Total real-time violations (timer ticks that arrived while the
     /// previous tick was still being processed).
     pub fn realtime_violations(&self) -> u64 {
-        self.cores
-            .iter()
-            .flatten()
-            .map(|c| c.overruns)
-            .sum()
+        self.cores.iter().flatten().map(|c| c.overruns).sum()
     }
 
     /// Packets whose synaptic row was missing (mapping errors).
@@ -447,6 +544,11 @@ impl NeuralMachine {
     }
 
     fn finalize(&mut self) {
+        // Canonical spike order: `(time_ms, key)` is unique (a neuron
+        // fires at most once per tick), so serial and sharded runs
+        // produce bit-identical streams whenever they record the same
+        // spikes.
+        self.spikes.sort_unstable_by_key(|s| (s.time_ms, s.key));
         let duration = self.duration_ns();
         let loaded = self.cores.iter().flatten().count() as u64;
         let busy = self.meter.core_active_ns;
@@ -465,8 +567,7 @@ impl NeuralMachine {
     }
 
     fn dispatch(&mut self, chip: u32, core: u8, ctx: &mut Context<MachineEvent>) {
-        let idx =
-            chip as usize * self.cfg.cores_per_chip as usize + core as usize;
+        let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
         let Some(c) = self.cores[idx].as_mut() else {
             return;
         };
@@ -660,8 +761,7 @@ impl NeuralMachine {
             let chip = self.fabric.torus().id_of(d.node) as u32;
             for core in 1..self.cfg.cores_per_chip {
                 if d.cores & (1 << core) != 0 {
-                    let idx =
-                        chip as usize * self.cfg.cores_per_chip as usize + core as usize;
+                    let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
                     if let Some(c) = self.cores[idx].as_mut() {
                         c.q_packets.push_back(d.packet.key);
                         self.dispatch(chip, core, ctx);
@@ -672,13 +772,87 @@ impl NeuralMachine {
     }
 }
 
+impl ShardModel for NeuralMachine {
+    fn drain_outbox(&mut self) -> Vec<RemoteEvent<MachineEvent>> {
+        self.fabric
+            .take_remote()
+            .into_iter()
+            .map(|(at, dest, ev)| RemoteEvent {
+                at: SimTime::new(at),
+                dest: dest as usize,
+                event: MachineEvent::Noc(ev),
+            })
+            .collect()
+    }
+}
+
 impl Model for NeuralMachine {
     type Event = MachineEvent;
+
+    /// Content-derived same-instant ordering.
+    ///
+    /// Two events scheduled for the same nanosecond are handled in rank
+    /// order rather than insertion order. Deriving the rank from the
+    /// event's content makes the order identical between the serial
+    /// engine and a sharded run — cross-shard arrivals are inserted at
+    /// window barriers, so their insertion order differs, but their
+    /// content does not. Events with equal rank at the same instant are
+    /// identical packets (or duplicate interrupts) and commute.
+    fn tie_rank(ev: &MachineEvent) -> u128 {
+        // Layout: [tag:8 | a:56 | b:64].
+        fn pack(tag: u8, a: u64, b: u64) -> u128 {
+            ((tag as u128) << 120) | (((a & 0x00FF_FFFF_FFFF_FFFF) as u128) << 64) | b as u128
+        }
+        // The low 64 wire bits carry header + key + 24 payload bits;
+        // multicast spikes (the only mid-run traffic) fit entirely, so
+        // bits 56.. are free for the hop count.
+        fn packet_bits(f: &spinn_noc::fabric::InFlight) -> u64 {
+            (f.packet.encode() as u64 & 0x00FF_FFFF_FFFF_FFFF) | ((f.hops as u64) << 56)
+        }
+        match ev {
+            MachineEvent::Noc(NocEvent::Arrive { node, port, flight }) => {
+                pack(1, ((*node as u64) << 8) | *port as u64, packet_bits(flight))
+            }
+            MachineEvent::Noc(NocEvent::LinkFree { node, dir }) => {
+                pack(2, ((*node as u64) << 8) | *dir as u64, 0)
+            }
+            MachineEvent::Noc(NocEvent::Retry {
+                node,
+                dir,
+                phase,
+                left,
+                flight,
+            }) => pack(
+                3,
+                ((*node as u64) << 24)
+                    | ((*dir as u64) << 16)
+                    | ((*phase as u64) << 8)
+                    | *left as u64,
+                packet_bits(flight),
+            ),
+            MachineEvent::Timer { chip } => pack(4, *chip as u64, 0),
+            MachineEvent::CoreDone { chip, core } => {
+                pack(5, ((*chip as u64) << 8) | *core as u64, 0)
+            }
+            MachineEvent::DmaDone { chip, core, key } => {
+                pack(6, ((*chip as u64) << 8) | *core as u64, *key as u64)
+            }
+            MachineEvent::InjectSpike { chip, key } => pack(7, *chip as u64, *key as u64),
+            MachineEvent::ReissueSpike {
+                chip,
+                key,
+                timestamp,
+            } => pack(8, ((*chip as u64) << 8) | *timestamp as u64, *key as u64),
+        }
+    }
 
     fn handle(&mut self, ctx: &mut Context<MachineEvent>, ev: MachineEvent) {
         let now = ctx.now().ticks();
         match ev {
-            MachineEvent::Noc(ev) => self.fabric.handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc)),
+            MachineEvent::Noc(ev) => {
+                self.fabric
+                    .handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc))
+            }
             MachineEvent::Timer { chip } => self.on_timer(chip, ctx),
             MachineEvent::CoreDone { chip, core } => self.on_core_done(chip, core, ctx),
             MachineEvent::DmaDone { chip, core, key } => {
@@ -773,10 +947,21 @@ mod tests {
     #[test]
     fn driven_population_spikes_and_propagates() {
         let m = two_chip_machine(1200, 1).run(200);
-        let src_spikes = m.spikes().iter().filter(|s| s.key & 0xF000 == 0x1000).count();
-        let dst_spikes = m.spikes().iter().filter(|s| s.key & 0xF000 == 0x2000).count();
+        let src_spikes = m
+            .spikes()
+            .iter()
+            .filter(|s| s.key & 0xF000 == 0x1000)
+            .count();
+        let dst_spikes = m
+            .spikes()
+            .iter()
+            .filter(|s| s.key & 0xF000 == 0x2000)
+            .count();
         assert!(src_spikes > 50, "driven sources must fire: {src_spikes}");
-        assert!(dst_spikes > 10, "targets must be driven to fire: {dst_spikes}");
+        assert!(
+            dst_spikes > 10,
+            "targets must be driven to fire: {dst_spikes}"
+        );
         assert_eq!(m.row_misses(), 0);
         assert_eq!(m.realtime_violations(), 0);
     }
@@ -856,10 +1041,7 @@ mod tests {
             m.queue_stimulus(t * MS + 500, dst, 0x42);
         }
         let m = m.run(100);
-        assert!(
-            !m.spikes().is_empty(),
-            "stimulated population must fire"
-        );
+        assert!(!m.spikes().is_empty(), "stimulated population must fire");
     }
 
     #[test]
@@ -915,7 +1097,11 @@ mod tests {
             })
             .unwrap();
         let m = m.run(200);
-        let dst_spikes = m.spikes().iter().filter(|s| s.key & 0xF000 == 0x2000).count();
+        let dst_spikes = m
+            .spikes()
+            .iter()
+            .filter(|s| s.key & 0xF000 == 0x2000)
+            .count();
         assert!(dst_spikes > 10, "migrated core must keep functioning");
     }
 

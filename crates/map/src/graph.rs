@@ -289,7 +289,13 @@ mod tests {
         let mut net = NetworkGraph::new();
         let a = net.population("a", 10, kind(), 0.0);
         let b = net.population("b", 20, kind(), 1.0);
-        net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 0);
+        net.project(
+            a,
+            b,
+            Connector::AllToAll { allow_self: true },
+            Synapses::constant(10, 1),
+            0,
+        );
         assert_eq!(net.populations().len(), 2);
         assert_eq!(net.total_neurons(), 30);
         assert_eq!(net.pop(b).size, 20);
@@ -351,7 +357,11 @@ mod tests {
         let pairs = p.pairs(10, 50);
         assert_eq!(pairs.len(), 50);
         for s in 0..10u32 {
-            let mut t: Vec<u32> = pairs.iter().filter(|&&(a, _)| a == s).map(|&(_, d)| d).collect();
+            let mut t: Vec<u32> = pairs
+                .iter()
+                .filter(|&&(a, _)| a == s)
+                .map(|&(_, d)| d)
+                .collect();
             assert_eq!(t.len(), 5);
             t.sort_unstable();
             t.dedup();

@@ -41,7 +41,10 @@ pub fn core_key_mask(global_core: u32) -> (u32, u32) {
 ///
 /// Panics if `neuron` does not fit in the 12-bit field.
 pub fn neuron_key(global_core: u32, neuron: u32) -> u32 {
-    assert!(neuron < (1 << NEURON_BITS), "neuron index {neuron} too large");
+    assert!(
+        neuron < (1 << NEURON_BITS),
+        "neuron index {neuron} too large"
+    );
     core_base_key(global_core) | neuron
 }
 

@@ -109,7 +109,7 @@ impl LoadedApp {
                     }
                 }
             }
-            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x5EED_0F_5EED);
+            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x005E_ED0F_5EED);
             for (s, d) in proj.pairs(n_src, n_dst) {
                 let (w, delay) = proj.synapses.sample(&mut rng);
                 let src_slice = placement.locate(proj.src, s);

@@ -121,9 +121,7 @@ impl Placement {
             Placer::RoundRobin => {}
             Placer::Locality => {
                 let origin = NodeCoord::new(0, 0);
-                chip_order.sort_by_key(|&id| {
-                    (torus.hex_distance(origin, torus.coord_of(id)), id)
-                });
+                chip_order.sort_by_key(|&id| (torus.hex_distance(origin, torus.coord_of(id)), id));
             }
             Placer::Random { .. } => {}
         }
@@ -266,8 +264,20 @@ mod tests {
         let a = net.population("a", 250, kind(), 0.0);
         let b = net.population("b", 100, kind(), 0.0);
         let c = net.population("c", 50, kind(), 0.0);
-        net.project(a, b, Connector::FixedProbability(0.1), Synapses::constant(10, 1), 1);
-        net.project(b, c, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 2);
+        net.project(
+            a,
+            b,
+            Connector::FixedProbability(0.1),
+            Synapses::constant(10, 1),
+            1,
+        );
+        net.project(
+            b,
+            c,
+            Connector::AllToAll { allow_self: true },
+            Synapses::constant(10, 1),
+            2,
+        );
         net
     }
 
@@ -295,7 +305,11 @@ mod tests {
     #[test]
     fn all_placers_produce_complete_placements() {
         let net = sample_net();
-        for placer in [Placer::RoundRobin, Placer::Locality, Placer::Random { seed: 9 }] {
+        for placer in [
+            Placer::RoundRobin,
+            Placer::Locality,
+            Placer::Random { seed: 9 },
+        ] {
             let p = Placement::compute(&net, 4, 4, 17, 100, placer).unwrap();
             check_complete(&net, &p);
             assert_eq!(p.slices().len(), 3 + 1 + 1);

@@ -217,9 +217,7 @@ fn grow_tree(
         let dc = torus.coord_of(dest);
         let (&attach, _) = tree
             .iter()
-            .min_by_key(|(&c, node)| {
-                (torus.hex_distance(torus.coord_of(c), dc), node.depth, c)
-            })
+            .min_by_key(|(&c, node)| (torus.hex_distance(torus.coord_of(c), dc), node.depth, c))
             .expect("tree non-empty");
         let mut cur = attach;
         while cur != dest {
@@ -305,7 +303,13 @@ mod tests {
             .map(|i| net.population(&format!("p{i}"), pop_size, kind(), 0.0))
             .collect();
         for w in pops.windows(2) {
-            net.project(w[0], w[1], Connector::OneToOne, Synapses::constant(10, 1), 0);
+            net.project(
+                w[0],
+                w[1],
+                Connector::OneToOne,
+                Synapses::constant(10, 1),
+                0,
+            );
         }
         net
     }

@@ -220,9 +220,7 @@ mod tests {
         // C(8,2) = 28 -> log2(28) ≈ 4.807
         assert!((n_of_m_capacity_bits(8, 2) - 28f64.log2()).abs() < 1e-9);
         // Rank order adds log2(2!) = 1 bit.
-        assert!(
-            (rank_order_capacity_bits(8, 2) - (28f64.log2() + 1.0)).abs() < 1e-9
-        );
+        assert!((rank_order_capacity_bits(8, 2) - (28f64.log2() + 1.0)).abs() < 1e-9);
         // The paper's observation: with N and M "in the hundreds or
         // thousands", the capacity is enormous.
         assert!(rank_order_capacity_bits(1000, 100) > 700.0);

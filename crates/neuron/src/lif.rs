@@ -147,8 +147,10 @@ mod tests {
 
     #[test]
     fn refractory_period_enforced() {
-        let mut p = LifParams::default();
-        p.t_refract = 5;
+        let p = LifParams {
+            t_refract: 5,
+            ..Default::default()
+        };
         let mut n = LifNeuron::new(p);
         let mut last_spike: Option<i32> = None;
         for t in 0..2000 {
@@ -164,8 +166,10 @@ mod tests {
 
     #[test]
     fn refractory_flag_visible() {
-        let mut p = LifParams::default();
-        p.t_refract = 3;
+        let p = LifParams {
+            t_refract: 3,
+            ..Default::default()
+        };
         let mut n = LifNeuron::new(p);
         while !n.step_1ms(10.0) {}
         assert!(n.is_refractory());

@@ -66,7 +66,10 @@ impl RegularSource {
     /// Panics if `period_ms` is zero.
     pub fn new(period_ms: u32) -> Self {
         assert!(period_ms > 0, "period must be positive");
-        RegularSource { period_ms, phase: 0 }
+        RegularSource {
+            period_ms,
+            phase: 0,
+        }
     }
 
     /// Advances 1 ms; `true` on firing ticks.

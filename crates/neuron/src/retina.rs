@@ -100,7 +100,11 @@ impl Image {
         let mut img = Image::new(width, height);
         for y in 0..height {
             for x in 0..width {
-                img.pixels[y * width + x] = if (x / period.max(1)) % 2 == 0 { 1.0 } else { 0.0 };
+                img.pixels[y * width + x] = if (x / period.max(1)).is_multiple_of(2) {
+                    1.0
+                } else {
+                    0.0
+                };
             }
         }
         img
@@ -220,8 +224,7 @@ impl RetinaLayer {
                 if i == j || scale_of[i] != scale_of[j] {
                     continue;
                 }
-                let d2 = (cells[i].cx - cells[j].cx).powi(2)
-                    + (cells[i].cy - cells[j].cy).powi(2);
+                let d2 = (cells[i].cx - cells[j].cx).powi(2) + (cells[i].cy - cells[j].cy).powi(2);
                 let range = (2 * scales[scale_of[i]].1) as f64;
                 if d2 <= range * range {
                     neighbours[i].push(j as u32);

@@ -136,7 +136,10 @@ mod tests {
             s.on_pre(0.0, &p);
             s.on_post(40.0, &p)
         };
-        assert!(near > far, "closer pairing must change more: {near} vs {far}");
+        assert!(
+            near > far,
+            "closer pairing must change more: {near} vs {far}"
+        );
         assert!(far >= 0);
     }
 

@@ -47,7 +47,10 @@ impl SynapticWord {
             (1..=MAX_DELAY_MS).contains(&delay_ms),
             "synaptic delay {delay_ms} outside 1..=16 ms"
         );
-        assert!(target <= MAX_TARGET, "target index {target} exceeds 12 bits");
+        assert!(
+            target <= MAX_TARGET,
+            "target index {target} exceeds 12 bits"
+        );
         let w = (weight_raw as u16 as u32) << 16;
         let d = ((delay_ms - 1) as u32) << 12;
         SynapticWord(w | d | target as u32)

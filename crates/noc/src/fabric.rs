@@ -150,6 +150,53 @@ impl FabricConfig {
             max_hops: 128,
         }
     }
+
+    /// The smallest possible delay between a packet leaving one chip and
+    /// arriving at its neighbour: serialization of the shortest (40-bit)
+    /// packet plus wire propagation plus the receiving router's pipeline.
+    ///
+    /// This is the *lookahead* of sharded execution (`spinn-par`): a
+    /// conservative window of this length can be simulated on every
+    /// shard independently, because no cross-chip — hence no cross-shard
+    /// — event can be generated closer to the present than this.
+    pub fn min_remote_delay_ns(&self) -> u64 {
+        Packet::MIN_WIRE_BITS as u64 * self.ns_per_bit + self.link_prop_ns + self.router_latency_ns
+    }
+}
+
+/// Chip-ownership map for sharded execution: which shard simulates each
+/// node of the torus.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    owner: Vec<u32>,
+    me: u32,
+}
+
+impl Partition {
+    /// Builds a partition from a per-node owner table, for the shard
+    /// `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is empty or `me` owns no node.
+    pub fn new(owner: Vec<u32>, me: u32) -> Self {
+        assert!(!owner.is_empty(), "partition needs at least one node");
+        assert!(
+            owner.contains(&me),
+            "shard {me} owns no node of the partition"
+        );
+        Partition { owner, me }
+    }
+
+    /// The shard that simulates dense node id `node`.
+    pub fn owner_of(&self, node: usize) -> u32 {
+        self.owner[node]
+    }
+
+    /// The shard this fabric instance belongs to.
+    pub fn shard(&self) -> u32 {
+        self.me
+    }
 }
 
 /// A packet delivered to a node (to local cores for multicast, or to the
@@ -183,7 +230,7 @@ pub struct DroppedPacket {
     pub time_ns: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct LinkState {
     busy: bool,
     queue: VecDeque<InFlight>,
@@ -212,7 +259,7 @@ struct LinkState {
 /// engine.run_to_completion(Some(100_000));
 /// assert_eq!(engine.model().delivered(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Fabric {
     cfg: FabricConfig,
     torus: Torus,
@@ -220,6 +267,8 @@ pub struct Fabric {
     links: Vec<LinkState>,
     deliveries: Vec<Delivery>,
     dropped: Vec<DroppedPacket>,
+    partition: Option<Partition>,
+    remote: Vec<(u64, u32, NocEvent)>,
 }
 
 impl Fabric {
@@ -234,6 +283,56 @@ impl Fabric {
             links: (0..n * 6).map(|_| LinkState::default()).collect(),
             deliveries: Vec::new(),
             dropped: Vec::new(),
+            partition: None,
+            remote: Vec::new(),
+        }
+    }
+
+    /// Restricts this fabric instance to the nodes a shard owns: packets
+    /// crossing onto a chip owned by another shard are diverted into the
+    /// exchange buffer ([`Fabric::take_remote`]) instead of being
+    /// scheduled locally.
+    pub fn set_partition(&mut self, partition: Partition) {
+        assert_eq!(
+            partition.owner.len(),
+            self.torus.len(),
+            "partition size must match the torus"
+        );
+        self.partition = Some(partition);
+    }
+
+    /// Removes the partition (after shards are merged back together).
+    pub fn clear_partition(&mut self) {
+        self.partition = None;
+    }
+
+    /// The active partition, if sharded.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Drains the cross-shard events diverted since the last call, as
+    /// `(absolute arrival time ns, destination shard, event)`.
+    pub fn take_remote(&mut self) -> Vec<(u64, u32, NocEvent)> {
+        std::mem::take(&mut self.remote)
+    }
+
+    /// Adopts the per-node state (router + outgoing links) of every node
+    /// owned by `shard` from another fabric instance — the merge step
+    /// after a sharded run.
+    pub fn adopt_owned(&mut self, other: &mut Fabric, shard: u32) {
+        let part = other
+            .partition
+            .as_ref()
+            .expect("adopt_owned needs a partitioned source");
+        assert_eq!(part.owner.len(), self.torus.len());
+        for id in 0..self.torus.len() {
+            if part.owner[id] == shard {
+                std::mem::swap(&mut self.routers[id], &mut other.routers[id]);
+                for d in 0..6 {
+                    std::mem::swap(&mut self.links[id * 6 + d], &mut other.links[id * 6 + d]);
+                }
+            }
         }
     }
 
@@ -365,9 +464,13 @@ impl Fabric {
     /// Reacts to one fabric event.
     pub fn handle(&mut self, now: u64, ev: NocEvent, sched: &mut impl NocScheduler) {
         match ev {
-            NocEvent::Arrive { node, port, flight } => {
-                self.on_arrive(now, node as usize, Direction::from_index(port as usize), flight, sched)
-            }
+            NocEvent::Arrive { node, port, flight } => self.on_arrive(
+                now,
+                node as usize,
+                Direction::from_index(port as usize),
+                flight,
+                sched,
+            ),
             NocEvent::LinkFree { node, dir } => {
                 self.on_link_free(now, node as usize, dir as usize, sched)
             }
@@ -515,7 +618,7 @@ impl Fabric {
         flight: InFlight,
         sched: &mut impl NocScheduler,
     ) {
-        if self.try_enqueue(node, dir, flight, sched) {
+        if self.try_enqueue(now, node, dir, flight, sched) {
             return;
         }
         let slice = (self.routers[node].config().wait1_ns / RETRY_SLICES as u64).max(1);
@@ -529,7 +632,6 @@ impl Fabric {
                 flight,
             },
         );
-        let _ = now;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -543,7 +645,7 @@ impl Fabric {
         flight: InFlight,
         sched: &mut impl NocScheduler,
     ) {
-        if self.try_enqueue(node, dir, flight, sched) {
+        if self.try_enqueue(now, node, dir, flight, sched) {
             return;
         }
         let cfg = *self.routers[node].config();
@@ -557,13 +659,17 @@ impl Fabric {
             let mut redirected = flight;
             redirected.packet.emergency = EmergencyState::FirstLeg;
             let leg = dir.rotate_ccw();
-            if self.try_enqueue(node, leg, redirected, sched) {
+            if self.try_enqueue(now, node, leg, redirected, sched) {
                 self.routers[node].stats.emergency_reroutes += 1;
                 return;
             }
         }
         if left > 0 {
-            let wait = if phase == 1 { cfg.wait1_ns } else { cfg.wait2_ns };
+            let wait = if phase == 1 {
+                cfg.wait1_ns
+            } else {
+                cfg.wait2_ns
+            };
             let slice = (wait / RETRY_SLICES as u64).max(1);
             sched.schedule(
                 slice,
@@ -602,6 +708,7 @@ impl Fabric {
     /// True if the packet was accepted (link idle or queue has room).
     fn try_enqueue(
         &mut self,
+        now: u64,
         node: usize,
         dir: Direction,
         flight: InFlight,
@@ -614,7 +721,7 @@ impl Fabric {
         }
         if !ls.busy {
             ls.busy = true;
-            self.start_tx(node, dir, flight, sched);
+            self.start_tx(now, node, dir, flight, sched);
             true
         } else if ls.queue.len() < cap {
             ls.queue.push_back(flight);
@@ -626,6 +733,7 @@ impl Fabric {
 
     fn start_tx(
         &mut self,
+        now: u64,
         node: usize,
         dir: Direction,
         mut flight: InFlight,
@@ -640,27 +748,30 @@ impl Fabric {
             },
         );
         let peer = self.torus.neighbour(self.torus.coord_of(node), dir);
+        let peer_id = self.torus.id_of(peer);
         flight.hops += 1;
-        sched.schedule(
-            ser + self.cfg.link_prop_ns + self.cfg.router_latency_ns,
-            NocEvent::Arrive {
-                node: self.torus.id_of(peer) as u32,
-                port: dir.opposite().index() as u8,
-                flight,
-            },
-        );
+        let delay = ser + self.cfg.link_prop_ns + self.cfg.router_latency_ns;
+        debug_assert!(delay >= self.cfg.min_remote_delay_ns());
+        let arrive = NocEvent::Arrive {
+            node: peer_id as u32,
+            port: dir.opposite().index() as u8,
+            flight,
+        };
+        match &self.partition {
+            // Cross-shard hop: divert into the exchange buffer with its
+            // absolute arrival time; the parallel driver delivers it to
+            // the owning shard at the next window barrier.
+            Some(p) if p.owner_of(peer_id) != p.shard() => {
+                self.remote.push((now + delay, p.owner_of(peer_id), arrive));
+            }
+            _ => sched.schedule(delay, arrive),
+        }
     }
 
-    fn on_link_free(
-        &mut self,
-        _now: u64,
-        node: usize,
-        dir: usize,
-        sched: &mut impl NocScheduler,
-    ) {
+    fn on_link_free(&mut self, now: u64, node: usize, dir: usize, sched: &mut impl NocScheduler) {
         let ls = &mut self.links[node * 6 + dir];
         if let Some(next) = ls.queue.pop_front() {
-            self.start_tx(node, Direction::from_index(dir), next, sched);
+            self.start_tx(now, node, Direction::from_index(dir), next, sched);
         } else {
             ls.busy = false;
         }
@@ -738,7 +849,7 @@ impl FabricSim {
     /// in non-decreasing time order).
     pub fn queue_injection(&mut self, at_ns: u64, node: NodeCoord, packet: Packet) {
         debug_assert!(
-            self.injections.back().map_or(true, |(t, _, _)| *t <= at_ns),
+            self.injections.back().is_none_or(|(t, _, _)| *t <= at_ns),
             "injections must be queued in time order"
         );
         self.injections.push_back((at_ns, node, packet));
@@ -975,7 +1086,10 @@ mod tests {
         // The detour node is (2,1): it must have seen one emergency
         // second-leg forward.
         assert_eq!(
-            sim.fabric.router(NodeCoord::new(2, 1)).stats.emergency_second_legs,
+            sim.fabric
+                .router(NodeCoord::new(2, 1))
+                .stats
+                .emergency_second_legs,
             1
         );
         assert_eq!(sim.delivered(), 1);
@@ -1046,8 +1160,13 @@ mod tests {
             }
         }
         let mut c = Collect(Vec::new());
-        m.fabric
-            .inject_nn(0, NodeCoord::new(1, 1), Direction::North, Packet::nn(9, 3), &mut c);
+        m.fabric.inject_nn(
+            0,
+            NodeCoord::new(1, 1),
+            Direction::North,
+            Packet::nn(9, 3),
+            &mut c,
+        );
         for (d, e) in c.0 {
             engine.schedule_at(SimTime::new(d), FabricEvent::Noc(e));
         }
@@ -1087,7 +1206,11 @@ mod tests {
 
     #[test]
     fn p2p_addr_roundtrip() {
-        for c in [NodeCoord::new(0, 0), NodeCoord::new(255, 255), NodeCoord::new(12, 7)] {
+        for c in [
+            NodeCoord::new(0, 0),
+            NodeCoord::new(255, 255),
+            NodeCoord::new(12, 7),
+        ] {
             assert_eq!(p2p_coord(p2p_addr(c)), c);
         }
     }

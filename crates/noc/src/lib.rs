@@ -50,7 +50,7 @@ pub mod router;
 pub mod table;
 
 pub use direction::Direction;
-pub use fabric::{Delivery, Fabric, FabricConfig, NocEvent, NocScheduler};
+pub use fabric::{Delivery, Fabric, FabricConfig, NocEvent, NocScheduler, Partition};
 pub use mesh::{NodeCoord, Torus};
 pub use packet::{EmergencyState, Packet, PacketKind};
 pub use router::{Router, RouterConfig, RouterStats};

@@ -154,12 +154,15 @@ impl Packet {
         self.key as u16
     }
 
+    /// The shortest possible wire format (a payload-less packet), bits.
+    pub const MIN_WIRE_BITS: u32 = 40;
+
     /// Number of bits on the wire: 40, or 72 with payload.
     pub fn wire_bits(&self) -> u32 {
         if self.payload.is_some() {
             72
         } else {
-            40
+            Self::MIN_WIRE_BITS
         }
     }
 
@@ -180,7 +183,7 @@ impl Packet {
         }
         // Odd parity across header+content so the wire word has odd weight.
         let ones = (bits | header as u128).count_ones();
-        if ones % 2 == 0 {
+        if ones.is_multiple_of(2) {
             header |= 1;
         }
         bits | header as u128
@@ -192,7 +195,7 @@ impl Packet {
     /// (a corrupted packet, which real routers drop with an error
     /// interrupt).
     pub fn decode(bits: u128) -> Option<Packet> {
-        if bits.count_ones() % 2 == 0 {
+        if bits.count_ones().is_multiple_of(2) {
             return None; // parity error
         }
         let header = (bits & 0xFF) as u8;

@@ -88,7 +88,7 @@ pub enum Port {
 }
 
 /// One node's router: the multicast CAM plus statistics.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Router {
     /// The multicast routing table.
     pub table: McTable,

@@ -147,7 +147,11 @@ pub struct TableFull {
 
 impl std::fmt::Display for TableFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "multicast routing table full ({} entries)", self.capacity)
+        write!(
+            f,
+            "multicast routing table full ({} entries)",
+            self.capacity
+        )
     }
 }
 

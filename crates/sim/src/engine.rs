@@ -16,6 +16,21 @@ pub trait Model {
 
     /// Reacts to one event. `ctx.now()` is the event's timestamp.
     fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+
+    /// Content-derived tie-break rank for same-instant events.
+    ///
+    /// Events scheduled for the same tick are handled in
+    /// `(tie_rank, insertion order)` order. The default (constant 0)
+    /// gives pure FIFO, which is deterministic for a single engine.
+    /// Models that are also run sharded (`spinn-par`) should derive the
+    /// rank from the event's *content* so that the same-instant order is
+    /// independent of which shard staged each event — that is what makes
+    /// a parallel run replay the serial one bit-exactly. Events mapping
+    /// to the same rank at the same instant must be interchangeable
+    /// (their handling order must not affect the model's final state).
+    fn tie_rank(_event: &Self::Event) -> u128 {
+        0
+    }
 }
 
 /// Handed to every event handler: the current time plus a staging area for
@@ -107,12 +122,13 @@ impl<M: Model> Engine<M> {
             self.now,
             at
         );
-        self.queue.push(at, event);
+        self.queue.push_ranked(at, M::tie_rank(&event), event);
     }
 
     /// Schedules an event `delay` ticks after the current time.
     pub fn schedule_in(&mut self, delay: u64, event: M::Event) {
-        self.queue.push(self.now + delay, event);
+        self.queue
+            .push_ranked(self.now + delay, M::tie_rank(&event), event);
     }
 
     /// The current simulation time (timestamp of the last handled event).
@@ -169,7 +185,7 @@ impl<M: Model> Engine<M> {
         };
         self.model.handle(&mut ctx, event);
         for (at, ev) in ctx.staged {
-            self.queue.push(at, ev);
+            self.queue.push_ranked(at, M::tie_rank(&ev), ev);
         }
         Some(time)
     }
@@ -199,11 +215,53 @@ impl<M: Model> Engine<M> {
                     self.model.handle(&mut ctx, event);
                     let stop = ctx.stop;
                     for (at, ev) in ctx.staged {
-                        self.queue.push(at, ev);
+                        self.queue.push_ranked(at, M::tie_rank(&ev), ev);
                     }
                     if stop {
                         return RunOutcome::Stopped;
                     }
+                }
+            }
+        }
+    }
+
+    /// Runs one conservative window: handles every event strictly before
+    /// `horizon`, then advances the clock to `horizon`.
+    ///
+    /// This is the building block of sharded execution (`spinn-par`): a
+    /// shard may safely run all events below the global lower bound plus
+    /// the cross-shard lookahead, because no in-flight remote event can
+    /// land inside that window. Events at exactly `horizon` stay queued
+    /// for the next window. [`Context::stop`] requests end the window
+    /// early but are otherwise ignored by windowed drivers.
+    pub fn run_before(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t < horizon => {
+                    let (time, event) = self.queue.pop().expect("peeked");
+                    self.now = time;
+                    self.processed += 1;
+                    let mut ctx = Context {
+                        now: time,
+                        staged: Vec::new(),
+                        stop: false,
+                    };
+                    self.model.handle(&mut ctx, event);
+                    let stop = ctx.stop;
+                    for (at, ev) in ctx.staged {
+                        self.queue.push_ranked(at, M::tie_rank(&ev), ev);
+                    }
+                    if stop {
+                        return RunOutcome::Stopped;
+                    }
+                }
+                Some(_) => {
+                    self.now = self.now.max(horizon);
+                    return RunOutcome::DeadlineReached;
+                }
+                None => {
+                    self.now = self.now.max(horizon);
+                    return RunOutcome::Exhausted;
                 }
             }
         }
@@ -233,7 +291,7 @@ impl<M: Model> Engine<M> {
             self.model.handle(&mut ctx, event);
             let stop = ctx.stop;
             for (at, ev) in ctx.staged {
-                self.queue.push(at, ev);
+                self.queue.push_ranked(at, M::tie_rank(&ev), ev);
             }
             if stop {
                 return RunOutcome::Stopped;

@@ -5,12 +5,18 @@ use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A priority queue of `(time, event)` pairs ordered by time, with FIFO
-/// tie-breaking for events scheduled at the same instant.
+/// A priority queue of `(time, event)` pairs ordered by
+/// `(time, rank, insertion sequence)`.
 ///
-/// The FIFO tie-break is what makes simulations deterministic: two events
-/// scheduled for the same tick are always delivered in the order they were
-/// scheduled, regardless of payload contents.
+/// The *rank* is an optional content-derived key
+/// ([`EventQueue::push_ranked`], [`crate::Model::tie_rank`]): two events
+/// at the same instant are ordered by rank first, and only FIFO within
+/// equal ranks. Content-derived ranks make the same-instant order a
+/// function of *what* the events are rather than of who scheduled them
+/// first — which is what lets a sharded run (`spinn-par`) replay a
+/// serial run exactly, even though cross-shard events are inserted at
+/// barriers rather than at their senders' convenience. Plain
+/// [`EventQueue::push`] uses rank 0, i.e. pure FIFO tie-breaking.
 ///
 /// # Example
 ///
@@ -35,13 +41,14 @@ pub struct EventQueue<E> {
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    rank: u128,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.rank == other.rank && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -54,8 +61,9 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, rank, seq) pops first.
+        (other.time, other.rank, other.seq).cmp(&(self.time, self.rank, self.seq))
     }
 }
 
@@ -68,11 +76,23 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time` (rank 0: FIFO among
+    /// unranked same-instant events).
     pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, 0, event);
+    }
+
+    /// Schedules `event` at `time` with a content-derived tie-break
+    /// `rank` (see the type-level docs).
+    pub fn push_ranked(&mut self, time: SimTime, rank: u128, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.heap.push(Entry {
+            time,
+            rank,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.

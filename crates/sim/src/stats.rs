@@ -162,7 +162,10 @@ impl Histogram {
     ///
     /// Panics if `buckets == 0` or `width == 0`.
     pub fn new(buckets: usize, width: u64) -> Self {
-        assert!(buckets > 0 && width > 0, "histogram needs buckets and width");
+        assert!(
+            buckets > 0 && width > 0,
+            "histogram needs buckets and width"
+        );
         Histogram {
             buckets: vec![0; buckets],
             width,
@@ -226,6 +229,28 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Merges another histogram recorded with the same geometry
+    /// (per-shard latency histograms from a parallel run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bucket count or width differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket-count mismatch"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
     }
 
     /// Iterates `(bucket_lower_bound, count)` for all non-empty buckets.

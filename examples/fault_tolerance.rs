@@ -33,8 +33,10 @@ fn build(emergency: bool) -> NeuralMachine {
     let mut m = NeuralMachine::new(cfg);
     let src = NodeCoord::new(0, 0);
     let dst = NodeCoord::new(3, 0);
-    m.load_core(src, 1, neurons(50), vec![11.0; 50], 0x8000).unwrap();
-    m.load_core(dst, 1, neurons(50), vec![0.0; 50], 0x10000).unwrap();
+    m.load_core(src, 1, neurons(50), vec![11.0; 50], 0x8000)
+        .unwrap();
+    m.load_core(dst, 1, neurons(50), vec![0.0; 50], 0x10000)
+        .unwrap();
     m.router_mut(src)
         .table
         .insert(McTableEntry {
@@ -77,11 +79,7 @@ fn main() {
             m.fail_link(NodeCoord::new(1, 0), Direction::East);
         }
         let m = m.run(300);
-        let tgt = m
-            .spikes()
-            .iter()
-            .filter(|s| s.key & 0x1_0000 != 0)
-            .count();
+        let tgt = m.spikes().iter().filter(|s| s.key & 0x1_0000 != 0).count();
         let rs = m.router_stats();
         println!(
             "{:<28} {:>10} {:>10} {:>10} {:>9}",
@@ -109,8 +107,7 @@ fn main() {
     m.install_core(NodeCoord::new(3, 1), 1, payload)
         .expect("spare core fits");
     // Re-point the last hop: extend the tree one hop north.
-    *m.router_mut(NodeCoord::new(3, 0)) =
-        spinnaker::noc::router::Router::new(Default::default());
+    *m.router_mut(NodeCoord::new(3, 0)) = spinnaker::noc::router::Router::new(Default::default());
     m.router_mut(NodeCoord::new(3, 0))
         .table
         .insert(McTableEntry {
@@ -128,11 +125,7 @@ fn main() {
         })
         .unwrap();
     let m = m.run(300);
-    let migrated_spikes = m
-        .spikes()
-        .iter()
-        .filter(|s| s.key & 0x1_0000 != 0)
-        .count();
+    let migrated_spikes = m.spikes().iter().filter(|s| s.key & 0x1_0000 != 0).count();
     println!("target spikes before failure: {healthy_spikes}");
     println!("target spikes after migration: {migrated_spikes}");
     println!("(the population keeps functioning on its new core)");

@@ -31,9 +31,18 @@ fn main() {
     );
     // Strong feed-forward drive: pre spikes cause post spikes 1-2 ms
     // later, the classic potentiation protocol.
-    net.project(pre, post, Connector::FixedFanOut(20), Synapses::constant(350, 1), 5);
+    net.project(
+        pre,
+        post,
+        Connector::FixedFanOut(20),
+        Synapses::constant(350, 1),
+        5,
+    );
 
-    println!("{:>10} {:>12} {:>12} {:>14} {:>12}", "run (ms)", "pre spikes", "post spikes", "writebacks", "post rate Hz");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "run (ms)", "pre spikes", "post spikes", "writebacks", "post rate Hz"
+    );
     for ms in [100u32, 300, 600] {
         let cfg = SimConfig::new(2, 2).with_stdp(StdpParams {
             a_plus: 6.0,

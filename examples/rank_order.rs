@@ -39,10 +39,7 @@ fn main() {
         "noise (sd)", "similarity", "top-cell kept?"
     );
     for noise in [0.0, 0.5, 1.0, 2.0, 4.0] {
-        let noisy: Vec<f64> = stimulus
-            .iter()
-            .map(|&v| v + rng.normal() * noise)
-            .collect();
+        let noisy: Vec<f64> = stimulus.iter().map(|&v| v + rng.normal() * noise).collect();
         let code = rank_order_encode(&noisy, 12, 0.0);
         let sim = rank_order_similarity(&clean, &code, m, 0.9);
         println!(
@@ -57,6 +54,9 @@ fn main() {
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top decoded components (index, weight):");
     for (i, w) in pairs.iter().take(6) {
-        println!("  neuron {i:>3}: {w:.3}  (true stimulus {:.2})", stimulus[*i]);
+        println!(
+            "  neuron {i:>3}: {w:.3}  (true stimulus {:.2})",
+            stimulus[*i]
+        );
     }
 }

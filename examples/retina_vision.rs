@@ -15,7 +15,12 @@ use spinnaker::sim::Xoshiro256;
 
 fn render(img: &Image) -> String {
     let ramp = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    let max = img.pixels().iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let max = img
+        .pixels()
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let mut out = String::new();
     for y in (0..img.height()).step_by(2) {
         for x in 0..img.width() {

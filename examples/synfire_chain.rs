@@ -39,8 +39,8 @@ fn main() {
         );
     }
 
-    let sim = Simulation::build(&net, SimConfig::new(4, 4).with_neurons_per_core(64))
-        .expect("fits");
+    let sim =
+        Simulation::build(&net, SimConfig::new(4, 4).with_neurons_per_core(64)).expect("fits");
     println!(
         "chain of {STAGES} stages placed on {} cores; {} routing entries\n",
         sim.placement().slices().len(),

@@ -53,8 +53,7 @@ fn main() {
             .unwrap();
     }
     for i in 0..n_cells as u32 {
-        let row: SynapticRow =
-            std::iter::once(SynapticWord::new(12000, 1, i as u16)).collect();
+        let row: SynapticRow = std::iter::once(SynapticWord::new(12000, 1, i as u16)).collect();
         m.set_row(cortex, 1, 0x1000 + i, row);
     }
 

@@ -17,6 +17,7 @@
 //! | [`noc`] | packets, hex-torus mesh, multicast router, emergency routing, whole-machine fabric |
 //! | [`neuron`] | Izhikevich/LIF models (16.16 fixed point), synaptic rows, deferred-event ring, STDP, rank-order codes, retina |
 //! | [`machine`] | chips, monitor election, boot, flood-fill loading, the running machine, energy/cost model |
+//! | [`par`] | sharded, barrier-synchronized parallel execution of the machine (serial-exact) |
 //! | [`map`] | populations/projections, placement, AER keys, multicast-tree routing tables, SDRAM images |
 //! | [`spinnaker`] | the PyNN-flavoured public API: build → run → inspect |
 //!
@@ -43,6 +44,7 @@ pub use spinn_machine as machine;
 pub use spinn_map as map;
 pub use spinn_neuron as neuron;
 pub use spinn_noc as noc;
+pub use spinn_par as par;
 pub use spinn_sim as sim;
 pub use spinnaker;
 

@@ -23,14 +23,22 @@ fn balanced_net() -> (NetworkGraph, PopulationId, PopulationId) {
         Synapses::uniform((300, 600), (1, 3)),
         1,
     );
-    net.project(inh, exc, Connector::FixedProbability(0.1), Synapses::constant(-350, 1), 2);
+    net.project(
+        inh,
+        exc,
+        Connector::FixedProbability(0.1),
+        Synapses::constant(-350, 1),
+        2,
+    );
     (net, exc, inh)
 }
 
 #[test]
 fn balanced_network_runs_in_real_time() {
     let (net, exc, inh) = balanced_net();
-    let done = Simulation::build(&net, SimConfig::new(6, 6)).unwrap().run(400);
+    let done = Simulation::build(&net, SimConfig::new(6, 6))
+        .unwrap()
+        .run(400);
     let exc_rate = done.mean_rate_hz(exc, 300, 400);
     let inh_rate = done.mean_rate_hz(inh, 75, 400);
     assert!(exc_rate > 2.0, "excitatory rate {exc_rate} Hz too low");
@@ -44,7 +52,9 @@ fn balanced_network_runs_in_real_time() {
 fn inhibition_actually_inhibits() {
     // Ablate the inhibitory feedback and check the excitatory rate rises.
     let (net, exc, _) = balanced_net();
-    let with_inh = Simulation::build(&net, SimConfig::new(6, 6)).unwrap().run(300);
+    let with_inh = Simulation::build(&net, SimConfig::new(6, 6))
+        .unwrap()
+        .run(300);
 
     let mut net_no_inh = NetworkGraph::new();
     let exc2 = net_no_inh.population("exc", 300, rs(), 9.0);
@@ -56,7 +66,9 @@ fn inhibition_actually_inhibits() {
         Synapses::uniform((300, 600), (1, 3)),
         1,
     );
-    let without = Simulation::build(&net_no_inh, SimConfig::new(6, 6)).unwrap().run(300);
+    let without = Simulation::build(&net_no_inh, SimConfig::new(6, 6))
+        .unwrap()
+        .run(300);
     assert!(
         without.spike_count(exc2) > with_inh.spike_count(exc),
         "inhibition must reduce excitatory firing: {} vs {}",
@@ -72,7 +84,13 @@ fn spike_latency_well_within_one_ms_even_across_the_machine() {
     let mut net = NetworkGraph::new();
     let a = net.population("a", 200, rs(), 10.0);
     let b = net.population("b", 200, rs(), 0.0);
-    net.project(a, b, Connector::FixedFanOut(30), Synapses::constant(400, 1), 5);
+    net.project(
+        a,
+        b,
+        Connector::FixedFanOut(30),
+        Synapses::constant(400, 1),
+        5,
+    );
     let cfg = SimConfig::new(8, 8).with_placer(Placer::Random { seed: 3 });
     let done = Simulation::build(&net, cfg).unwrap().run(200);
     assert!(done.machine.spike_latency().count() > 0);
@@ -105,14 +123,17 @@ fn dtcm_budget_enforced_through_the_facade() {
 fn lif_and_izhikevich_coexist() {
     let mut net = NetworkGraph::new();
     let a = net.population("izh", 50, rs(), 10.0);
-    let b = net.population(
-        "lif",
-        50,
-        NeuronKind::Lif(LifParams::default()),
-        0.0,
+    let b = net.population("lif", 50, NeuronKind::Lif(LifParams::default()), 0.0);
+    net.project(
+        a,
+        b,
+        Connector::AllToAll { allow_self: true },
+        Synapses::constant(300, 2),
+        1,
     );
-    net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(300, 2), 1);
-    let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(300);
+    let done = Simulation::build(&net, SimConfig::new(4, 4))
+        .unwrap()
+        .run(300);
     assert!(done.spike_count(a) > 0);
     assert!(done.spike_count(b) > 0, "LIF targets must fire too");
 }
@@ -125,8 +146,16 @@ fn synaptic_delays_respected_through_full_stack() {
         let mut net = NetworkGraph::new();
         let a = net.population("a", 80, rs(), 11.0);
         let b = net.population("b", 80, rs(), 0.0);
-        net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(150, delay), 1);
-        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(100);
+        net.project(
+            a,
+            b,
+            Connector::AllToAll { allow_self: true },
+            Synapses::constant(150, delay),
+            1,
+        );
+        let done = Simulation::build(&net, SimConfig::new(4, 4))
+            .unwrap()
+            .run(100);
         let spikes = done.spikes();
         spikes
             .iter()
@@ -148,7 +177,9 @@ fn energy_scales_with_activity() {
     let run_with_bias = |bias: f32| {
         let mut net = NetworkGraph::new();
         net.population("p", 300, rs(), bias);
-        let done = Simulation::build(&net, SimConfig::new(4, 4)).unwrap().run(200);
+        let done = Simulation::build(&net, SimConfig::new(4, 4))
+            .unwrap()
+            .run(200);
         let j = done
             .machine
             .meter()

@@ -13,7 +13,13 @@ fn feed_forward() -> (NetworkGraph, PopulationId, PopulationId) {
     let mut net = NetworkGraph::new();
     let a = net.population("src", 150, rs(), 10.0);
     let b = net.population("dst", 150, rs(), 0.0);
-    net.project(a, b, Connector::FixedFanOut(25), Synapses::constant(600, 1), 8);
+    net.project(
+        a,
+        b,
+        Connector::FixedFanOut(25),
+        Synapses::constant(600, 1),
+        8,
+    );
     (net, a, b)
 }
 
@@ -28,11 +34,7 @@ fn emergency_routing_preserves_function_under_link_failure() {
 
     // Fail every link of chip (1,1) except one — heavy local damage.
     let mut sim = Simulation::build(&net, cfg.clone()).unwrap();
-    for d in [
-        Direction::East,
-        Direction::NorthEast,
-        Direction::North,
-    ] {
+    for d in [Direction::East, Direction::NorthEast, Direction::North] {
         sim.fail_link(NodeCoord::new(1, 1), d);
     }
     let damaged = sim.run(200);
@@ -53,9 +55,6 @@ fn without_emergency_routing_failures_lose_spikes() {
         c.machine.fabric.router.emergency_enabled = false;
         c
     };
-    let mut cfg_on = cfg_off.clone();
-    cfg_on.machine.fabric.router.emergency_enabled = true;
-
     // With round-robin placement on 4x4 x19 cores, src lands on chip 0
     // and dst on chip 0 too (both fit); force distance with random
     // placement instead.
@@ -106,7 +105,13 @@ fn migration_after_core_loss_preserves_spiking() {
     let mut net = NetworkGraph::new();
     let src = net.population("src", 60, rs(), 11.0);
     let dst = net.population("dst", 60, rs(), 0.0);
-    net.project(src, dst, Connector::AllToAll { allow_self: true }, Synapses::constant(200, 1), 3);
+    net.project(
+        src,
+        dst,
+        Connector::AllToAll { allow_self: true },
+        Synapses::constant(200, 1),
+        3,
+    );
     let sim = Simulation::build(&net, SimConfig::new(4, 4).with_neurons_per_core(64)).unwrap();
     let dst_slice = sim.placement().slices_of(dst).next().unwrap().clone();
     let src_slice = sim.placement().slices_of(src).next().unwrap().clone();
@@ -117,7 +122,9 @@ fn migration_after_core_loss_preserves_spiking() {
     // routing tree stays valid; only the core bit changes).
     let payload = machine.evict_core(dst_slice.chip, dst_slice.core).unwrap();
     let spare = dst_slice.core + 7;
-    machine.install_core(dst_slice.chip, spare, payload).unwrap();
+    machine
+        .install_core(dst_slice.chip, spare, payload)
+        .unwrap();
     // Rewrite the table entries that delivered to the old core.
     let (key, mask) = spinn_map::keys::core_key_mask(src_slice.global_core);
     let router = machine.router_mut(dst_slice.chip);

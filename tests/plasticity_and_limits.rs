@@ -13,17 +13,22 @@ fn stdp_through_the_facade_writes_back() {
     let mut net = NetworkGraph::new();
     let pre = net.population("pre", 60, rs(), 11.0);
     let post = net.population("post", 60, rs(), 0.0);
-    net.project(pre, post, Connector::FixedFanOut(20), Synapses::constant(500, 1), 5);
+    net.project(
+        pre,
+        post,
+        Connector::FixedFanOut(20),
+        Synapses::constant(500, 1),
+        5,
+    );
 
-    let plastic = Simulation::build(
-        &net,
-        SimConfig::new(2, 2).with_stdp(StdpParams::default()),
-    )
-    .unwrap()
-    .run(300);
+    let plastic = Simulation::build(&net, SimConfig::new(2, 2).with_stdp(StdpParams::default()))
+        .unwrap()
+        .run(300);
     assert!(plastic.machine.weight_writebacks() > 0);
 
-    let static_run = Simulation::build(&net, SimConfig::new(2, 2)).unwrap().run(300);
+    let static_run = Simulation::build(&net, SimConfig::new(2, 2))
+        .unwrap()
+        .run(300);
     assert_eq!(static_run.machine.weight_writebacks(), 0);
 }
 
@@ -32,14 +37,17 @@ fn stdp_runs_are_deterministic() {
     let mut net = NetworkGraph::new();
     let pre = net.population("pre", 40, rs(), 11.0);
     let post = net.population("post", 40, rs(), 0.0);
-    net.project(pre, post, Connector::FixedFanOut(10), Synapses::constant(450, 2), 5);
+    net.project(
+        pre,
+        post,
+        Connector::FixedFanOut(10),
+        Synapses::constant(450, 2),
+        5,
+    );
     let run = || {
-        let done = Simulation::build(
-            &net,
-            SimConfig::new(2, 2).with_stdp(StdpParams::default()),
-        )
-        .unwrap()
-        .run(200);
+        let done = Simulation::build(&net, SimConfig::new(2, 2).with_stdp(StdpParams::default()))
+            .unwrap()
+            .run(200);
         (done.spikes(), done.machine.weight_writebacks())
     };
     assert_eq!(run(), run());
@@ -53,7 +61,13 @@ fn sdram_overflow_detected() {
     let mut net = NetworkGraph::new();
     let a = net.population("a", 1000, rs(), 0.0);
     let b = net.population("b", 1000, rs(), 0.0);
-    net.project(a, b, Connector::AllToAll { allow_self: true }, Synapses::constant(10, 1), 1);
+    net.project(
+        a,
+        b,
+        Connector::AllToAll { allow_self: true },
+        Synapses::constant(10, 1),
+        1,
+    );
     let mut cfg = SimConfig::new(2, 2);
     cfg.machine.sdram_bytes = 1024 * 1024; // 1 MB: far too small
     let err = Simulation::build(&net, cfg).unwrap_err();
@@ -73,7 +87,13 @@ fn reissue_is_bounded_by_timestamp_field() {
     let mut net = NetworkGraph::new();
     let a = net.population("a", 100, rs(), 12.0);
     let b = net.population("b", 100, rs(), 0.0);
-    net.project(a, b, Connector::FixedFanOut(10), Synapses::constant(400, 1), 2);
+    net.project(
+        a,
+        b,
+        Connector::FixedFanOut(10),
+        Synapses::constant(400, 1),
+        2,
+    );
     let mut cfg = SimConfig::new(2, 2).with_placer(Placer::Random { seed: 4 });
     cfg.machine.fabric.out_queue_cap = 1;
     cfg.machine.fabric.router.wait1_ns = 50;

@@ -144,10 +144,10 @@ proptest! {
             ring.deposit(d, n, w);
             expected[d as usize][n] += w as i64;
         }
-        for t in 1..=16usize {
+        for (t, exp) in expected.iter().enumerate().skip(1) {
             let drained = ring.tick().to_vec();
             for n in 0..8 {
-                prop_assert_eq!(drained[n] as i64, expected[t][n],
+                prop_assert_eq!(drained[n] as i64, exp[n],
                     "tick {}, neuron {}", t, n);
             }
         }

@@ -24,7 +24,13 @@ fn weak_scaled_net(chips: u32) -> NetworkGraph {
         // identical) populations across chips.
         let a = net.population(&format!("a{c}"), 8 * 128, rs(), 8.6 + 0.1 * (c % 8) as f32);
         let b = net.population(&format!("b{c}"), 8 * 128, rs(), 0.0);
-        net.project(a, b, Connector::FixedFanOut(20), Synapses::constant(300, 2), c as u64);
+        net.project(
+            a,
+            b,
+            Connector::FixedFanOut(20),
+            Synapses::constant(300, 2),
+            c as u64,
+        );
     }
     net
 }
