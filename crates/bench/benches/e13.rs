@@ -1,0 +1,41 @@
+//! E13 table + table-lookup kernel timing: linear CAM scan vs the
+//! mask-bucketed compiled lookup, and the minimization pass itself.
+use criterion::{black_box, Criterion};
+use spinn_bench::experiments::e13_table_minimization as e13;
+use spinn_map::place::{Placement, Placer};
+use spinn_map::route::RoutingPlan;
+use spinn_noc::compiled::CompiledTable;
+
+fn main() {
+    println!("{}", e13::run(!spinn_bench::full_mode()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+
+    for entries in [256usize, 1024] {
+        let table = e13::synthetic_table(entries, 0xBE13);
+        let compiled = CompiledTable::compile(&table);
+        let keys: Vec<u32> = table.iter().map(|e| e.key | 3).collect();
+        c.bench_function(&format!("e13_lookup_linear_{entries}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % keys.len();
+                black_box(table.lookup(keys[i]))
+            })
+        });
+        c.bench_function(&format!("e13_lookup_compiled_{entries}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % keys.len();
+                black_box(compiled.lookup(keys[i]))
+            })
+        });
+    }
+
+    let net = e13::dense_random_net();
+    let placement =
+        Placement::compute(&net, 4, 4, 20, 128, Placer::Random { seed: 0xD15E }).unwrap();
+    let plan = RoutingPlan::build(&net, &placement, 4, 4);
+    c.bench_function("e13_minimize_dense_4x4", |b| {
+        b.iter(|| plan.minimized().total_entries())
+    });
+    c.final_summary();
+}

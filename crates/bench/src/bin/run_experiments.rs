@@ -1,5 +1,5 @@
-//! Prints every experiment's table (E1-E11). `SPINN_FULL=1` for the
-//! full-size versions recorded in EXPERIMENTS.md.
+//! Prints every experiment's table (E1-E13, A1-A2). `SPINN_FULL=1` for
+//! the full-size versions recorded in EXPERIMENTS.md.
 
 use spinn_bench::experiments as e;
 
@@ -10,7 +10,7 @@ fn main() {
     let quick = !spinn_bench::full_mode();
     let mode = if quick { "quick" } else { "full" };
     println!("SpiNNaker reproduction — experiment suite ({mode} mode)\n");
-    let runs: [Experiment; 14] = [
+    let runs: [Experiment; 15] = [
         ("E1", e::e01_glitch_deadlock::run),
         ("E2", e::e02_link_protocols::run),
         ("E3", e::e03_emergency_routing::run),
@@ -23,6 +23,7 @@ fn main() {
         ("E10", e::e10_placement::run),
         ("E11", e::e11_retina::run),
         ("E12", e::e12_parallel_execution::run),
+        ("E13", e::e13_table_minimization::run),
         ("A1", e::a01_router_waits::run),
         ("A2", e::a02_default_route_elision::run),
     ];

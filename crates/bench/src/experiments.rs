@@ -1035,6 +1035,227 @@ pub mod e12_parallel_execution {
     }
 }
 
+/// E13 — routing-table minimization and compiled lookup: masked-entry
+/// compression in the mapper (Ordered-Covering style) against the
+/// 1024-entry CAM budget (§4), and the key-indexed `CompiledTable`
+/// against the linear scan on the per-packet hot path.
+pub mod e13_table_minimization {
+    use super::*;
+    use spinn_map::place::{Placement, Placer};
+    use spinn_map::route::RoutingPlan;
+    use spinn_noc::compiled::CompiledTable;
+    use spinn_noc::table::{McTable, McTableEntry, RouteSet};
+    use spinn_sim::Xoshiro256;
+    use spinnaker::prelude::*;
+    use std::time::Instant;
+
+    /// The dense random-placement workload of
+    /// `tests/parallel_equivalence.rs`: an 8-stage synfire ring of
+    /// 256-neuron populations scattered over a 4x4 torus.
+    pub fn dense_random_net() -> NetworkGraph {
+        let mut net = NetworkGraph::new();
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let pops: Vec<_> = (0..8u32)
+            .map(|i| net.population(&format!("s{i}"), 256, kind, 0.0))
+            .collect();
+        for (i, &src) in pops.iter().enumerate() {
+            let dst = pops[(i + 1) % pops.len()];
+            net.project(
+                src,
+                dst,
+                Connector::FixedFanOut(12),
+                Synapses::constant(600, 2),
+                i as u64,
+            );
+        }
+        net
+    }
+
+    /// One workload's minimization measurements.
+    pub struct Row {
+        /// Workload label.
+        pub label: &'static str,
+        /// CAM entries before minimization.
+        pub before: usize,
+        /// CAM entries after minimization.
+        pub after: usize,
+        /// Largest per-chip table before.
+        pub max_before: usize,
+        /// Largest per-chip table after.
+        pub max_after: usize,
+        /// Route-equivalence violations (must be 0).
+        pub violations: usize,
+    }
+
+    impl Row {
+        /// Entry reduction, percent.
+        pub fn saved_pct(&self) -> f64 {
+            if self.before == 0 {
+                0.0
+            } else {
+                100.0 * (self.before - self.after) as f64 / self.before as f64
+            }
+        }
+    }
+
+    /// Minimizes one placed workload and verifies route equivalence.
+    pub fn measure(
+        label: &'static str,
+        net: &NetworkGraph,
+        w: u32,
+        h: u32,
+        neurons_per_core: u32,
+        placer: Placer,
+    ) -> Row {
+        let placement = Placement::compute(net, w, h, 20, neurons_per_core, placer)
+            .expect("workload fits the machine");
+        let plan = RoutingPlan::build(net, &placement, w, h);
+        let min = plan.minimized();
+        Row {
+            label,
+            before: plan.total_entries(),
+            after: min.total_entries(),
+            max_before: plan.stats().max_entries_per_chip,
+            max_after: min.stats().max_entries_per_chip,
+            violations: plan.verify_against(&min),
+        }
+    }
+
+    /// Builds a CAM-shaped table of `n` distinct core-block entries.
+    pub fn synthetic_table(n: usize, seed: u64) -> McTable {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut table = McTable::new(n.max(1024));
+        let mut used = std::collections::HashSet::new();
+        while table.len() < n {
+            let block = (rng.gen_range_usize(1 << 21)) as u32;
+            if used.insert(block) {
+                let (key, mask) = spinn_map::keys::core_key_mask(block);
+                table
+                    .insert(McTableEntry {
+                        key,
+                        mask,
+                        route: RouteSet::from_bits(1 << (rng.gen_range_usize(26) + 6)),
+                    })
+                    .expect("capacity sized to n");
+            }
+        }
+        table
+    }
+
+    /// Lookup throughput in millions of lookups per second:
+    /// `(linear scan, compiled)` over a mixed hit/miss key stream.
+    pub fn lookup_throughput(entries: usize, lookups: u64) -> (f64, f64) {
+        let table = synthetic_table(entries, 0xE13);
+        let compiled = CompiledTable::compile(&table);
+        let keys: Vec<u32> = table
+            .iter()
+            .map(|e| e.key | 7)
+            .chain((0..entries as u32 / 4).map(|i| !(i << 11)))
+            .collect();
+        let mps = |f: &dyn Fn(u32) -> Option<RouteSet>| {
+            let mut acc = 0u32;
+            let t0 = Instant::now();
+            for i in 0..lookups {
+                let key = keys[(i as usize * 7919) % keys.len()];
+                acc ^= f(key).map_or(0, |r| r.bits());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            lookups as f64 / dt / 1e6
+        };
+        let linear = mps(&|k| table.lookup(k));
+        let fast = mps(&|k| compiled.lookup(k));
+        (linear, fast)
+    }
+
+    /// The E13 table.
+    pub fn run(quick: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E13: routing-table minimization + compiled first-match lookup (§4)"
+        );
+        let _ = writeln!(
+            out,
+            "   masked-entry compression vs the 1024-entry CAM; hot-path lookup\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8} {:>8} {:>7} {:>10} {:>10} {:>11}",
+            "workload", "entries", "minim.", "saved", "max/chip", "occupancy", "violations"
+        );
+        let e12 = super::e12_parallel_execution::synfire_net(16, 512);
+        let retina = super::e12_parallel_execution::retina_net(8, 512);
+        let dense = dense_random_net();
+        for row in [
+            measure(
+                "synfire chain (locality)",
+                &e12,
+                4,
+                4,
+                128,
+                Placer::Locality,
+            ),
+            measure(
+                "synfire chain (random)",
+                &e12,
+                4,
+                4,
+                128,
+                Placer::Random { seed: 0xE13 },
+            ),
+            measure("retina (locality)", &retina, 4, 4, 128, Placer::Locality),
+            measure(
+                "dense random placement",
+                &dense,
+                4,
+                4,
+                128,
+                Placer::Random { seed: 0xD15E },
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<26} {:>8} {:>8} {:>6.1}% {:>6}->{:<3} {:>9.1}% {:>11}",
+                row.label,
+                row.before,
+                row.after,
+                row.saved_pct(),
+                row.max_before,
+                row.max_after,
+                100.0 * row.max_after as f64 / 1024.0,
+                row.violations,
+            );
+        }
+        let lookups = if quick { 200_000 } else { 2_000_000 };
+        let _ = writeln!(
+            out,
+            "\nlookup throughput, {lookups} lookups over a synthetic CAM:\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>13} {:>14} {:>14} {:>9}",
+            "entries/chip", "linear M/s", "compiled M/s", "speedup"
+        );
+        for entries in [64usize, 256, 1024] {
+            let (linear, fast) = lookup_throughput(entries, lookups);
+            let _ = writeln!(
+                out,
+                "{:>13} {:>14.1} {:>14.1} {:>8.1}x",
+                entries,
+                linear,
+                fast,
+                fast / linear
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nthe mapper's widened ternary entries keep sibling slices of one\npopulation to a single entry per chip (Ordered-Covering style, zero\nroute-equivalence violations), and the mask-bucketed compiled lookup\nreplaces the O(entries) CAM scan with one hash probe per distinct mask\n— the win grows with occupancy, exactly where the 1024-entry budget\nbites."
+        );
+        out
+    }
+}
+
 /// A1 — ablation: the programmable router waits (wait1/wait2) trade
 /// packet loss against blocked-time under bursty congestion (§5.3's
 /// "programmable delay" registers).

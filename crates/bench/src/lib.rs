@@ -1,6 +1,6 @@
 //! # spinn-bench — the experiment harness
 //!
-//! One module per experiment in `DESIGN.md`'s index (E1–E11), each
+//! One module per experiment (E1–E13 plus ablations), each
 //! regenerating a figure or quantitative claim of the paper. Every
 //! module exposes `run(quick) -> String`, returning the table the
 //! paper's claim implies; the Criterion benches under `benches/` print

@@ -6,8 +6,8 @@
 //! * the [`proptest!`] macro with `pattern in strategy` arguments and an
 //!   optional `#![proptest_config(..)]` header,
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
-//! * range and [`any`] strategies, tuple strategies, `prop_map`,
-//!   [`collection::vec`] and [`array::uniform3`].
+//! * range and [`arbitrary::any`] strategies, tuple strategies,
+//!   `prop_map`, [`collection::vec`] and [`array::uniform3`].
 //!
 //! Differences from the real crate: cases are generated from a
 //! deterministic per-test RNG (seeded from the test name, so failures

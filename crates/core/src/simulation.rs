@@ -96,7 +96,11 @@ pub struct PopSpike {
 }
 
 impl Simulation {
-    /// Places, routes and loads `net` onto a machine.
+    /// Places, routes, minimizes and loads `net` onto a machine — the
+    /// full place → route → minimize → install pipeline (the emitted
+    /// tables are compressed with
+    /// [`RoutingPlan::minimized`] before loading; see `spinn-map`'s
+    /// `minimize` module).
     ///
     /// # Errors
     ///
@@ -113,7 +117,7 @@ impl Simulation {
             cfg.neurons_per_core,
             cfg.placer,
         )?;
-        let plan = RoutingPlan::build(net, &placement, m.width, m.height);
+        let plan = RoutingPlan::build(net, &placement, m.width, m.height).minimized();
         let app = LoadedApp::build(net, &placement);
 
         // SDRAM capacity: the synaptic matrices of all cores on a chip
@@ -139,12 +143,7 @@ impl Simulation {
         if let Some(p) = cfg.stdp {
             machine.enable_stdp(p);
         }
-        for (chip_id, entries) in plan.tables().iter().enumerate() {
-            let coord = coord_of(m, chip_id);
-            for &e in entries {
-                machine.router_mut(coord).table.insert(e)?;
-            }
-        }
+        machine.install_routing_plan(&plan)?;
         for img in app.images {
             machine.load_core(img.chip, img.core, img.neurons, img.bias_na, img.base_key)?;
             for (key, row) in img.rows {
@@ -296,10 +295,18 @@ impl Completed {
         );
         let _ = writeln!(
             out,
-            "routing plan:        {} entries, {} elided, max/chip {}",
+            "routing plan:        {} entries (minimized from {}), {} elided, max/chip {}",
             self.route_stats.total_entries,
+            self.route_stats.pre_minimize_entries,
             self.route_stats.elided_entries,
             self.route_stats.max_entries_per_chip
+        );
+        let _ = writeln!(
+            out,
+            "router CAM:          peak {}/{} entries ({:.1}% occupancy)",
+            rs.table_peak_entries,
+            rs.table_capacity,
+            100.0 * rs.occupancy_ratio()
         );
         out
     }
@@ -400,6 +407,8 @@ mod tests {
             "real-time:",
             "energy:",
             "routing plan:",
+            "minimized from",
+            "router CAM:",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }

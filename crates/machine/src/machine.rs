@@ -270,6 +270,27 @@ impl NeuralMachine {
         self.fabric.router_mut(chip)
     }
 
+    /// Loads a routing plan's per-chip tables into the routers through
+    /// the fallible CAM path, returning the number of entries installed.
+    /// Routers recompile their lookup structures lazily, so this also
+    /// covers re-installation after fault-injection table edits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spinn_noc::table::TableFull`] if any chip's table
+    /// exceeds the router CAM capacity
+    /// ([`spinn_noc::router::RouterConfig::table_capacity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different mesh size.
+    pub fn install_routing_plan(
+        &mut self,
+        plan: &spinn_map::route::RoutingPlan,
+    ) -> Result<usize, spinn_noc::table::TableFull> {
+        plan.install_into(&mut self.fabric)
+    }
+
     /// Fails an inter-chip link (fault injection for E3/E4).
     pub fn fail_link(&mut self, chip: NodeCoord, d: spinn_noc::direction::Direction) {
         self.fabric.fail_link(chip, d);
@@ -1211,6 +1232,39 @@ mod tests {
             m.reissued_packets() > 0,
             "monitor must re-issue dropped spikes"
         );
+    }
+
+    #[test]
+    fn install_routing_plan_loads_tables_and_reports_overflow() {
+        use spinn_map::graph::{Connector, NetworkGraph, NeuronKind, Synapses};
+        use spinn_map::place::{Placement, Placer};
+        use spinn_map::route::RoutingPlan;
+        use spinn_neuron::izhikevich::IzhikevichParams;
+
+        let mut net = NetworkGraph::new();
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let a = net.population("a", 40, kind, 0.0);
+        let b = net.population("b", 40, kind, 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(10, 1), 0);
+        let placement = Placement::compute(&net, 4, 4, 20, 64, Placer::Random { seed: 3 }).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 4, 4).minimized();
+
+        let mut m = NeuralMachine::new(MachineConfig::new(4, 4));
+        let installed = m.install_routing_plan(&plan).unwrap();
+        assert_eq!(installed, plan.total_entries());
+        let stats = m.router_stats();
+        assert_eq!(
+            stats.table_peak_entries,
+            plan.stats().max_entries_per_chip as u64
+        );
+        assert_eq!(stats.table_capacity, 1024);
+
+        // A 1-entry CAM must overflow through the fallible path.
+        let mut cfg = MachineConfig::new(4, 4);
+        cfg.fabric.router.table_capacity = 0;
+        let mut tiny = NeuralMachine::new(cfg);
+        let err = tiny.install_routing_plan(&plan).unwrap_err();
+        assert_eq!(err.capacity, 0);
     }
 
     #[test]

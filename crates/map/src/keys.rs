@@ -2,21 +2,34 @@
 //! identifier for the source neuron is known as Address Event
 //! Representation").
 //!
-//! The scheme gives every application core an aligned 2048-key block:
+//! The scheme is hierarchical — population / core-slice / neuron:
 //!
 //! ```text
-//! key[31:11] = global core index (chip_id * cores_per_chip + core)
-//! key[10:0]  = neuron index within the core
+//! key[31:11] = key block = population base + slice index within it
+//! key[10:0]  = neuron index within the core slice
 //! ```
 //!
-//! The 21-bit core field covers the full million-core machine
-//! (256 x 256 chips x 20 cores = 1,310,720 < 2^21) and the 11-bit neuron
-//! field matches the real toolchain's per-core limit (2048 neurons,
-//! comfortably above what the 64 KB DTCM allows anyway).
+//! Each population receives a span of consecutive key blocks whose
+//! length is the slice count rounded up to a power of two, **aligned**
+//! to that length (see [`Placement`](crate::place::Placement)). The
+//! alignment is what makes tables minimizable: all slices of one
+//! population share every destination (projections are population-
+//! level), so wherever their routes agree a single widened ternary entry
+//! `(pop_base << 11, CORE_MASK with the slice bits cleared)` covers the
+//! whole population — the Ordered-Covering-style compression performed
+//! by [`crate::minimize`].
+//!
+//! The 21-bit block field covers the full million-core machine
+//! (256 x 256 chips x 20 cores = 1,310,720 < 2^21, and pow2 padding at
+//! most doubles that numbering) and the 11-bit neuron field matches the
+//! real toolchain's per-core limit (2048 neurons, comfortably above what
+//! the 64 KB DTCM allows anyway).
 //!
 //! All spikes from one source core match a single ternary entry
-//! `(base, 0xFFFF_F800)` — one CAM entry per source core per chip on its
-//! multicast tree, the property the router's 1024-entry CAM depends on.
+//! `(base, 0xFFFF_F800)` — at most one CAM entry per source core per
+//! chip on its multicast tree, the property the router's 1024-entry CAM
+//! depends on; minimization then merges sibling cores' entries below
+//! even that.
 
 /// Bits reserved for the neuron index (fits within the synaptic word's
 /// 12-bit target field).
@@ -51,6 +64,33 @@ pub fn neuron_key(global_core: u32, neuron: u32) -> u32 {
 /// Recovers `(global_core, neuron)` from a key.
 pub fn split_key(key: u32) -> (u32, u32) {
     (key >> NEURON_BITS, key & !CORE_MASK)
+}
+
+/// Key blocks reserved for a population of `n_slices` core slices: the
+/// slice count rounded up to a power of two, so the population's span
+/// can sit aligned and be matched by one ternary entry.
+pub fn pop_block_width(n_slices: u32) -> u32 {
+    n_slices.max(1).next_power_of_two()
+}
+
+/// The `(key, mask)` pair matching every neuron of every slice in an
+/// aligned population span of `width` key blocks starting at
+/// `base_block`.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two or `base_block` is not
+/// aligned to it.
+pub fn pop_key_mask(base_block: u32, width: u32) -> (u32, u32) {
+    assert!(width.is_power_of_two(), "span width must be a power of two");
+    assert!(
+        base_block.is_multiple_of(width),
+        "span base must be aligned"
+    );
+    (
+        base_block << NEURON_BITS,
+        CORE_MASK & !((width - 1) << NEURON_BITS),
+    )
 }
 
 #[cfg(test)]
@@ -90,5 +130,25 @@ mod tests {
         let max_core = 256 * 256 * 20 - 1;
         let key = neuron_key(max_core, 2047);
         assert_eq!(split_key(key), (max_core, 2047));
+    }
+
+    #[test]
+    fn pop_span_mask_covers_exactly_the_span() {
+        assert_eq!(pop_block_width(1), 1);
+        assert_eq!(pop_block_width(3), 4);
+        assert_eq!(pop_block_width(8), 8);
+        let (key, mask) = pop_key_mask(8, 4);
+        for block in 8..12 {
+            assert_eq!(neuron_key(block, 99) & mask, key, "block {block}");
+        }
+        for block in [7u32, 12, 0] {
+            assert_ne!(neuron_key(block, 99) & mask, key, "block {block}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_span_rejected() {
+        let _ = pop_key_mask(6, 4);
     }
 }

@@ -5,25 +5,38 @@
 //! routing tables computed, connectivity data constructed, and relevant
 //! input/output mechanisms deployed." (§5.3)
 //!
-//! This crate is that toolchain:
+//! This crate is that toolchain — the pipeline runs **place → route →
+//! minimize → install**:
 //!
-//! * [`graph`] — the abstract network: populations and projections with
-//!   connectors (one-to-one, all-to-all, fixed-probability, fixed
-//!   fan-out), weights and delays; expansion is deterministic per seed.
-//! * [`place`] — slicing populations onto application cores:
-//!   locality-aware (connected populations near each other),
-//!   round-robin, or **random** — the §3.2 "virtualized topology" point
-//!   is precisely that random placement still *works*, locality merely
-//!   cheapens routing (experiment E10).
-//! * [`keys`] — AER key allocation: one aligned key block per source
-//!   core, so each source core costs at most one ternary CAM entry per
-//!   chip on its multicast tree.
-//! * [`route`] — multicast-tree construction over the hex torus, router
-//!   table emission with **default-route elision** (entries are omitted
-//!   where the packet would continue straight anyway), and tree cost
-//!   metrics.
-//! * [`loader`] — expanding projections into per-core synaptic rows (the
-//!   SDRAM data the DMA engine fetches) with memory accounting.
+//! 1. **Place** ([`place`]) — populations are sliced onto application
+//!    cores: locality-aware (connected populations near each other),
+//!    round-robin, or **random** — the §3.2 "virtualized topology" point
+//!    is precisely that random placement still *works*, locality merely
+//!    cheapens routing (experiment E10). Placement also allocates each
+//!    slice's AER key block ([`keys`]): every population owns an
+//!    aligned, power-of-two-padded span of blocks, independent of the
+//!    placer.
+//! 2. **Route** ([`route`]) — a shortest-path multicast tree per source
+//!    core over the hex torus, emitted as ternary-CAM tables with
+//!    **default-route elision** (entries are omitted where the packet
+//!    would continue straight anyway), plus tree cost metrics.
+//! 3. **Minimize** ([`minimize`], via
+//!    [`route::RoutingPlan::minimized`]) — same-chip entries whose
+//!    routes agree are merged into wider masked entries,
+//!    Ordered-Covering style: sibling slices of one population collapse
+//!    to a single entry, free live key space is used as don't-cares,
+//!    and keys that traverse the chip — or dead key space — are never
+//!    captured. [`route::RoutingPlan::verify_against`] replays every
+//!    source to prove route equivalence.
+//! 4. **Install** ([`route::RoutingPlan::install_into`], or
+//!    `NeuralMachine::install_routing_plan` one level up) — the tables
+//!    are loaded into the routers through the fallible `TableFull` path
+//!    and counted against the 1024-entry CAM capacity.
+//!
+//! [`graph`] describes the abstract network (populations and projections
+//! with connectors, weights and delays; expansion is deterministic per
+//! seed) and [`loader`] expands projections into per-core synaptic rows
+//! (the SDRAM data the DMA engine fetches) with memory accounting.
 //!
 //! # Example
 //!
@@ -40,7 +53,9 @@
 //!
 //! let placement = Placement::compute(&net, 8, 8, 16, 100, Placer::Locality).unwrap();
 //! let plan = RoutingPlan::build(&net, &placement, 8, 8);
-//! assert!(plan.total_entries() > 0);
+//! let min = plan.minimized();
+//! assert!(min.total_entries() <= plan.total_entries());
+//! assert_eq!(plan.verify_against(&min), 0, "minimization is route-exact");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,11 +64,13 @@
 pub mod graph;
 pub mod keys;
 pub mod loader;
+pub mod minimize;
 pub mod place;
 pub mod route;
 
 pub use graph::{Connector, NetworkGraph, NeuronKind, PopulationId, Synapses};
-pub use keys::{core_base_key, core_key_mask, neuron_key};
+pub use keys::{core_base_key, core_key_mask, neuron_key, pop_key_mask};
 pub use loader::{CoreImage, LoadedApp};
+pub use minimize::{minimize_chip, ChipContext};
 pub use place::{Placement, Placer};
 pub use route::{tree_cost, RoutingPlan, TreeCost};

@@ -1,0 +1,423 @@
+//! Routing-table minimization: merging same-chip entries whose routes
+//! agree into wider masked entries (Ordered-Covering style).
+//!
+//! The router's ternary CAM has 1024 entries (§4); fitting real
+//! workloads into it is the central mapping problem. The raw plan emits
+//! one `(key, mask)` entry per source core per tree chip; this module
+//! compresses each chip's table with a two-level-logic view of the
+//! 21-bit key-block space:
+//!
+//! * **ON-set** — the blocks this chip must route with a given
+//!   [`RouteSet`](spinn_noc::table::RouteSet): the chip's existing
+//!   entries, grouped by route.
+//! * **OFF-set** — blocks that must *not* be captured: blocks whose
+//!   multicast trees traverse this chip with a different route or via a
+//!   default-routed (elided) segment — a table hit would hijack them —
+//!   plus all dead key space outside every population's allocated span.
+//! * **don't-care set** — live population key space whose trees never
+//!   visit this chip. Those packets cannot arrive here, so a widened
+//!   entry may cover them without changing any observable routing
+//!   behaviour (the relaxation real Ordered-Covering uses).
+//!
+//! Each ON block is greedily expanded into the largest cube (ternary
+//! pattern) that avoids the OFF-set, clearing key bits from least to
+//! most significant so sibling slices of one population — allocated
+//! aligned, consecutive blocks by [`crate::place::Placement`] — collapse
+//! first. First-match priority is untouched: cubes of different route
+//! groups never overlap on any key that can reach the chip, so the
+//! emitted order is behaviour-preserving by construction.
+//!
+//! [`crate::route::RoutingPlan::minimized`] applies this per chip;
+//! [`crate::route::RoutingPlan::verify_against`] replays every source
+//! through both table sets and checks the delivered core sets match.
+
+use spinn_noc::table::McTableEntry;
+
+use crate::keys::{CORE_MASK, NEURON_BITS};
+
+/// Width of the key-block id space (32-bit key minus the neuron field).
+const BLOCK_BITS: u32 = 32 - NEURON_BITS;
+
+/// Largest cube a merge may enumerate, in cleared bits (2^10 = 1024
+/// blocks) — bounds worst-case work per entry without limiting any
+/// realistic merge.
+const MAX_CUBE_BITS: u32 = 10;
+
+/// Per-chip context for minimization.
+pub struct ChipContext<'a> {
+    /// Key blocks whose multicast trees traverse this chip (sorted).
+    /// These must keep their exact lookup result, so a widened entry may
+    /// only cover one if it belongs to the entry's own route group.
+    pub barred: &'a [u32],
+    /// Allocated population key spans `(base block, width)`, sorted by
+    /// base. Blocks outside every span are dead keys and must never gain
+    /// a table hit.
+    pub spans: &'a [(u32, u32)],
+}
+
+impl ChipContext<'_> {
+    fn in_spans(&self, block: u32) -> bool {
+        let i = self.spans.partition_point(|&(base, _)| base <= block);
+        i > 0 && {
+            let (base, width) = self.spans[i - 1];
+            block < base + width
+        }
+    }
+
+    fn is_barred(&self, block: u32) -> bool {
+        self.barred.binary_search(&block).is_ok()
+    }
+}
+
+/// One widened entry under construction.
+#[derive(Clone, Debug)]
+struct Cube {
+    route: spinn_noc::table::RouteSet,
+    base: u32,
+    mask: u32,
+    /// Merged into another cube (no longer emitted).
+    merged: bool,
+    /// Produced by a shadowed merge (must be emitted after every
+    /// unshadowed cube).
+    shadowed: bool,
+    /// Serves as first-match cover for a block another cube captured;
+    /// must stay unmerged and early.
+    pinned: bool,
+}
+
+impl Cube {
+    fn covers(&self, block: u32) -> bool {
+        block & self.mask == self.base
+    }
+
+    fn cleared_bits(&self) -> u32 {
+        (!self.mask & ((1 << BLOCK_BITS) - 1)).count_ones()
+    }
+}
+
+/// Minimizes one chip's table.
+///
+/// Entries must be the plan-emitted kind — pairwise-distinct key blocks
+/// under the core mask; anything else (hand-built tables with custom
+/// masks or overlapping entries) is returned unchanged, since its
+/// first-match semantics cannot be safely re-derived.
+pub fn minimize_chip(entries: &[McTableEntry], ctx: &ChipContext) -> Vec<McTableEntry> {
+    if entries.len() < 2 {
+        return entries.to_vec();
+    }
+    let mut ids: Vec<u32> = Vec::with_capacity(entries.len());
+    for e in entries {
+        if e.mask != CORE_MASK {
+            return entries.to_vec();
+        }
+        ids.push(e.key >> NEURON_BITS);
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return entries.to_vec();
+    }
+
+    // Route groups in first-appearance order (deterministic output).
+    let mut groups: Vec<(spinn_noc::table::RouteSet, Vec<u32>)> = Vec::new();
+    for (e, &id) in entries.iter().zip(&ids) {
+        match groups.iter_mut().find(|(r, _)| *r == e.route) {
+            Some((_, members)) => members.push(id),
+            None => groups.push((e.route, vec![id])),
+        }
+    }
+
+    // Phase 1: greedy per-group cube expansion over free key space.
+    let mut cubes: Vec<Cube> = Vec::new();
+    for (route, on) in &mut groups {
+        on.sort_unstable();
+        let mut covered = vec![false; on.len()];
+        for i in 0..on.len() {
+            if covered[i] {
+                continue;
+            }
+            let (base, cube_mask, members) = expand_cube(on[i], on, ctx);
+            for m in members {
+                if let Ok(j) = on.binary_search(&m) {
+                    covered[j] = true;
+                }
+            }
+            cubes.push(Cube {
+                route: *route,
+                base,
+                mask: cube_mask,
+                merged: false,
+                shadowed: false,
+                pinned: false,
+            });
+        }
+    }
+
+    // Phase 2: shadowed merges — two same-route cubes combine even when
+    // the hull captures blocks routed differently here, provided every
+    // such block keeps first-match cover from an earlier, unmerged cube
+    // of its own route. Covering cubes get pinned; shadowed results are
+    // emitted after all unshadowed cubes, so the cover always wins.
+    let routes_by_block: std::collections::HashMap<u32, spinn_noc::table::RouteSet> = entries
+        .iter()
+        .zip(&ids)
+        .map(|(e, &id)| (id, e.route))
+        .collect();
+    let block_route = |block: u32| routes_by_block.get(&block).copied();
+    loop {
+        let mut did_merge = false;
+        'search: for i in 0..cubes.len() {
+            if cubes[i].merged || cubes[i].pinned {
+                continue;
+            }
+            for j in i + 1..cubes.len() {
+                if cubes[j].merged || cubes[j].pinned || cubes[j].route != cubes[i].route {
+                    continue;
+                }
+                let mask = cubes[i].mask & cubes[j].mask & !(cubes[i].base ^ cubes[j].base);
+                let hull = Cube {
+                    route: cubes[i].route,
+                    base: cubes[i].base & mask,
+                    mask,
+                    merged: false,
+                    shadowed: true,
+                    pinned: false,
+                };
+                if hull.cleared_bits() > MAX_CUBE_BITS {
+                    continue;
+                }
+                let Some(pins) = shadowed_capture_pins(&hull, &cubes, ctx, &block_route) else {
+                    continue;
+                };
+                for p in pins {
+                    cubes[p].pinned = true;
+                }
+                cubes[i] = hull;
+                cubes[j].merged = true;
+                did_merge = true;
+                break 'search;
+            }
+        }
+        if !did_merge {
+            break;
+        }
+    }
+
+    let mut out: Vec<McTableEntry> = Vec::new();
+    for shadowed in [false, true] {
+        for c in cubes.iter().filter(|c| !c.merged && c.shadowed == shadowed) {
+            out.push(McTableEntry {
+                key: c.base << NEURON_BITS,
+                mask: c.mask << NEURON_BITS,
+                route: c.route,
+            });
+        }
+    }
+    debug_assert!(out.len() <= entries.len());
+    out
+}
+
+/// Checks whether every block the `hull` cube covers is admissible:
+/// routed identically (same group), free live key space, or shadowed by
+/// an earlier unmerged cube of its own route. Returns the cube indices
+/// to pin, or `None` if any covered block would be hijacked.
+fn shadowed_capture_pins(
+    hull: &Cube,
+    cubes: &[Cube],
+    ctx: &ChipContext,
+    block_route: &impl Fn(u32) -> Option<spinn_noc::table::RouteSet>,
+) -> Option<Vec<usize>> {
+    let dont_care: Vec<u32> = (0..BLOCK_BITS)
+        .filter(|&b| hull.mask & (1 << b) == 0)
+        .collect();
+    let mut pins = Vec::new();
+    for pattern in 0u32..(1 << dont_care.len()) {
+        let mut block = hull.base;
+        for (i, &bit) in dont_care.iter().enumerate() {
+            if pattern & (1 << i) != 0 {
+                block |= 1 << bit;
+            }
+        }
+        match block_route(block) {
+            // The block has its own entry here. Same route: the hull is
+            // its cover. Different route: it needs an earlier, unmerged,
+            // unshadowed cube of its own route to win first-match.
+            Some(route) if route == hull.route => {}
+            Some(route) => {
+                let cover = cubes.iter().position(|c| {
+                    !c.merged && !c.shadowed && c.route == route && c.covers(block)
+                })?;
+                pins.push(cover);
+            }
+            // No entry: must be free live space — never a traversing
+            // (default-routed) block, never dead key space.
+            None => {
+                if ctx.is_barred(block) || !ctx.in_spans(block) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(pins)
+}
+
+/// Grows the largest valid cube around `seed`: key bits are cleared from
+/// LSB to MSB while every block the widened cube would newly cover is
+/// either in the route's own ON-set or free (live span, not barred).
+/// Returns `(base block, block mask, covered blocks)`.
+fn expand_cube(seed: u32, on: &[u32], ctx: &ChipContext) -> (u32, u32, Vec<u32>) {
+    let mut mask: u32 = (1 << BLOCK_BITS) - 1;
+    let mut members = vec![seed];
+    for bit in 0..BLOCK_BITS {
+        if members.len() as u32 > (1 << (MAX_CUBE_BITS - 1)) {
+            break;
+        }
+        let b = 1u32 << bit;
+        let admissible = |block: u32| {
+            on.binary_search(&block).is_ok() || (ctx.in_spans(block) && !ctx.is_barred(block))
+        };
+        if members.iter().all(|&m| admissible(m ^ b)) {
+            mask &= !b;
+            let mirror: Vec<u32> = members.iter().map(|&m| m ^ b).collect();
+            members.extend(mirror);
+        }
+    }
+    (seed & mask, mask, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::core_key_mask;
+    use spinn_noc::table::RouteSet;
+
+    fn entry(block: u32, route_bits: u32) -> McTableEntry {
+        let (key, mask) = core_key_mask(block);
+        McTableEntry {
+            key,
+            mask,
+            route: RouteSet::from_bits(route_bits),
+        }
+    }
+
+    /// Linear first-match lookup over raw entries.
+    fn lookup(entries: &[McTableEntry], key: u32) -> Option<RouteSet> {
+        entries.iter().find(|e| e.matches(key)).map(|e| e.route)
+    }
+
+    #[test]
+    fn aligned_siblings_merge_to_one_entry() {
+        // Blocks 0..4 (one population span), same route, all barred
+        // (their trees traverse this chip — they are the entries).
+        let entries: Vec<_> = (0..4).map(|b| entry(b, 0x40)).collect();
+        let ctx = ChipContext {
+            barred: &[0, 1, 2, 3],
+            spans: &[(0, 4)],
+        };
+        let min = minimize_chip(&entries, &ctx);
+        assert_eq!(min.len(), 1);
+        assert_eq!(min[0].key, 0);
+        assert_eq!(min[0].mask, CORE_MASK & !(3 << NEURON_BITS));
+        for b in 0..4u32 {
+            assert_eq!(
+                lookup(&min, b << NEURON_BITS),
+                Some(RouteSet::from_bits(0x40))
+            );
+        }
+    }
+
+    #[test]
+    fn different_routes_never_merge_or_capture_each_other() {
+        let entries = vec![entry(0, 0x40), entry(1, 0x80)];
+        let ctx = ChipContext {
+            barred: &[0, 1],
+            spans: &[(0, 2)],
+        };
+        let min = minimize_chip(&entries, &ctx);
+        assert_eq!(min.len(), 2);
+        assert_eq!(lookup(&min, 0), Some(RouteSet::from_bits(0x40)));
+        assert_eq!(
+            lookup(&min, 1 << NEURON_BITS),
+            Some(RouteSet::from_bits(0x80))
+        );
+    }
+
+    #[test]
+    fn free_live_blocks_may_be_captured_but_dead_space_never() {
+        // Blocks 0 and 2 share a route; block 1 and 3 are live elsewhere
+        // (in span, not traversing here) so the cube {0..4} is legal.
+        let entries = vec![entry(0, 0x40), entry(2, 0x40)];
+        let ctx = ChipContext {
+            barred: &[0, 2],
+            spans: &[(0, 4)],
+        };
+        let min = minimize_chip(&entries, &ctx);
+        assert_eq!(min.len(), 1);
+        // Captured free blocks now hit — harmless, they never arrive.
+        assert!(lookup(&min, 1 << NEURON_BITS).is_some());
+        // Dead space beyond the span must still miss.
+        assert_eq!(lookup(&min, 4 << NEURON_BITS), None);
+        assert_eq!(lookup(&min, 0xFFFF_FFFF), None);
+    }
+
+    #[test]
+    fn barred_traversing_block_is_not_captured() {
+        // Block 1 default-routes through this chip (elided entry): a
+        // capture would hijack it, so 0 and 2 cannot widen over it...
+        let entries = vec![entry(0, 0x40), entry(2, 0x40)];
+        let ctx = ChipContext {
+            barred: &[0, 1, 2],
+            spans: &[(0, 4)],
+        };
+        let min = minimize_chip(&entries, &ctx);
+        assert_eq!(lookup(&min, 1 << NEURON_BITS), None, "{min:?}");
+        // ...but 0 and 2 still merge over the don't-care slice bit.
+        assert_eq!(min.len(), 1);
+        assert_eq!(lookup(&min, 0), Some(RouteSet::from_bits(0x40)));
+        assert_eq!(
+            lookup(&min, 2 << NEURON_BITS),
+            Some(RouteSet::from_bits(0x40))
+        );
+    }
+
+    #[test]
+    fn non_core_masks_are_left_untouched() {
+        let odd = McTableEntry {
+            key: 0x42,
+            mask: u32::MAX,
+            route: RouteSet::from_bits(0x40),
+        };
+        let entries = vec![odd, entry(1, 0x40)];
+        let ctx = ChipContext {
+            barred: &[1],
+            spans: &[(0, 2)],
+        };
+        assert_eq!(minimize_chip(&entries, &ctx), entries);
+    }
+
+    #[test]
+    fn minimization_is_deterministic_and_idempotent_on_lookups() {
+        let entries: Vec<_> = [0u32, 1, 5, 6, 7, 9]
+            .into_iter()
+            .map(|b| entry(b, if b < 5 { 0x40 } else { 0x41 }))
+            .collect();
+        let barred = [0u32, 1, 5, 6, 7, 9, 12];
+        let ctx = ChipContext {
+            barred: &barred,
+            spans: &[(0, 8), (8, 8)],
+        };
+        let a = minimize_chip(&entries, &ctx);
+        let b = minimize_chip(&entries, &ctx);
+        assert_eq!(a, b);
+        assert!(a.len() < entries.len());
+        // Every original block still resolves to its original route;
+        // every barred block keeps its exact result.
+        for &blk in &barred {
+            assert_eq!(
+                lookup(&a, blk << NEURON_BITS),
+                lookup(&entries, blk << NEURON_BITS),
+                "block {blk}"
+            );
+        }
+    }
+}

@@ -42,7 +42,9 @@ pub struct Slice {
     pub chip: NodeCoord,
     /// Core on the chip (1-based; core 0 is the Monitor).
     pub core: u8,
-    /// Global core index (for AER key allocation).
+    /// The slice's AER key block (population base + slice index; see
+    /// [`crate::keys`]). Unique per slice, and aligned per population so
+    /// sibling slices compress to one routing entry.
     pub global_core: u32,
 }
 
@@ -86,6 +88,10 @@ pub struct Placement {
     /// Slice indices per population, ordered by `lo`.
     by_pop: Vec<Vec<usize>>,
     cores_per_chip: u8,
+    /// Per-population AER key span as `(base block, width)`; width is
+    /// the slice count rounded up to a power of two and the base is
+    /// aligned to it.
+    key_spans: Vec<(u32, u32)>,
 }
 
 impl Placement {
@@ -163,7 +169,6 @@ impl Placement {
                 let hi = (lo + neurons_per_core).min(size);
                 let (chip, core) = cores[next_core];
                 next_core += 1;
-                let global_core = chip as u32 * cores_per_chip as u32 + core as u32;
                 by_pop[p].push(slices.len());
                 slices.push(Slice {
                     pop: PopulationId(p),
@@ -171,7 +176,7 @@ impl Placement {
                     hi,
                     chip: torus.coord_of(chip),
                     core,
-                    global_core,
+                    global_core: 0, // allocated below, in population order
                 });
                 lo = hi;
             }
@@ -180,10 +185,28 @@ impl Placement {
         for list in &mut by_pop {
             list.sort_by_key(|&i| slices[i].lo);
         }
+        // AER key allocation: each population gets an aligned span of
+        // consecutive key blocks, padded to a power of two, assigned in
+        // population-index order — independent of the placer, so the key
+        // of a given (population, neuron) never depends on the mapping,
+        // and sibling slices' entries can merge into one ternary entry.
+        let mut key_spans = Vec::with_capacity(by_pop.len());
+        let mut base = 0u32;
+        for list in &by_pop {
+            let width = crate::keys::pop_block_width(list.len() as u32);
+            base = base.div_ceil(width) * width;
+            key_spans.push((base, width));
+            for (i, &si) in list.iter().enumerate() {
+                slices[si].global_core = base + i as u32;
+            }
+            base += width;
+        }
+        assert!(base <= 1 << 21, "AER key block space exhausted");
         Ok(Placement {
             slices,
             by_pop,
             cores_per_chip,
+            key_spans,
         })
     }
 
@@ -195,6 +218,15 @@ impl Placement {
     /// Cores per chip (including the Monitor).
     pub fn cores_per_chip(&self) -> u8 {
         self.cores_per_chip
+    }
+
+    /// Per-population AER key spans as `(base block, width)`, in
+    /// population order. The union of spans is the universe of keys the
+    /// network can ever own; everything outside is dead key space that
+    /// routing tables must never match (the contract
+    /// [`crate::minimize`] preserves).
+    pub fn key_spans(&self) -> &[(u32, u32)] {
+        &self.key_spans
     }
 
     /// The slices of one population, in neuron order.
@@ -369,6 +401,41 @@ mod tests {
                 w[0],
                 w[1]
             );
+        }
+    }
+
+    #[test]
+    fn key_blocks_are_population_aligned_and_placer_independent() {
+        let net = sample_net(); // slices per pop: 3, 1, 1
+        let placements: Vec<Placement> = [
+            Placer::RoundRobin,
+            Placer::Locality,
+            Placer::Random { seed: 4 },
+        ]
+        .into_iter()
+        .map(|p| Placement::compute(&net, 4, 4, 17, 100, p).unwrap())
+        .collect();
+        for p in &placements {
+            // Spans: pop 0 gets blocks 0..4 (3 slices padded to 4),
+            // pops 1 and 2 one block each.
+            assert_eq!(p.key_spans(), &[(0, 4), (4, 1), (5, 1)]);
+            for (pop, &(base, width)) in p.key_spans().iter().enumerate() {
+                assert_eq!(base % width, 0, "span must be aligned");
+                for (i, s) in p.slices_of(PopulationId(pop)).enumerate() {
+                    assert_eq!(s.global_core, base + i as u32);
+                }
+            }
+        }
+        // The key of (population, neuron) is identical under every
+        // placer: only the (chip, core) location moves.
+        for (a, b) in placements.iter().zip(&placements[1..]) {
+            for (sa, sb) in a
+                .slices_of(PopulationId(0))
+                .zip(b.slices_of(PopulationId(0)))
+            {
+                assert_eq!(sa.global_core, sb.global_core);
+                assert_eq!((sa.lo, sa.hi), (sb.lo, sb.hi));
+            }
         }
     }
 

@@ -11,15 +11,23 @@
 //! link opposite the arrival port, no local deliveries) needs *no* CAM
 //! entry at all — the mapper only spends entries on bends, branches and
 //! endpoints, which is what makes the 1024-entry CAM sufficient.
+//!
+//! [`RoutingPlan::minimized`] compresses the emitted tables further by
+//! merging same-chip entries whose routes agree into wider masked
+//! entries (see [`crate::minimize`]), and
+//! [`RoutingPlan::verify_against`] replays every source through two
+//! plans to prove they deliver identically.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use spinn_noc::direction::Direction;
+use spinn_noc::fabric::Fabric;
 use spinn_noc::mesh::{NodeCoord, Torus};
-use spinn_noc::table::{McTableEntry, RouteSet};
+use spinn_noc::table::{McTableEntry, RouteSet, TableFull};
 
 use crate::graph::NetworkGraph;
-use crate::keys::core_key_mask;
+use crate::keys::{core_key_mask, NEURON_BITS};
+use crate::minimize::{minimize_chip, ChipContext};
 use crate::place::Placement;
 
 /// Per-plan statistics.
@@ -41,6 +49,10 @@ pub struct RouteStats {
     pub total_path_len: u64,
     /// Number of (tree, destination chip) pairs.
     pub total_dests: u64,
+    /// CAM entries before minimization (0 for an unminimized plan; set
+    /// by [`RoutingPlan::minimized`], whose `total_entries` then counts
+    /// the compressed tables).
+    pub pre_minimize_entries: usize,
 }
 
 impl RouteStats {
@@ -59,6 +71,15 @@ impl RouteStats {
 pub struct RoutingPlan {
     tables: Vec<Vec<McTableEntry>>,
     stats: RouteStats,
+    width: u32,
+    height: u32,
+    /// Per chip: key blocks whose trees traverse it (sorted) — the
+    /// blocks minimization must not capture with a foreign route.
+    traversals: Vec<Vec<u32>>,
+    /// Allocated population key spans (the live key universe).
+    spans: Vec<(u32, u32)>,
+    /// One `(source chip id, key block)` per tree, for replay checks.
+    sources: Vec<(usize, u32)>,
 }
 
 impl RoutingPlan {
@@ -80,6 +101,8 @@ impl RoutingPlan {
         let torus = Torus::new(width, height);
         let mut tables: Vec<Vec<McTableEntry>> = vec![Vec::new(); torus.len()];
         let mut stats = RouteStats::default();
+        let mut traversals: Vec<Vec<u32>> = vec![Vec::new(); torus.len()];
+        let mut sources: Vec<(usize, u32)> = Vec::new();
 
         for slice in placement.slices() {
             // Destination cores: every slice of every population this
@@ -97,6 +120,10 @@ impl RoutingPlan {
             stats.trees += 1;
             let src_chip = torus.id_of(slice.chip);
             let tree = grow_tree(&torus, src_chip, dest_cores.keys().copied(), &mut stats);
+            sources.push((src_chip, slice.global_core));
+            for &chip in tree.keys() {
+                traversals[chip].push(slice.global_core);
+            }
             emit_tables(
                 &torus,
                 src_chip,
@@ -112,7 +139,18 @@ impl RoutingPlan {
             stats.max_entries_per_chip = stats.max_entries_per_chip.max(t.len());
         }
         stats.total_entries = tables.iter().map(|t| t.len()).sum();
-        RoutingPlan { tables, stats }
+        for t in &mut traversals {
+            t.sort_unstable();
+        }
+        RoutingPlan {
+            tables,
+            stats,
+            width,
+            height,
+            traversals,
+            spans: placement.key_spans().to_vec(),
+            sources,
+        }
     }
 
     /// The table for one chip (by dense chip id).
@@ -139,6 +177,150 @@ impl RoutingPlan {
     pub fn total_edges(&self) -> u64 {
         self.stats.total_edges
     }
+
+    /// Mesh dimensions the plan was built for, `(width, height)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// A compressed copy of the plan: each chip's entries merged into
+    /// wider masked entries wherever their routes agree (see
+    /// [`crate::minimize`]). Route behaviour is preserved exactly for
+    /// every key that can traverse each chip; before/after entry counts
+    /// land in [`RouteStats::pre_minimize_entries`] / `total_entries`.
+    pub fn minimized(&self) -> RoutingPlan {
+        let tables: Vec<Vec<McTableEntry>> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(chip, entries)| {
+                minimize_chip(
+                    entries,
+                    &ChipContext {
+                        barred: &self.traversals[chip],
+                        spans: &self.spans,
+                    },
+                )
+            })
+            .collect();
+        let mut stats = self.stats.clone();
+        if stats.pre_minimize_entries == 0 {
+            stats.pre_minimize_entries = self.stats.total_entries;
+        }
+        stats.total_entries = tables.iter().map(|t| t.len()).sum();
+        stats.max_entries_per_chip = tables.iter().map(|t| t.len()).max().unwrap_or(0);
+        RoutingPlan {
+            tables,
+            stats,
+            width: self.width,
+            height: self.height,
+            traversals: self.traversals.clone(),
+            spans: self.spans.clone(),
+            sources: self.sources.clone(),
+        }
+    }
+
+    /// Replays one packet from every source core through this plan's
+    /// tables and `other`'s, and counts the sources whose delivered
+    /// `(chip, core)` sets differ (or that loop / come up unroutable in
+    /// either plan). 0 means the two plans are route-equivalent.
+    pub fn verify_against(&self, other: &RoutingPlan) -> usize {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "plans cover different meshes"
+        );
+        let torus = Torus::new(self.width, self.height);
+        let mut violations = 0;
+        for &(chip, block) in &self.sources {
+            let key = block << NEURON_BITS;
+            let a = walk_key(&self.tables, &torus, chip, key);
+            let b = walk_key(&other.tables, &torus, chip, key);
+            if a.is_none() || a != b {
+                violations += 1;
+            }
+        }
+        violations
+    }
+
+    /// Loads every chip's table into a fabric's routers through the
+    /// fallible CAM path — the one table-install loop the examples,
+    /// tests and the simulation builder all share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFull`] as soon as any router's CAM capacity is
+    /// exceeded (tables already installed stay installed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric's mesh does not match the plan's.
+    pub fn install_into(&self, fabric: &mut Fabric) -> Result<usize, TableFull> {
+        assert_eq!(
+            (fabric.config().width, fabric.config().height),
+            (self.width, self.height),
+            "plan does not match the fabric's mesh"
+        );
+        let mut installed = 0;
+        for (chip_id, entries) in self.tables.iter().enumerate() {
+            let coord = fabric.torus().coord_of(chip_id);
+            let router = fabric.router_mut(coord);
+            for &e in entries {
+                router.table.insert(e)?;
+                installed += 1;
+            }
+        }
+        Ok(installed)
+    }
+}
+
+/// First-match lookup over a raw entry list.
+fn entries_lookup(entries: &[McTableEntry], key: u32) -> Option<RouteSet> {
+    entries.iter().find(|e| e.matches(key)).map(|e| e.route)
+}
+
+/// Walks one key from its source chip through per-chip tables, applying
+/// default routing where no entry matches, and returns the delivered
+/// core mask per chip — or `None` if the key loops or is unroutable at
+/// its source.
+fn walk_key(
+    tables: &[Vec<McTableEntry>],
+    torus: &Torus,
+    src: usize,
+    key: u32,
+) -> Option<BTreeMap<usize, u32>> {
+    let mut deliveries: BTreeMap<usize, u32> = BTreeMap::new();
+    // (chip, direction of travel; None when locally injected).
+    let mut stack: Vec<(usize, Option<Direction>)> = vec![(src, None)];
+    let budget = tables.len() * 8 + 16;
+    let mut steps = 0;
+    while let Some((chip, travel)) = stack.pop() {
+        steps += 1;
+        if steps > budget {
+            return None; // routing loop
+        }
+        let onward = |d: Direction| {
+            (
+                torus.id_of(torus.neighbour(torus.coord_of(chip), d)),
+                Some(d),
+            )
+        };
+        match entries_lookup(&tables[chip], key) {
+            Some(route) => {
+                if route.core_mask() != 0 {
+                    *deliveries.entry(chip).or_default() |= route.core_mask();
+                }
+                stack.extend(route.links().map(onward));
+            }
+            // Default routing continues straight; a locally injected
+            // packet with no entry is unroutable.
+            None => match travel {
+                Some(d) => stack.push(onward(d)),
+                None => return None,
+            },
+        }
+    }
+    Some(deliveries)
 }
 
 /// Cost of reaching a destination set from one source, three ways: the
@@ -189,8 +371,17 @@ struct TreeNode {
     depth: u64,
 }
 
-/// Grows the shortest-path tree: destinations attached in distance
-/// order, each grafting its path suffix from the nearest tree chip.
+/// Grows the multicast tree: destinations attached in **canonical**
+/// (chip-id) order, the first via the shortest path from the source and
+/// every later one grafted from the nearest chip of the destination
+/// *suffix structure* grown so far (never from the source path).
+///
+/// The suffix structure — first destination, later destinations and the
+/// paths connecting them — therefore depends only on the destination
+/// set, not on the source. Sibling slices of one population share their
+/// destination set, so their trees agree chip-for-chip everywhere past
+/// the first destination: identical routes that
+/// [`RoutingPlan::minimized`] collapses into one shared entry per chip.
 fn grow_tree(
     torus: &Torus,
     src: usize,
@@ -200,30 +391,47 @@ fn grow_tree(
     let mut tree: HashMap<usize, TreeNode> = HashMap::new();
     tree.insert(src, TreeNode::default());
     let mut dests: Vec<usize> = dests.collect();
-    dests.sort_by_key(|&d| {
-        (
-            torus.hex_distance(torus.coord_of(src), torus.coord_of(d)),
-            d,
-        )
-    });
+    dests.sort_unstable();
+    // Chips of the source-independent suffix structure.
+    let mut suffix: Vec<usize> = Vec::new();
     for dest in dests {
         if tree.contains_key(&dest) {
             stats.total_dests += 1;
             stats.total_path_len += tree[&dest].depth;
+            if !suffix.contains(&dest) {
+                suffix.push(dest);
+            }
             continue;
         }
-        // Find the tree chip nearest to the destination, then walk the
-        // greedy path from it.
+        // Graft from the nearest suffix chip (the source itself for the
+        // first destination), then walk the greedy path towards `dest`.
         let dc = torus.coord_of(dest);
-        let (&attach, _) = tree
+        let attach = suffix
             .iter()
-            .min_by_key(|(&c, node)| (torus.hex_distance(torus.coord_of(c), dc), node.depth, c))
-            .expect("tree non-empty");
+            .copied()
+            .min_by_key(|&c| (torus.hex_distance(torus.coord_of(c), dc), tree[&c].depth, c))
+            .unwrap_or(src);
+        // The greedy path from the graft point; it may cross chips that
+        // are already on the tree (the source path, say), in which case
+        // only the segment after the last crossing is added — every
+        // chip keeps exactly one parent.
+        let mut path = vec![(attach, None)];
         let mut cur = attach;
         while cur != dest {
-            let cc = torus.coord_of(cur);
-            let hop = torus.p2p_next_hop(cc, dc).expect("cur != dest");
-            let next = torus.id_of(torus.neighbour(cc, hop));
+            let hop = torus
+                .p2p_next_hop(torus.coord_of(cur), dc)
+                .expect("cur != dest");
+            path.last_mut().expect("non-empty").1 = Some(hop);
+            cur = torus.id_of(torus.neighbour(torus.coord_of(cur), hop));
+            path.push((cur, None));
+        }
+        let start = (0..path.len())
+            .rev()
+            .find(|&i| tree.contains_key(&path[i].0))
+            .expect("graft point is on the tree");
+        for w in path[start..].windows(2) {
+            let ((cur, hop), (next, _)) = (w[0], w[1]);
+            let hop = hop.expect("interior path chip has a hop");
             let depth = tree[&cur].depth + 1;
             let cur_node = tree.get_mut(&cur).expect("on tree");
             if !cur_node.out.contains(&hop) {
@@ -235,7 +443,19 @@ fn grow_tree(
                 out: Vec::new(),
                 depth,
             });
-            cur = next;
+        }
+        // The graft path joins the suffix structure; the first
+        // destination's source path does not (it is source-specific —
+        // only the destination itself is shared).
+        let joins = if suffix.is_empty() {
+            path.len() - 1
+        } else {
+            start
+        };
+        for &(c, _) in &path[joins..] {
+            if !suffix.contains(&c) {
+                suffix.push(c);
+            }
         }
         stats.total_dests += 1;
         stats.total_path_len += tree[&dest].depth;
@@ -452,5 +672,97 @@ mod tests {
         let plan = RoutingPlan::build(&net, &placement, 8, 8);
         assert!(plan.stats().mean_path_len() >= 1.0);
         assert_eq!(plan.stats().total_dests, 3);
+    }
+
+    /// The dense random-placement workload of
+    /// `tests/parallel_equivalence.rs`: 8 populations of 256 neurons in
+    /// a synfire ring, 128 neurons per core, scattered over a 4x4 torus.
+    fn dense_random_ring() -> (NetworkGraph, Placement) {
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..8u32)
+            .map(|i| net.population(&format!("s{i}"), 256, kind(), 0.0))
+            .collect();
+        for (i, &src) in pops.iter().enumerate() {
+            let dst = pops[(i + 1) % pops.len()];
+            net.project(
+                src,
+                dst,
+                Connector::FixedFanOut(12),
+                Synapses::constant(600, 2),
+                i as u64,
+            );
+        }
+        let placement =
+            Placement::compute(&net, 4, 4, 20, 128, Placer::Random { seed: 0xD15E }).unwrap();
+        (net, placement)
+    }
+
+    #[test]
+    fn dense_random_placement_minimizes_by_thirty_percent() {
+        // The PR's acceptance bar: ≥ 30% fewer CAM entries with zero
+        // route-equivalence violations on the dense random workload.
+        let (net, placement) = dense_random_ring();
+        let plan = RoutingPlan::build(&net, &placement, 4, 4);
+        let min = plan.minimized();
+        assert_eq!(plan.verify_against(&min), 0, "routes must be preserved");
+        assert_eq!(min.stats().pre_minimize_entries, plan.total_entries());
+        assert!(
+            min.total_entries() * 10 <= plan.total_entries() * 7,
+            "minimization saved too little: {} -> {}",
+            plan.total_entries(),
+            min.total_entries()
+        );
+        assert!(min.stats().max_entries_per_chip <= plan.stats().max_entries_per_chip);
+    }
+
+    #[test]
+    fn minimization_is_route_exact_across_placers() {
+        let net = line_net(6, 120);
+        for placer in [
+            Placer::Locality,
+            Placer::RoundRobin,
+            Placer::Random { seed: 99 },
+        ] {
+            let placement = Placement::compute(&net, 6, 6, 17, 64, placer).unwrap();
+            let plan = RoutingPlan::build(&net, &placement, 6, 6);
+            let min = plan.minimized();
+            assert_eq!(plan.verify_against(&min), 0);
+            assert!(min.total_entries() <= plan.total_entries());
+            // Minimizing twice changes nothing further.
+            let twice = min.minimized();
+            assert_eq!(twice.total_entries(), min.total_entries());
+            assert_eq!(twice.stats().pre_minimize_entries, plan.total_entries());
+        }
+    }
+
+    #[test]
+    fn sibling_slices_on_one_chip_collapse_to_one_entry() {
+        // Two pops, 4 slices each, all on chip 0 (locality, plenty of
+        // cores): each pop's 4 source entries share a route and aligned
+        // keys, so the minimized chip-0 table is one entry per pop.
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 200, kind(), 0.0);
+        let b = net.population("b", 200, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(10, 1), 0);
+        net.project(b, a, Connector::OneToOne, Synapses::constant(10, 1), 1);
+        let placement = Placement::compute(&net, 4, 4, 17, 50, Placer::Locality).unwrap();
+        let plan = RoutingPlan::build(&net, &placement, 4, 4);
+        assert_eq!(plan.total_entries(), 8, "4 entries per pop before");
+        let min = plan.minimized();
+        assert_eq!(min.total_entries(), 2, "one widened entry per pop");
+        assert_eq!(plan.verify_against(&min), 0);
+    }
+
+    #[test]
+    fn verify_against_detects_a_broken_plan() {
+        let (net, placement) = dense_random_ring();
+        let plan = RoutingPlan::build(&net, &placement, 4, 4);
+        let mut broken = plan.clone();
+        // Corrupt one chip: drop the entries of the busiest table.
+        let busiest = (0..broken.tables.len())
+            .max_by_key(|&c| broken.tables[c].len())
+            .unwrap();
+        broken.tables[busiest].clear();
+        assert!(plan.verify_against(&broken) > 0);
     }
 }

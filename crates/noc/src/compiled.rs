@@ -1,0 +1,227 @@
+//! A compiled form of the multicast routing table for the per-packet hot
+//! path.
+//!
+//! [`McTable::lookup`](crate::table::McTable::lookup) models the ternary
+//! CAM as a linear scan — faithful to the hardware's parallel compare,
+//! but O(entries) per packet in software. [`CompiledTable`] rebuilds the
+//! same table as a set of **mask groups**: entries sharing a ternary
+//! mask land in one hash map keyed by `key & mask`, so a lookup costs
+//! one hash probe per *distinct mask* instead of one compare per entry.
+//! Routing plans use a handful of masks (a core-block mask plus the
+//! widened masks minimization produces), so the probe count stays tiny
+//! even at full 1024-entry occupancy.
+//!
+//! First-match priority is preserved exactly: every entry carries its
+//! CAM index, each bucket keeps the lowest index for its masked key, and
+//! a lookup that matches in several groups returns the match with the
+//! lowest index — precisely the entry the linear scan would have found
+//! first.
+
+use std::collections::HashMap;
+
+use crate::table::{McTable, RouteSet};
+
+/// One group of entries sharing a ternary mask.
+#[derive(Clone, Debug)]
+struct MaskGroup {
+    /// The shared ternary mask.
+    mask: u32,
+    /// `key & mask` → (CAM index of the first such entry, its route).
+    buckets: HashMap<u32, (u32, RouteSet)>,
+}
+
+/// A key-indexed compilation of an [`McTable`] with identical first-match
+/// semantics.
+///
+/// The compilation is tied to the table's [`McTable::version`]; the
+/// router recompiles lazily whenever the version it compiled no longer
+/// matches the live table (e.g. after fault-injection table edits).
+///
+/// # Example
+///
+/// ```
+/// use spinn_noc::compiled::CompiledTable;
+/// use spinn_noc::table::{McTable, McTableEntry, RouteSet};
+/// use spinn_noc::direction::Direction;
+///
+/// let mut t = McTable::new(1024);
+/// t.insert(McTableEntry {
+///     key: 0x100,
+///     mask: 0xFF00,
+///     route: RouteSet::EMPTY.with_link(Direction::East),
+/// }).unwrap();
+/// let c = CompiledTable::compile(&t);
+/// assert_eq!(c.lookup(0x0142), t.lookup(0x0142));
+/// assert_eq!(c.lookup(0x0242), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CompiledTable {
+    version: u64,
+    groups: Vec<MaskGroup>,
+    entries: usize,
+}
+
+impl CompiledTable {
+    /// Compiles a table into its mask-grouped form.
+    pub fn compile(table: &McTable) -> Self {
+        let mut groups: Vec<MaskGroup> = Vec::new();
+        for (index, e) in table.iter().enumerate() {
+            let group = match groups.iter_mut().find(|g| g.mask == e.mask) {
+                Some(g) => g,
+                None => {
+                    groups.push(MaskGroup {
+                        mask: e.mask,
+                        buckets: HashMap::new(),
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            // First match wins: keep the lowest CAM index per masked key.
+            group
+                .buckets
+                .entry(e.key & e.mask)
+                .or_insert((index as u32, e.route));
+        }
+        CompiledTable {
+            version: table.version(),
+            groups,
+            entries: table.len(),
+        }
+    }
+
+    /// The [`McTable::version`] this compilation reflects.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of distinct ternary masks (hash probes per lookup).
+    pub fn mask_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of entries compiled in.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the compiled table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Looks a packet key up; `None` means default-route. Returns exactly
+    /// what the linear first-match scan over the source table returns.
+    #[inline]
+    pub fn lookup(&self, packet_key: u32) -> Option<RouteSet> {
+        let mut best: Option<(u32, RouteSet)> = None;
+        for g in &self.groups {
+            if let Some(&(index, route)) = g.buckets.get(&(packet_key & g.mask)) {
+                if best.is_none_or(|(b, _)| index < b) {
+                    best = Some((index, route));
+                }
+            }
+        }
+        best.map(|(_, route)| route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Direction;
+    use crate::table::McTableEntry;
+
+    fn entry(key: u32, mask: u32, core: usize) -> McTableEntry {
+        McTableEntry {
+            key,
+            mask,
+            route: RouteSet::EMPTY.with_core(core),
+        }
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_tables() {
+        // A deterministic pseudo-random sweep: many entries, overlapping
+        // masks, lookups compared against the linear scan bit-for-bit.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let mut t = McTable::new(512);
+            for _ in 0..200 {
+                let key = next() as u32;
+                let mask = match next() % 4 {
+                    0 => 0xFFFF_F800,
+                    1 => 0xFFFF_F000,
+                    2 => 0xFFFF_8000,
+                    _ => u32::MAX,
+                };
+                t.insert(entry(key, mask, (next() % 26) as usize)).unwrap();
+            }
+            let c = CompiledTable::compile(&t);
+            assert_eq!(c.len(), 200);
+            for _ in 0..500 {
+                // Probe near inserted keys so hits actually occur.
+                let probe = next() as u32;
+                assert_eq!(c.lookup(probe), t.lookup(probe));
+            }
+            for e in t.iter() {
+                assert_eq!(c.lookup(e.key), t.lookup(e.key));
+            }
+        }
+    }
+
+    #[test]
+    fn first_match_priority_across_mask_groups() {
+        let mut t = McTable::new(8);
+        t.insert(McTableEntry {
+            key: 0b1000,
+            mask: 0b1000,
+            route: RouteSet::EMPTY.with_link(Direction::East),
+        })
+        .unwrap();
+        t.insert(McTableEntry {
+            key: 0b1100,
+            mask: 0b1100,
+            route: RouteSet::EMPTY.with_link(Direction::West),
+        })
+        .unwrap();
+        let c = CompiledTable::compile(&t);
+        // 0b1100 matches both groups; the earlier entry must win.
+        let r = c.lookup(0b1100).unwrap();
+        assert!(r.has_link(Direction::East));
+        assert!(!r.has_link(Direction::West));
+        assert_eq!(c.mask_groups(), 2);
+    }
+
+    #[test]
+    fn duplicate_masked_keys_keep_first() {
+        let mut t = McTable::new(8);
+        t.insert(entry(0x800, 0xFFFF_F800, 1)).unwrap();
+        t.insert(entry(0x801, 0xFFFF_F800, 2)).unwrap(); // same masked key
+        let c = CompiledTable::compile(&t);
+        assert!(c.lookup(0x805).unwrap().has_core(1));
+    }
+
+    #[test]
+    fn empty_table_compiles_to_miss() {
+        let t = McTable::new(4);
+        let c = CompiledTable::compile(&t);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(123), None);
+    }
+
+    #[test]
+    fn version_tracks_source_table() {
+        let mut t = McTable::new(4);
+        let c0 = CompiledTable::compile(&t);
+        t.insert(entry(0, u32::MAX, 1)).unwrap();
+        assert_ne!(c0.version(), t.version());
+        let c1 = CompiledTable::compile(&t);
+        assert_eq!(c1.version(), t.version());
+    }
+}

@@ -373,6 +373,12 @@ impl Fabric {
             t.emergency_second_legs += s.emergency_second_legs;
             t.dropped += s.dropped;
             t.aged_out += s.aged_out;
+            // CAM occupancy is a high-water mark over routers, not a sum.
+            t.table_peak_entries = t
+                .table_peak_entries
+                .max(s.table_peak_entries)
+                .max(r.table.peak_len() as u64);
+            t.table_capacity = t.table_capacity.max(r.table.capacity() as u64);
         }
         t
     }

@@ -15,6 +15,9 @@
 //! * [`table`] — the ternary-CAM multicast routing table: `(key, mask) →
 //!   route set` entries with first-match priority, plus default routing
 //!   (a packet with no matching entry continues straight through).
+//! * [`compiled`] — the hot-path form of the table: entries bucketed by
+//!   ternary mask into hash maps, one probe per distinct mask instead of
+//!   one compare per entry, with identical first-match semantics.
 //! * [`router`] — one node's multicast packet router: output-link queues,
 //!   blocked-link detection with programmable `wait1`/`wait2`,
 //!   **emergency routing** around the two other sides of a mesh triangle
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod direction;
 pub mod fabric;
 pub mod mesh;
@@ -49,6 +53,7 @@ pub mod packet;
 pub mod router;
 pub mod table;
 
+pub use compiled::CompiledTable;
 pub use direction::Direction;
 pub use fabric::{Delivery, Fabric, FabricConfig, NocEvent, NocScheduler, Partition};
 pub use mesh::{NodeCoord, Torus};

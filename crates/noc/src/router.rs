@@ -5,6 +5,7 @@
 //! state and the routing *decisions*, which makes them unit-testable in
 //! isolation.
 
+use crate::compiled::CompiledTable;
 use crate::direction::Direction;
 use crate::packet::{EmergencyState, Packet, PacketKind};
 use crate::table::{McTable, RouteSet};
@@ -62,6 +63,23 @@ pub struct RouterStats {
     pub dropped: u64,
     /// Packets dropped because they exceeded the hop limit.
     pub aged_out: u64,
+    /// Peak multicast CAM entries installed (occupancy high-water mark;
+    /// aggregated as a max, not a sum, over routers).
+    pub table_peak_entries: u64,
+    /// Multicast CAM capacity (aggregated as a max over routers).
+    pub table_capacity: u64,
+}
+
+impl RouterStats {
+    /// Peak CAM occupancy as a fraction of capacity (0.0 when the
+    /// capacity is unknown/zero).
+    pub fn occupancy_ratio(&self) -> f64 {
+        if self.table_capacity == 0 {
+            0.0
+        } else {
+            self.table_peak_entries as f64 / self.table_capacity as f64
+        }
+    }
 }
 
 /// The routing decision for one packet at one router.
@@ -88,6 +106,13 @@ pub enum Port {
 }
 
 /// One node's router: the multicast CAM plus statistics.
+///
+/// Multicast lookups run against a [`CompiledTable`] — a key-indexed
+/// compilation of [`Router::table`] with identical first-match semantics
+/// — rather than the linear CAM scan. The compilation is refreshed
+/// lazily whenever the table's [`McTable::version`] changes, so direct
+/// table edits (plan loading, fault-injection rewrites, migration) are
+/// picked up automatically on the next packet.
 #[derive(Clone, Debug)]
 pub struct Router {
     /// The multicast routing table.
@@ -95,6 +120,7 @@ pub struct Router {
     /// Router statistics (read by the monitor processor).
     pub stats: RouterStats,
     cfg: RouterConfig,
+    compiled: CompiledTable,
 }
 
 impl Router {
@@ -104,6 +130,7 @@ impl Router {
             table: McTable::new(cfg.table_capacity),
             stats: RouterStats::default(),
             cfg,
+            compiled: CompiledTable::default(),
         }
     }
 
@@ -112,11 +139,30 @@ impl Router {
         &self.cfg
     }
 
+    /// The compiled lookup structure currently in use (recompiling first
+    /// if the table has been edited since the last packet).
+    pub fn compiled(&mut self) -> &CompiledTable {
+        self.refresh_compiled();
+        &self.compiled
+    }
+
+    fn refresh_compiled(&mut self) {
+        if self.compiled.version() != self.table.version() {
+            self.compiled = CompiledTable::compile(&self.table);
+            self.stats.table_peak_entries = self
+                .stats
+                .table_peak_entries
+                .max(self.table.peak_len() as u64);
+            self.stats.table_capacity = self.table.capacity() as u64;
+        }
+    }
+
     /// Decides where a multicast packet goes. `input` is the arrival
     /// port; default routing continues straight through (out the port
     /// opposite the arrival port).
     pub fn decide_mc(&mut self, key: u32, input: Port) -> RouteDecision {
-        match self.table.lookup(key) {
+        self.refresh_compiled();
+        match self.compiled.lookup(key) {
             Some(route) => {
                 self.stats.mc_table_hits += 1;
                 RouteDecision::Multicast(route)
@@ -226,6 +272,97 @@ mod tests {
         let mut r = Router::new(RouterConfig::default());
         assert_eq!(r.decide_mc(1, Port::Local), RouteDecision::UnroutableLocal);
         assert_eq!(r.stats.mc_unroutable_local, 1);
+    }
+
+    #[test]
+    fn table_edits_recompile_before_next_decision() {
+        let mut r = Router::new(RouterConfig::default());
+        r.table
+            .insert(McTableEntry {
+                key: 0x10,
+                mask: 0xF0,
+                route: RouteSet::EMPTY.with_core(1),
+            })
+            .unwrap();
+        assert!(matches!(
+            r.decide_mc(0x12, Port::Local),
+            RouteDecision::Multicast(_)
+        ));
+        // Fault-injection style rewrite: clear and repoint the table.
+        r.table.clear();
+        r.table
+            .insert(McTableEntry {
+                key: 0x10,
+                mask: 0xF0,
+                route: RouteSet::EMPTY.with_core(7),
+            })
+            .unwrap();
+        match r.decide_mc(0x12, Port::Local) {
+            RouteDecision::Multicast(route) => {
+                assert!(route.has_core(7));
+                assert!(!route.has_core(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.stats.table_peak_entries, 1);
+        assert_eq!(r.stats.table_capacity, 1024);
+        assert!(r.stats.occupancy_ratio() > 0.0);
+        assert_eq!(r.compiled().len(), 1);
+    }
+
+    #[test]
+    fn wholesale_table_replacement_recompiles() {
+        // Same edit count on both tables: only globally unique versions
+        // make the cached compilation miss after `table` is replaced.
+        let mut r = Router::new(RouterConfig::default());
+        r.table
+            .insert(McTableEntry {
+                key: 0x10,
+                mask: 0xF0,
+                route: RouteSet::EMPTY.with_core(1),
+            })
+            .unwrap();
+        let _ = r.decide_mc(0x12, Port::Local); // compile against old table
+        let mut replacement = McTable::new(1024);
+        replacement
+            .insert(McTableEntry {
+                key: 0x10,
+                mask: 0xF0,
+                route: RouteSet::EMPTY.with_core(9),
+            })
+            .unwrap();
+        r.table = replacement;
+        match r.decide_mc(0x12, Port::Local) {
+            RouteDecision::Multicast(route) => assert!(route.has_core(9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_peak_survives_clear() {
+        let mut r = Router::new(RouterConfig::default());
+        for key in 0..5 {
+            r.table
+                .insert(McTableEntry {
+                    key,
+                    mask: u32::MAX,
+                    route: RouteSet::EMPTY.with_core(1),
+                })
+                .unwrap();
+        }
+        // Shrink the table before any packet is routed: the high-water
+        // mark must still report the 5 entries that were live.
+        r.table.clear();
+        r.table
+            .insert(McTableEntry {
+                key: 0,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_core(2),
+            })
+            .unwrap();
+        let _ = r.decide_mc(0, Port::Local);
+        assert_eq!(r.stats.table_peak_entries, 5);
+        assert_eq!(r.table.peak_len(), 5);
     }
 
     #[test]

@@ -136,6 +136,18 @@ impl McTableEntry {
 pub struct McTable {
     entries: Vec<McTableEntry>,
     capacity: usize,
+    version: u64,
+    peak_len: usize,
+}
+
+/// Source of globally unique table versions: every mutation of any
+/// table draws a fresh value, so two *different* tables can never share
+/// a version (a cached compilation keyed on the version of a table that
+/// was wholesale-replaced must miss, not silently match).
+static NEXT_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Error returned when a routing table's CAM capacity is exhausted.
@@ -164,6 +176,8 @@ impl McTable {
         McTable {
             entries: Vec::new(),
             capacity,
+            version: fresh_version(),
+            peak_len: 0,
         }
     }
 
@@ -179,7 +193,32 @@ impl McTable {
             });
         }
         self.entries.push(entry);
+        self.peak_len = self.peak_len.max(self.entries.len());
+        self.version = fresh_version();
         Ok(())
+    }
+
+    /// Removes every entry (reprogramming the CAM from scratch, e.g.
+    /// after a monitor-driven migration). The occupancy high-water mark
+    /// ([`McTable::peak_len`]) survives.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.version = fresh_version();
+    }
+
+    /// Globally unique edit stamp: every mutation of any table draws a
+    /// fresh value, so cached compilations
+    /// ([`crate::compiled::CompiledTable`]) detect both in-place edits
+    /// and wholesale table replacement, and routers recompile after
+    /// fault-injection table rewrites.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Most entries ever simultaneously installed (CAM occupancy
+    /// high-water mark; survives [`McTable::clear`]).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Looks a packet key up; `None` means default-route.
@@ -293,6 +332,23 @@ mod tests {
         let err = t.insert(e).unwrap_err();
         assert_eq!(err.capacity, 1);
         assert_eq!(err.to_string(), "multicast routing table full (1 entries)");
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut t = McTable::new(4);
+        let v0 = t.version();
+        t.insert(McTableEntry {
+            key: 0,
+            mask: 0,
+            route: RouteSet::EMPTY,
+        })
+        .unwrap();
+        assert!(t.version() > v0);
+        let v1 = t.version();
+        t.clear();
+        assert!(t.version() > v1);
+        assert!(t.is_empty());
     }
 
     #[test]

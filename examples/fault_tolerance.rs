@@ -19,6 +19,7 @@ use spinnaker::neuron::synapse::{SynapticRow, SynapticWord};
 use spinnaker::noc::direction::Direction;
 use spinnaker::noc::mesh::NodeCoord;
 use spinnaker::noc::table::{McTableEntry, RouteSet};
+use spinnaker::SpinnError;
 
 fn neurons(n: usize) -> Vec<AnyNeuron> {
     (0..n)
@@ -27,42 +28,35 @@ fn neurons(n: usize) -> Vec<AnyNeuron> {
 }
 
 /// Source population on (0,0) driving a target on (3,0), straight east.
-fn build(emergency: bool) -> NeuralMachine {
+/// CAM and DTCM capacity errors propagate instead of panicking.
+fn build(emergency: bool) -> Result<NeuralMachine, SpinnError> {
     let mut cfg = MachineConfig::new(8, 8);
     cfg.fabric.router.emergency_enabled = emergency;
     let mut m = NeuralMachine::new(cfg);
     let src = NodeCoord::new(0, 0);
     let dst = NodeCoord::new(3, 0);
-    m.load_core(src, 1, neurons(50), vec![11.0; 50], 0x8000)
-        .unwrap();
-    m.load_core(dst, 1, neurons(50), vec![0.0; 50], 0x10000)
-        .unwrap();
-    m.router_mut(src)
-        .table
-        .insert(McTableEntry {
-            key: 0x8000,
-            mask: 0xFFFF_8000,
-            route: RouteSet::EMPTY.with_link(Direction::East),
-        })
-        .unwrap();
-    m.router_mut(dst)
-        .table
-        .insert(McTableEntry {
-            key: 0x8000,
-            mask: 0xFFFF_8000,
-            route: RouteSet::EMPTY.with_core(1),
-        })
-        .unwrap();
+    m.load_core(src, 1, neurons(50), vec![11.0; 50], 0x8000)?;
+    m.load_core(dst, 1, neurons(50), vec![0.0; 50], 0x10000)?;
+    m.router_mut(src).table.insert(McTableEntry {
+        key: 0x8000,
+        mask: 0xFFFF_8000,
+        route: RouteSet::EMPTY.with_link(Direction::East),
+    })?;
+    m.router_mut(dst).table.insert(McTableEntry {
+        key: 0x8000,
+        mask: 0xFFFF_8000,
+        route: RouteSet::EMPTY.with_core(1),
+    })?;
     for i in 0..50u32 {
         let row: SynapticRow = (0..50)
             .map(|t| SynapticWord::new(500, 1, t as u16))
             .collect();
         m.set_row(dst, 1, 0x8000 + i, row);
     }
-    m
+    Ok(m)
 }
 
-fn main() {
+fn main() -> Result<(), SpinnError> {
     println!("== Part 1: link failure and emergency routing (Fig. 8) ==\n");
     println!(
         "{:<28} {:>10} {:>10} {:>10} {:>9}",
@@ -73,7 +67,7 @@ fn main() {
         ("failed link + emergency", true, true),
         ("failed link, no emergency", true, false),
     ] {
-        let mut m = build(emergency);
+        let mut m = build(emergency)?;
         if fail {
             // Break the middle of the default-routed segment.
             m.fail_link(NodeCoord::new(1, 0), Direction::East);
@@ -92,7 +86,7 @@ fn main() {
     }
 
     println!("\n== Part 2: core failure and functional migration ==\n");
-    let mut m = build(true);
+    let mut m = build(true)?;
     let m_healthy = m.run(300);
     let healthy_spikes = m_healthy
         .spikes()
@@ -102,32 +96,31 @@ fn main() {
 
     // Rebuild, then simulate the monitor detecting a failing core at
     // (3,0) and migrating its neurons to a spare core on (3,1).
-    m = build(true);
+    m = build(true)?;
     let payload = m.evict_core(NodeCoord::new(3, 0), 1).expect("loaded");
-    m.install_core(NodeCoord::new(3, 1), 1, payload)
-        .expect("spare core fits");
-    // Re-point the last hop: extend the tree one hop north.
-    *m.router_mut(NodeCoord::new(3, 0)) = spinnaker::noc::router::Router::new(Default::default());
+    m.install_core(NodeCoord::new(3, 1), 1, payload)?;
+    // Re-point the last hop: extend the tree one hop north. The router
+    // recompiles its lookup structure on the next packet.
+    m.router_mut(NodeCoord::new(3, 0)).table.clear();
     m.router_mut(NodeCoord::new(3, 0))
         .table
         .insert(McTableEntry {
             key: 0x8000,
             mask: 0xFFFF_8000,
             route: RouteSet::EMPTY.with_link(Direction::North),
-        })
-        .unwrap();
+        })?;
     m.router_mut(NodeCoord::new(3, 1))
         .table
         .insert(McTableEntry {
             key: 0x8000,
             mask: 0xFFFF_8000,
             route: RouteSet::EMPTY.with_core(1),
-        })
-        .unwrap();
+        })?;
     let m = m.run(300);
     let migrated_spikes = m.spikes().iter().filter(|s| s.key & 0x1_0000 != 0).count();
     println!("target spikes before failure: {healthy_spikes}");
     println!("target spikes after migration: {migrated_spikes}");
     println!("(the population keeps functioning on its new core)");
     assert!(migrated_spikes > 0);
+    Ok(())
 }

@@ -16,10 +16,11 @@ use spinnaker::neuron::retina::{Image, RetinaLayer};
 use spinnaker::neuron::synapse::{SynapticRow, SynapticWord};
 use spinnaker::noc::mesh::NodeCoord;
 use spinnaker::noc::table::{McTableEntry, RouteSet};
+use spinnaker::SpinnError;
 
 const MS: u64 = 1_000_000;
 
-fn main() {
+fn main() -> Result<(), SpinnError> {
     // 1. The retina: 80 ganglion cells over a 32x32 field.
     let retina = RetinaLayer::new(32, 32, &[(1.2, 4), (2.4, 8)]);
     let n_cells = retina.len();
@@ -32,10 +33,10 @@ fn main() {
     let neurons: Vec<AnyNeuron> = (0..n_cells)
         .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
         .collect();
-    m.load_core(cortex, 1, neurons, vec![0.0; n_cells], 0x8000)
-        .unwrap();
+    m.load_core(cortex, 1, neurons, vec![0.0; n_cells], 0x8000)?;
     // Retina spikes are injected at chip (0,0) — the "optic nerve" entry
-    // point — and routed east+north to the cortex chip.
+    // point — and routed east+north to the cortex chip. CAM overflow
+    // propagates as a SpinnError instead of panicking.
     for (node, route) in [
         (
             NodeCoord::new(0, 0),
@@ -43,14 +44,11 @@ fn main() {
         ),
         (cortex, RouteSet::EMPTY.with_core(1)),
     ] {
-        m.router_mut(node)
-            .table
-            .insert(McTableEntry {
-                key: 0x1000,
-                mask: 0xFFFF_F000,
-                route,
-            })
-            .unwrap();
+        m.router_mut(node).table.insert(McTableEntry {
+            key: 0x1000,
+            mask: 0xFFFF_F000,
+            route,
+        })?;
     }
     for i in 0..n_cells as u32 {
         let row: SynapticRow = std::iter::once(SynapticWord::new(12000, 1, i as u16)).collect();
@@ -107,4 +105,5 @@ fn main() {
     let err = ((cx / n - 22.0).powi(2) + (cy / n - 9.0).powi(2)).sqrt();
     assert!(err < 6.0, "decoded position off by {err:.1} px");
     assert_eq!(m.realtime_violations(), 0);
+    Ok(())
 }

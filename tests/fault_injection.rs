@@ -125,13 +125,17 @@ fn migration_after_core_loss_preserves_spiking() {
     machine
         .install_core(dst_slice.chip, spare, payload)
         .unwrap();
-    // Rewrite the table entries that delivered to the old core.
-    let (key, mask) = spinn_map::keys::core_key_mask(src_slice.global_core);
+    // Rewrite the table entries that delivered to the old core. The
+    // installed tables are minimized, so the entry covering the source
+    // key may be a widened (merged) one — match by coverage, not by
+    // exact key. The router recompiles its lookup structure lazily
+    // after the edit.
+    let key = spinn_map::keys::core_base_key(src_slice.global_core);
     let router = machine.router_mut(dst_slice.chip);
     let old_entries: Vec<_> = router.table.iter().copied().collect();
-    *router = spinnaker::noc::router::Router::new(*router.config());
+    router.table.clear();
     for mut e in old_entries {
-        if e.key == key & mask {
+        if e.matches(key) && e.route.has_core(dst_slice.core as usize) {
             let links: Vec<Direction> = e.route.links().collect();
             let mut route = spinnaker::noc::table::RouteSet::EMPTY.with_core(spare as usize);
             for l in links {
