@@ -1,0 +1,36 @@
+//! E14 table + queue microbenchmark kernel timing.
+use criterion::Criterion;
+use spinn_bench::experiments::e14_event_core as e14;
+use spinn_sim::{CalendarQueue, EventQueue, Queue, SimTime};
+
+/// Dense same-tick kernel: push a colliding burst, rearm a far-future
+/// timer, drain — the machine's Fig.-7 event shape.
+fn kernel<Q: Queue<u64>>(per_tick: u64) -> u64 {
+    let mut q = Q::default();
+    let mut sum = 0u64;
+    for d in 0..32u64 {
+        for k in 0..per_tick {
+            q.push_ranked(SimTime::new(0), u128::from(k % 7), d * per_tick + k);
+        }
+        q.push_ranked(SimTime::new(1_000_000), 0, d);
+        for _ in 0..per_tick {
+            sum = sum.wrapping_add(q.pop().expect("burst queued").1);
+        }
+    }
+    while let Some((_, v)) = q.pop() {
+        sum = sum.wrapping_add(v);
+    }
+    sum
+}
+
+fn main() {
+    println!("{}", e14::run(!spinn_bench::full_mode()));
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("e14_dense_same_tick_heap", |b| {
+        b.iter(|| kernel::<EventQueue<u64>>(2_000))
+    });
+    c.bench_function("e14_dense_same_tick_calendar", |b| {
+        b.iter(|| kernel::<CalendarQueue<u64>>(2_000))
+    });
+    c.final_summary();
+}

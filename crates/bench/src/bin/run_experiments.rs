@@ -1,7 +1,16 @@
-//! Prints every experiment's table (E1-E13, A1-A2). `SPINN_FULL=1` for
+//! Prints every experiment's table (E1-E14, A1-A2). `SPINN_FULL=1` for
 //! the full-size versions recorded in EXPERIMENTS.md.
+//!
+//! Experiments with machine-readable benchmark emitters (currently
+//! E14) also write their commit-stamped `BENCH_*.json` artifact to the
+//! repository root.
+//!
+//! Usage: `run_experiments [NAME...]` — with arguments, only the named
+//! experiments run (e.g. `run_experiments E14` regenerates just the
+//! benchmark artifact).
 
 use spinn_bench::experiments as e;
+use spinn_bench::record;
 
 /// One experiment: its name and table generator.
 type Experiment = (&'static str, fn(bool) -> String);
@@ -9,6 +18,8 @@ type Experiment = (&'static str, fn(bool) -> String);
 fn main() {
     let quick = !spinn_bench::full_mode();
     let mode = if quick { "quick" } else { "full" };
+    let filter: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let wanted = |name: &str| filter.is_empty() || filter.iter().any(|f| f == name);
     println!("SpiNNaker reproduction — experiment suite ({mode} mode)\n");
     let runs: [Experiment; 15] = [
         ("E1", e::e01_glitch_deadlock::run),
@@ -28,8 +39,33 @@ fn main() {
         ("A2", e::a02_default_route_elision::run),
     ];
     for (name, f) in runs {
+        if !wanted(name) {
+            continue;
+        }
         println!("==================================================================");
         println!("{}", f(quick));
-        let _ = name;
+    }
+    if wanted("E14") {
+        println!("==================================================================");
+        // E14 runs through its report so the table and the JSON artifact
+        // come from the same measurement.
+        let report = e::e14_event_core::report(quick);
+        println!("{}", e::e14_event_core::format_report(&report));
+        match report.write_to(&record::repo_root()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write BENCH_e14.json: {err}"),
+        }
+    }
+
+    // A typo'd filter (e.g. `run_experiments E15`) must not masquerade
+    // as a successful run that silently produced nothing.
+    let known: Vec<&str> = runs.iter().map(|(n, _)| *n).chain(["E14"]).collect();
+    let unknown: Vec<&String> = filter
+        .iter()
+        .filter(|f| !known.contains(&f.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment name(s): {unknown:?} (known: {known:?})");
+        std::process::exit(2);
     }
 }

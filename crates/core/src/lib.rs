@@ -50,6 +50,7 @@ pub mod prelude {
     pub use spinn_neuron::lif::LifParams;
     pub use spinn_noc::direction::Direction;
     pub use spinn_noc::mesh::NodeCoord;
+    pub use spinn_sim::QueueKind;
 }
 
 // Re-export the substrate crates for advanced use.

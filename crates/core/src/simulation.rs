@@ -53,6 +53,16 @@ impl SimConfig {
         self
     }
 
+    /// Selects the event-queue implementation
+    /// ([`spinn_sim::QueueKind`]) the run is driven by. Spike output is
+    /// bit-identical across kinds (golden-trace conformance suite);
+    /// only wall-clock time changes. Defaults to the time-bucketed
+    /// calendar queue.
+    pub fn with_queue(mut self, queue: spinn_sim::QueueKind) -> Self {
+        self.machine.queue = queue;
+        self
+    }
+
     /// Enables STDP plasticity.
     pub fn with_stdp(mut self, params: spinn_neuron::stdp::StdpParams) -> Self {
         self.stdp = Some(params);

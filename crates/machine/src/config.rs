@@ -8,6 +8,7 @@
 //! core, 20 cores per chip, a node under 1 W.
 
 use spinn_noc::fabric::FabricConfig;
+use spinn_sim::QueueKind;
 
 /// Whole-machine configuration.
 #[derive(Copy, Clone, Debug)]
@@ -36,6 +37,12 @@ pub struct MachineConfig {
     pub costs: CostModel,
     /// Energy constants.
     pub energy: EnergyModel,
+    /// Which event-queue implementation drives the simulation. The two
+    /// kinds are bit-identical in results (golden-trace conformance
+    /// suite); the default calendar queue is `O(1)` on the machine's
+    /// dense same-timestamp event bursts where the heap pays
+    /// `O(log n)` per event.
+    pub queue: QueueKind,
 }
 
 impl MachineConfig {
@@ -62,7 +69,14 @@ impl MachineConfig {
             fabric,
             costs: CostModel::default(),
             energy: EnergyModel::default(),
+            queue: QueueKind::default(),
         }
+    }
+
+    /// Selects the event-queue implementation for runs on this machine.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Number of chips.

@@ -23,12 +23,15 @@ use spinn_neuron::model::{AnyNeuron, NeuronModel};
 use spinn_neuron::ring::InputRing;
 use spinn_neuron::stdp::{apply_bounded, StdpParams};
 use spinn_neuron::synapse::SynapticRow;
-use spinn_noc::fabric::{CtxScheduler, Fabric, NocEvent, Partition};
+use spinn_noc::direction::Direction;
+use spinn_noc::fabric::{CtxScheduler, Delivery, DroppedPacket, Fabric, NocEvent, Partition};
 use spinn_noc::mesh::NodeCoord;
 use spinn_noc::packet::{Packet, PacketKind};
 use spinn_noc::router::RouterStats;
 use spinn_par::{ParEngine, RemoteEvent, ShardModel};
-use spinn_sim::{Context, Engine, Histogram, Model, SimTime};
+use spinn_sim::{
+    CalendarQueue, Context, Engine, EventQueue, Histogram, Model, Queue, QueueKind, SimTime,
+};
 
 use crate::config::MachineConfig;
 use crate::energy::EnergyMeter;
@@ -41,10 +44,19 @@ const MS: u64 = 1_000_000;
 pub enum MachineEvent {
     /// Fabric internals.
     Noc(NocEvent),
-    /// The 1 ms timer interrupt on every core of one chip.
-    Timer {
-        /// Dense chip id.
+    /// The 1 ms timer interrupt: fires once per machine (or per shard)
+    /// and services every locally owned chip in ascending dense-id
+    /// order — the same order per-chip timer events used to pop in, at
+    /// a fraction of the queue traffic (one event per tick instead of
+    /// one per chip per tick).
+    Timer,
+    /// A scheduled mid-run link failure (fault injection; see
+    /// [`NeuralMachine::queue_fail_link`]).
+    FailLink {
+        /// Dense chip id of one end of the failing cable.
         chip: u32,
+        /// Direction of the cable from `chip` (both directions fail).
+        dir: Direction,
     },
     /// A core finishes its current handler.
     CoreDone {
@@ -186,7 +198,8 @@ pub struct NeuralMachine {
     fabric: Fabric,
     cores: Vec<Option<AppCore>>,
     dma_free_at: Vec<u64>,
-    stimuli: Vec<(u64, u32, u32)>, // (time_ns, chip, key)
+    stimuli: Vec<(u64, u32, u32)>,          // (time_ns, chip, key)
+    fault_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
     spikes: Vec<SpikeRecord>,
     meter: EnergyMeter,
     spike_latency: Histogram,
@@ -195,6 +208,16 @@ pub struct NeuralMachine {
     reissued_packets: u64,
     weight_writebacks: u64,
     par_stats: Option<spinn_par::ParStats>,
+    /// Dense chip ids this machine's coalesced [`MachineEvent::Timer`]
+    /// services, ascending (all chips serially; the owned block when
+    /// running as one shard of `run_parallel`).
+    timer_chips: Vec<u32>,
+    /// Reusable per-tick buffers (ring-slot snapshot) and per-event
+    /// drain buffers (delivered/dropped packets): the hot path runs
+    /// allocation-free once they reach steady-state capacity.
+    tick_inputs: Vec<i32>,
+    delivery_scratch: Vec<Delivery>,
+    dropped_scratch: Vec<DroppedPacket>,
 }
 
 impl NeuralMachine {
@@ -207,6 +230,7 @@ impl NeuralMachine {
             cores: (0..chips * per).map(|_| None).collect(),
             dma_free_at: vec![0; chips],
             stimuli: Vec::new(),
+            fault_plan: Vec::new(),
             spikes: Vec::new(),
             meter: EnergyMeter::new(),
             spike_latency: Histogram::new(4000, 250), // 250 ns buckets to 1 ms
@@ -215,6 +239,10 @@ impl NeuralMachine {
             reissued_packets: 0,
             weight_writebacks: 0,
             par_stats: None,
+            timer_chips: (0..chips as u32).collect(),
+            tick_inputs: Vec::new(),
+            delivery_scratch: Vec::new(),
+            dropped_scratch: Vec::new(),
             cfg,
         }
     }
@@ -410,18 +438,54 @@ impl NeuralMachine {
         self.stimuli.push((time_ns, id, key));
     }
 
+    /// Queues a mid-run link failure: at simulated time `time_ns` the
+    /// cable between `chip` and its neighbour in direction `dir` fails
+    /// in both directions (fault injection while traffic is in flight,
+    /// as opposed to pre-run [`NeuralMachine::fail_link`]).
+    ///
+    /// Must be called before [`NeuralMachine::run`] /
+    /// [`NeuralMachine::run_parallel`]. The failure is replayed
+    /// identically by serial and sharded runs: every shard applies the
+    /// same fault to its fabric replica when its clock reaches
+    /// `time_ns`.
+    pub fn queue_fail_link(&mut self, time_ns: u64, chip: NodeCoord, dir: Direction) {
+        let id = self.fabric.torus().id_of(chip) as u32;
+        self.fault_plan.push((time_ns, id, dir));
+    }
+
+    /// Discards every fault queued with
+    /// [`NeuralMachine::queue_fail_link`] (e.g. to run a healthy
+    /// control of an otherwise identical machine).
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan.clear();
+    }
+
     /// Runs the machine for `ms` milliseconds of biological time and
     /// returns it with all statistics populated.
-    pub fn run(mut self, ms: u32) -> NeuralMachine {
-        self.duration_ms = ms;
-        let chips = self.cfg.chips();
-        let stimuli = std::mem::take(&mut self.stimuli);
-        let mut engine = Engine::new(self);
-        for chip in 0..chips {
-            engine.schedule_at(SimTime::new(MS), MachineEvent::Timer { chip: chip as u32 });
+    ///
+    /// The run is driven by the event queue selected in
+    /// [`MachineConfig::queue`]; results are bit-identical across queue
+    /// kinds.
+    pub fn run(self, ms: u32) -> NeuralMachine {
+        match self.cfg.queue {
+            QueueKind::Heap => self.run_with::<EventQueue<MachineEvent>>(ms),
+            QueueKind::Calendar => self.run_with::<CalendarQueue<MachineEvent>>(ms),
         }
+    }
+
+    /// [`NeuralMachine::run`] on an explicit queue implementation.
+    fn run_with<Q: Queue<MachineEvent>>(mut self, ms: u32) -> NeuralMachine {
+        self.duration_ms = ms;
+        self.timer_chips = (0..self.cfg.chips() as u32).collect();
+        let stimuli = std::mem::take(&mut self.stimuli);
+        let faults = std::mem::take(&mut self.fault_plan);
+        let mut engine: Engine<NeuralMachine, Q> = Engine::new_in(self);
+        engine.schedule_at(SimTime::new(MS), MachineEvent::Timer);
         for (t, chip, key) in stimuli {
             engine.schedule_at(SimTime::new(t), MachineEvent::InjectSpike { chip, key });
+        }
+        for (t, chip, dir) in faults {
+            engine.schedule_at(SimTime::new(t), MachineEvent::FailLink { chip, dir });
         }
         // One extra millisecond to let in-flight packets drain.
         engine.run_until(SimTime::new((ms as u64 + 1) * MS));
@@ -444,17 +508,33 @@ impl NeuralMachine {
     /// is an event-exact replay of the serial one. `threads` is clamped
     /// to `[1, chips]`; with one thread this is exactly
     /// [`NeuralMachine::run`].
-    pub fn run_parallel(mut self, ms: u32, threads: usize) -> NeuralMachine {
+    pub fn run_parallel(self, ms: u32, threads: usize) -> NeuralMachine {
+        match self.cfg.queue {
+            QueueKind::Heap => self.run_parallel_with::<EventQueue<MachineEvent>>(ms, threads),
+            QueueKind::Calendar => {
+                self.run_parallel_with::<CalendarQueue<MachineEvent>>(ms, threads)
+            }
+        }
+    }
+
+    /// [`NeuralMachine::run_parallel`] on an explicit queue
+    /// implementation (every shard runs the same kind).
+    fn run_parallel_with<Q: Queue<MachineEvent> + Send>(
+        mut self,
+        ms: u32,
+        threads: usize,
+    ) -> NeuralMachine {
         let chips = self.cfg.chips();
         let threads = threads.clamp(1, chips);
         if threads == 1 {
-            return self.run(ms);
+            return self.run_with::<Q>(ms);
         }
         let lookahead = self.cfg.fabric.min_remote_delay_ns().max(1);
         // Contiguous blocks of dense chip ids: row-major neighbours tend
         // to share a shard, which keeps barrier exchanges small.
         let owner: Vec<u32> = (0..chips).map(|c| (c * threads / chips) as u32).collect();
         let stimuli = std::mem::take(&mut self.stimuli);
+        let faults = std::mem::take(&mut self.fault_plan);
         let cfg = self.cfg;
         let per = cfg.cores_per_chip as usize;
         let mut shards: Vec<NeuralMachine> = (0..threads)
@@ -465,6 +545,10 @@ impl NeuralMachine {
                     .set_partition(Partition::new(owner.clone(), s as u32));
                 m.stdp = self.stdp;
                 m.duration_ms = ms;
+                // Each shard's coalesced timer services its owned block.
+                m.timer_chips = (0..chips as u32)
+                    .filter(|&c| owner[c as usize] == s as u32)
+                    .collect();
                 m
             })
             .collect();
@@ -474,13 +558,9 @@ impl NeuralMachine {
             }
         }
 
-        let mut par = ParEngine::new(shards);
-        for (chip, &own) in owner.iter().enumerate() {
-            par.schedule(
-                own as usize,
-                SimTime::new(MS),
-                MachineEvent::Timer { chip: chip as u32 },
-            );
+        let mut par: ParEngine<NeuralMachine, Q> = ParEngine::new_in(shards);
+        for shard in 0..threads {
+            par.schedule(shard, SimTime::new(MS), MachineEvent::Timer);
         }
         for (t, chip, key) in stimuli {
             par.schedule(
@@ -488,6 +568,13 @@ impl NeuralMachine {
                 SimTime::new(t),
                 MachineEvent::InjectSpike { chip, key },
             );
+        }
+        // Link failures mutate every shard's fabric replica: broadcast
+        // the schedule so all replicas stay consistent at `t`.
+        for (t, chip, dir) in faults {
+            for shard in 0..threads {
+                par.schedule(shard, SimTime::new(t), MachineEvent::FailLink { chip, dir });
+            }
         }
         // One extra millisecond to let in-flight packets drain, exactly
         // like the serial run.
@@ -609,29 +696,33 @@ impl NeuralMachine {
         } else if c.timer_pending > 0 {
             c.timer_pending -= 1;
             // Advance the neural dynamics now; emit the spikes when the
-            // handler's compute time has elapsed.
+            // handler's compute time has elapsed. The ring-slot snapshot
+            // reuses a machine-level buffer (allocation-free per tick).
             let tick_ms = (ctx.now().ticks() / MS) as u32;
-            let inputs = c.ring.tick().to_vec();
-            let mut fired = Vec::new();
+            let mut inputs = std::mem::take(&mut self.tick_inputs);
+            let c = self.cores[idx].as_mut().expect("checked above");
+            inputs.clear();
+            inputs.extend_from_slice(c.ring.tick());
+            debug_assert!(c.pending_spikes.is_empty());
             for (i, n) in c.neurons.iter_mut().enumerate() {
                 let input = c.bias_na[i] + inputs[i] as f32 / 256.0;
                 if n.step_1ms(input) {
-                    fired.push(c.base_key + i as u32);
+                    c.pending_spikes.push(c.base_key + i as u32);
                     c.last_post_ms[i] = tick_ms as f64;
                 }
             }
-            c.spikes_emitted += fired.len() as u64;
+            c.spikes_emitted += c.pending_spikes.len() as u64;
             let n_neurons = c.neurons.len() as u64;
-            let n_spikes = fired.len() as u64;
-            for &key in &fired {
+            let n_spikes = c.pending_spikes.len() as u64;
+            c.current = Some(WorkItem::Timer);
+            let c = self.cores[idx].as_ref().expect("checked above");
+            for &key in &c.pending_spikes {
                 self.spikes.push(SpikeRecord {
                     time_ms: tick_ms,
                     key,
                 });
             }
-            let c = self.cores[idx].as_mut().expect("checked above");
-            c.pending_spikes = fired;
-            c.current = Some(WorkItem::Timer);
+            self.tick_inputs = inputs;
             let ns = self.charge(
                 costs.timer_fixed_instr
                     + costs.per_neuron_instr * n_neurons
@@ -724,41 +815,54 @@ impl NeuralMachine {
                 // The comms controller serializes packet emission: spikes
                 // leave one per emit interval, not as an instantaneous
                 // burst (which would overflow the output link queue).
-                let spikes = std::mem::take(&mut c.pending_spikes);
                 let gap = self.cfg.instr_ns(self.cfg.costs.spike_emit_instr).max(1);
-                for (i, key) in spikes.into_iter().enumerate() {
+                for (i, &key) in c.pending_spikes.iter().enumerate() {
                     ctx.schedule_in(i as u64 * gap, MachineEvent::InjectSpike { chip, key });
                 }
+                // Clear (not take): the buffer's capacity is reused on
+                // the next tick.
+                c.pending_spikes.clear();
             }
             None => {}
         }
         self.dispatch(chip, core, ctx);
     }
 
-    fn on_timer(&mut self, chip: u32, ctx: &mut Context<MachineEvent>) {
+    /// The coalesced 1 ms timer: services every chip in
+    /// `self.timer_chips` in ascending dense-id order — the same order
+    /// per-chip timer events used to pop in (their tie rank was the
+    /// chip id), so the replay is bit-identical with one queue event
+    /// per tick instead of one per chip.
+    fn on_timer(&mut self, ctx: &mut Context<MachineEvent>) {
         let tick_ms = ctx.now().ticks() / MS;
-        for core in 1..self.cfg.cores_per_chip {
-            let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
-            if let Some(c) = self.cores[idx].as_mut() {
-                c.timer_pending += 1;
-                if c.timer_pending > 1 {
-                    // The previous tick has not even started: a real-time
-                    // violation.
-                    c.overruns += 1;
+        for i in 0..self.timer_chips.len() {
+            let chip = self.timer_chips[i];
+            for core in 1..self.cfg.cores_per_chip {
+                let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
+                if let Some(c) = self.cores[idx].as_mut() {
+                    c.timer_pending += 1;
+                    if c.timer_pending > 1 {
+                        // The previous tick has not even started: a
+                        // real-time violation.
+                        c.overruns += 1;
+                    }
+                    self.dispatch(chip, core, ctx);
                 }
-                self.dispatch(chip, core, ctx);
             }
         }
         if tick_ms < self.duration_ms as u64 {
-            ctx.schedule_in(MS, MachineEvent::Timer { chip });
+            ctx.schedule_in(MS, MachineEvent::Timer);
         }
     }
 
     fn drain_deliveries(&mut self, now: u64, ctx: &mut Context<MachineEvent>) {
         // §5.3: the monitor is informed of dropped packets and "can
         // recover the packet and re-issue it if appropriate". The 2-bit
-        // timestamp field bounds the retries.
-        for dropped in self.fabric.take_dropped() {
+        // timestamp field bounds the retries. Drains swap reusable
+        // buffers with the fabric, so polling is allocation-free.
+        let mut dropped_buf = std::mem::take(&mut self.dropped_scratch);
+        self.fabric.swap_dropped(&mut dropped_buf);
+        for dropped in dropped_buf.drain(..) {
             if dropped.packet.kind == PacketKind::Multicast && dropped.packet.timestamp < 3 {
                 let chip = self.fabric.torus().id_of(dropped.node) as u32;
                 ctx.schedule_in(
@@ -771,9 +875,12 @@ impl NeuralMachine {
                 );
             }
         }
+        self.dropped_scratch = dropped_buf;
         let _ = now;
         let now = ctx.now().ticks();
-        for d in self.fabric.take_deliveries() {
+        let mut deliveries = std::mem::take(&mut self.delivery_scratch);
+        self.fabric.swap_deliveries(&mut deliveries);
+        for d in deliveries.drain(..) {
             if d.packet.kind != PacketKind::Multicast {
                 continue; // p2p/nn system traffic is not used mid-run
             }
@@ -790,6 +897,7 @@ impl NeuralMachine {
                 }
             }
         }
+        self.delivery_scratch = deliveries;
     }
 }
 
@@ -851,7 +959,11 @@ impl Model for NeuralMachine {
                     | *left as u64,
                 packet_bits(flight),
             ),
-            MachineEvent::Timer { chip } => pack(4, *chip as u64, 0),
+            // Link failures sort before all same-instant traffic (tag 0)
+            // so a packet routed at exactly the failure time sees the
+            // failed link in serial and sharded runs alike.
+            MachineEvent::FailLink { chip, dir } => pack(0, ((*chip as u64) << 8) | *dir as u64, 0),
+            MachineEvent::Timer => pack(4, 0, 0),
             MachineEvent::CoreDone { chip, core } => {
                 pack(5, ((*chip as u64) << 8) | *core as u64, 0)
             }
@@ -874,7 +986,11 @@ impl Model for NeuralMachine {
                 self.fabric
                     .handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc))
             }
-            MachineEvent::Timer { chip } => self.on_timer(chip, ctx),
+            MachineEvent::Timer => self.on_timer(ctx),
+            MachineEvent::FailLink { chip, dir } => {
+                let coord = self.fabric.torus().coord_of(chip as usize);
+                self.fabric.fail_link(coord, dir);
+            }
             MachineEvent::CoreDone { chip, core } => self.on_core_done(chip, core, ctx),
             MachineEvent::DmaDone { chip, core, key } => {
                 let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;

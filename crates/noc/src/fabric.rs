@@ -418,10 +418,26 @@ impl Fabric {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Drains the delivered packets into `buf` (cleared first) by
+    /// swapping buffers: unlike [`Fabric::take_deliveries`] this keeps
+    /// the fabric's internal capacity, so a caller polling once per
+    /// event never re-allocates on either side of the swap.
+    pub fn swap_deliveries(&mut self, buf: &mut Vec<Delivery>) {
+        buf.clear();
+        std::mem::swap(&mut self.deliveries, buf);
+    }
+
     /// Drains the packets dropped since the last call (the monitor
     /// processor can recover and re-issue them, §5.3).
     pub fn take_dropped(&mut self) -> Vec<DroppedPacket> {
         std::mem::take(&mut self.dropped)
+    }
+
+    /// Buffer-swapping variant of [`Fabric::take_dropped`]; see
+    /// [`Fabric::swap_deliveries`].
+    pub fn swap_dropped(&mut self, buf: &mut Vec<DroppedPacket>) {
+        buf.clear();
+        std::mem::swap(&mut self.dropped, buf);
     }
 
     /// Injects a locally sourced multicast or p2p packet at `node`.

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use spinn_sim::{Engine, Model, SimTime};
+use spinn_sim::{Engine, EventQueue, Model, Queue, SimTime};
 
 /// Sentinel for "this shard's queue is empty".
 const IDLE: u64 = u64::MAX;
@@ -148,8 +148,8 @@ impl SpinBarrier {
 /// let models = par.into_models();
 /// assert_eq!(models[0].seen + models[1].seen, 6);
 /// ```
-pub struct ParEngine<M: ShardModel> {
-    shards: Vec<Engine<M>>,
+pub struct ParEngine<M: ShardModel, Q: Queue<M::Event> = EventQueue<<M as Model>::Event>> {
+    shards: Vec<Engine<M, Q>>,
     stats: ParStats,
 }
 
@@ -158,15 +158,34 @@ where
     M: ShardModel + Send,
     M::Event: Send,
 {
-    /// Wraps one engine around each shard model.
+    /// Wraps one engine (on the default binary-heap queue) around each
+    /// shard model.
     ///
     /// # Panics
     ///
     /// Panics if `models` is empty.
     pub fn new(models: Vec<M>) -> Self {
+        ParEngine::new_in(models)
+    }
+}
+
+impl<M, Q> ParEngine<M, Q>
+where
+    M: ShardModel + Send,
+    M::Event: Send,
+    Q: Queue<M::Event> + Send,
+{
+    /// Wraps one engine around each shard model, on an explicitly
+    /// chosen queue implementation — every shard runs the same kind
+    /// (e.g. `ParEngine::<M, CalendarQueue<_>>::new_in(models)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new_in(models: Vec<M>) -> Self {
         assert!(!models.is_empty(), "ParEngine needs at least one shard");
         ParEngine {
-            shards: models.into_iter().map(Engine::new).collect(),
+            shards: models.into_iter().map(Engine::new_in).collect(),
             stats: ParStats::default(),
         }
     }
@@ -246,9 +265,9 @@ where
 }
 
 /// One worker thread: lockstep window loop over a single shard.
-fn shard_loop<M: ShardModel>(
+fn shard_loop<M: ShardModel, Q: Queue<M::Event>>(
     me: usize,
-    shard: &mut Engine<M>,
+    shard: &mut Engine<M, Q>,
     barrier: &SpinBarrier,
     next: &[AtomicU64],
     mailboxes: &[Mutex<Vec<Envelope<M::Event>>>],

@@ -1,0 +1,469 @@
+//! The time-bucketed calendar queue.
+//!
+//! Discrete-event practice on massively parallel machines exploits the
+//! *bucketed* structure of the update schedule: in the machine
+//! simulation, millions of same-millisecond timer and packet events
+//! share a handful of distinct timestamps, so a comparison-based heap
+//! pays `O(log n)` per event to rediscover an order that is almost
+//! always "same tick as the last one". The calendar queue stores that
+//! structure directly:
+//!
+//! * a **ring of per-tick buckets** covers the near future
+//!   `[window_start, window_start + SLOTS)`; pushing into the window is
+//!   an `O(1)` append, and a compact occupancy bitmap makes "find the
+//!   next non-empty tick" a couple of word scans;
+//! * a **sorted overflow tier** (`BTreeMap<tick, bucket>`) holds events
+//!   beyond the window (e.g. the next 1 ms timer interrupt); same-tick
+//!   overflow events share one map node, so the `log` cost is paid per
+//!   *distinct timestamp*, not per event. When the ring drains, the
+//!   window jumps forward and due overflow buckets migrate in wholesale.
+//!
+//! Within a tick, events pop in ascending `(rank, insertion sequence)`
+//! order — the exact contract of [`EventQueue`](crate::EventQueue) (see
+//! [`crate::queue`]). A bucket is sorted lazily on first pop of its
+//! tick; a push into a tick that is already being drained inserts at
+//! its ordered position.
+
+use std::collections::BTreeMap;
+
+use crate::queue::Queue;
+use crate::time::SimTime;
+
+/// Number of per-tick buckets in the ring (must be a power of two).
+///
+/// 2^14 ticks = 16.4 µs at the machine's 1 ns resolution: wide enough
+/// that packet hops, handler completions and DMA transfers land in the
+/// ring, while millisecond-scale timer events take the overflow tier.
+const SLOTS: usize = 1 << 14;
+const WORDS: usize = SLOTS / 64;
+
+#[derive(Debug)]
+struct Entry<E> {
+    rank: u128,
+    seq: u64,
+    event: E,
+}
+
+/// One per-tick bucket. `sorted` means `entries` is in *descending*
+/// `(rank, seq)` order so that popping the minimum is a pop from the
+/// back.
+#[derive(Debug)]
+struct Bucket<E> {
+    entries: Vec<Entry<E>>,
+    sorted: bool,
+}
+
+impl<E> Default for Bucket<E> {
+    fn default() -> Self {
+        Bucket {
+            entries: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
+impl<E> Bucket<E> {
+    /// Appends `entry`, keeping the bucket's order invariant.
+    fn push(&mut self, entry: Entry<E>) {
+        if self.sorted && !self.entries.is_empty() {
+            // The bucket's tick is being drained: insert at the ordered
+            // position (descending (rank, seq); seq is unique, so the
+            // search key never collides).
+            let key = (entry.rank, entry.seq);
+            let pos = self.entries.partition_point(|e| (e.rank, e.seq) > key);
+            self.entries.insert(pos, entry);
+        } else {
+            self.sorted = false;
+            self.entries.push(entry);
+        }
+    }
+
+    /// Removes and returns the minimum-`(rank, seq)` entry.
+    fn pop_min(&mut self) -> Entry<E> {
+        if !self.sorted {
+            self.entries
+                .sort_unstable_by_key(|e| std::cmp::Reverse((e.rank, e.seq)));
+            self.sorted = true;
+        }
+        self.entries.pop().expect("pop_min on empty bucket")
+    }
+}
+
+/// A time-bucketed calendar queue: drop-in replacement for
+/// [`EventQueue`](crate::EventQueue) with `O(1)` amortized operations
+/// on bucketed workloads — a ring of per-tick buckets (occupancy
+/// bitmap for next-tick scans) plus a sorted overflow tier for times
+/// beyond the ring window. See [`crate::queue`] for the ordering
+/// contract both queue implementations honour.
+///
+/// # Example
+///
+/// ```
+/// use spinn_sim::{CalendarQueue, Queue, SimTime};
+///
+/// let mut q = CalendarQueue::new();
+/// q.push(SimTime::new(10), "b");
+/// q.push(SimTime::new(5), "a");
+/// q.push(SimTime::new(10), "c");
+/// assert_eq!(q.pop(), Some((SimTime::new(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::new(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::new(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct CalendarQueue<E> {
+    /// The ring: bucket `i` holds the events of the unique tick `t` in
+    /// the current window with `t % SLOTS == i`.
+    slots: Vec<Bucket<E>>,
+    /// Occupancy bitmap over `slots` (bit set ⇔ bucket non-empty).
+    words: [u64; WORDS],
+    /// Inclusive lower bound of the ring's coverage. Only advances when
+    /// the ring is completely empty, so every bucket belongs to exactly
+    /// one tick of the current window.
+    window_start: u64,
+    /// Events currently in the ring.
+    ring_entries: usize,
+    /// Events at ticks `>= window_start + SLOTS`, keyed by tick.
+    /// Bucket vectors are in insertion order (ascending `seq`).
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    overflow_entries: usize,
+    /// Cached earliest pending tick (`None` ⇔ empty).
+    next_tick: Option<u64>,
+    /// Monotonic insertion counter (FIFO tie-break within equal ranks).
+    seq: u64,
+    /// Time of the most recent pop (monotonic-push floor).
+    floor: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue {
+            slots: (0..SLOTS).map(|_| Bucket::default()).collect(),
+            words: [0u64; WORDS],
+            window_start: 0,
+            ring_entries: 0,
+            overflow: BTreeMap::new(),
+            overflow_entries: 0,
+            next_tick: None,
+            seq: 0,
+            floor: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` (rank 0). See
+    /// [`Queue::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped time (the
+    /// monotonic-push constraint of [`crate::queue`]).
+    pub fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, 0, event);
+    }
+
+    /// Schedules `event` at `time` with a content-derived tie-break
+    /// `rank`. See [`Queue::push_ranked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped time.
+    pub fn push_ranked(&mut self, time: SimTime, rank: u128, event: E) {
+        let t = time.ticks();
+        assert!(
+            t >= self.floor,
+            "calendar queue requires monotonic pushes: t={} floor={}",
+            t,
+            self.floor
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry { rank, seq, event };
+        if t < self.window_start + SLOTS as u64 {
+            let i = (t % SLOTS as u64) as usize;
+            self.slots[i].push(entry);
+            self.words[i / 64] |= 1 << (i % 64);
+            self.ring_entries += 1;
+        } else {
+            self.overflow.entry(t).or_default().push(entry);
+            self.overflow_entries += 1;
+        }
+        self.next_tick = Some(self.next_tick.map_or(t, |n| n.min(t)));
+    }
+
+    /// Removes and returns the earliest event (ties by `(rank, seq)`).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let t = self.next_tick?;
+        self.floor = t;
+        if t >= self.window_start + SLOTS as u64 {
+            // The ring is empty (the window only lags while it still
+            // holds earlier events): jump it to `t` and migrate every
+            // overflow bucket now inside the new window.
+            debug_assert_eq!(self.ring_entries, 0);
+            self.window_start = t;
+            let horizon = t + SLOTS as u64;
+            while let Some((&tick, _)) = self.overflow.first_key_value() {
+                if tick >= horizon {
+                    break;
+                }
+                let (tick, entries) = self.overflow.pop_first().expect("checked");
+                let i = (tick % SLOTS as u64) as usize;
+                self.overflow_entries -= entries.len();
+                self.ring_entries += entries.len();
+                self.words[i / 64] |= 1 << (i % 64);
+                debug_assert!(self.slots[i].entries.is_empty());
+                self.slots[i] = Bucket {
+                    entries,
+                    sorted: false,
+                };
+            }
+        }
+        let i = (t % SLOTS as u64) as usize;
+        let entry = self.slots[i].pop_min();
+        self.ring_entries -= 1;
+        if self.slots[i].entries.is_empty() {
+            self.slots[i].sorted = false;
+            self.words[i / 64] &= !(1 << (i % 64));
+            self.next_tick = self.earliest_pending(t + 1);
+        }
+        Some((SimTime::new(t), entry.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.next_tick.map(SimTime::new)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.ring_entries + self.overflow_entries
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every pending event and resets the insertion-sequence
+    /// counter (same replay-after-reuse semantics as
+    /// [`EventQueue::clear`](crate::EventQueue::clear)).
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.entries.clear();
+            slot.sorted = false;
+        }
+        self.words = [0u64; WORDS];
+        self.window_start = 0;
+        self.ring_entries = 0;
+        self.overflow.clear();
+        self.overflow_entries = 0;
+        self.next_tick = None;
+        self.seq = 0;
+        self.floor = 0;
+    }
+
+    /// Earliest occupied tick at or after `from`, across ring and
+    /// overflow. `from` must be within or past the current window.
+    fn earliest_pending(&self, from: u64) -> Option<u64> {
+        if self.ring_entries > 0 {
+            // Scan the bitmap from `from` to the window's end. The scan
+            // pointer only moves forward within a window era, so the
+            // whole era costs O(WORDS) + O(1) per pop.
+            let end = self.window_start + SLOTS as u64;
+            let mut t = from.max(self.window_start);
+            while t < end {
+                let i = (t % SLOTS as u64) as usize;
+                let word = self.words[i / 64] >> (i % 64);
+                if word != 0 {
+                    let hit = t + word.trailing_zeros() as u64;
+                    // The word may extend past the window end on wrap;
+                    // a hit past `end` cannot happen because those bits
+                    // belong to ticks < `from` already drained.
+                    debug_assert!(hit < end);
+                    return Some(hit);
+                }
+                // Jump to the next word boundary.
+                t += 64 - (i % 64) as u64;
+            }
+            unreachable!("ring_entries > 0 but no occupied bucket");
+        }
+        self.overflow.first_key_value().map(|(&t, _)| t)
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Queue<E> for CalendarQueue<E> {
+    fn push_ranked(&mut self, time: SimTime, rank: u128, event: E) {
+        CalendarQueue::push_ranked(self, time, rank, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    fn clear(&mut self) {
+        CalendarQueue::clear(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(30), 3);
+        q.push(SimTime::new(10), 1);
+        q.push(SimTime::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_orders_before_seq() {
+        let mut q = CalendarQueue::new();
+        q.push_ranked(SimTime::new(5), 9, "late-rank");
+        q.push_ranked(SimTime::new(5), 1, "early-rank");
+        q.push_ranked(SimTime::new(5), 1, "early-rank-second");
+        assert_eq!(q.pop().unwrap().1, "early-rank");
+        assert_eq!(q.pop().unwrap().1, "early-rank-second");
+        assert_eq!(q.pop().unwrap().1, "late-rank");
+    }
+
+    #[test]
+    fn overflow_tier_round_trips() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the ring window: must take the overflow tier.
+        let far = SLOTS as u64 * 10;
+        q.push(SimTime::new(far), "far");
+        q.push(SimTime::new(far + 1), "farther");
+        q.push(SimTime::new(3), "near");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::new(3)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop(), Some((SimTime::new(far), "far")));
+        assert_eq!(q.pop(), Some((SimTime::new(far + 1), "farther")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn window_jump_preserves_fifo_within_overflow_tick() {
+        let mut q = CalendarQueue::new();
+        let far = SLOTS as u64 * 3 + 17;
+        for i in 0..50 {
+            q.push(SimTime::new(far), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_into_tick_being_drained() {
+        let mut q = CalendarQueue::new();
+        q.push_ranked(SimTime::new(10), 5, "b");
+        q.push_ranked(SimTime::new(10), 7, "d");
+        assert_eq!(q.pop().unwrap().1, "b");
+        // Same-instant pushes while the tick drains: order by rank.
+        q.push_ranked(SimTime::new(10), 6, "c");
+        q.push_ranked(SimTime::new(10), 4, "a-too-late-rank-wise");
+        assert_eq!(q.pop().unwrap().1, "a-too-late-rank-wise");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(10), "late");
+        q.push(SimTime::new(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(SimTime::new(5), "mid");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn clear_resets_seq_and_state() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(100), 1);
+        q.push(SimTime::new(SLOTS as u64 * 2), 2);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        // After clear, earlier times are legal again and FIFO restarts.
+        q.push(SimTime::new(4), 10);
+        q.push(SimTime::new(4), 11);
+        assert_eq!(q.pop().unwrap().1, 10);
+        assert_eq!(q.pop().unwrap().1, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic pushes")]
+    fn pushing_into_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::new(50), ());
+        q.pop();
+        q.push(SimTime::new(10), ());
+    }
+
+    /// Randomized equivalence against the heap queue (the fuller
+    /// version lives in `tests/props_queue.rs`).
+    #[test]
+    fn matches_heap_queue_on_random_workload() {
+        let mut rng = crate::Xoshiro256::seed_from_u64(0xCA1E);
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut now = 0u64;
+        for step in 0..20_000u64 {
+            if rng.next_f64() < 0.6 || (heap.is_empty()) {
+                // Mix of same-tick, near and far-future (overflow) times.
+                let delta = match rng.gen_range_u64(10) {
+                    0..=4 => 0,
+                    5..=7 => rng.gen_range_u64(2_000),
+                    _ => rng.gen_range_u64(3 * SLOTS as u64),
+                };
+                let rank = rng.gen_range_u64(4) as u128;
+                let t = SimTime::new(now + delta);
+                heap.push_ranked(t, rank, step);
+                cal.push_ranked(t, rank, step);
+            } else {
+                let a = heap.pop();
+                let b = cal.pop();
+                assert_eq!(a, b, "divergence at step {step}");
+                if let Some((t, _)) = a {
+                    now = t.ticks();
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

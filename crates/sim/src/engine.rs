@@ -1,6 +1,7 @@
 //! The simulation engine: drives a [`Model`] from the event queue.
 
 use crate::event::EventQueue;
+use crate::queue::Queue;
 use crate::time::SimTime;
 
 /// A simulation model: owns all mutable state and reacts to events.
@@ -92,25 +93,47 @@ pub enum RunOutcome {
     BudgetExceeded,
 }
 
-/// The discrete-event simulation engine.
+/// The discrete-event simulation engine, generic over the event-queue
+/// implementation.
+///
+/// The queue type parameter defaults to the binary-heap
+/// [`EventQueue`]; pass [`CalendarQueue`](crate::CalendarQueue) for
+/// the time-bucketed implementation (`Engine::<M, CalendarQueue<_>>`).
+/// Both honour the same ordering contract ([`crate::queue`]), so the
+/// choice changes wall-clock performance only — never a result.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
 #[derive(Debug)]
-pub struct Engine<M: Model> {
-    queue: EventQueue<M::Event>,
+pub struct Engine<M: Model, Q: Queue<M::Event> = EventQueue<<M as Model>::Event>> {
+    queue: Q,
     model: M,
     now: SimTime,
     processed: u64,
+    /// Reusable staging buffer handed to each [`Context`]: amortizes the
+    /// per-event allocation of handler-scheduled follow-on events (a
+    /// packet-heavy machine run stages one or more events per packet).
+    staged: Vec<(SimTime, M::Event)>,
 }
 
 impl<M: Model> Engine<M> {
-    /// Creates an engine at time zero around `model`.
+    /// Creates an engine at time zero around `model`, on the default
+    /// binary-heap [`EventQueue`].
     pub fn new(model: M) -> Self {
+        Engine::new_in(model)
+    }
+}
+
+impl<M: Model, Q: Queue<M::Event>> Engine<M, Q> {
+    /// Creates an engine at time zero around `model`, on an explicitly
+    /// chosen queue implementation (e.g.
+    /// `Engine::<M, CalendarQueue<_>>::new_in(model)`).
+    pub fn new_in(model: M) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue: Q::default(),
             model,
             now: SimTime::ZERO,
             processed: 0,
+            staged: Vec::new(),
         }
     }
 
@@ -171,23 +194,34 @@ impl<M: Model> Engine<M> {
         self.model
     }
 
-    /// Handles exactly one event, returning its timestamp, or `None` if the
-    /// queue is empty.
-    pub fn step(&mut self) -> Option<SimTime> {
+    /// Pops one event, advances the clock, runs the handler and flushes
+    /// the staged follow-on events. Returns `(time, stop_requested)`.
+    #[inline]
+    fn dispatch_one(&mut self) -> Option<(SimTime, bool)> {
         let (time, event) = self.queue.pop()?;
         debug_assert!(time >= self.now, "event queue went back in time");
         self.now = time;
         self.processed += 1;
         let mut ctx = Context {
             now: time,
-            staged: Vec::new(),
+            staged: std::mem::take(&mut self.staged),
             stop: false,
         };
         self.model.handle(&mut ctx, event);
-        for (at, ev) in ctx.staged {
+        let stop = ctx.stop;
+        let mut staged = ctx.staged;
+        for (at, ev) in staged.drain(..) {
             self.queue.push_ranked(at, M::tie_rank(&ev), ev);
         }
-        Some(time)
+        // Hand the (now empty) buffer back for the next event.
+        self.staged = staged;
+        Some((time, stop))
+    }
+
+    /// Handles exactly one event, returning its timestamp, or `None` if the
+    /// queue is empty.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.dispatch_one().map(|(time, _)| time)
     }
 
     /// Runs until the queue drains, a handler stops the run, or the next
@@ -204,19 +238,7 @@ impl<M: Model> Engine<M> {
                     return RunOutcome::DeadlineReached;
                 }
                 Some(_) => {
-                    let (time, event) = self.queue.pop().expect("peeked");
-                    self.now = time;
-                    self.processed += 1;
-                    let mut ctx = Context {
-                        now: time,
-                        staged: Vec::new(),
-                        stop: false,
-                    };
-                    self.model.handle(&mut ctx, event);
-                    let stop = ctx.stop;
-                    for (at, ev) in ctx.staged {
-                        self.queue.push_ranked(at, M::tie_rank(&ev), ev);
-                    }
+                    let (_, stop) = self.dispatch_one().expect("peeked");
                     if stop {
                         return RunOutcome::Stopped;
                     }
@@ -238,19 +260,7 @@ impl<M: Model> Engine<M> {
         loop {
             match self.queue.peek_time() {
                 Some(t) if t < horizon => {
-                    let (time, event) = self.queue.pop().expect("peeked");
-                    self.now = time;
-                    self.processed += 1;
-                    let mut ctx = Context {
-                        now: time,
-                        staged: Vec::new(),
-                        stop: false,
-                    };
-                    self.model.handle(&mut ctx, event);
-                    let stop = ctx.stop;
-                    for (at, ev) in ctx.staged {
-                        self.queue.push_ranked(at, M::tie_rank(&ev), ev);
-                    }
+                    let (_, stop) = self.dispatch_one().expect("peeked");
                     if stop {
                         return RunOutcome::Stopped;
                     }
@@ -278,21 +288,9 @@ impl<M: Model> Engine<M> {
                 }
                 *r -= 1;
             }
-            let Some((time, event)) = self.queue.pop() else {
+            let Some((_, stop)) = self.dispatch_one() else {
                 return RunOutcome::Exhausted;
             };
-            self.now = time;
-            self.processed += 1;
-            let mut ctx = Context {
-                now: time,
-                staged: Vec::new(),
-                stop: false,
-            };
-            self.model.handle(&mut ctx, event);
-            let stop = ctx.stop;
-            for (at, ev) in ctx.staged {
-                self.queue.push_ranked(at, M::tie_rank(&ev), ev);
-            }
             if stop {
                 return RunOutcome::Stopped;
             }
@@ -303,6 +301,7 @@ impl<M: Model> Engine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calendar::CalendarQueue;
 
     /// Counts down; schedules itself until it hits zero.
     struct Countdown {
@@ -417,5 +416,49 @@ mod tests {
         e.run_to_completion(None);
         let m = e.into_model();
         assert_eq!(m.fired_at.len(), 1);
+    }
+
+    #[test]
+    fn calendar_engine_matches_heap_engine() {
+        // The same model driven by both queue implementations produces
+        // the same trace (incl. timer-style far-future self-scheduling).
+        struct Pulse {
+            left: u32,
+            log: Vec<u64>,
+        }
+        impl Model for Pulse {
+            type Event = u8;
+            fn handle(&mut self, ctx: &mut Context<u8>, ev: u8) {
+                self.log.push(ctx.now().ticks() * 10 + ev as u64);
+                if ev == 0 && self.left > 0 {
+                    self.left -= 1;
+                    // Same-instant burst + a far-future (overflow) tick.
+                    ctx.schedule_in(0, 1);
+                    ctx.schedule_in(0, 2);
+                    ctx.schedule_in(1_000_000, 0);
+                }
+            }
+            fn tie_rank(ev: &u8) -> u128 {
+                *ev as u128
+            }
+        }
+        let run = |use_calendar: bool| {
+            let model = Pulse {
+                left: 20,
+                log: vec![],
+            };
+            if use_calendar {
+                let mut e: Engine<Pulse, CalendarQueue<u8>> = Engine::new_in(model);
+                e.schedule_at(SimTime::ZERO, 0);
+                e.run_to_completion(None);
+                e.into_model().log
+            } else {
+                let mut e: Engine<Pulse> = Engine::new(model);
+                e.schedule_at(SimTime::ZERO, 0);
+                e.run_to_completion(None);
+                e.into_model().log
+            }
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::queue::Queue;
 use crate::time::SimTime;
 
 /// A priority queue of `(time, event)` pairs ordered by
@@ -115,9 +116,34 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Removes every pending event.
+    /// Removes every pending event and resets the insertion-order
+    /// counter, returning the queue to its freshly-constructed state.
+    ///
+    /// Resetting the counter matters for replayability: a model that
+    /// reuses a queue after `clear()` gets the same FIFO tie-break
+    /// "seeds" as a fresh run, so the reused run is bit-identical to a
+    /// fresh one.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.seq = 0;
+    }
+}
+
+impl<E> Queue<E> for EventQueue<E> {
+    fn push_ranked(&mut self, time: SimTime, rank: u128, event: E) {
+        EventQueue::push_ranked(self, time, rank, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn clear(&mut self) {
+        EventQueue::clear(self);
     }
 }
 
@@ -162,6 +188,35 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::new(3)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_insertion_order_seq() {
+        // Regression: `clear()` used to keep the private `seq` counter,
+        // so a queue reused after `clear()` replayed same-instant ties
+        // with different (though still FIFO-consistent) internal seeds
+        // than a fresh queue. The observable contract: a cleared queue
+        // behaves exactly like a new one.
+        let mut reused = EventQueue::new();
+        for i in 0..17 {
+            reused.push(SimTime::new(1), i);
+        }
+        reused.clear();
+        assert_eq!(reused.seq, 0, "clear() must reset the seq counter");
+
+        let mut fresh = EventQueue::new();
+        // Identical push sequence into both; ranks collide on purpose.
+        for i in 0..10 {
+            reused.push_ranked(SimTime::new(5), (i % 3) as u128, i);
+            fresh.push_ranked(SimTime::new(5), (i % 3) as u128, i);
+        }
+        loop {
+            let (a, b) = (reused.pop(), fresh.pop());
+            assert_eq!(a, b, "cleared queue must replay like a fresh one");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

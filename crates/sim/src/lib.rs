@@ -10,11 +10,21 @@
 //! * [`SimTime`] is an opaque tick counter; each simulation domain decides
 //!   what a tick means (picoseconds for circuits, nanoseconds for the
 //!   system-level machine).
-//! * [`EventQueue`] orders events by `(time, insertion sequence)` so that
-//!   simultaneous events are handled in FIFO order — no hash-map iteration
-//!   order or thread scheduling can perturb a run.
+//! * Events are ordered by `(time, tie rank, insertion sequence)`: a
+//!   content-derived rank ([`Model::tie_rank`]) orders same-instant
+//!   events by *what* they are, and FIFO breaks the remaining ties — no
+//!   hash-map iteration order or thread scheduling can perturb a run.
+//!   Two interchangeable queue implementations honour that contract
+//!   (see the [`queue`] module for its precise statement): the
+//!   binary-heap [`EventQueue`] and the time-bucketed [`CalendarQueue`]
+//!   (`O(1)` on workloads where many events share few distinct
+//!   timestamps, as the machine's million-events-per-millisecond
+//!   regime does). [`QueueKind`] names them for configuration knobs.
 //! * [`Engine`] drives a user [`Model`]; models schedule future events
-//!   through a [`Context`] handed to every handler.
+//!   through a [`Context`] handed to every handler. The engine is
+//!   generic over the [`Queue`] implementation (defaulting to
+//!   [`EventQueue`]), and a run's results are bit-identical whichever
+//!   queue drives it.
 //! * [`Xoshiro256`] is a self-contained seedable PRNG (xoshiro256**) with
 //!   the distributions the experiments need (uniform, Bernoulli,
 //!   exponential, normal, Poisson), so identical seeds reproduce identical
@@ -57,14 +67,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod engine;
 mod event;
+pub mod queue;
 mod rng;
 mod stats;
 mod time;
 
+pub use calendar::CalendarQueue;
 pub use engine::{Context, Engine, Model, RunOutcome};
 pub use event::EventQueue;
+pub use queue::{Queue, QueueKind};
 pub use rng::Xoshiro256;
 pub use stats::{Histogram, OnlineStats};
 pub use time::SimTime;

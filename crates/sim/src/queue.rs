@@ -1,0 +1,103 @@
+//! The queue contract shared by every event-queue implementation.
+//!
+//! The kernel ships two interchangeable implementations:
+//!
+//! * [`EventQueue`](crate::EventQueue) — a binary heap. Robust for any
+//!   push pattern, `O(log n)` per operation.
+//! * [`CalendarQueue`](crate::CalendarQueue) — a time-bucketed calendar
+//!   (ring of per-tick buckets plus a sorted overflow tier). `O(1)`
+//!   amortized for the machine's characteristic workload, where many
+//!   events share a handful of distinct timestamps.
+//!
+//! # The ordering contract
+//!
+//! Both implementations MUST produce identical pop sequences for
+//! identical push sequences. Events pop in ascending
+//! `(time, rank, insertion sequence)` order:
+//!
+//! 1. **Time** — strictly earlier events pop first.
+//! 2. **Rank** — among same-instant events, ascending content-derived
+//!    rank ([`crate::Model::tie_rank`]). Ranks make the same-instant
+//!    order a function of *what* the events are rather than of who
+//!    scheduled them first, which is what lets a sharded run
+//!    (`spinn-par`) replay a serial run exactly.
+//! 3. **Insertion sequence** — FIFO among same-instant, same-rank
+//!    events. Events mapping to the same rank at the same instant must
+//!    be *interchangeable* (their handling order must not affect the
+//!    model's final state); FIFO merely makes the choice deterministic.
+//!
+//! # The monotonic-push constraint
+//!
+//! Callers must never push an event earlier than the time of the most
+//! recently popped event. The [`crate::Engine`] enforces this already
+//! ("cannot schedule into the past"); direct users of a queue must
+//! uphold it themselves. `EventQueue` happens to tolerate violations,
+//! `CalendarQueue` panics on them — portable code must not rely on
+//! either behaviour.
+//!
+//! # `clear()` semantics
+//!
+//! `clear()` returns the queue to its freshly-constructed state,
+//! *including* the insertion-sequence counter: a model reusing a queue
+//! after `clear()` replays with the same FIFO tie-breaking as a fresh
+//! run.
+
+use crate::time::SimTime;
+
+/// A time-ordered event queue (see the [module docs](self) for the
+/// ordering contract every implementation must honour).
+pub trait Queue<E>: Default {
+    /// Schedules `event` at `time` with a content-derived tie-break
+    /// `rank`.
+    fn push_ranked(&mut self, time: SimTime, rank: u128, event: E);
+
+    /// Schedules `event` at `time` with rank 0 (pure FIFO among
+    /// unranked same-instant events).
+    fn push(&mut self, time: SimTime, event: E) {
+        self.push_ranked(time, 0, event);
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The timestamp of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether the queue holds no pending events.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every pending event and resets the insertion-sequence
+    /// counter (the queue behaves exactly like a fresh one afterwards).
+    fn clear(&mut self);
+}
+
+/// Which event-queue implementation a simulation should run on.
+///
+/// Selecting a kind changes wall-clock performance only: the two
+/// implementations honour the same ordering contract, so every run is
+/// bit-identical across kinds (locked down by the golden-trace
+/// conformance suite and `tests/props_queue.rs`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The binary-heap [`EventQueue`](crate::EventQueue).
+    Heap,
+    /// The time-bucketed [`CalendarQueue`](crate::CalendarQueue)
+    /// (default: the machine's workload is dominated by dense
+    /// same-timestamp bursts, which the calendar serves in `O(1)`).
+    #[default]
+    Calendar,
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueKind::Heap => f.write_str("heap"),
+            QueueKind::Calendar => f.write_str("calendar"),
+        }
+    }
+}
