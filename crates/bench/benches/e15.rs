@@ -1,0 +1,16 @@
+//! E15 table + streaming-loader kernel timing.
+use criterion::Criterion;
+use spinn_bench::experiments::e15_memory_model as e15;
+use spinnaker::map::loader::LoadedApp;
+use spinnaker::map::place::{Placement, Placer};
+
+fn main() {
+    println!("{}", e15::run(!spinn_bench::full_mode()));
+    let net = e15::prob_net(8, 1_000, 0.05);
+    let placement = Placement::compute(&net, 8, 8, 20, 128, Placer::Locality).unwrap();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("e15_streaming_loader_8x1k_p05", |b| {
+        b.iter(|| LoadedApp::build(&net, &placement).total_synapses())
+    });
+    c.final_summary();
+}

@@ -1481,9 +1481,11 @@ pub mod e14_event_core {
     }
 
     /// One end-to-end run; returns `(wall ms, spikes)` plus latency
-    /// percentiles, recording everything into the report.
+    /// percentiles, recording everything into the report. Also used by
+    /// E15, whose spikes/sec sweep must be row-compatible with the
+    /// committed E14 baseline for `scripts/bench_compare.py`.
     #[allow(clippy::too_many_arguments)]
-    fn sweep_case(
+    pub(crate) fn sweep_case(
         report: &mut BenchReport,
         net: &NetworkGraph,
         edge: u32,
@@ -1491,15 +1493,42 @@ pub mod e14_event_core {
         queue: QueueKind,
         ms: u32,
     ) -> (f64, usize) {
-        let cfg = SimConfig::new(edge, edge)
-            .with_neurons_per_core(128)
-            .with_placer(Placer::Random { seed: 0xE14 })
-            .with_queue(queue)
-            .with_threads(threads);
-        let sim = Simulation::build(net, cfg).expect("workload fits the machine");
-        let t0 = Instant::now();
-        let done = sim.run(ms);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        sweep_case_best_of(report, net, edge, threads, queue, ms, 1)
+    }
+
+    /// [`sweep_case`] measured `repeats` times, recording the fastest
+    /// run — wall-clock on shared/oversubscribed hosts (the sweep runs
+    /// more threads than a 1-core CI container has) is noisy enough
+    /// that single runs swing tens of percent; best-of-N recovers the
+    /// code's actual speed.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sweep_case_best_of(
+        report: &mut BenchReport,
+        net: &NetworkGraph,
+        edge: u32,
+        threads: u32,
+        queue: QueueKind,
+        ms: u32,
+        repeats: usize,
+    ) -> (f64, usize) {
+        let run_once = || {
+            let cfg = SimConfig::new(edge, edge)
+                .with_neurons_per_core(128)
+                .with_placer(Placer::Random { seed: 0xE14 })
+                .with_queue(queue)
+                .with_threads(threads);
+            let sim = Simulation::build(net, cfg).expect("workload fits the machine");
+            let t0 = Instant::now();
+            let done = sim.run(ms);
+            (t0.elapsed().as_secs_f64() * 1e3, done)
+        };
+        let (mut wall_ms, mut done) = run_once();
+        for _ in 1..repeats.max(1) {
+            let (w, d) = run_once();
+            if w < wall_ms {
+                (wall_ms, done) = (w, d);
+            }
+        }
         let spikes = done.machine.spikes().len();
         let lat = done.machine.spike_latency();
         report.push(
@@ -1513,6 +1542,7 @@ pub mod e14_event_core {
                 )
                 .config("queue", queue.to_string())
                 .config("bio_ms", ms)
+                .config("repeats", repeats.max(1))
                 .metric("wall_ms", wall_ms)
                 .metric("spikes", spikes)
                 .metric("spikes_per_sec", spikes as f64 / (wall_ms / 1e3))
@@ -1566,7 +1596,8 @@ pub mod e14_event_core {
     }
 
     /// Numeric field of a record's config/metrics list (NaN if absent).
-    fn num_field(keys: &[(String, crate::record::Json)], k: &str) -> f64 {
+    /// Shared with E15's formatter.
+    pub(crate) fn num_field(keys: &[(String, crate::record::Json)], k: &str) -> f64 {
         keys.iter()
             .find(|(key, _)| key == k)
             .and_then(|(_, v)| match v {
@@ -1577,7 +1608,8 @@ pub mod e14_event_core {
     }
 
     /// String field of a record's config/metrics list (empty if absent).
-    fn str_field(keys: &[(String, crate::record::Json)], k: &str) -> String {
+    /// Shared with E15's formatter.
+    pub(crate) fn str_field(keys: &[(String, crate::record::Json)], k: &str) -> String {
         keys.iter()
             .find(|(key, _)| key == k)
             .map(|(_, v)| match v {
@@ -1676,6 +1708,395 @@ pub mod e14_event_core {
             assert!(text.contains("dense_same_tick"), "{text}");
             let json = report.to_json_string();
             assert!(json.contains("heap_over_calendar_ratio"), "{json}");
+        }
+    }
+}
+
+/// E15 — the build-and-run memory model: streaming network expansion
+/// into per-core master-population-table + contiguous-arena synaptic
+/// matrices (§5.2/§6), measured against a faithful port of the
+/// seed's materialize-then-hash loader on a 100k-neuron
+/// `FixedProbability` workload. Emits `BENCH_e15.json`, whose
+/// end-to-end sweep rows are config-compatible with the committed
+/// `BENCH_e14.json` baseline so `scripts/bench_compare.py` can gate
+/// spikes/sec regressions.
+pub mod e15_memory_model {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport};
+    use spinn_sim::Xoshiro256;
+    use spinnaker::map::loader::LoadedApp;
+    use spinnaker::map::place::Placement;
+    use spinnaker::neuron::synapse::SynapticRow;
+    use spinnaker::prelude::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    /// The workload: `pops` populations of `size` neurons in a chain of
+    /// `FixedProbability(p)` projections — the paper's "sparse random
+    /// connectivity at scale" regime. Quick mode uses 20 x 5,000 =
+    /// 100,000 neurons.
+    pub fn prob_net(pops: u32, size: u32, p: f64) -> NetworkGraph {
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let mut net = NetworkGraph::new();
+        let ids: Vec<_> = (0..pops)
+            .map(|i| net.population(&format!("p{i}"), size, kind, if i == 0 { 9.0 } else { 0.0 }))
+            .collect();
+        for (i, w) in ids.windows(2).enumerate() {
+            net.project(
+                w[0],
+                w[1],
+                Connector::FixedProbability(p),
+                Synapses::constant(450, 1 + (i % 4) as u8),
+                0xE15 ^ i as u64,
+            );
+        }
+        net
+    }
+
+    /// A faithful port of the seed's expansion path, kept as the
+    /// measured baseline: materialize every projection into a
+    /// `Vec<(u32, u32)>` edge list via per-pair Bernoulli trials, then
+    /// scatter into per-core `HashMap<u32, SynapticRow>` with a linear
+    /// slice scan per pair. Returns (synapses, estimated resident
+    /// bytes).
+    fn legacy_build(net: &NetworkGraph, placement: &Placement) -> (u64, u64) {
+        let mut images: Vec<HashMap<u32, SynapticRow>> =
+            placement.slices().iter().map(|_| HashMap::new()).collect();
+        for proj in net.projections() {
+            let n_src = net.pop(proj.src).size;
+            let n_dst = net.pop(proj.dst).size;
+            for dst_slice in placement.slices_of(proj.dst) {
+                let img_idx = placement
+                    .slices()
+                    .iter()
+                    .position(|sl| sl == dst_slice)
+                    .expect("slice exists");
+                for src_slice in placement.slices_of(proj.src) {
+                    for n in src_slice.lo..src_slice.hi {
+                        let key = spinnaker::map::keys::neuron_key(
+                            src_slice.global_core,
+                            n - src_slice.lo,
+                        );
+                        images[img_idx].entry(key).or_default();
+                    }
+                }
+            }
+            // The seed's `Projection::pairs`: a full Bernoulli trial
+            // per (src, dst) pair, materialized before loading.
+            let mut expand_rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x50C1_A11E);
+            let mut pairs = Vec::new();
+            if let Connector::FixedProbability(p) = proj.connector {
+                for s in 0..n_src {
+                    for d in 0..n_dst {
+                        if expand_rng.gen_bool(p) {
+                            pairs.push((s, d));
+                        }
+                    }
+                }
+            } else {
+                pairs = proj.pairs(n_src, n_dst);
+            }
+            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x005E_ED0F_5EED);
+            for (s, d) in pairs {
+                let (w, delay) = proj.synapses.sample(&mut rng);
+                let src_slice = placement.locate(proj.src, s);
+                let dst_slice = placement.locate(proj.dst, d);
+                let src_key =
+                    spinnaker::map::keys::neuron_key(src_slice.global_core, s - src_slice.lo);
+                let img_idx = placement
+                    .slices()
+                    .iter()
+                    .position(|sl| sl == dst_slice)
+                    .expect("slice exists");
+                let local_target = (d - dst_slice.lo) as u16;
+                images[img_idx].entry(src_key).or_default().push(
+                    spinnaker::neuron::synapse::SynapticWord::new(w, delay, local_target),
+                );
+            }
+        }
+        let synapses: u64 = images
+            .iter()
+            .flat_map(|m| m.values())
+            .map(|r| r.len() as u64)
+            .sum();
+        // Resident estimate: 4-byte words plus per-row Vec header +
+        // hash-table slot (~48 B/row with load factor and padding).
+        let rows: u64 = images.iter().map(|m| m.len() as u64).sum();
+        (synapses, synapses * 4 + rows * 48)
+    }
+
+    /// The E15 report: build-time + resident-bytes comparison, an
+    /// end-to-end spikes/sec sweep row-compatible with E14, and the
+    /// structured per-chip occupancy section.
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E15",
+            "streaming expansion + arena-backed synaptic matrices vs materialize-and-hash",
+            quick,
+        );
+        let (pops, size, p) = if quick {
+            (20u32, 5_000u32, 0.02)
+        } else {
+            (25, 8_000, 0.015)
+        };
+        let net = prob_net(pops, size, p);
+        let total_neurons = net.total_neurons();
+        let cfg = SimConfig::new(8, 8).with_neurons_per_core(256);
+
+        // Loader-only apples-to-apples: same placement, old vs new
+        // expansion + image assembly.
+        let placement = Placement::compute(&net, 8, 8, 20, 256, Placer::Locality).unwrap();
+        let t0 = Instant::now();
+        let (legacy_synapses, legacy_bytes) = legacy_build(&net, &placement);
+        let legacy_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let app = LoadedApp::build(&net, &placement);
+        let stream_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let arena_resident: u64 = app.images.iter().map(|i| i.matrix.resident_bytes()).sum();
+        let synapses = app.total_synapses();
+
+        // Full pipeline: place -> route -> minimize -> stream-load.
+        let t0 = Instant::now();
+        let sim = Simulation::build(&net, cfg.clone()).expect("workload fits an 8x8 machine");
+        let full_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        report.push(
+            BenchRecord::new("build_memory_model")
+                .config("neurons", total_neurons)
+                .config("populations", pops)
+                .config("fixed_probability", p)
+                .config("mesh", "8x8")
+                .metric("synapses", synapses)
+                .metric("legacy_loader_ms", legacy_ms)
+                .metric("streaming_loader_ms", stream_ms)
+                .metric("loader_speedup", legacy_ms / stream_ms)
+                .metric("full_build_ms", full_build_ms)
+                .metric("build_speedup_vs_legacy_loader", legacy_ms / full_build_ms)
+                .metric("arena_resident_bytes", arena_resident)
+                .metric("legacy_resident_bytes_est", legacy_bytes)
+                .metric(
+                    "bytes_per_synapse",
+                    arena_resident as f64 / synapses.max(1) as f64,
+                )
+                .metric("sdram_bytes", app.total_sdram_bytes())
+                // The streaming expansion samples geometric gaps rather
+                // than per-pair Bernoulli trials, so the two realized
+                // edge sets differ while sharing the same distribution;
+                // the counts must agree statistically.
+                .metric(
+                    "legacy_over_streaming_synapses",
+                    legacy_synapses as f64 / synapses.max(1) as f64,
+                ),
+        );
+
+        // Short run of the large net: spikes/sec at the 100k scale plus
+        // the structured per-chip occupancy section.
+        let run_ms = if quick { 20 } else { 50 };
+        let t0 = Instant::now();
+        let done = sim.run(run_ms);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let occ = done.occupancy();
+        let loaded: Vec<_> = occ.iter().filter(|c| c.loaded_cores > 0).collect();
+        let worst = loaded
+            .iter()
+            .max_by_key(|c| c.sdram_bytes)
+            .expect("cores loaded");
+        report.push(
+            BenchRecord::new("chip_occupancy")
+                .config("neurons", total_neurons)
+                .config("bio_ms", run_ms)
+                .metric("loaded_chips", loaded.len())
+                .metric(
+                    "spikes_per_sec",
+                    done.machine.spikes().len() as f64 / (wall_ms / 1e3),
+                )
+                .metric(
+                    "dropped_packets",
+                    occ.iter().map(|c| c.dropped_packets).sum::<u64>(),
+                )
+                .metric(
+                    "sdram_bytes_total",
+                    occ.iter().map(|c| c.sdram_bytes).sum::<u64>(),
+                )
+                .metric("sdram_bytes_worst_chip", worst.sdram_bytes)
+                .metric(
+                    "sdram_worst_chip_pct",
+                    100.0 * worst.sdram_bytes as f64 / worst.sdram_capacity as f64,
+                )
+                .metric(
+                    "dtcm_bytes_total",
+                    occ.iter().map(|c| c.dtcm_bytes).sum::<u64>(),
+                )
+                .metric("dtcm_bytes_worst_chip", worst.dtcm_bytes),
+        );
+
+        // The E14-compatible spikes/sec sweep (same workload, same
+        // configs) — the rows `scripts/bench_compare.py` diffs against
+        // the committed baseline.
+        let (edges, ms): (&[u32], u32) = if quick {
+            (&[8], 100)
+        } else {
+            (&[8, 16, 32], 200)
+        };
+        for &edge in edges {
+            let sweep_net = super::e12_parallel_execution::synfire_net(16, 512);
+            for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                for threads in [1u32, 2, 4, 16] {
+                    // Best-of-3: thread>1 rows on an oversubscribed
+                    // host swing tens of percent run to run; the gate
+                    // in scripts/bench_compare.py needs stable rows.
+                    super::e14_event_core::sweep_case_best_of(
+                        &mut report,
+                        &sweep_net,
+                        edge,
+                        threads,
+                        queue,
+                        ms,
+                        3,
+                    );
+                }
+            }
+        }
+        report
+    }
+
+    /// The E15 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E15 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E15: build-and-run memory model — streaming expansion + synaptic arena ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   §5.2/§6: synaptic state as contiguous per-source rows behind a master\n   population table, constructed without ever materializing the edge list\n"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "build_memory_model")
+        {
+            let _ = writeln!(
+                out,
+                "{:>12.0} neurons, {:>11.0} synapses (FixedProbability {:.3})",
+                num(&r.config, "neurons"),
+                num(&r.metrics, "synapses"),
+                num(&r.config, "fixed_probability"),
+            );
+            let _ = writeln!(
+                out,
+                "  loader:     legacy {:>9.1} ms   streaming {:>8.1} ms   speedup {:>5.1}x",
+                num(&r.metrics, "legacy_loader_ms"),
+                num(&r.metrics, "streaming_loader_ms"),
+                num(&r.metrics, "loader_speedup"),
+            );
+            let _ = writeln!(
+                out,
+                "  full build: {:>8.1} ms (place->route->minimize->stream-load), {:>5.1}x vs legacy loader alone",
+                num(&r.metrics, "full_build_ms"),
+                num(&r.metrics, "build_speedup_vs_legacy_loader"),
+            );
+            let _ = writeln!(
+                out,
+                "  resident:   arena {:>11.0} B ({:.2} B/synapse)   legacy est {:>11.0} B",
+                num(&r.metrics, "arena_resident_bytes"),
+                num(&r.metrics, "bytes_per_synapse"),
+                num(&r.metrics, "legacy_resident_bytes_est"),
+            );
+        }
+        for r in report.records.iter().filter(|r| r.name == "chip_occupancy") {
+            let _ = writeln!(
+                out,
+                "  occupancy:  {:.0} chips loaded, worst SDRAM {:.0} B ({:.2}%), {:.0} dropped, {:>9.0} spikes/s",
+                num(&r.metrics, "loaded_chips"),
+                num(&r.metrics, "sdram_bytes_worst_chip"),
+                num(&r.metrics, "sdram_worst_chip_pct"),
+                num(&r.metrics, "dropped_packets"),
+                num(&r.metrics, "spikes_per_sec"),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>10} {:>10} {:>14}",
+            "mesh", "queue", "threads", "wall ms", "spikes/sec"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "end_to_end_sweep")
+        {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>10} {:>10.1} {:>14.0}",
+                str_field(&r.config, "mesh"),
+                str_field(&r.config, "queue"),
+                num(&r.config, "threads"),
+                num(&r.metrics, "wall_ms"),
+                num(&r.metrics, "spikes_per_sec"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nthe master population table is a sorted (key, mask) array over one\ncontiguous CSR arena per core: packet handling binary-searches ~dozens of\nentries instead of hashing, STDP rewrites weights in the arena in place,\nand the golden-trace suite pins the refactor to bit-identical spikes.\ncompare against the committed baseline: scripts/bench_compare.py\nBENCH_e15.json BENCH_e14.json"
+        );
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn legacy_and_streaming_loaders_agree_statistically() {
+            // Geometric-gap streaming and per-pair Bernoulli realize
+            // *different* edge sets from the same distribution: counts
+            // must agree with the binomial expectation, not exactly.
+            let net = prob_net(4, 120, 0.1);
+            let placement = Placement::compute(&net, 4, 4, 17, 64, Placer::Locality).unwrap();
+            let (legacy_synapses, legacy_bytes) = legacy_build(&net, &placement);
+            let app = LoadedApp::build(&net, &placement);
+            let expected = 3.0 * 120.0 * 120.0 * 0.1;
+            for got in [legacy_synapses, app.total_synapses()] {
+                let got = got as f64;
+                assert!(
+                    (got - expected).abs() < 0.2 * expected,
+                    "count {got} vs expectation {expected}"
+                );
+            }
+            assert!(legacy_bytes > 0);
+        }
+
+        #[test]
+        fn report_smoke_on_a_tiny_workload() {
+            // Not the full quick run (CI time): exercise the formatter
+            // against a synthetic record.
+            let mut report = BenchReport::new("E15", "test", true);
+            report.push(
+                BenchRecord::new("build_memory_model")
+                    .config("neurons", 100u64)
+                    .config("fixed_probability", 0.1f64)
+                    .metric("synapses", 42u64)
+                    .metric("legacy_loader_ms", 2.0f64)
+                    .metric("streaming_loader_ms", 1.0f64)
+                    .metric("loader_speedup", 2.0f64)
+                    .metric("full_build_ms", 1.5f64)
+                    .metric("build_speedup_vs_legacy_loader", 1.3f64)
+                    .metric("arena_resident_bytes", 168u64)
+                    .metric("bytes_per_synapse", 4.0f64)
+                    .metric("legacy_resident_bytes_est", 2184u64),
+            );
+            let text = format_report(&report);
+            assert!(text.contains("speedup"), "{text}");
+            assert!(report.to_json_string().contains("loader_speedup"));
         }
     }
 }

@@ -107,10 +107,15 @@ pub struct PopSpike {
 
 impl Simulation {
     /// Places, routes, minimizes and loads `net` onto a machine — the
-    /// full place → route → minimize → install pipeline (the emitted
-    /// tables are compressed with
-    /// [`RoutingPlan::minimized`] before loading; see `spinn-map`'s
-    /// `minimize` module).
+    /// full place → route → minimize → **stream-load** pipeline. The
+    /// emitted tables are compressed with [`RoutingPlan::minimized`]
+    /// before loading (see `spinn-map`'s `minimize` module), and
+    /// connectivity is expanded *streaming*: each projection flows
+    /// through `Projection::iter` straight into per-core master
+    /// population tables + contiguous synaptic arenas
+    /// (`spinn_neuron::synmatrix`), so the build never materializes a
+    /// global edge list and the loaded matrices move onto the machine
+    /// without per-row copies.
     ///
     /// # Errors
     ///
@@ -156,9 +161,9 @@ impl Simulation {
         machine.install_routing_plan(&plan)?;
         for img in app.images {
             machine.load_core(img.chip, img.core, img.neurons, img.bias_na, img.base_key)?;
-            for (key, row) in img.rows {
-                machine.set_row(img.chip, img.core, key, row);
-            }
+            // Stream-load: the loader-built master population table +
+            // arena moves onto the core wholesale — no per-row copies.
+            machine.install_matrix(img.chip, img.core, img.matrix);
         }
         let slice_of_core = placement
             .slices()
@@ -183,6 +188,12 @@ impl Simulation {
     /// Routing-plan statistics (table pressure, tree costs).
     pub fn route_stats(&self) -> &RouteStats {
         &self.route_stats
+    }
+
+    /// Machine access before the run (inspection: occupancy, router
+    /// state, loaded-core accounting).
+    pub fn machine(&self) -> &NeuralMachine {
+        &self.machine
     }
 
     /// Mutable machine access before the run (fault injection, extra
@@ -264,6 +275,12 @@ impl Completed {
         &self.route_stats
     }
 
+    /// Per-chip memory occupancy and drop counters (see
+    /// [`spinn_machine::machine::NeuralMachine::chip_occupancy`]).
+    pub fn occupancy(&self) -> Vec<spinn_machine::machine::ChipOccupancy> {
+        self.machine.chip_occupancy()
+    }
+
     /// A human-readable run report.
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
@@ -317,6 +334,46 @@ impl Completed {
             rs.table_peak_entries,
             rs.table_capacity,
             100.0 * rs.occupancy_ratio()
+        );
+        // Per-chip memory occupancy and drop counters: only chips that
+        // carry load or dropped packets, worst SDRAM users first,
+        // capped so reports of big meshes stay readable.
+        let mut occ = self.occupancy();
+        occ.retain(|c| c.loaded_cores > 0 || c.dropped_packets > 0);
+        occ.sort_by_key(|c| std::cmp::Reverse((c.sdram_bytes, c.dtcm_bytes, c.dropped_packets)));
+        let shown = occ.len().min(16);
+        let _ = writeln!(
+            out,
+            "chip occupancy:      {} loaded chip(s); per chip (top {shown}):",
+            occ.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>6} {:>14} {:>16} {:>9}",
+            "chip", "cores", "DTCM used", "SDRAM used", "dropped"
+        );
+        for c in occ.iter().take(shown) {
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>6} {:>7} B {:>3.0}% {:>9} B {:>3.1}% {:>9}",
+                c.chip.to_string(),
+                c.loaded_cores,
+                c.dtcm_bytes,
+                100.0 * c.dtcm_bytes as f64 / c.dtcm_capacity.max(1) as f64,
+                c.sdram_bytes,
+                100.0 * c.sdram_bytes as f64 / c.sdram_capacity.max(1) as f64,
+                c.dropped_packets,
+            );
+        }
+        if occ.len() > shown {
+            let _ = writeln!(out, "  (+{} more chips)", occ.len() - shown);
+        }
+        let dropped_total: u64 = occ.iter().map(|c| c.dropped_packets).sum();
+        let sdram_total: u64 = occ.iter().map(|c| c.sdram_bytes).sum();
+        let _ = writeln!(
+            out,
+            "memory totals:       {} B synaptic SDRAM, {} dropped packet(s)",
+            sdram_total, dropped_total
         );
         out
     }
@@ -419,6 +476,9 @@ mod tests {
             "routing plan:",
             "minimized from",
             "router CAM:",
+            "chip occupancy:",
+            "dropped",
+            "memory totals:",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }

@@ -4,8 +4,11 @@
 //! Every active application core executes the same three tasks in
 //! response to interrupt events, at descending priority (§5.3, Fig. 7):
 //!
-//! 1. **Packet received** — identify the spiking neuron, look up its
-//!    connectivity block, schedule a DMA fetch.
+//! 1. **Packet received** — identify the spiking neuron, resolve its
+//!    connectivity block through the core's master population table
+//!    (binary search of `(key, mask)` entries over the contiguous
+//!    synaptic arena, [`spinn_neuron::synmatrix::SynapticMatrix`]),
+//!    schedule a DMA fetch.
 //! 2. **DMA complete** — process the synaptic row: deposit each synapse's
 //!    weight in the deferred-event ring buffer at its programmed delay.
 //! 3. **1 ms timer** — advance the neuronal differential equations,
@@ -17,12 +20,14 @@
 //! while the previous tick is still being processed counts as a
 //! **real-time violation** (the machine's defining constraint, §3.1).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use spinn_neuron::model::{AnyNeuron, NeuronModel};
+use spinn_neuron::model::AnyNeuron;
+use spinn_neuron::pool::NeuronPool;
 use spinn_neuron::ring::InputRing;
 use spinn_neuron::stdp::{apply_bounded, StdpParams};
 use spinn_neuron::synapse::SynapticRow;
+use spinn_neuron::synmatrix::SynapticMatrix;
 use spinn_noc::direction::Direction;
 use spinn_noc::fabric::{CtxScheduler, Delivery, DroppedPacket, Fabric, NocEvent, Partition};
 use spinn_noc::mesh::NodeCoord;
@@ -104,7 +109,9 @@ pub struct SpikeRecord {
 
 #[derive(Clone, Debug)]
 enum WorkItem {
+    /// An incoming packet's AER key, awaiting the MPT lookup.
     Packet(u32),
+    /// A DMA-fetched row, by row index into the core's matrix.
     Row(u32),
     Timer,
 }
@@ -117,20 +124,26 @@ pub struct CorePayload {
     pub neurons: Vec<AnyNeuron>,
     /// Constant bias current per neuron, nA.
     pub bias_na: Vec<f32>,
-    /// Synaptic rows indexed by source AER key.
-    pub rows: HashMap<u32, SynapticRow>,
+    /// The core's synaptic matrix (master population table + arena),
+    /// indexed by source AER key.
+    pub matrix: SynapticMatrix,
     /// AER key of this core's neuron 0 (neuron `i` emits `base_key + i`).
     pub base_key: u32,
 }
 
 #[derive(Debug)]
 struct AppCore {
-    neurons: Vec<AnyNeuron>,
+    /// Neuron state, structure-of-arrays (flat per-tick update).
+    neurons: NeuronPool,
     bias_na: Vec<f32>,
     base_key: u32,
     ring: InputRing,
-    rows: HashMap<u32, SynapticRow>,
+    /// The §5.2/§6 memory model: master population table over one
+    /// contiguous synaptic arena. Packet handling binary-searches the
+    /// table; DMA sizes and STDP write-backs come from row slices.
+    matrix: SynapticMatrix,
     q_packets: VecDeque<u32>,
+    /// DMA-completed rows awaiting processing, by row index.
     q_rows: VecDeque<u32>,
     timer_pending: u32,
     current: Option<WorkItem>,
@@ -138,12 +151,64 @@ struct AppCore {
     spikes_emitted: u64,
     overruns: u64,
     row_misses: u64,
-    /// STDP state (when plasticity is enabled): per-source-row time of
-    /// the previous pre-spike, and per-neuron time of the last
-    /// post-spike. Updates are applied synapse-centrically when a row is
-    /// fetched, as on the real machine.
-    row_last_pre_ms: HashMap<u32, f64>,
+    /// STDP state (when plasticity is enabled): per-row time of the
+    /// previous pre-spike (indexed like the matrix rows), and
+    /// per-neuron time of the last post-spike. Updates are applied
+    /// synapse-centrically when a row is fetched, as on the real
+    /// machine.
+    row_last_pre_ms: Vec<f64>,
     last_post_ms: Vec<f64>,
+}
+
+/// DTCM bytes a core with this ring buffer and neuron count occupies —
+/// the admission formula [`NeuralMachine::load_core`] checks and the
+/// figure [`NeuralMachine::chip_occupancy`] reports (48 B of state per
+/// neuron).
+fn core_dtcm_bytes(ring: &InputRing, n_neurons: usize) -> usize {
+    ring.size_bytes() + n_neurons * 48
+}
+
+impl AppCore {
+    /// DTCM bytes this core's resident data occupies.
+    fn dtcm_bytes(&self) -> usize {
+        core_dtcm_bytes(&self.ring, self.neurons.len())
+    }
+
+    /// Keeps the STDP pre-spike timestamps consistent with the matrix.
+    ///
+    /// `row_last_pre_ms` is indexed by row, so any insertion that
+    /// changes the row count may also have *shifted* existing rows
+    /// (`SynapticMatrix::insert_row`'s block-grow path splices rows
+    /// mid-vector). Timestamps attached to the wrong rows would corrupt
+    /// STDP, so a structural change resets the history to "no previous
+    /// pre-spike" — installing new connectivity invalidates cached
+    /// timing state. In-place row replacement keeps the history.
+    fn sync_stdp_rows(&mut self) {
+        if self.row_last_pre_ms.len() != self.matrix.n_rows() {
+            self.row_last_pre_ms = vec![f64::NEG_INFINITY; self.matrix.n_rows()];
+        }
+    }
+}
+
+/// Per-chip memory occupancy and packet-drop counters (see
+/// [`NeuralMachine::chip_occupancy`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChipOccupancy {
+    /// The chip.
+    pub chip: NodeCoord,
+    /// Application cores loaded on the chip.
+    pub loaded_cores: u32,
+    /// DTCM bytes in use across the chip's loaded cores (ring buffers
+    /// plus neuron state at the admission budget).
+    pub dtcm_bytes: u64,
+    /// DTCM capacity: application cores × 64 KB.
+    pub dtcm_capacity: u64,
+    /// Synaptic-arena bytes resident in the chip's shared SDRAM.
+    pub sdram_bytes: u64,
+    /// The chip's shared SDRAM capacity, bytes.
+    pub sdram_capacity: u64,
+    /// Packets this chip's router dropped.
+    pub dropped_packets: u64,
 }
 
 /// Error returned when a core's data would not fit in its 64 KB DTCM.
@@ -278,8 +343,9 @@ impl NeuralMachine {
     pub fn weight_of(&self, chip: NodeCoord, core: u8, src_key: u32, target: u16) -> Option<i16> {
         let idx = self.core_index(chip, core);
         self.cores[idx].as_ref().and_then(|c| {
-            c.rows.get(&src_key).and_then(|row| {
-                row.words()
+            c.matrix.lookup(src_key).and_then(|row| {
+                c.matrix
+                    .row(row)
                     .iter()
                     .find(|w| w.target() == target)
                     .map(|w| w.weight_raw())
@@ -352,7 +418,7 @@ impl NeuralMachine {
         );
         assert_eq!(neurons.len(), bias_na.len(), "bias length mismatch");
         let ring = InputRing::new(neurons.len());
-        let required = ring.size_bytes() + neurons.len() * 48;
+        let required = core_dtcm_bytes(&ring, neurons.len());
         if required > self.cfg.dtcm_bytes as usize {
             return Err(DtcmOverflow {
                 required,
@@ -364,10 +430,10 @@ impl NeuralMachine {
         let n = neurons.len();
         self.cores[idx] = Some(AppCore {
             ring,
-            neurons,
+            neurons: NeuronPool::from_neurons(neurons),
             bias_na,
             base_key,
-            rows: HashMap::new(),
+            matrix: SynapticMatrix::new(),
             q_packets: VecDeque::new(),
             q_rows: VecDeque::new(),
             timer_pending: 0,
@@ -376,24 +442,39 @@ impl NeuralMachine {
             spikes_emitted: 0,
             overruns: 0,
             row_misses: 0,
-            row_last_pre_ms: HashMap::new(),
+            row_last_pre_ms: Vec::new(),
             last_post_ms: vec![f64::NEG_INFINITY; n],
         });
         Ok(())
     }
 
-    /// Installs the synaptic row a core uses for incoming `key` spikes.
+    /// Installs a whole synaptic matrix on a loaded core in one move —
+    /// the stream-load path `Simulation::build` uses (the matrix is
+    /// assembled off-machine by the loader, then handed over without
+    /// per-row copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not loaded.
+    pub fn install_matrix(&mut self, chip: NodeCoord, core: u8, matrix: SynapticMatrix) {
+        let idx = self.core_index(chip, core);
+        let c = self.cores[idx].as_mut().expect("core not loaded");
+        c.matrix = matrix;
+        c.row_last_pre_ms = vec![f64::NEG_INFINITY; c.matrix.n_rows()];
+    }
+
+    /// Installs the synaptic row a core uses for incoming `key` spikes
+    /// (the manual loading path; whole matrices go through
+    /// [`NeuralMachine::install_matrix`]).
     ///
     /// # Panics
     ///
     /// Panics if the core is not loaded.
     pub fn set_row(&mut self, chip: NodeCoord, core: u8, key: u32, row: SynapticRow) {
         let idx = self.core_index(chip, core);
-        self.cores[idx]
-            .as_mut()
-            .expect("core not loaded")
-            .rows
-            .insert(key, row);
+        let c = self.cores[idx].as_mut().expect("core not loaded");
+        c.matrix.insert_row(key, row.words());
+        c.sync_stdp_rows();
     }
 
     /// Removes a core and returns its contents (monitor-driven
@@ -401,9 +482,9 @@ impl NeuralMachine {
     pub fn evict_core(&mut self, chip: NodeCoord, core: u8) -> Option<CorePayload> {
         let idx = self.core_index(chip, core);
         self.cores[idx].take().map(|c| CorePayload {
-            neurons: c.neurons,
+            neurons: c.neurons.into_neurons(),
             bias_na: c.bias_na,
-            rows: c.rows,
+            matrix: c.matrix,
             base_key: c.base_key,
         })
     }
@@ -426,8 +507,7 @@ impl NeuralMachine {
             payload.bias_na,
             payload.base_key,
         )?;
-        let idx = self.core_index(chip, core);
-        self.cores[idx].as_mut().expect("just loaded").rows = payload.rows;
+        self.install_matrix(chip, core, payload.matrix);
         Ok(())
     }
 
@@ -640,6 +720,45 @@ impl NeuralMachine {
         self.fabric.total_stats()
     }
 
+    /// Per-chip memory occupancy and drop counters: loaded cores, DTCM
+    /// bytes in use (against `cores × 64 KB`), synaptic-arena SDRAM
+    /// bytes in use (against the chip's shared SDRAM) and packets the
+    /// chip's router dropped. The run report and the benchmark
+    /// pipeline's structured occupancy section both read from here.
+    pub fn chip_occupancy(&self) -> Vec<ChipOccupancy> {
+        let per = self.cfg.cores_per_chip as usize;
+        (0..self.cfg.chips())
+            .map(|chip| {
+                let coord = self.fabric.torus().coord_of(chip);
+                let mut occ = ChipOccupancy {
+                    chip: coord,
+                    loaded_cores: 0,
+                    dtcm_bytes: 0,
+                    dtcm_capacity: (per.saturating_sub(1) as u64) * self.cfg.dtcm_bytes as u64,
+                    sdram_bytes: 0,
+                    sdram_capacity: self.cfg.sdram_bytes,
+                    dropped_packets: self.fabric.router(coord).stats.dropped,
+                };
+                for c in self.cores[chip * per..(chip + 1) * per].iter().flatten() {
+                    occ.loaded_cores += 1;
+                    occ.dtcm_bytes += c.dtcm_bytes() as u64;
+                    occ.sdram_bytes += c.matrix.sdram_bytes();
+                }
+                occ
+            })
+            .collect()
+    }
+
+    /// Whole-machine SDRAM in use by synaptic matrices, bytes (the sum
+    /// of every core's arena — must equal the loader's total).
+    pub fn total_sdram_bytes(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.matrix.sdram_bytes())
+            .sum()
+    }
+
     /// Direct fabric access (advanced inspection).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
@@ -688,9 +807,9 @@ impl NeuralMachine {
             c.current = Some(WorkItem::Packet(key));
             let ns = self.charge(costs.packet_isr_instr);
             ctx.schedule_in(ns, MachineEvent::CoreDone { chip, core });
-        } else if let Some(key) = c.q_rows.pop_front() {
-            let len = c.rows.get(&key).map_or(0, |r| r.len()) as u64;
-            c.current = Some(WorkItem::Row(key));
+        } else if let Some(row) = c.q_rows.pop_front() {
+            let len = c.matrix.row_len(row) as u64;
+            c.current = Some(WorkItem::Row(row));
             let ns = self.charge(costs.dma_isr_instr + costs.per_synapse_instr * len);
             ctx.schedule_in(ns, MachineEvent::CoreDone { chip, core });
         } else if c.timer_pending > 0 {
@@ -704,13 +823,24 @@ impl NeuralMachine {
             inputs.clear();
             inputs.extend_from_slice(c.ring.tick());
             debug_assert!(c.pending_spikes.is_empty());
-            for (i, n) in c.neurons.iter_mut().enumerate() {
-                let input = c.bias_na[i] + inputs[i] as f32 / 256.0;
-                if n.step_1ms(input) {
-                    c.pending_spikes.push(c.base_key + i as u32);
-                    c.last_post_ms[i] = tick_ms as f64;
-                }
-            }
+            // The SoA pool walks flat state arrays; the split borrow
+            // keeps the spike/bias buffers out of the pool's way.
+            let AppCore {
+                neurons,
+                bias_na,
+                pending_spikes,
+                last_post_ms,
+                base_key,
+                ..
+            } = c;
+            let base_key = *base_key;
+            neurons.step_tick(
+                |i| bias_na[i] + inputs[i] as f32 / 256.0,
+                |i| {
+                    pending_spikes.push(base_key + i as u32);
+                    last_post_ms[i] = tick_ms as f64;
+                },
+            );
             c.spikes_emitted += c.pending_spikes.len() as u64;
             let n_neurons = c.neurons.len() as u64;
             let n_spikes = c.pending_spikes.len() as u64;
@@ -741,8 +871,10 @@ impl NeuralMachine {
         };
         match c.current.take() {
             Some(WorkItem::Packet(key)) => {
-                if let Some(row) = c.rows.get(&key) {
-                    let bytes = row.size_bytes() as u64;
+                // Master-population-table lookup: binary search over
+                // the (key, mask) entries, neuron bits select the row.
+                if let Some(row) = c.matrix.lookup(key) {
+                    let bytes = c.matrix.row_bytes(row) as u64;
                     // The DMA controller transfers in the background; the
                     // chip's SDRAM port serializes transfers.
                     let start = now.max(self.dma_free_at[chip as usize]);
@@ -757,25 +889,25 @@ impl NeuralMachine {
                     c.row_misses += 1;
                 }
             }
-            Some(WorkItem::Row(key)) => {
+            Some(WorkItem::Row(row)) => {
                 let stdp = self.stdp;
                 let now_ms = now as f64 / MS as f64;
                 let mut writeback_bytes = None;
-                if let Some(row) = c.rows.get_mut(&key) {
+                {
                     let mut modified = false;
                     if let Some(p) = stdp {
                         // Deferred pair-based STDP, applied at row fetch
                         // (pre-spike time): depress against the target's
                         // most recent post-spike; potentiate the
                         // *previous* pre-spike against any post that
-                        // followed it.
-                        let last_pre = c
-                            .row_last_pre_ms
-                            .insert(key, now_ms)
-                            .unwrap_or(f64::NEG_INFINITY);
-                        for w in row.words_mut() {
+                        // followed it. Weights are rewritten in place in
+                        // the arena, as on hardware.
+                        let last_pre =
+                            std::mem::replace(&mut c.row_last_pre_ms[row as usize], now_ms);
+                        let last_post_ms = &c.last_post_ms;
+                        for w in c.matrix.row_mut(row) {
                             let n = w.target() as usize;
-                            let last_post = c.last_post_ms[n];
+                            let last_post = last_post_ms[n];
                             let mut dw = 0i16;
                             if last_post.is_finite() && last_post <= now_ms {
                                 let dt = (now_ms - last_post) as f32;
@@ -795,12 +927,12 @@ impl NeuralMachine {
                             }
                         }
                     }
-                    for w in row.words() {
-                        c.ring
-                            .deposit(w.delay_ms(), w.target() as usize, w.weight_raw() as i32);
+                    let AppCore { matrix, ring, .. } = c;
+                    for w in matrix.row(row) {
+                        ring.deposit(w.delay_ms(), w.target() as usize, w.weight_raw() as i32);
                     }
                     if modified {
-                        writeback_bytes = Some(row.size_bytes() as u64);
+                        writeback_bytes = Some(matrix.row_bytes(row) as u64);
                     }
                 }
                 if let Some(bytes) = writeback_bytes {
@@ -995,8 +1127,13 @@ impl Model for NeuralMachine {
             MachineEvent::DmaDone { chip, core, key } => {
                 let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
                 if let Some(c) = self.cores[idx].as_mut() {
-                    c.q_rows.push_back(key);
-                    self.dispatch(chip, core, ctx);
+                    // The row existed when the DMA was scheduled and
+                    // rows are never removed mid-run, so the lookup
+                    // re-resolves to the same row.
+                    if let Some(row) = c.matrix.lookup(key) {
+                        c.q_rows.push_back(row);
+                        self.dispatch(chip, core, ctx);
+                    }
                 }
             }
             MachineEvent::InjectSpike { chip, key } => {

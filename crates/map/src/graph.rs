@@ -133,45 +133,231 @@ pub struct Projection {
 }
 
 impl Projection {
-    /// Expands the projection into concrete `(src, dst)` neuron pairs,
-    /// deterministically from the seed.
-    pub fn pairs(&self, n_src: u32, n_dst: u32) -> Vec<(u32, u32)> {
-        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ 0x50C1_A11E);
-        match self.connector {
-            Connector::OneToOne => (0..n_src.min(n_dst)).map(|i| (i, i)).collect(),
-            Connector::AllToAll { allow_self } => {
-                let mut v = Vec::with_capacity((n_src * n_dst) as usize);
-                for s in 0..n_src {
-                    for d in 0..n_dst {
-                        if allow_self || self.src != self.dst || s != d {
-                            v.push((s, d));
-                        }
-                    }
-                }
-                v
-            }
-            Connector::FixedProbability(p) => {
-                let mut v = Vec::new();
-                for s in 0..n_src {
-                    for d in 0..n_dst {
-                        if rng.gen_bool(p) {
-                            v.push((s, d));
-                        }
-                    }
-                }
-                v
-            }
+    /// Expands the projection into a **streaming** iterator of concrete
+    /// `(src, dst)` neuron pairs, deterministically from the seed — no
+    /// edge list is ever materialized, so expansion memory is `O(1)`
+    /// (plus a target permutation for [`Connector::FixedFanOut`])
+    /// regardless of network size. Pairs are produced in ascending
+    /// source order.
+    pub fn iter(&self, n_src: u32, n_dst: u32) -> ConnectorIter {
+        let rng = Xoshiro256::seed_from_u64(self.seed ^ 0x50C1_A11E);
+        let state = match self.connector {
+            Connector::OneToOne => IterState::OneToOne {
+                i: 0,
+                n: n_src.min(n_dst),
+            },
+            Connector::AllToAll { allow_self } => IterState::AllToAll {
+                s: 0,
+                d: 0,
+                skip_self: !allow_self && self.src == self.dst,
+            },
+            Connector::FixedProbability(p) if p >= 1.0 => IterState::AllToAll {
+                s: 0,
+                d: 0,
+                skip_self: false,
+            },
+            Connector::FixedProbability(p) => IterState::Bernoulli {
+                rng,
+                p,
+                cursor: 0,
+                total: if p > 0.0 {
+                    n_src as u64 * n_dst as u64
+                } else {
+                    0
+                },
+            },
             Connector::FixedFanOut(k) => {
                 let k = k.min(n_dst);
-                let mut v = Vec::with_capacity((n_src * k) as usize);
-                let mut targets: Vec<u32> = (0..n_dst).collect();
-                for s in 0..n_src {
-                    rng.shuffle(&mut targets);
-                    for &d in targets.iter().take(k as usize) {
-                        v.push((s, d));
-                    }
+                IterState::FanOut {
+                    targets: (0..n_dst).collect(),
+                    rng,
+                    k,
+                    next_s: 0,
+                    j: k, // force a shuffle on the first `next`
                 }
-                v
+            }
+        };
+        ConnectorIter {
+            n_src,
+            n_dst,
+            state,
+        }
+    }
+
+    /// Expands the projection into a materialized edge list (a
+    /// convenience wrapper over [`Projection::iter`], kept for tests
+    /// and small-network tooling; large builds should stream).
+    pub fn pairs(&self, n_src: u32, n_dst: u32) -> Vec<(u32, u32)> {
+        let it = self.iter(n_src, n_dst);
+        let mut v = Vec::with_capacity(it.size_hint().0);
+        v.extend(it);
+        v
+    }
+}
+
+/// Streaming expansion of one projection: yields `(src, dst)` pairs in
+/// ascending source order without materializing the edge list. Obtained
+/// from [`Projection::iter`].
+///
+/// Capacity arithmetic is done in `u64`/`usize` throughout (the
+/// materializing predecessor computed `n_src * n_dst` in `u32`, which
+/// wraps for populations ≥ 2¹⁶; see `size_hint`).
+#[derive(Clone, Debug)]
+pub struct ConnectorIter {
+    n_src: u32,
+    n_dst: u32,
+    state: IterState,
+}
+
+#[derive(Clone, Debug)]
+enum IterState {
+    /// `i -> i` for `i < n`.
+    OneToOne { i: u32, n: u32 },
+    /// Dense row-major scan, optionally skipping the diagonal.
+    AllToAll { s: u32, d: u32, skip_self: bool },
+    /// Independent inclusion with probability `p`, visited by sampling
+    /// geometric gaps between successes over the flattened `(s, d)`
+    /// index space — `O(edges)` draws instead of `O(n_src * n_dst)`
+    /// Bernoulli trials.
+    Bernoulli {
+        rng: Xoshiro256,
+        p: f64,
+        /// Next candidate flattened index.
+        cursor: u64,
+        /// One past the last flattened index (0 when exhausted).
+        total: u64,
+    },
+    /// Per source: a fresh shuffle of the target permutation, then the
+    /// first `k` entries. `next_s` is the next source to deal; `j`
+    /// indexes the current source's deal (`j == k` means no current
+    /// source).
+    FanOut {
+        rng: Xoshiro256,
+        targets: Vec<u32>,
+        k: u32,
+        next_s: u32,
+        j: u32,
+    },
+}
+
+impl Iterator for ConnectorIter {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        match &mut self.state {
+            IterState::OneToOne { i, n } => {
+                if i < n {
+                    let v = *i;
+                    *i += 1;
+                    Some((v, v))
+                } else {
+                    None
+                }
+            }
+            IterState::AllToAll { s, d, skip_self } => loop {
+                if *s >= self.n_src {
+                    return None;
+                }
+                let pair = (*s, *d);
+                *d += 1;
+                if *d >= self.n_dst {
+                    *d = 0;
+                    *s += 1;
+                }
+                if !(*skip_self && pair.0 == pair.1) {
+                    return Some(pair);
+                }
+            },
+            IterState::Bernoulli {
+                rng,
+                p,
+                cursor,
+                total,
+            } => {
+                if *cursor >= *total {
+                    return None;
+                }
+                // Geometric inter-success gap: the run length of a
+                // Bernoulli(p) process, sampled in one draw. `ln_1p`
+                // keeps the denominator finite and non-zero for tiny
+                // `p` (where `(1.0 - p).ln()` rounds to 0 and would
+                // invert the probability to 1), and the float→int cast
+                // saturates, so sub-2e-18 probabilities overshoot
+                // `total` and terminate rather than overflow.
+                let u = rng.next_f64();
+                let skip = ((1.0 - u).ln() / (-*p).ln_1p()).floor() as u64;
+                let idx = cursor.checked_add(skip).unwrap_or(u64::MAX);
+                if idx >= *total {
+                    *cursor = *total;
+                    return None;
+                }
+                *cursor = idx + 1;
+                Some((
+                    (idx / self.n_dst as u64) as u32,
+                    (idx % self.n_dst as u64) as u32,
+                ))
+            }
+            IterState::FanOut {
+                rng,
+                targets,
+                k,
+                next_s,
+                j,
+            } => {
+                if *k == 0 {
+                    return None;
+                }
+                if *j >= *k {
+                    if *next_s >= self.n_src {
+                        return None;
+                    }
+                    // Deal the next source a fresh permutation — the
+                    // same `shuffle` call sequence as the materializing
+                    // expansion, so the concrete connectivity (and the
+                    // golden traces built on it) is unchanged.
+                    rng.shuffle(targets);
+                    *next_s += 1;
+                    *j = 0;
+                }
+                let pair = (*next_s - 1, targets[*j as usize]);
+                *j += 1;
+                Some(pair)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        fn to_usize(v: u64) -> usize {
+            usize::try_from(v).unwrap_or(usize::MAX)
+        }
+        match &self.state {
+            IterState::OneToOne { i, n } => {
+                let left = (n - i) as usize;
+                (left, Some(left))
+            }
+            IterState::AllToAll { s, d, skip_self } => {
+                let scanned = *s as u64 * self.n_dst as u64 + *d as u64;
+                let left = (self.n_src as u64 * self.n_dst as u64).saturating_sub(scanned);
+                if *skip_self {
+                    // Up to one diagonal element may be skipped per
+                    // remaining source row.
+                    let diag = (self.n_src - s).min(self.n_dst) as u64;
+                    (to_usize(left.saturating_sub(diag)), Some(to_usize(left)))
+                } else {
+                    (to_usize(left), Some(to_usize(left)))
+                }
+            }
+            IterState::Bernoulli { cursor, total, .. } => {
+                (0, Some(to_usize(total.saturating_sub(*cursor))))
+            }
+            IterState::FanOut { k, next_s, j, .. } => {
+                if *k == 0 {
+                    return (0, Some(0));
+                }
+                let undealt = (self.n_src as u64).saturating_sub(*next_s as u64);
+                let current = if *j < *k { (*k - *j) as u64 } else { 0 };
+                let left = undealt * *k as u64 + current;
+                (to_usize(left), Some(to_usize(left)))
             }
         }
     }
@@ -380,6 +566,125 @@ mod tests {
         }
         let c = Synapses::constant(55, 4);
         assert_eq!(c.sample(&mut rng), (55, 4));
+    }
+
+    #[test]
+    fn streaming_iter_matches_materialized_pairs() {
+        for (connector, sizes) in [
+            (Connector::OneToOne, (64u32, 64u32)),
+            (Connector::AllToAll { allow_self: false }, (20, 20)),
+            (Connector::AllToAll { allow_self: true }, (13, 29)),
+            (Connector::FixedProbability(0.3), (40, 50)),
+            (Connector::FixedFanOut(7), (25, 30)),
+        ] {
+            let p = Projection {
+                src: PopulationId(0),
+                dst: PopulationId(0),
+                connector,
+                synapses: Synapses::constant(1, 1),
+                seed: 99,
+            };
+            let streamed: Vec<_> = p.iter(sizes.0, sizes.1).collect();
+            assert_eq!(streamed, p.pairs(sizes.0, sizes.1), "{connector:?}");
+            // Sources ascend (the streaming loader relies on it).
+            assert!(streamed.windows(2).all(|w| w[0].0 <= w[1].0));
+            let (lo, hi) = p.iter(sizes.0, sizes.1).size_hint();
+            assert!(lo <= streamed.len());
+            assert!(streamed.len() <= hi.unwrap());
+        }
+    }
+
+    /// Regression: the materializing expansion computed
+    /// `n_src * n_dst` in `u32`, which wraps for populations ≥ 2^16
+    /// (e.g. 70k x 70k ⇒ capacity 605M instead of 4.9G). The checked
+    /// math lives in the iterator's `size_hint` now.
+    #[test]
+    fn size_hint_survives_u32_overflow() {
+        let p = |connector| Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector,
+            synapses: Synapses::constant(1, 1),
+            seed: 0,
+        };
+        let n = 70_000u32; // n * n overflows u32
+        let all = p(Connector::AllToAll { allow_self: true });
+        let (lo, hi) = all.iter(n, n).size_hint();
+        assert_eq!(lo as u64, n as u64 * n as u64);
+        assert_eq!(hi.unwrap() as u64, n as u64 * n as u64);
+        // FixedFanOut's capacity math (`n_src * k`) wrapped too.
+        let fan = p(Connector::FixedFanOut(70_000));
+        let (lo, hi) = fan.iter(70_000, 100_000).size_hint();
+        assert_eq!(lo as u64, 70_000u64 * 70_000);
+        assert_eq!(hi.unwrap(), lo);
+        // Bernoulli's upper bound covers the full flattened space.
+        let prob = p(Connector::FixedProbability(0.5));
+        let (_, hi) = prob.iter(n, n).size_hint();
+        assert_eq!(hi.unwrap() as u64, n as u64 * n as u64);
+    }
+
+    #[test]
+    fn bernoulli_streaming_draws_o_edges_not_o_pairs() {
+        // A sparse expansion over a huge index space must terminate
+        // quickly: 200k x 200k pairs at p = 1e-9 is ~40 expected edges.
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector: Connector::FixedProbability(1e-9),
+            synapses: Synapses::constant(1, 1),
+            seed: 5,
+        };
+        let edges: Vec<_> = p.iter(200_000, 200_000).collect();
+        assert!(edges.len() < 1000, "{}", edges.len());
+        for &(s, d) in &edges {
+            assert!(s < 200_000 && d < 200_000);
+        }
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+    }
+
+    /// Regression: `(1.0 - p).ln()` rounds to 0 for p below ~1.1e-16,
+    /// which made every gap collapse to 1 — inverting an ultra-sparse
+    /// projection into all-to-all. `ln_1p` keeps the denominator
+    /// finite.
+    #[test]
+    fn subepsilon_probability_stays_sparse() {
+        let p = Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector: Connector::FixedProbability(1e-17),
+            synapses: Synapses::constant(1, 1),
+            seed: 7,
+        };
+        // 10,000 pairs at p = 1e-17: expected edges ~1e-13, i.e. none.
+        assert_eq!(p.iter(100, 100).count(), 0);
+        // And far below epsilon the skip computation saturates instead
+        // of overflowing (`+ 1` on a saturated u64 panicked in debug).
+        for seed in 0..64 {
+            let p = Projection {
+                connector: Connector::FixedProbability(1e-300),
+                seed,
+                ..p.clone()
+            };
+            assert_eq!(p.iter(100, 100).count(), 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_connectors_yield_nothing() {
+        let p = |connector| Projection {
+            src: PopulationId(0),
+            dst: PopulationId(1),
+            connector,
+            synapses: Synapses::constant(1, 1),
+            seed: 1,
+        };
+        assert_eq!(p(Connector::FixedProbability(0.0)).pairs(50, 50), vec![]);
+        assert_eq!(p(Connector::FixedFanOut(0)).pairs(50, 50), vec![]);
+        assert_eq!(
+            p(Connector::FixedProbability(1.0)).pairs(3, 2).len(),
+            6,
+            "p = 1 degenerates to all-to-all"
+        );
     }
 
     #[test]

@@ -1,18 +1,25 @@
-//! Expands projections into per-core synaptic rows — the "connectivity
-//! data constructed" step of §5.3, producing the SDRAM images the DMA
-//! engine fetches at run time.
-
-use std::collections::HashMap;
+//! Streams projections into per-core synaptic matrices — the
+//! "connectivity data constructed" step of §5.3, producing the SDRAM
+//! images the DMA engine fetches at run time.
+//!
+//! The build is a **streaming pipeline**: each projection is expanded
+//! through [`Projection::iter`](crate::graph::Projection::iter) one
+//! pair at a time and scattered straight into the destination cores'
+//! [`SynapticMatrixBuilder`]s; no global edge list is ever
+//! materialized, and the finished per-core state is one contiguous
+//! master-population-table + arena
+//! ([`spinn_neuron::synmatrix::SynapticMatrix`]) per core — the §5.2/§6
+//! memory model.
 
 use spinn_neuron::izhikevich::IzhikevichNeuron;
 use spinn_neuron::lif::LifNeuron;
 use spinn_neuron::model::AnyNeuron;
-use spinn_neuron::synapse::{SynapticRow, SynapticWord};
+use spinn_neuron::synmatrix::{SynapticMatrix, SynapticMatrixBuilder};
 use spinn_noc::mesh::NodeCoord;
 use spinn_sim::Xoshiro256;
 
 use crate::graph::{NetworkGraph, NeuronKind};
-use crate::keys::neuron_key;
+use crate::keys::{core_base_key, neuron_key, CORE_MASK};
 use crate::place::Placement;
 
 /// Everything one application core needs loading.
@@ -28,19 +35,20 @@ pub struct CoreImage {
     pub neurons: Vec<AnyNeuron>,
     /// Bias currents, nA.
     pub bias_na: Vec<f32>,
-    /// Synaptic rows keyed by source-neuron AER key.
-    pub rows: HashMap<u32, SynapticRow>,
+    /// The core's synaptic state: master population table + contiguous
+    /// row arena, indexed by source-neuron AER key.
+    pub matrix: SynapticMatrix,
 }
 
 impl CoreImage {
     /// SDRAM footprint of this core's synaptic data, bytes.
     pub fn sdram_bytes(&self) -> u64 {
-        self.rows.values().map(|r| r.size_bytes() as u64).sum()
+        self.matrix.sdram_bytes()
     }
 
     /// Total synapse count.
     pub fn synapses(&self) -> u64 {
-        self.rows.values().map(|r| r.len() as u64).sum()
+        self.matrix.total_synapses()
     }
 }
 
@@ -52,13 +60,65 @@ pub struct LoadedApp {
 }
 
 impl LoadedApp {
-    /// Expands a placed network into core images.
+    /// Expands a placed network into core images by streaming each
+    /// projection directly into the destination cores' matrices.
     pub fn build(net: &NetworkGraph, placement: &Placement) -> LoadedApp {
-        // One image per slice.
-        let mut images: Vec<CoreImage> = placement
-            .slices()
+        // One matrix builder per slice; images and slices share indices
+        // (image `i` is slice `i`).
+        let slices = placement.slices();
+        let mut builders: Vec<SynapticMatrixBuilder> = (0..slices.len())
+            .map(|_| SynapticMatrixBuilder::new())
+            .collect();
+
+        for proj in net.projections() {
+            let n_src = net.pop(proj.src).size;
+            let n_dst = net.pop(proj.dst).size;
+            let src_slice_idxs = placement.slice_indices_of(proj.src);
+            let dst_slice_idxs = placement.slice_indices_of(proj.dst);
+            // The multicast tree delivers every source-core spike to
+            // every core holding target neurons, whether or not that
+            // particular neuron connects there — as on hardware, each
+            // destination core's master population table covers the
+            // *whole* source key block (missing synapses are empty
+            // rows, not misses). Declare those blocks up front and
+            // remember each (src slice, dst slice) block's first row.
+            let mut first_rows = vec![vec![0u32; dst_slice_idxs.len()]; src_slice_idxs.len()];
+            for (sp, &si) in src_slice_idxs.iter().enumerate() {
+                let src = &slices[si];
+                for (dp, &di) in dst_slice_idxs.iter().enumerate() {
+                    first_rows[sp][dp] =
+                        builders[di].block(core_base_key(src.global_core), CORE_MASK, src.len());
+                }
+            }
+            // Stream the expansion. Pairs arrive in ascending source
+            // order, so the source slice advances monotonically; the
+            // destination slice is found by binary search over the
+            // population's slice list.
+            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x005E_ED0F_5EED);
+            let mut sp = 0usize; // current source slice position
+            for (s, d) in proj.iter(n_src, n_dst) {
+                let (w, delay) = proj.synapses.sample(&mut rng);
+                while slices[src_slice_idxs[sp]].hi <= s {
+                    sp += 1;
+                }
+                let src_slice = &slices[src_slice_idxs[sp]];
+                debug_assert!(src_slice.lo <= s && s < src_slice.hi);
+                let dp = dst_slice_idxs.partition_point(|&i| slices[i].hi <= d);
+                let di = dst_slice_idxs[dp];
+                let dst_slice = &slices[di];
+                let local_target = (d - dst_slice.lo) as u16;
+                let row = first_rows[sp][dp] + (s - src_slice.lo);
+                builders[di].push(
+                    row,
+                    spinn_neuron::synapse::SynapticWord::new(w, delay, local_target),
+                );
+            }
+        }
+
+        let images: Vec<CoreImage> = slices
             .iter()
-            .map(|s| {
+            .zip(builders)
+            .map(|(s, builder)| {
                 let n = s.len() as usize;
                 let pop = net.pop(s.pop);
                 let neurons = (0..n)
@@ -75,61 +135,10 @@ impl LoadedApp {
                     base_key: neuron_key(s.global_core, 0),
                     neurons,
                     bias_na: vec![pop.bias_na; n],
-                    rows: HashMap::new(),
+                    matrix: builder.finish(),
                 }
             })
             .collect();
-        // Index from slice position to image.
-        let slice_index: HashMap<(u32, u8, u32), usize> = placement
-            .slices()
-            .iter()
-            .enumerate()
-            .map(|(i, s)| ((s.global_core, s.core, s.lo), i))
-            .collect();
-        let _ = &slice_index;
-
-        for proj in net.projections() {
-            let n_src = net.pop(proj.src).size;
-            let n_dst = net.pop(proj.dst).size;
-            // The multicast tree delivers every source-core spike to
-            // every core holding target neurons, whether or not that
-            // particular neuron connects there — as on hardware, those
-            // cores hold an *empty* row for the key (the master
-            // population table covers the whole key block).
-            for dst_slice in placement.slices_of(proj.dst) {
-                let img_idx = placement
-                    .slices()
-                    .iter()
-                    .position(|sl| sl == dst_slice)
-                    .expect("slice exists");
-                for src_slice in placement.slices_of(proj.src) {
-                    for n in src_slice.lo..src_slice.hi {
-                        let key = neuron_key(src_slice.global_core, n - src_slice.lo);
-                        images[img_idx].rows.entry(key).or_default();
-                    }
-                }
-            }
-            let mut rng = Xoshiro256::seed_from_u64(proj.seed ^ 0x005E_ED0F_5EED);
-            for (s, d) in proj.pairs(n_src, n_dst) {
-                let (w, delay) = proj.synapses.sample(&mut rng);
-                let src_slice = placement.locate(proj.src, s);
-                let dst_slice = placement.locate(proj.dst, d);
-                let src_key = neuron_key(src_slice.global_core, s - src_slice.lo);
-                // Find the destination image: slices and images are in
-                // the same order.
-                let img_idx = placement
-                    .slices()
-                    .iter()
-                    .position(|sl| sl == dst_slice)
-                    .expect("slice exists");
-                let local_target = (d - dst_slice.lo) as u16;
-                images[img_idx]
-                    .rows
-                    .entry(src_key)
-                    .or_default()
-                    .push(SynapticWord::new(w, delay, local_target));
-            }
-        }
         LoadedApp { images }
     }
 
@@ -183,9 +192,10 @@ mod tests {
         // Every non-empty row has exactly one synapse; empty rows exist
         // for source neurons whose targets live on other cores.
         for img in &app.images {
-            for (key, row) in &img.rows {
+            for (key, row_idx) in img.matrix.iter_rows() {
+                let row = img.matrix.row(row_idx);
                 assert!(row.len() <= 1, "one-to-one row for key {key:#x}");
-                if let Some(w) = row.words().first() {
+                if let Some(w) = row.first() {
                     assert_eq!(w.weight_raw(), 300);
                     assert_eq!(w.delay_ms(), 2);
                 }
@@ -193,13 +203,18 @@ mod tests {
         }
         // Every destination core holds a row (possibly empty) for every
         // source neuron: 3 dest cores x 120 sources.
-        let rows: usize = app.images.iter().map(|i| i.rows.len()).sum();
+        let rows: usize = app.images.iter().map(|i| i.matrix.n_rows()).sum();
         assert_eq!(rows, 3 * 120);
         let non_empty: usize = app
             .images
             .iter()
-            .flat_map(|i| i.rows.values())
-            .filter(|r| !r.is_empty())
+            .flat_map(|i| {
+                let m = &i.matrix;
+                m.iter_rows()
+                    .map(move |(_, r)| m.row_len(r))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&len| len > 0)
             .count();
         assert_eq!(non_empty, 120);
         let _ = placement;
@@ -211,9 +226,9 @@ mod tests {
         assert_eq!(app.total_synapses(), 30 * 40);
         // Each source key's rows, summed over destination cores, must
         // cover all 40 targets: 40 targets over ceil(40/50)=1 core.
-        let img_b = app.images.iter().find(|i| !i.rows.is_empty()).unwrap();
-        for row in img_b.rows.values() {
-            assert_eq!(row.len(), 40);
+        let img_b = app.images.iter().find(|i| !i.matrix.is_empty()).unwrap();
+        for (_, row) in img_b.matrix.iter_rows() {
+            assert_eq!(img_b.matrix.row_len(row), 40);
         }
     }
 
@@ -224,13 +239,37 @@ mod tests {
         assert_eq!(app.total_sdram_bytes(), 30 * (4 + 160));
     }
 
+    /// The loader's byte totals must equal the summed arena sizes —
+    /// the invariant the machine's SDRAM capacity check builds on.
+    #[test]
+    fn loader_totals_equal_summed_arena_sizes() {
+        let (_, _, app) = build_app(Connector::FixedProbability(0.2), (90, 110));
+        let summed: u64 = app.images.iter().map(|i| i.matrix.sdram_bytes()).sum();
+        assert_eq!(app.total_sdram_bytes(), summed);
+        let by_rows: u64 = app
+            .images
+            .iter()
+            .flat_map(|i| {
+                let m = &i.matrix;
+                m.iter_rows()
+                    .map(move |(_, r)| m.row_bytes(r) as u64)
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        assert_eq!(summed, by_rows);
+        // Resident bytes: arena + descriptors, strictly less than a
+        // HashMap-of-Vecs would need for the same synapse count.
+        let resident: u64 = app.images.iter().map(|i| i.matrix.resident_bytes()).sum();
+        assert!(resident >= app.total_synapses() * 4);
+    }
+
     #[test]
     fn deterministic_expansion() {
         let (_, _, a) = build_app(Connector::FixedProbability(0.3), (50, 50));
         let (_, _, b) = build_app(Connector::FixedProbability(0.3), (50, 50));
         assert_eq!(a.total_synapses(), b.total_synapses());
         for (x, y) in a.images.iter().zip(&b.images) {
-            assert_eq!(x.rows.len(), y.rows.len());
+            assert_eq!(x.matrix, y.matrix);
         }
     }
 
@@ -244,6 +283,27 @@ mod tests {
                 .find(|s| s.chip == img.chip && s.core == img.core)
                 .unwrap();
             assert_eq!(img.base_key, crate::keys::neuron_key(slice.global_core, 0));
+        }
+    }
+
+    /// Two projections between the same populations must merge into the
+    /// same per-core rows (words appended in projection order).
+    #[test]
+    fn overlapping_projections_share_rows() {
+        let mut net = NetworkGraph::new();
+        let a = net.population("a", 10, kind(), 0.0);
+        let b = net.population("b", 10, kind(), 0.0);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(100, 1), 1);
+        net.project(a, b, Connector::OneToOne, Synapses::constant(-50, 2), 2);
+        let placement = Placement::compute(&net, 2, 2, 17, 50, Placer::RoundRobin).unwrap();
+        let app = LoadedApp::build(&net, &placement);
+        assert_eq!(app.total_synapses(), 20);
+        let img = &app.images[1];
+        for (_, row_idx) in img.matrix.iter_rows() {
+            let row = img.matrix.row(row_idx);
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[0].weight_raw(), 100);
+            assert_eq!(row[1].weight_raw(), -50);
         }
     }
 }

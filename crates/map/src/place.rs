@@ -234,20 +234,38 @@ impl Placement {
         self.by_pop[pop.0].iter().map(move |&i| &self.slices[i])
     }
 
+    /// Indices into [`Placement::slices`] of one population's slices,
+    /// in neuron order (the streaming loader uses these to address
+    /// per-core images directly instead of scanning for slices).
+    pub fn slice_indices_of(&self, pop: PopulationId) -> &[usize] {
+        &self.by_pop[pop.0]
+    }
+
+    /// The index (into [`Placement::slices`]) of the slice holding
+    /// `neuron` of `pop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron is out of range.
+    pub fn locate_idx(&self, pop: PopulationId, neuron: u32) -> usize {
+        let list = &self.by_pop[pop.0];
+        let idx = list.partition_point(|&i| self.slices[i].hi <= neuron);
+        let slice_idx = list[idx];
+        let slice = &self.slices[slice_idx];
+        assert!(
+            slice.lo <= neuron && neuron < slice.hi,
+            "neuron {neuron} not covered by placement"
+        );
+        slice_idx
+    }
+
     /// The slice holding `neuron` of `pop`.
     ///
     /// # Panics
     ///
     /// Panics if the neuron is out of range.
     pub fn locate(&self, pop: PopulationId, neuron: u32) -> &Slice {
-        let list = &self.by_pop[pop.0];
-        let idx = list.partition_point(|&i| self.slices[i].hi <= neuron);
-        let slice = &self.slices[list[idx]];
-        assert!(
-            slice.lo <= neuron && neuron < slice.hi,
-            "neuron {neuron} not covered by placement"
-        );
-        slice
+        &self.slices[self.locate_idx(pop, neuron)]
     }
 }
 

@@ -94,13 +94,13 @@ impl IzhikevichParams {
 /// ```
 #[derive(Clone, Debug)]
 pub struct IzhikevichNeuron {
-    params: IzhikevichParams,
-    a: Fix1616,
-    b: Fix1616,
-    c: Fix1616,
-    d: Fix1616,
-    v: Fix1616,
-    u: Fix1616,
+    pub(crate) params: IzhikevichParams,
+    pub(crate) a: Fix1616,
+    pub(crate) b: Fix1616,
+    pub(crate) c: Fix1616,
+    pub(crate) d: Fix1616,
+    pub(crate) v: Fix1616,
+    pub(crate) u: Fix1616,
 }
 
 const SPIKE_THRESHOLD_MV: f32 = 30.0;

@@ -14,6 +14,11 @@
 //! * [`synapse`] — the packed 32-bit synaptic word and the
 //!   source-indexed synaptic rows stored in SDRAM and DMA-fetched on
 //!   spike arrival (§4).
+//! * [`synmatrix`] — the per-core **master population table** over one
+//!   contiguous synaptic arena (CSR layout), the §5.2/§6 SDRAM memory
+//!   model the machine's packet hot path indexes into.
+//! * [`pool`] — structure-of-arrays neuron state, the flat-array form
+//!   of the timer handler's per-tick update.
 //! * [`ring`] — the **deferred-event input ring buffer** implementing
 //!   §3.2's "soft delays": each synapse's programmable 1–16 ms delay is
 //!   re-inserted algorithmically at the target neuron.
@@ -51,14 +56,18 @@ pub mod izhikevich;
 pub mod lif;
 pub mod model;
 pub mod poisson;
+pub mod pool;
 pub mod retina;
 pub mod ring;
 pub mod stdp;
 pub mod synapse;
+pub mod synmatrix;
 
 pub use fixed::Fix1616;
 pub use izhikevich::{IzhikevichNeuron, IzhikevichParams};
 pub use lif::{LifNeuron, LifParams};
 pub use model::{AnyNeuron, NeuronModel};
+pub use pool::NeuronPool;
 pub use ring::InputRing;
 pub use synapse::{SynapticRow, SynapticWord};
+pub use synmatrix::{SynapticMatrix, SynapticMatrixBuilder};

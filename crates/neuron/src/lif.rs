@@ -51,9 +51,9 @@ impl Default for LifParams {
 /// ```
 #[derive(Clone, Debug)]
 pub struct LifNeuron {
-    params: LifParams,
-    v: f32,
-    refract_left: u32,
+    pub(crate) params: LifParams,
+    pub(crate) v: f32,
+    pub(crate) refract_left: u32,
 }
 
 impl LifNeuron {

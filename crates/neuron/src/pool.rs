@@ -1,0 +1,330 @@
+//! Structure-of-arrays neuron state for the per-core tick update.
+//!
+//! The 1 ms timer handler (Fig. 7, priority 3) walks every neuron on
+//! the core. With an array-of-structs (`Vec<AnyNeuron>`) each step
+//! pays an enum-discriminant branch per neuron and drags the model
+//! parameters through the cache interleaved with the state. A core
+//! runs one population slice, so in practice every neuron shares a
+//! model kind; [`NeuronPool`] exploits that by storing the state as
+//! flat parallel arrays (one `match` per *tick*, not per neuron) while
+//! producing bit-identical dynamics — the arithmetic is the same
+//! fixed-point/f32 sequence as the per-neuron
+//! [`step_1ms`](crate::model::NeuronModel::step_1ms) implementations,
+//! verified by the golden-trace suite.
+//!
+//! Mixed-model cores (possible through the manual machine API, never
+//! produced by the loader) fall back to the enum-dispatch path.
+
+use crate::fixed::Fix1616;
+use crate::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+use crate::lif::{LifNeuron, LifParams};
+use crate::model::{AnyNeuron, NeuronModel};
+
+/// Izhikevich state as parallel 16.16 fixed-point arrays.
+#[derive(Clone, Debug, Default)]
+pub struct IzhikevichPool {
+    params: Vec<IzhikevichParams>,
+    a: Vec<Fix1616>,
+    b: Vec<Fix1616>,
+    c: Vec<Fix1616>,
+    d: Vec<Fix1616>,
+    v: Vec<Fix1616>,
+    u: Vec<Fix1616>,
+}
+
+impl IzhikevichPool {
+    fn push(&mut self, n: IzhikevichNeuron) {
+        self.params.push(n.params);
+        self.a.push(n.a);
+        self.b.push(n.b);
+        self.c.push(n.c);
+        self.d.push(n.d);
+        self.v.push(n.v);
+        self.u.push(n.u);
+    }
+
+    fn neuron(&self, i: usize) -> IzhikevichNeuron {
+        IzhikevichNeuron {
+            params: self.params[i],
+            a: self.a[i],
+            b: self.b[i],
+            c: self.c[i],
+            d: self.d[i],
+            v: self.v[i],
+            u: self.u[i],
+        }
+    }
+
+    /// One 1 ms step of neuron `i` — the exact fixed-point sequence of
+    /// [`IzhikevichNeuron::step_1ms`].
+    #[inline]
+    fn step(&mut self, i: usize, input_current: f32) -> bool {
+        let inj = Fix1616::from_f32(input_current);
+        let half = Fix1616::from_f32(0.5);
+        let k004 = Fix1616::from_f32(0.04);
+        let k5 = Fix1616::from_int(5);
+        let k140 = Fix1616::from_int(140);
+        let (mut v, mut u) = (self.v[i], self.u[i]);
+        for _ in 0..2 {
+            let dv = k004 * v * v + k5 * v + k140 - u + inj;
+            v += dv * half;
+        }
+        u += self.a[i] * (self.b[i] * v - u);
+        let fired = v.to_f32() >= 30.0;
+        if fired {
+            v = self.c[i];
+            u += self.d[i];
+        }
+        self.v[i] = v;
+        self.u[i] = u;
+        fired
+    }
+}
+
+/// LIF state as parallel arrays.
+#[derive(Clone, Debug, Default)]
+pub struct LifPool {
+    params: Vec<LifParams>,
+    v: Vec<f32>,
+    refract_left: Vec<u32>,
+}
+
+impl LifPool {
+    fn push(&mut self, n: LifNeuron) {
+        self.params.push(n.params);
+        self.v.push(n.v);
+        self.refract_left.push(n.refract_left);
+    }
+
+    fn neuron(&self, i: usize) -> LifNeuron {
+        LifNeuron {
+            params: self.params[i],
+            v: self.v[i],
+            refract_left: self.refract_left[i],
+        }
+    }
+
+    /// One 1 ms step of neuron `i` — the exact f32 sequence of
+    /// [`LifNeuron::step_1ms`].
+    #[inline]
+    fn step(&mut self, i: usize, input_current: f32) -> bool {
+        if self.refract_left[i] > 0 {
+            self.refract_left[i] -= 1;
+            return false;
+        }
+        let p = &self.params[i];
+        let alpha = (-1.0 / p.tau_m).exp();
+        let v_inf = p.v_rest + p.r_m * input_current;
+        let v = v_inf + (self.v[i] - v_inf) * alpha;
+        if v >= p.v_thresh {
+            self.v[i] = p.v_reset;
+            self.refract_left[i] = p.t_refract;
+            true
+        } else {
+            self.v[i] = v;
+            false
+        }
+    }
+}
+
+/// A core's neuron state vector in structure-of-arrays form.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::izhikevich::{IzhikevichNeuron, IzhikevichParams};
+/// use spinn_neuron::pool::NeuronPool;
+///
+/// let neurons = (0..4)
+///     .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
+///     .collect();
+/// let mut pool = NeuronPool::from_neurons(neurons);
+/// let mut fired = Vec::new();
+/// pool.step_tick(|_| 15.0, |i| fired.push(i));
+/// assert_eq!(pool.len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub enum NeuronPool {
+    /// All neurons Izhikevich (the loader's common case).
+    Izhikevich(IzhikevichPool),
+    /// All neurons LIF.
+    Lif(LifPool),
+    /// Heterogeneous models on one core: enum-dispatch fallback.
+    Mixed(Vec<AnyNeuron>),
+}
+
+impl NeuronPool {
+    /// Converts a neuron vector into SoA form (or the mixed fallback
+    /// when models are heterogeneous).
+    pub fn from_neurons(neurons: Vec<AnyNeuron>) -> Self {
+        let all_izh = neurons
+            .iter()
+            .all(|n| matches!(n, AnyNeuron::Izhikevich(_)));
+        let all_lif = neurons.iter().all(|n| matches!(n, AnyNeuron::Lif(_)));
+        if all_izh {
+            let mut pool = IzhikevichPool::default();
+            for n in neurons {
+                match n {
+                    AnyNeuron::Izhikevich(n) => pool.push(n),
+                    AnyNeuron::Lif(_) => unreachable!(),
+                }
+            }
+            NeuronPool::Izhikevich(pool)
+        } else if all_lif {
+            let mut pool = LifPool::default();
+            for n in neurons {
+                match n {
+                    AnyNeuron::Lif(n) => pool.push(n),
+                    AnyNeuron::Izhikevich(_) => unreachable!(),
+                }
+            }
+            NeuronPool::Lif(pool)
+        } else {
+            NeuronPool::Mixed(neurons)
+        }
+    }
+
+    /// Converts back to the per-neuron representation (core eviction /
+    /// functional migration).
+    pub fn into_neurons(self) -> Vec<AnyNeuron> {
+        match self {
+            NeuronPool::Izhikevich(p) => (0..p.v.len())
+                .map(|i| AnyNeuron::Izhikevich(p.neuron(i)))
+                .collect(),
+            NeuronPool::Lif(p) => (0..p.v.len())
+                .map(|i| AnyNeuron::Lif(p.neuron(i)))
+                .collect(),
+            NeuronPool::Mixed(v) => v,
+        }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        match self {
+            NeuronPool::Izhikevich(p) => p.v.len(),
+            NeuronPool::Lif(p) => p.v.len(),
+            NeuronPool::Mixed(v) => v.len(),
+        }
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advances every neuron by 1 ms: `input(i)` supplies the summed
+    /// drive in nA, `on_spike(i)` fires for each neuron that crossed
+    /// threshold, in ascending index order.
+    #[inline]
+    pub fn step_tick(&mut self, input: impl Fn(usize) -> f32, mut on_spike: impl FnMut(usize)) {
+        match self {
+            NeuronPool::Izhikevich(p) => {
+                for i in 0..p.v.len() {
+                    if p.step(i, input(i)) {
+                        on_spike(i);
+                    }
+                }
+            }
+            NeuronPool::Lif(p) => {
+                for i in 0..p.v.len() {
+                    if p.step(i, input(i)) {
+                        on_spike(i);
+                    }
+                }
+            }
+            NeuronPool::Mixed(v) => {
+                for (i, n) in v.iter_mut().enumerate() {
+                    if n.step_1ms(input(i)) {
+                        on_spike(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(t: usize, i: usize) -> f32 {
+        match (t + i) % 4 {
+            0 => 14.0,
+            1 => 6.5,
+            2 => 0.0,
+            _ => 9.0,
+        }
+    }
+
+    /// SoA stepping must match per-neuron enum dispatch bit for bit —
+    /// the property the golden traces rely on.
+    fn assert_pool_matches_aos(mk: impl Fn(usize) -> AnyNeuron, n: usize, ticks: usize) {
+        let mut aos: Vec<AnyNeuron> = (0..n).map(&mk).collect();
+        let mut pool = NeuronPool::from_neurons((0..n).map(&mk).collect());
+        for t in 0..ticks {
+            let mut expect = Vec::new();
+            for (i, neuron) in aos.iter_mut().enumerate() {
+                if neuron.step_1ms(drive(t, i)) {
+                    expect.push(i);
+                }
+            }
+            let mut got = Vec::new();
+            pool.step_tick(|i| drive(t, i), |i| got.push(i));
+            assert_eq!(got, expect, "tick {t}");
+        }
+        // Round-tripped state is identical too.
+        let back = pool.into_neurons();
+        for (a, b) in aos.iter().zip(&back) {
+            assert_eq!(a.membrane_mv(), b.membrane_mv());
+        }
+    }
+
+    #[test]
+    fn izhikevich_pool_bit_exact() {
+        let presets = [
+            IzhikevichParams::regular_spiking(),
+            IzhikevichParams::fast_spiking(),
+            IzhikevichParams::chattering(),
+        ];
+        assert_pool_matches_aos(
+            |i| AnyNeuron::Izhikevich(IzhikevichNeuron::new(presets[i % 3])),
+            32,
+            600,
+        );
+    }
+
+    #[test]
+    fn lif_pool_bit_exact() {
+        assert_pool_matches_aos(
+            |i| {
+                AnyNeuron::Lif(LifNeuron::new(LifParams {
+                    t_refract: (i % 5) as u32,
+                    ..Default::default()
+                }))
+            },
+            32,
+            600,
+        );
+    }
+
+    #[test]
+    fn mixed_pool_falls_back_to_enum_dispatch() {
+        let mk = |i: usize| -> AnyNeuron {
+            if i.is_multiple_of(2) {
+                IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into()
+            } else {
+                LifNeuron::new(LifParams::default()).into()
+            }
+        };
+        let pool = NeuronPool::from_neurons((0..6).map(mk).collect());
+        assert!(matches!(pool, NeuronPool::Mixed(_)));
+        assert_pool_matches_aos(mk, 16, 300);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let pool = NeuronPool::from_neurons(Vec::new());
+        assert_eq!(pool.len(), 0);
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,527 @@
+//! The per-core synaptic memory model: a **master population table**
+//! over one contiguous **synaptic arena** (CSR layout).
+//!
+//! §5.2/§6 of the paper: each SpiNNaker node stores its cores' synaptic
+//! state as dense blocks in the shared SDRAM, and on spike arrival the
+//! processor maps the source neuron's AER key to "the associated block
+//! of connectivity data" and DMAs that row into local memory. The real
+//! toolchain implements the mapping as a *master population table*: a
+//! small sorted array of `(key, mask)` entries, one per source
+//! population/core block, each pointing at a run of row descriptors in
+//! SDRAM; the neuron bits of the incoming key then select the row
+//! within the run.
+//!
+//! [`SynapticMatrix`] reproduces that layout in the simulator:
+//!
+//! ```text
+//! entries:  [ (key, mask, first_row, n_rows) ... ]   sorted by key
+//! rows:     [ (offset, len) ... ]                    one per source neuron
+//! words:    [ SynapticWord ... ]                     one packed arena
+//! ```
+//!
+//! Lookup is a binary search over the entries plus an index into `rows`
+//! — no hashing on the packet hot path — and every row is a slice of
+//! the single `words` allocation, so the resident footprint is
+//! `4 bytes/synapse + 8 bytes/row + 16 bytes/source block` instead of a
+//! `HashMap<u32, Vec<_>>` per core. STDP rewrites weights in place
+//! through [`SynapticMatrix::row_mut`], exactly like the hardware's
+//! DMA write-back of a modified row.
+//!
+//! [`SynapticMatrixBuilder`] assembles a matrix from a *stream* of
+//! `(row, word)` pairs in any order (the loader expands projections one
+//! at a time and never materializes a global edge list), then packs the
+//! arena with a stable counting sort in `finish`.
+
+use crate::synapse::SynapticWord;
+
+/// Bytes of SDRAM a row of `len` synapses occupies (one header word
+/// plus one word per synapse — the unit of DMA transfer).
+#[inline]
+pub const fn row_sdram_bytes(len: usize) -> usize {
+    4 + 4 * len
+}
+
+/// One master-population-table entry: all keys matching
+/// `key` under `mask` map to rows `first_row + (key & !mask)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct MptEntry {
+    /// Base key of the block (low `!mask` bits zero).
+    key: u32,
+    /// Ternary mask: set bits must match `key`.
+    mask: u32,
+    /// Index of the block's first row in `rows`.
+    first_row: u32,
+    /// Rows in the block (the source slice's neuron count).
+    n_rows: u32,
+}
+
+/// One row descriptor: a slice of the arena.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+struct RowRef {
+    offset: u32,
+    len: u32,
+}
+
+/// A core's complete synaptic state: master population table + packed
+/// row arena.
+///
+/// # Example
+///
+/// ```
+/// use spinn_neuron::synapse::SynapticWord;
+/// use spinn_neuron::synmatrix::SynapticMatrixBuilder;
+///
+/// let mut b = SynapticMatrixBuilder::new();
+/// // A 4-neuron source block whose keys are 0x1000..0x1004.
+/// let first = b.block(0x1000, !0xFFF, 4);
+/// b.push(first + 2, SynapticWord::new(300, 1, 7));
+/// let m = b.finish();
+/// let row = m.lookup(0x1002).unwrap();
+/// assert_eq!(m.row(row)[0].target(), 7);
+/// assert!(m.row(m.lookup(0x1003).unwrap()).is_empty());
+/// assert_eq!(m.lookup(0x1004), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SynapticMatrix {
+    entries: Vec<MptEntry>,
+    rows: Vec<RowRef>,
+    words: Vec<SynapticWord>,
+}
+
+impl SynapticMatrix {
+    /// An empty matrix (no blocks, no rows).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps an incoming AER key to its row index: binary search of the
+    /// master population table, then the key's neuron bits select the
+    /// row within the matched block. `None` means no block covers the
+    /// key — a mapping error the machine counts as a row miss.
+    #[inline]
+    pub fn lookup(&self, key: u32) -> Option<u32> {
+        let i = self.entries.partition_point(|e| e.key <= key);
+        let e = self.entries.get(i.checked_sub(1)?)?;
+        if key & e.mask != e.key {
+            return None;
+        }
+        let neuron = key & !e.mask;
+        if neuron >= e.n_rows {
+            return None;
+        }
+        Some(e.first_row + neuron)
+    }
+
+    /// The synapses of row `row` (a slice of the arena).
+    #[inline]
+    pub fn row(&self, row: u32) -> &[SynapticWord] {
+        let r = self.rows[row as usize];
+        &self.words[r.offset as usize..(r.offset + r.len) as usize]
+    }
+
+    /// Mutable access to row `row` — STDP rewrites weights in place
+    /// before the row is DMAed back to SDRAM.
+    #[inline]
+    pub fn row_mut(&mut self, row: u32) -> &mut [SynapticWord] {
+        let r = self.rows[row as usize];
+        &mut self.words[r.offset as usize..(r.offset + r.len) as usize]
+    }
+
+    /// Number of synapses in row `row`.
+    #[inline]
+    pub fn row_len(&self, row: u32) -> usize {
+        self.rows[row as usize].len as usize
+    }
+
+    /// SDRAM bytes of row `row` (header + synapses; the DMA transfer
+    /// size).
+    #[inline]
+    pub fn row_bytes(&self, row: u32) -> usize {
+        row_sdram_bytes(self.row_len(row))
+    }
+
+    /// Total number of rows (source neurons with a block on this core).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total synapse count.
+    pub fn total_synapses(&self) -> u64 {
+        self.rows.iter().map(|r| r.len as u64).sum()
+    }
+
+    /// SDRAM footprint: the summed DMA size of every row.
+    pub fn sdram_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| row_sdram_bytes(r.len as usize) as u64)
+            .sum()
+    }
+
+    /// Host-resident bytes of the matrix itself (arena + descriptors +
+    /// table) — the "resident synapse bytes" figure of experiment E15.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.words.len() * std::mem::size_of::<SynapticWord>()
+            + self.rows.len() * std::mem::size_of::<RowRef>()
+            + self.entries.len() * std::mem::size_of::<MptEntry>()) as u64
+    }
+
+    /// Iterates `(key, row_index)` over every row of every block, keys
+    /// ascending within each block.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.entries
+            .iter()
+            .flat_map(|e| (0..e.n_rows).map(move |i| (e.key | i, e.first_row + i)))
+    }
+
+    /// Installs (or replaces) the row for a single exact `key` — the
+    /// manual loading path used by hand-built machines and tests. Rows
+    /// covered by an existing block entry are rewritten in place (new
+    /// words are appended to the arena when the replacement is longer);
+    /// unknown keys get an exact-match table entry of their own.
+    pub fn insert_row(&mut self, key: u32, words: &[SynapticWord]) {
+        if let Some(row) = self.lookup(key) {
+            self.replace_row(row, words);
+            return;
+        }
+        // A covering block that is merely too short? Grow it so the
+        // block's rows stay contiguous (cold path: pre-run loading
+        // only).
+        let i = self.entries.partition_point(|e| e.key <= key);
+        if let Some(slot) = i.checked_sub(1) {
+            let e = self.entries[slot];
+            if key & e.mask == e.key {
+                let neuron = key & !e.mask;
+                let grow = neuron + 1 - e.n_rows;
+                let insert_at = (e.first_row + e.n_rows) as usize;
+                self.rows.splice(
+                    insert_at..insert_at,
+                    std::iter::repeat_n(RowRef::default(), grow as usize),
+                );
+                for (j, other) in self.entries.iter_mut().enumerate() {
+                    if j != slot && other.first_row as usize >= insert_at {
+                        other.first_row += grow;
+                    }
+                }
+                self.entries[slot].n_rows = neuron + 1;
+                let row = self.entries[slot].first_row + neuron;
+                self.replace_row(row, words);
+                return;
+            }
+        }
+        // A brand-new exact entry pointing at a fresh row.
+        self.entries.insert(
+            i,
+            MptEntry {
+                key,
+                mask: u32::MAX,
+                first_row: self.rows.len() as u32,
+                n_rows: 1,
+            },
+        );
+        self.rows.push(RowRef {
+            offset: self.words.len() as u32,
+            len: words.len() as u32,
+        });
+        self.words.extend_from_slice(words);
+    }
+
+    /// Rewrites row `row` with `words`: in place when it fits, else as
+    /// a fresh run at the end of the arena.
+    fn replace_row(&mut self, row: u32, words: &[SynapticWord]) {
+        let r = &mut self.rows[row as usize];
+        if words.len() <= r.len as usize {
+            r.len = words.len() as u32;
+            let start = r.offset as usize;
+            self.words[start..start + words.len()].copy_from_slice(words);
+        } else {
+            *r = RowRef {
+                offset: self.words.len() as u32,
+                len: words.len() as u32,
+            };
+            self.words.extend_from_slice(words);
+        }
+    }
+}
+
+/// Assembles a [`SynapticMatrix`] from a stream of `(row, word)`
+/// pushes: declare the source blocks up front, stage synapses in any
+/// order, and `finish` packs them into the contiguous arena with a
+/// stable counting sort (insertion order is preserved within each row).
+#[derive(Clone, Debug, Default)]
+pub struct SynapticMatrixBuilder {
+    entries: Vec<MptEntry>,
+    n_rows: u32,
+    staged: Vec<(u32, SynapticWord)>,
+}
+
+impl SynapticMatrixBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or re-finds) the block covering `base_key` under
+    /// `mask` with `n_rows` rows, returning the block's first row
+    /// index. Re-declaring an existing block (e.g. the same source
+    /// slice reached through a second projection) is idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_key` has bits outside `mask`, if `n_rows`
+    /// exceeds the mask's key span (rows lookup could never resolve),
+    /// if a re-declared block changes its row count, or if the new
+    /// block's key range overlaps an existing one.
+    pub fn block(&mut self, base_key: u32, mask: u32, n_rows: u32) -> u32 {
+        assert_eq!(base_key & !mask, 0, "block base key must be mask-aligned");
+        assert!(
+            n_rows as u64 <= !mask as u64 + 1,
+            "block of {n_rows} rows exceeds its {}-key mask span",
+            !mask as u64 + 1
+        );
+        let i = self.entries.partition_point(|e| e.key < base_key);
+        if let Some(e) = self.entries.get(i) {
+            if e.key == base_key {
+                assert_eq!(
+                    (e.mask, e.n_rows),
+                    (mask, n_rows),
+                    "block {base_key:#x} re-declared with a different shape"
+                );
+                return e.first_row;
+            }
+        }
+        // Disjointness with both neighbours: a block's span is
+        // `key ..= key | !mask`.
+        if let Some(prev) = i.checked_sub(1).map(|p| self.entries[p]) {
+            assert!(prev.key | !prev.mask < base_key, "overlapping key blocks");
+        }
+        if let Some(next) = self.entries.get(i) {
+            assert!(base_key | !mask < next.key, "overlapping key blocks");
+        }
+        let first_row = self.n_rows;
+        self.entries.insert(
+            i,
+            MptEntry {
+                key: base_key,
+                mask,
+                first_row,
+                n_rows,
+            },
+        );
+        self.n_rows += n_rows;
+        first_row
+    }
+
+    /// Stages one synapse into row `row` (a block's `first_row` plus
+    /// the source neuron's index within the block).
+    #[inline]
+    pub fn push(&mut self, row: u32, word: SynapticWord) {
+        debug_assert!(row < self.n_rows, "row {row} outside declared blocks");
+        self.staged.push((row, word));
+    }
+
+    /// Synapses staged so far.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Packs the staged synapses into the contiguous arena. Stable: the
+    /// words of each row keep their push order.
+    pub fn finish(self) -> SynapticMatrix {
+        let n = self.n_rows as usize;
+        let mut counts = vec![0u32; n];
+        for &(row, _) in &self.staged {
+            counts[row as usize] += 1;
+        }
+        let mut rows = Vec::with_capacity(n);
+        let mut offset = 0u32;
+        for &len in &counts {
+            rows.push(RowRef { offset, len });
+            offset += len;
+        }
+        let mut words = vec![SynapticWord::from_bits(0); self.staged.len()];
+        let mut cursor: Vec<u32> = rows.iter().map(|r| r.offset).collect();
+        for (row, word) in self.staged {
+            let c = &mut cursor[row as usize];
+            words[*c as usize] = word;
+            *c += 1;
+        }
+        SynapticMatrix {
+            entries: self.entries,
+            rows,
+            words,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synapse::SynapticRow;
+
+    fn w(weight: i16, target: u16) -> SynapticWord {
+        SynapticWord::new(weight, 1, target)
+    }
+
+    #[test]
+    fn builder_packs_csr_and_lookup_resolves() {
+        let mut b = SynapticMatrixBuilder::new();
+        let blk_a = b.block(0x1000, !0xFFF, 3);
+        let blk_b = b.block(0x4000, !0xFFF, 2);
+        // Interleaved pushes across blocks; order within a row must
+        // survive the counting sort.
+        b.push(blk_b, w(9, 0));
+        b.push(blk_a + 1, w(1, 1));
+        b.push(blk_a + 1, w(2, 2));
+        b.push(blk_b, w(8, 3));
+        b.push(blk_a, w(7, 4));
+        let m = b.finish();
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.total_synapses(), 5);
+        let r = m.lookup(0x1001).unwrap();
+        assert_eq!(
+            m.row(r).iter().map(|x| x.weight_raw()).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let r = m.lookup(0x4000).unwrap();
+        assert_eq!(
+            m.row(r).iter().map(|x| x.weight_raw()).collect::<Vec<_>>(),
+            vec![9, 8]
+        );
+        // Empty row within a declared block: present, zero-length.
+        let r = m.lookup(0x1002).unwrap();
+        assert!(m.row(r).is_empty());
+        assert_eq!(m.row_bytes(r), 4);
+        // Outside every block: a miss.
+        assert_eq!(m.lookup(0x1003), None);
+        assert_eq!(m.lookup(0x2000), None);
+        assert_eq!(m.lookup(0x0FFF), None);
+    }
+
+    #[test]
+    fn block_declaration_is_idempotent_and_checked() {
+        let mut b = SynapticMatrixBuilder::new();
+        let first = b.block(0x1000, !0xFFF, 4);
+        assert_eq!(b.block(0x1000, !0xFFF, 4), first);
+        assert_eq!(b.block(0x2000, !0xFFF, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn block_shape_change_rejected() {
+        let mut b = SynapticMatrixBuilder::new();
+        b.block(0x1000, !0xFFF, 4);
+        b.block(0x1000, !0xFFF, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_blocks_rejected() {
+        let mut b = SynapticMatrixBuilder::new();
+        b.block(0x1000, !0xFFF, 4);
+        b.block(0x1800, !0x7FF, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds its")]
+    fn oversized_block_rejected() {
+        // 3000 rows cannot be addressed through a 2048-key mask span:
+        // rows past 2047 would be unreachable and their iter_rows keys
+        // would alias the next block.
+        let mut b = SynapticMatrixBuilder::new();
+        b.block(0, !0x7FF, 3000);
+    }
+
+    #[test]
+    fn sdram_accounting_matches_row_shapes() {
+        let mut b = SynapticMatrixBuilder::new();
+        let blk = b.block(0, !0xFFF, 2);
+        for i in 0..10 {
+            b.push(blk, w(i, i as u16));
+        }
+        let m = b.finish();
+        // Row 0: 4 + 40; row 1 empty: 4.
+        assert_eq!(m.sdram_bytes(), 48);
+        assert!(m.resident_bytes() >= 40);
+    }
+
+    #[test]
+    fn insert_row_exact_keys_sorted_lookup() {
+        let mut m = SynapticMatrix::new();
+        for key in [0x3000u32, 0x1000, 0x2000] {
+            m.insert_row(key, &[w(5, 1), w(6, 2)]);
+        }
+        for key in [0x1000u32, 0x2000, 0x3000] {
+            let r = m.lookup(key).unwrap();
+            assert_eq!(m.row_len(r), 2, "{key:#x}");
+        }
+        assert_eq!(m.lookup(0x1001), None);
+        // Replacement: shorter fits in place, longer reallocates.
+        m.insert_row(0x2000, &[w(1, 1)]);
+        assert_eq!(m.row_len(m.lookup(0x2000).unwrap()), 1);
+        let long: Vec<_> = (0..5).map(|i| w(i, i as u16)).collect();
+        m.insert_row(0x2000, &long);
+        let r = m.lookup(0x2000).unwrap();
+        assert_eq!(m.row(r).len(), 5);
+        assert_eq!(m.row(r)[4].weight_raw(), 4);
+        // Other rows untouched.
+        assert_eq!(m.row_len(m.lookup(0x1000).unwrap()), 2);
+    }
+
+    #[test]
+    fn insert_row_grows_covering_block() {
+        let mut b = SynapticMatrixBuilder::new();
+        let blk = b.block(0x1000, !0xFFF, 2);
+        b.push(blk, w(1, 0));
+        b.push(blk + 1, w(2, 0));
+        let mut m = b.finish();
+        m.insert_row(0x2000, &[w(9, 9)]);
+        // Key inside the block but beyond its declared rows: the block
+        // grows, later rows keep resolving.
+        m.insert_row(0x1004, &[w(3, 3)]);
+        assert_eq!(m.row(m.lookup(0x1004).unwrap())[0].weight_raw(), 3);
+        assert!(m.row(m.lookup(0x1002).unwrap()).is_empty());
+        assert_eq!(m.row(m.lookup(0x1000).unwrap())[0].weight_raw(), 1);
+        assert_eq!(m.row(m.lookup(0x2000).unwrap())[0].weight_raw(), 9);
+        assert_eq!(m.n_rows(), 6);
+    }
+
+    #[test]
+    fn iter_rows_reconstructs_keys() {
+        let mut b = SynapticMatrixBuilder::new();
+        b.block(0x1000, !0xFFF, 2);
+        b.block(0x5000, !0xFFF, 1);
+        let m = b.finish();
+        let keys: Vec<u32> = m.iter_rows().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0x1000, 0x1001, 0x5000]);
+    }
+
+    #[test]
+    fn row_mut_rewrites_in_place() {
+        let mut m = SynapticMatrix::new();
+        m.insert_row(7, &[w(100, 0), w(200, 1)]);
+        let r = m.lookup(7).unwrap();
+        for word in m.row_mut(r) {
+            *word = word.with_weight_raw(word.weight_raw() / 2);
+        }
+        assert_eq!(
+            m.row(r).iter().map(|x| x.weight_raw()).collect::<Vec<_>>(),
+            vec![50, 100]
+        );
+    }
+
+    #[test]
+    fn from_synaptic_row_roundtrip() {
+        let row: SynapticRow = (0..4).map(|i| w(i, i as u16)).collect();
+        let mut m = SynapticMatrix::new();
+        m.insert_row(0x42, row.words());
+        let r = m.lookup(0x42).unwrap();
+        assert_eq!(m.row(r), row.words());
+        assert_eq!(m.row_bytes(r), row.size_bytes());
+    }
+}

@@ -55,6 +55,13 @@
 //! count)` — and, for models meeting the exchange contract, of `seed`
 //! alone.
 //!
+//! Memory moves with the shards, not across them: when the neural
+//! machine partitions its chips, each application core's synaptic
+//! matrix (the master-population-table + contiguous-arena state of
+//! `spinn_neuron::synmatrix`) is handed to its owning shard wholesale
+//! and handed back at merge — sharding never copies or splits an
+//! arena.
+//!
 //! # Example
 //!
 //! See [`ParEngine`] for a two-shard token-passing example, and

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json reports' end-to-end spikes/sec and fail on regression.
+
+Usage:
+    python3 scripts/bench_compare.py NEW.json BASELINE.json [--max-regress 0.20]
+
+Matches `end_to_end_sweep` records between the two reports by their
+(mesh, queue, threads, bio_ms) configuration and compares the
+`spikes_per_sec` metric. Exits:
+
+    0  every matched row is within the allowed regression
+    1  at least one matched row regressed more than --max-regress
+    2  usage error, unreadable input, or no comparable rows
+
+Only Python's standard library is used (the build environment is
+offline). Rows present in one report but not the other are reported and
+skipped — the sweep grids may differ between quick and full modes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def sweep_rows(report):
+    """(mesh, queue, threads, bio_ms) -> spikes_per_sec for every sweep record."""
+    rows = {}
+    for record in report.get("records", []):
+        if record.get("name") != "end_to_end_sweep":
+            continue
+        cfg = record.get("config", {})
+        metrics = record.get("metrics", {})
+        key = (
+            cfg.get("mesh"),
+            cfg.get("queue"),
+            cfg.get("threads"),
+            cfg.get("bio_ms"),
+        )
+        sps = metrics.get("spikes_per_sec")
+        if sps is not None:
+            rows[key] = float(sps)
+    return rows
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("new", help="freshly measured report (e.g. BENCH_e15.json)")
+    ap.add_argument("baseline", help="committed baseline (e.g. BENCH_e14.json)")
+    ap.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional spikes/sec drop (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    new_report = load(args.new)
+    base_report = load(args.baseline)
+    new_rows = sweep_rows(new_report)
+    base_rows = sweep_rows(base_report)
+
+    shared = sorted(set(new_rows) & set(base_rows), key=str)
+    if not shared:
+        print("error: the reports share no comparable end_to_end_sweep rows", file=sys.stderr)
+        sys.exit(2)
+
+    print(
+        f"comparing {args.new} (commit {new_report.get('commit', '?')[:12]}) against "
+        f"{args.baseline} (commit {base_report.get('commit', '?')[:12]}); "
+        f"allowed regression {args.max_regress:.0%}"
+    )
+    header = f"{'mesh':<8} {'queue':<10} {'threads':>7} {'baseline':>12} {'new':>12} {'delta':>8}"
+    print(header)
+    failures = 0
+    for key in shared:
+        mesh, queue, threads, _bio_ms = key
+        base = base_rows[key]
+        new = new_rows[key]
+        delta = (new - base) / base if base > 0 else 0.0
+        flag = ""
+        if base > 0 and new < base * (1.0 - args.max_regress):
+            flag = "  << REGRESSION"
+            failures += 1
+        print(
+            f"{str(mesh):<8} {str(queue):<10} {threads!s:>7} {base:>12.0f} {new:>12.0f} "
+            f"{delta:>+7.1%}{flag}"
+        )
+
+    skipped = (set(new_rows) | set(base_rows)) - set(shared)
+    if skipped:
+        print(f"({len(skipped)} row(s) present in only one report; skipped)")
+
+    if failures:
+        print(
+            f"FAIL: {failures}/{len(shared)} row(s) regressed more than "
+            f"{args.max_regress:.0%}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"OK: {len(shared)} row(s) within bounds")
+
+
+if __name__ == "__main__":
+    main()

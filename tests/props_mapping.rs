@@ -125,12 +125,15 @@ proptest! {
         // every target index fits its core's slice.
         for img in &app.images {
             let n = img.neurons.len() as u16;
-            for row in img.rows.values() {
-                for w in row.words() {
+            for (_, row_idx) in img.matrix.iter_rows() {
+                for w in img.matrix.row(row_idx) {
                     prop_assert!((1..=16).contains(&w.delay_ms()));
                     prop_assert!(w.target() < n);
                 }
             }
         }
+        // Loader byte totals must equal the summed arena sizes.
+        let arena_total: u64 = app.images.iter().map(|i| i.matrix.sdram_bytes()).sum();
+        prop_assert_eq!(app.total_sdram_bytes(), arena_total);
     }
 }
