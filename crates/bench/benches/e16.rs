@@ -1,0 +1,34 @@
+//! E16 table + session checkpoint/restore kernel timing.
+use criterion::Criterion;
+use spinn_bench::experiments::e15_memory_model as e15;
+use spinnaker::prelude::*;
+
+fn main() {
+    println!(
+        "{}",
+        spinn_bench::experiments::e16_sessions::run(!spinn_bench::full_mode())
+    );
+    // Kernel timing: checkpoint and restore of a warm mid-run session
+    // on a small probabilistic network.
+    let net = e15::prob_net(8, 1_000, 0.05);
+    let input = PopulationId::from_index(0);
+    let cfg = SimConfig::new(4, 4).with_neurons_per_core(128);
+    let mut session = Simulation::build(&net, cfg.clone())
+        .expect("net fits a 4x4 machine")
+        .into_session();
+    session.add_poisson(input, 150.0, 0xE16);
+    session.run_for(20);
+    let snapshot = session.checkpoint();
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("e16_checkpoint_8x1k_warm", |b| {
+        b.iter(|| session.checkpoint().len())
+    });
+    c.bench_function("e16_restore_8x1k_warm", |b| {
+        b.iter(|| {
+            RunSession::restore(&net, cfg.clone(), &snapshot)
+                .expect("snapshot restores")
+                .elapsed_ms()
+        })
+    });
+    c.final_summary();
+}

@@ -1,8 +1,8 @@
-//! Prints every experiment's table (E1-E15, A1-A2). `SPINN_FULL=1` for
+//! Prints every experiment's table (E1-E16, A1-A2). `SPINN_FULL=1` for
 //! the full-size versions recorded in EXPERIMENTS.md.
 //!
-//! Experiments with machine-readable benchmark emitters (E14, E15)
-//! also write their commit-stamped `BENCH_*.json` artifact to the
+//! Experiments with machine-readable benchmark emitters (E14, E15,
+//! E16) also write their commit-stamped `BENCH_*.json` artifact to the
 //! repository root.
 //!
 //! Usage: `run_experiments [NAME...]` — with arguments, only the named
@@ -66,9 +66,23 @@ fn main() {
         }
     }
 
-    // A typo'd filter (e.g. `run_experiments E16`) must not masquerade
+    if wanted("E16") {
+        println!("==================================================================");
+        let report = e::e16_sessions::report(quick);
+        println!("{}", e::e16_sessions::format_report(&report));
+        match report.write_to(&record::repo_root()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write BENCH_e16.json: {err}"),
+        }
+    }
+
+    // A typo'd filter (e.g. `run_experiments E17`) must not masquerade
     // as a successful run that silently produced nothing.
-    let known: Vec<&str> = runs.iter().map(|(n, _)| *n).chain(["E14", "E15"]).collect();
+    let known: Vec<&str> = runs
+        .iter()
+        .map(|(n, _)| *n)
+        .chain(["E14", "E15", "E16"])
+        .collect();
     let unknown: Vec<&String> = filter
         .iter()
         .filter(|f| !known.contains(&f.as_str()))

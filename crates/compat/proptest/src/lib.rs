@@ -262,8 +262,18 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// 64 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable — the same knob the real crate reads,
+        /// which the nightly CI job sets to 1024. An explicit
+        /// [`ProptestConfig::with_cases`] wins over the environment,
+        /// as an explicit `cases` field does in the real crate.
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(64);
+            ProptestConfig { cases }
         }
     }
 
@@ -271,6 +281,36 @@ pub mod test_runner {
         /// A configuration running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+    }
+
+    /// Persists a failing case for CI artifact upload: when
+    /// `PROPTEST_FAILURE_DIR` is set, appends a reproduction record to
+    /// `<dir>/<test_name>.seed` before the test panics. The stub's RNG
+    /// stream is a pure function of the test name, so the recorded
+    /// `(test, case index)` pair *is* the failing seed.
+    pub fn record_failure(test: &str, case: u32, cases: u32, message: &str) {
+        let Ok(dir) = std::env::var("PROPTEST_FAILURE_DIR") else {
+            return;
+        };
+        if dir.is_empty() {
+            return;
+        }
+        let _ = std::fs::create_dir_all(&dir);
+        let path = std::path::Path::new(&dir).join(format!("{test}.seed"));
+        let record = format!(
+            "test: {test}\ncase: {case} of {cases}\nreproduce: the stub RNG is \
+             seeded from the test name; re-run `cargo test {test}` with \
+             PROPTEST_CASES>={case} and it fails at the same case\nmessage: \
+             {message}\n---\n"
+        );
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = f.write_all(record.as_bytes());
         }
     }
 
@@ -386,6 +426,9 @@ macro_rules! __proptest_impl {
                         ::core::result::Result::Ok(())
                     })();
                     if let ::core::result::Result::Err(e) = outcome {
+                        $crate::test_runner::record_failure(
+                            stringify!($name), case, config.cases, &e.to_string(),
+                        );
                         panic!(
                             "proptest {} failed at case {}/{}: {}",
                             stringify!($name), case, config.cases, e

@@ -41,6 +41,9 @@ pub enum SpinnError {
     TableOverflow(TableFull),
     /// A chip's synaptic data exceeds its shared SDRAM.
     Sdram(SdramOverflow),
+    /// A session snapshot could not be restored (corrupt bytes, or
+    /// taken from a differently built simulation).
+    Snapshot(spinn_machine::snapshot::SnapshotError),
 }
 
 impl fmt::Display for SpinnError {
@@ -50,6 +53,7 @@ impl fmt::Display for SpinnError {
             SpinnError::Dtcm(e) => write!(f, "core memory overflow: {e}"),
             SpinnError::TableOverflow(e) => write!(f, "routing failed: {e}"),
             SpinnError::Sdram(e) => write!(f, "SDRAM overflow: {e}"),
+            SpinnError::Snapshot(e) => write!(f, "snapshot restore failed: {e}"),
         }
     }
 }
@@ -61,7 +65,14 @@ impl std::error::Error for SpinnError {
             SpinnError::Dtcm(e) => Some(e),
             SpinnError::TableOverflow(e) => Some(e),
             SpinnError::Sdram(e) => Some(e),
+            SpinnError::Snapshot(e) => Some(e),
         }
+    }
+}
+
+impl From<spinn_machine::snapshot::SnapshotError> for SpinnError {
+    fn from(e: spinn_machine::snapshot::SnapshotError) -> Self {
+        SpinnError::Snapshot(e)
     }
 }
 

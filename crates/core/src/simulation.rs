@@ -223,6 +223,42 @@ impl Simulation {
             slice_of_core: self.slice_of_core,
         }
     }
+
+    /// Converts the built simulation into a resident
+    /// [`RunSession`](crate::RunSession): run biological time in
+    /// segments, mutate stimuli between them, checkpoint and resume —
+    /// all bit-exact against the one-shot [`Simulation::run`] of the
+    /// same build.
+    pub fn into_session(self) -> crate::session::RunSession {
+        crate::session::RunSession::new(
+            self.machine,
+            self.placement,
+            self.route_stats,
+            self.pop_names,
+            self.slice_of_core,
+            self.threads,
+        )
+    }
+}
+
+/// Maps machine-level spike records back to `(population, neuron)`
+/// coordinates through the placement's core table (shared by
+/// [`Completed`] and [`crate::RunSession`]).
+pub(crate) fn map_spikes(
+    spikes: &[spinn_machine::machine::SpikeRecord],
+    slice_of_core: &HashMap<u32, (PopulationId, u32)>,
+) -> Vec<PopSpike> {
+    spikes
+        .iter()
+        .filter_map(|s| {
+            let (core, local) = split_key(s.key);
+            slice_of_core.get(&core).map(|&(pop, lo)| PopSpike {
+                time_ms: s.time_ms,
+                pop,
+                neuron: lo + local,
+            })
+        })
+        .collect()
 }
 
 fn coord_of(m: &MachineConfig, chip_id: usize) -> NodeCoord {
@@ -241,20 +277,24 @@ pub struct Completed {
 }
 
 impl Completed {
+    /// Assembles the completed view (the session hand-off path).
+    pub(crate) fn from_parts(
+        machine: NeuralMachine,
+        route_stats: RouteStats,
+        pop_names: Vec<String>,
+        slice_of_core: HashMap<u32, (PopulationId, u32)>,
+    ) -> Completed {
+        Completed {
+            machine,
+            route_stats,
+            pop_names,
+            slice_of_core,
+        }
+    }
+
     /// All spikes mapped back to `(population, neuron)` coordinates.
     pub fn spikes(&self) -> Vec<PopSpike> {
-        self.machine
-            .spikes()
-            .iter()
-            .filter_map(|s| {
-                let (core, local) = split_key(s.key);
-                self.slice_of_core.get(&core).map(|&(pop, lo)| PopSpike {
-                    time_ms: s.time_ms,
-                    pop,
-                    neuron: lo + local,
-                })
-            })
-            .collect()
+        map_spikes(self.machine.spikes(), &self.slice_of_core)
     }
 
     /// Spike count of one population.

@@ -45,10 +45,12 @@ pub mod config;
 pub mod energy;
 pub mod flood;
 pub mod machine;
+pub mod snapshot;
 
 pub use boot::{BootConfig, BootOutcome, BootSim};
 pub use chip::{ChipState, SystemController};
 pub use config::{CostModel, EnergyModel, MachineConfig};
 pub use energy::{CostEffectiveness, EnergyMeter};
 pub use flood::{FloodConfig, FloodOutcome, FloodSim};
-pub use machine::{NeuralMachine, SpikeRecord};
+pub use machine::{NeuralMachine, PendingEvent, SpikeRecord};
+pub use snapshot::{RestoredRun, SnapshotError};

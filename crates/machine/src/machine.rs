@@ -107,8 +107,67 @@ pub struct SpikeRecord {
     pub key: u32,
 }
 
+/// One event a paused run segment left queued — an in-flight packet
+/// arrival, a blocked-link retry, a handler completion, a future
+/// stimulus. [`NeuralMachine::run_segment`] returns them in canonical
+/// `(time, tie rank)` order and accepts them back on the next segment,
+/// whatever its thread count or queue kind.
 #[derive(Clone, Debug)]
-enum WorkItem {
+pub struct PendingEvent {
+    /// Absolute simulation time, ns.
+    pub at_ns: u64,
+    /// The queued event.
+    pub event: MachineEvent,
+}
+
+/// The shard that must handle an event when a segment runs sharded:
+/// `Some(chip)` for chip-local events, `None` for events every shard
+/// replays against its own replica (the coalesced timer, link
+/// failures).
+fn event_chip(ev: &MachineEvent) -> Option<u32> {
+    match ev {
+        MachineEvent::Noc(NocEvent::Arrive { node, .. })
+        | MachineEvent::Noc(NocEvent::LinkFree { node, .. })
+        | MachineEvent::Noc(NocEvent::Retry { node, .. }) => Some(*node),
+        MachineEvent::CoreDone { chip, .. }
+        | MachineEvent::DmaDone { chip, .. }
+        | MachineEvent::InjectSpike { chip, .. }
+        | MachineEvent::ReissueSpike { chip, .. } => Some(*chip),
+        MachineEvent::Timer | MachineEvent::FailLink { .. } => None,
+    }
+}
+
+/// Merges per-shard drained queues into one canonical pending list:
+/// stable-sorted by `(time, rank)` (so same-instant order stays a
+/// function of event content, as in the queues themselves) with the
+/// per-shard replicas of broadcast events collapsed back to one copy.
+fn canonical_pending(per_shard: Vec<Vec<(SimTime, u128, MachineEvent)>>) -> Vec<PendingEvent> {
+    use std::collections::HashSet;
+    let mut flat: Vec<(u64, u128, MachineEvent)> = Vec::new();
+    for shard in per_shard {
+        flat.extend(shard.into_iter().map(|(t, r, e)| (t.ticks(), r, e)));
+    }
+    flat.sort_by_key(|&(t, r, _)| (t, r));
+    let mut seen_timers: HashSet<u64> = HashSet::new();
+    let mut seen_faults: HashSet<(u64, u32, u8)> = HashSet::new();
+    let mut out = Vec::with_capacity(flat.len());
+    for (at_ns, _rank, event) in flat {
+        match event {
+            MachineEvent::Timer if !seen_timers.insert(at_ns) => continue,
+            MachineEvent::FailLink { chip, dir }
+                if !seen_faults.insert((at_ns, chip, dir.index() as u8)) =>
+            {
+                continue
+            }
+            _ => {}
+        }
+        out.push(PendingEvent { at_ns, event });
+    }
+    out
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum WorkItem {
     /// An incoming packet's AER key, awaiting the MPT lookup.
     Packet(u32),
     /// A DMA-fetched row, by row index into the core's matrix.
@@ -132,32 +191,36 @@ pub struct CorePayload {
 }
 
 #[derive(Debug)]
-struct AppCore {
+pub(crate) struct AppCore {
     /// Neuron state, structure-of-arrays (flat per-tick update).
-    neurons: NeuronPool,
-    bias_na: Vec<f32>,
-    base_key: u32,
-    ring: InputRing,
+    pub(crate) neurons: NeuronPool,
+    pub(crate) bias_na: Vec<f32>,
+    pub(crate) base_key: u32,
+    pub(crate) ring: InputRing,
     /// The §5.2/§6 memory model: master population table over one
     /// contiguous synaptic arena. Packet handling binary-searches the
     /// table; DMA sizes and STDP write-backs come from row slices.
-    matrix: SynapticMatrix,
-    q_packets: VecDeque<u32>,
+    pub(crate) matrix: SynapticMatrix,
+    pub(crate) q_packets: VecDeque<u32>,
     /// DMA-completed rows awaiting processing, by row index.
-    q_rows: VecDeque<u32>,
-    timer_pending: u32,
-    current: Option<WorkItem>,
-    pending_spikes: Vec<u32>,
-    spikes_emitted: u64,
-    overruns: u64,
-    row_misses: u64,
+    pub(crate) q_rows: VecDeque<u32>,
+    pub(crate) timer_pending: u32,
+    pub(crate) current: Option<WorkItem>,
+    pub(crate) pending_spikes: Vec<u32>,
+    pub(crate) spikes_emitted: u64,
+    pub(crate) overruns: u64,
+    pub(crate) row_misses: u64,
     /// STDP state (when plasticity is enabled): per-row time of the
     /// previous pre-spike (indexed like the matrix rows), and
     /// per-neuron time of the last post-spike. Updates are applied
     /// synapse-centrically when a row is fetched, as on the real
     /// machine.
-    row_last_pre_ms: Vec<f64>,
-    last_post_ms: Vec<f64>,
+    pub(crate) row_last_pre_ms: Vec<f64>,
+    pub(crate) last_post_ms: Vec<f64>,
+    /// Rows whose weights STDP has rewritten since load (may contain
+    /// duplicates; deduplicated at checkpoint). Snapshots serialize
+    /// only these rows as arena deltas against the loader's matrix.
+    pub(crate) dirty_rows: Vec<u32>,
 }
 
 /// DTCM bytes a core with this ring buffer and neuron count occupies —
@@ -186,6 +249,10 @@ impl AppCore {
     fn sync_stdp_rows(&mut self) {
         if self.row_last_pre_ms.len() != self.matrix.n_rows() {
             self.row_last_pre_ms = vec![f64::NEG_INFINITY; self.matrix.n_rows()];
+            // Row indices may have shifted: previously recorded dirty
+            // rows no longer name the same synapses, and the new
+            // connectivity becomes the delta baseline.
+            self.dirty_rows.clear();
         }
     }
 }
@@ -259,19 +326,19 @@ impl std::error::Error for DtcmOverflow {}
 /// ```
 #[derive(Debug)]
 pub struct NeuralMachine {
-    cfg: MachineConfig,
-    fabric: Fabric,
-    cores: Vec<Option<AppCore>>,
-    dma_free_at: Vec<u64>,
-    stimuli: Vec<(u64, u32, u32)>,          // (time_ns, chip, key)
-    fault_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
-    spikes: Vec<SpikeRecord>,
-    meter: EnergyMeter,
-    spike_latency: Histogram,
-    duration_ms: u32,
-    stdp: Option<StdpParams>,
-    reissued_packets: u64,
-    weight_writebacks: u64,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) fabric: Fabric,
+    pub(crate) cores: Vec<Option<AppCore>>,
+    pub(crate) dma_free_at: Vec<u64>,
+    pub(crate) stimuli: Vec<(u64, u32, u32)>, // (time_ns, chip, key)
+    pub(crate) fault_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
+    pub(crate) spikes: Vec<SpikeRecord>,
+    pub(crate) meter: EnergyMeter,
+    pub(crate) spike_latency: Histogram,
+    pub(crate) duration_ms: u32,
+    pub(crate) stdp: Option<StdpParams>,
+    pub(crate) reissued_packets: u64,
+    pub(crate) weight_writebacks: u64,
     par_stats: Option<spinn_par::ParStats>,
     /// Dense chip ids this machine's coalesced [`MachineEvent::Timer`]
     /// services, ascending (all chips serially; the owned block when
@@ -318,6 +385,14 @@ impl NeuralMachine {
         self.par_stats.as_ref()
     }
 
+    /// Resets run-mode bookkeeping after a snapshot install: the
+    /// restored machine behaves like one that has only run serially so
+    /// far, whatever sharding produced the checkpoint.
+    pub(crate) fn clear_par_stats(&mut self) {
+        self.par_stats = None;
+        self.timer_chips = (0..self.cfg.chips() as u32).collect();
+    }
+
     /// Enables pair-based STDP on every loaded core. Weight updates are
     /// applied when a synaptic row is fetched (synapse-centric, as on
     /// hardware) and modified rows are DMAed back to SDRAM (§5.3: "if
@@ -325,6 +400,19 @@ impl NeuralMachine {
     /// write the changes back into SDRAM").
     pub fn enable_stdp(&mut self, params: StdpParams) {
         self.stdp = Some(params);
+    }
+
+    /// Sets or clears the STDP rule — `None` freezes all weights. Safe
+    /// to flip between run segments: plasticity state (pre/post spike
+    /// timestamps) is kept, so re-enabling continues from the timing
+    /// history the cores already hold.
+    pub fn set_stdp(&mut self, params: Option<StdpParams>) {
+        self.stdp = params;
+    }
+
+    /// The active STDP rule, if plasticity is enabled.
+    pub fn stdp(&self) -> Option<StdpParams> {
+        self.stdp
     }
 
     /// Dropped multicast packets the monitors recovered and re-issued.
@@ -444,6 +532,7 @@ impl NeuralMachine {
             row_misses: 0,
             row_last_pre_ms: Vec::new(),
             last_post_ms: vec![f64::NEG_INFINITY; n],
+            dirty_rows: Vec::new(),
         });
         Ok(())
     }
@@ -461,6 +550,7 @@ impl NeuralMachine {
         let c = self.cores[idx].as_mut().expect("core not loaded");
         c.matrix = matrix;
         c.row_last_pre_ms = vec![f64::NEG_INFINITY; c.matrix.n_rows()];
+        c.dirty_rows.clear();
     }
 
     /// Installs the synaptic row a core uses for incoming `key` spikes
@@ -547,31 +637,7 @@ impl NeuralMachine {
     /// [`MachineConfig::queue`]; results are bit-identical across queue
     /// kinds.
     pub fn run(self, ms: u32) -> NeuralMachine {
-        match self.cfg.queue {
-            QueueKind::Heap => self.run_with::<EventQueue<MachineEvent>>(ms),
-            QueueKind::Calendar => self.run_with::<CalendarQueue<MachineEvent>>(ms),
-        }
-    }
-
-    /// [`NeuralMachine::run`] on an explicit queue implementation.
-    fn run_with<Q: Queue<MachineEvent>>(mut self, ms: u32) -> NeuralMachine {
-        self.duration_ms = ms;
-        self.timer_chips = (0..self.cfg.chips() as u32).collect();
-        let stimuli = std::mem::take(&mut self.stimuli);
-        let faults = std::mem::take(&mut self.fault_plan);
-        let mut engine: Engine<NeuralMachine, Q> = Engine::new_in(self);
-        engine.schedule_at(SimTime::new(MS), MachineEvent::Timer);
-        for (t, chip, key) in stimuli {
-            engine.schedule_at(SimTime::new(t), MachineEvent::InjectSpike { chip, key });
-        }
-        for (t, chip, dir) in faults {
-            engine.schedule_at(SimTime::new(t), MachineEvent::FailLink { chip, dir });
-        }
-        // One extra millisecond to let in-flight packets drain.
-        engine.run_until(SimTime::new((ms as u64 + 1) * MS));
-        let mut m = engine.into_model();
-        m.finalize();
-        m
+        self.run_segment(Vec::new(), 0, ms, 1).0
     }
 
     /// Runs the machine for `ms` milliseconds across `threads` worker
@@ -589,32 +655,141 @@ impl NeuralMachine {
     /// to `[1, chips]`; with one thread this is exactly
     /// [`NeuralMachine::run`].
     pub fn run_parallel(self, ms: u32, threads: usize) -> NeuralMachine {
-        match self.cfg.queue {
-            QueueKind::Heap => self.run_parallel_with::<EventQueue<MachineEvent>>(ms, threads),
-            QueueKind::Calendar => {
-                self.run_parallel_with::<CalendarQueue<MachineEvent>>(ms, threads)
+        self.run_segment(Vec::new(), 0, ms, threads).0
+    }
+
+    /// Advances the machine by one **run segment**: `ms` milliseconds of
+    /// biological time starting at `from_ms` (the machine must already
+    /// hold the state of a run up to `from_ms`; pass 0 for a fresh
+    /// machine). `pending` carries the events a previous segment left
+    /// queued; the returned vector carries the events this segment
+    /// leaves queued — in-flight packets, busy-link retries, handler
+    /// completions — in canonical `(time, rank)` order.
+    ///
+    /// Chaining segments is **bit-exact**: `run_segment(p, 0, a+b, t)`
+    /// produces the same machine as `run_segment(p, 0, a, t)` followed
+    /// by `run_segment(p', a, b, t')`, for any segment lengths and any
+    /// (possibly different) thread counts and queue kinds per segment.
+    /// Segment `k` processes exactly the events in
+    /// `(boundary(from), boundary(from + ms)]` with
+    /// `boundary(x) = (x + 1) ms − 1 ns`, so the union over segments is
+    /// independent of where the cuts fall; the boundary never coincides
+    /// with a timer tick, and the coalesced 1 ms timer chain (which ends
+    /// at `from + ms`) is restarted by the next segment at the same
+    /// instant and tie rank it would have fired at in an unbroken run.
+    ///
+    /// [`NeuralMachine::run`] is `run_segment(vec![], 0, ms, 1)` with
+    /// the leftover events discarded.
+    pub fn run_segment(
+        self,
+        pending: Vec<PendingEvent>,
+        from_ms: u32,
+        ms: u32,
+        threads: usize,
+    ) -> (NeuralMachine, Vec<PendingEvent>) {
+        if ms == 0 {
+            return (self, pending);
+        }
+        let threads = threads.clamp(1, self.cfg.chips());
+        match (self.cfg.queue, threads) {
+            (QueueKind::Heap, 1) => {
+                self.segment_serial::<EventQueue<MachineEvent>>(pending, from_ms, ms)
+            }
+            (QueueKind::Calendar, 1) => {
+                self.segment_serial::<CalendarQueue<MachineEvent>>(pending, from_ms, ms)
+            }
+            (QueueKind::Heap, t) => {
+                self.segment_parallel::<EventQueue<MachineEvent>>(pending, from_ms, ms, t)
+            }
+            (QueueKind::Calendar, t) => {
+                self.segment_parallel::<CalendarQueue<MachineEvent>>(pending, from_ms, ms, t)
             }
         }
     }
 
-    /// [`NeuralMachine::run_parallel`] on an explicit queue
-    /// implementation (every shard runs the same kind).
-    fn run_parallel_with<Q: Queue<MachineEvent> + Send>(
+    /// The instant a segment starting at `from_ms` resumes from: time
+    /// zero for a fresh run, else the previous segment's end boundary.
+    fn segment_start_ns(from_ms: u32) -> u64 {
+        if from_ms == 0 {
+            0
+        } else {
+            (from_ms as u64 + 1) * MS - 1
+        }
+    }
+
+    /// The inclusive event horizon of a segment ending at `target_ms`:
+    /// one drain millisecond past the last timer tick, stopping one
+    /// nanosecond short of the next tick's instant so a later segment
+    /// can still interleave its restarted timer by rank.
+    fn segment_end_ns(target_ms: u32) -> u64 {
+        (target_ms as u64 + 1) * MS - 1
+    }
+
+    /// [`NeuralMachine::run_segment`] on one serial engine.
+    fn segment_serial<Q: Queue<MachineEvent>>(
         mut self,
+        pending: Vec<PendingEvent>,
+        from_ms: u32,
+        ms: u32,
+    ) -> (NeuralMachine, Vec<PendingEvent>) {
+        let target = from_ms + ms;
+        self.duration_ms = target;
+        self.timer_chips = (0..self.cfg.chips() as u32).collect();
+        let stimuli = std::mem::take(&mut self.stimuli);
+        let faults = std::mem::take(&mut self.fault_plan);
+        let start = Self::segment_start_ns(from_ms);
+        let mut engine: Engine<NeuralMachine, Q> = Engine::resume_at(self, SimTime::new(start));
+        // The queue snapshot goes back first (Queue::restore resets the
+        // insertion counter, so a restored queue replays like the one it
+        // was drained from), then the timer restart and the newly queued
+        // stimuli/faults — all ordered by content rank, never by which
+        // call staged them.
+        engine.restore_events(
+            pending
+                .into_iter()
+                .map(|p| (SimTime::new(p.at_ns), Self::tie_rank(&p.event), p.event))
+                .collect(),
+        );
+        engine.schedule_at(SimTime::new((from_ms as u64 + 1) * MS), MachineEvent::Timer);
+        for (t, chip, key) in stimuli {
+            engine.schedule_at(SimTime::new(t), MachineEvent::InjectSpike { chip, key });
+        }
+        for (t, chip, dir) in faults {
+            engine.schedule_at(SimTime::new(t), MachineEvent::FailLink { chip, dir });
+        }
+        engine.run_until(SimTime::new(Self::segment_end_ns(target)));
+        let (mut m, drained) = engine.into_parts();
+        let pending_out = canonical_pending(vec![drained]);
+        m.finalize();
+        (m, pending_out)
+    }
+
+    /// [`NeuralMachine::run_segment`] sharded across worker threads.
+    fn segment_parallel<Q: Queue<MachineEvent> + Send>(
+        mut self,
+        pending: Vec<PendingEvent>,
+        from_ms: u32,
         ms: u32,
         threads: usize,
-    ) -> NeuralMachine {
+    ) -> (NeuralMachine, Vec<PendingEvent>) {
         let chips = self.cfg.chips();
-        let threads = threads.clamp(1, chips);
-        if threads == 1 {
-            return self.run_with::<Q>(ms);
-        }
+        debug_assert!(threads >= 2);
+        let target = from_ms + ms;
         let lookahead = self.cfg.fabric.min_remote_delay_ns().max(1);
         // Contiguous blocks of dense chip ids: row-major neighbours tend
         // to share a shard, which keeps barrier exchanges small.
         let owner: Vec<u32> = (0..chips).map(|c| (c * threads / chips) as u32).collect();
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
+        // Results accumulated by earlier segments are carried across the
+        // shard split and merged back afterwards (fabric/router state
+        // rides inside the cloned fabric instead).
+        let carry_spikes = std::mem::take(&mut self.spikes);
+        let carry_meter = std::mem::replace(&mut self.meter, EnergyMeter::new());
+        let carry_latency = std::mem::replace(&mut self.spike_latency, Histogram::new(4000, 250));
+        let carry_reissued = self.reissued_packets;
+        let carry_writebacks = self.weight_writebacks;
+        let dma_free_at = self.dma_free_at.clone();
         let cfg = self.cfg;
         let per = cfg.cores_per_chip as usize;
         let mut shards: Vec<NeuralMachine> = (0..threads)
@@ -624,7 +799,8 @@ impl NeuralMachine {
                 m.fabric
                     .set_partition(Partition::new(owner.clone(), s as u32));
                 m.stdp = self.stdp;
-                m.duration_ms = ms;
+                m.duration_ms = target;
+                m.dma_free_at = dma_free_at.clone();
                 // Each shard's coalesced timer services its owned block.
                 m.timer_chips = (0..chips as u32)
                     .filter(|&c| owner[c as usize] == s as u32)
@@ -638,9 +814,29 @@ impl NeuralMachine {
             }
         }
 
-        let mut par: ParEngine<NeuralMachine, Q> = ParEngine::new_in(shards);
+        let start = Self::segment_start_ns(from_ms);
+        let mut par: ParEngine<NeuralMachine, Q> =
+            ParEngine::resume_in(shards, SimTime::new(start));
         for shard in 0..threads {
-            par.schedule(shard, SimTime::new(MS), MachineEvent::Timer);
+            par.schedule(
+                shard,
+                SimTime::new((from_ms as u64 + 1) * MS),
+                MachineEvent::Timer,
+            );
+        }
+        // Carried-over events go to the shard owning their chip; events
+        // that mutate replicated state (link failures, the coalesced
+        // timer) are broadcast, exactly as a fresh schedule would be.
+        for p in pending {
+            let at = SimTime::new(p.at_ns);
+            match event_chip(&p.event) {
+                Some(chip) => par.schedule(owner[chip as usize] as usize, at, p.event),
+                None => {
+                    for shard in 0..threads {
+                        par.schedule(shard, at, p.event);
+                    }
+                }
+            }
         }
         for (t, chip, key) in stimuli {
             par.schedule(
@@ -656,14 +852,13 @@ impl NeuralMachine {
                 par.schedule(shard, SimTime::new(t), MachineEvent::FailLink { chip, dir });
             }
         }
-        // One extra millisecond to let in-flight packets drain, exactly
-        // like the serial run.
-        par.run_until(SimTime::new((ms as u64 + 1) * MS), lookahead);
+        par.run_until(SimTime::new(Self::segment_end_ns(target)), lookahead);
         let stats = par.stats().clone();
 
-        let mut models = par.into_models().into_iter();
-        let mut base = models.next().expect("threads >= 2");
-        for (i, mut m) in models.enumerate() {
+        let mut parts = par.into_parts().into_iter();
+        let (mut base, first_drained) = parts.next().expect("threads >= 2");
+        let mut drained = vec![first_drained];
+        for (i, (mut m, d)) in parts.enumerate() {
             base.fabric.adopt_owned(&mut m.fabric, (i + 1) as u32);
             for (idx, slot) in m.cores.iter_mut().enumerate() {
                 if let Some(core) = slot.take() {
@@ -675,17 +870,39 @@ impl NeuralMachine {
             base.spike_latency.merge(&m.spike_latency);
             base.reissued_packets += m.reissued_packets;
             base.weight_writebacks += m.weight_writebacks;
+            // Only a chip's owner advances its DMA port clock; everyone
+            // else still holds the segment-start value.
+            for (a, b) in base.dma_free_at.iter_mut().zip(&m.dma_free_at) {
+                *a = (*a).max(*b);
+            }
+            drained.push(d);
         }
         base.fabric.clear_partition();
-        base.duration_ms = ms;
+        base.duration_ms = target;
         base.par_stats = Some(stats);
+        base.timer_chips = (0..chips as u32).collect();
+        base.spikes.extend(carry_spikes);
+        base.meter.merge(&carry_meter);
+        base.spike_latency.merge(&carry_latency);
+        base.reissued_packets += carry_reissued;
+        base.weight_writebacks += carry_writebacks;
+        let pending_out = canonical_pending(drained);
         base.finalize();
-        base
+        (base, pending_out)
     }
 
     /// All recorded spikes, in canonical `(time_ms, key)` order.
     pub fn spikes(&self) -> &[SpikeRecord] {
         &self.spikes
+    }
+
+    /// Drains the recorded spikes, leaving the machine's recording
+    /// buffer empty — the per-job readout of warm multi-run serving
+    /// (one resident machine, many [`NeuralMachine::run_segment`]
+    /// calls). Note that drained spikes are gone from later
+    /// checkpoints.
+    pub fn take_spikes(&mut self) -> Vec<SpikeRecord> {
+        std::mem::take(&mut self.spikes)
     }
 
     /// Histogram of spike fabric latency (injection to core delivery),
@@ -926,6 +1143,9 @@ impl NeuralMachine {
                                 }
                             }
                         }
+                    }
+                    if modified {
+                        c.dirty_rows.push(row);
                     }
                     let AppCore { matrix, ring, .. } = c;
                     for w in matrix.row(row) {
@@ -1386,6 +1606,113 @@ mod tests {
             m.spikes().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn segmented_run_is_bit_exact() {
+        // run(100) == run_segment(0..37) + run_segment(37..100), with
+        // in-flight packets and handler completions carried across the
+        // cut in the pending list.
+        let whole = two_chip_machine(1200, 3).run(100);
+        let (m, pending) = two_chip_machine(1200, 3).run_segment(Vec::new(), 0, 37, 1);
+        let (m, _) = m.run_segment(pending, 37, 63, 1);
+        assert_eq!(whole.spikes(), m.spikes());
+        assert_eq!(
+            whole.meter().instructions,
+            m.meter().instructions,
+            "energy accounting must survive the cut"
+        );
+        assert_eq!(whole.spike_latency().count(), m.spike_latency().count());
+    }
+
+    #[test]
+    fn segmented_run_is_bit_exact_across_thread_counts() {
+        let whole = two_chip_machine(1200, 1).run(80);
+        // Cut at 29 ms; first segment sharded, second serial.
+        let (m, pending) = two_chip_machine(1200, 1).run_segment(Vec::new(), 0, 29, 4);
+        let (m, _) = m.run_segment(pending, 29, 51, 2);
+        assert_eq!(whole.spikes(), m.spikes());
+    }
+
+    #[test]
+    fn snapshot_restores_bit_exactly_onto_a_fresh_build() {
+        let whole = two_chip_machine(1200, 2).run(90);
+        let (m, pending) = two_chip_machine(1200, 2).run_segment(Vec::new(), 0, 40, 1);
+        let bytes = m.snapshot(&pending);
+        // Restore onto a freshly built (identical) machine and finish.
+        let mut fresh = two_chip_machine(1200, 2);
+        let restored = fresh.install_snapshot(&bytes).expect("snapshot installs");
+        assert_eq!(restored.elapsed_ms, 40);
+        let (done, _) = fresh.run_segment(restored.pending, 40, 50, 1);
+        assert_eq!(whole.spikes(), done.spikes());
+        assert_eq!(whole.meter().sdram_bytes, done.meter().sdram_bytes);
+    }
+
+    #[test]
+    fn snapshot_with_stdp_carries_weight_deltas() {
+        let run_with_stdp = || {
+            let mut m = two_chip_machine(1500, 1);
+            m.enable_stdp(StdpParams::default());
+            m
+        };
+        let whole = run_with_stdp().run(200);
+        let (m, pending) = run_with_stdp().run_segment(Vec::new(), 0, 80, 1);
+        assert!(m.weight_writebacks() > 0, "plasticity must have fired");
+        let bytes = m.snapshot(&pending);
+        let mut fresh = run_with_stdp();
+        let restored = fresh.install_snapshot(&bytes).unwrap();
+        let (done, _) = fresh.run_segment(restored.pending, 80, 120, 1);
+        assert_eq!(whole.spikes(), done.spikes());
+        // The final weights match too, not just the raster.
+        let at = NodeCoord::new(1, 0);
+        for target in 0..10u16 {
+            assert_eq!(
+                whole.weight_of(at, 1, 0x1000, target),
+                done.weight_of(at, 1, 0x1000, target)
+            );
+        }
+        assert_eq!(whole.weight_writebacks(), done.weight_writebacks());
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_range_event_ids() {
+        // A crafted/corrupt snapshot naming a chip the machine does not
+        // have must fail at install time, not panic mid-run later.
+        let (m, mut pending) = two_chip_machine(1000, 1).run_segment(Vec::new(), 0, 10, 1);
+        pending.push(PendingEvent {
+            at_ns: 999 * MS,
+            event: MachineEvent::InjectSpike { chip: 9999, key: 1 },
+        });
+        let bytes = m.snapshot(&pending);
+        let mut fresh = two_chip_machine(1000, 1);
+        assert!(matches!(
+            fresh.install_snapshot(&bytes),
+            Err(crate::snapshot::SnapshotError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_machines() {
+        let (m, pending) = two_chip_machine(1000, 1).run_segment(Vec::new(), 0, 10, 1);
+        let bytes = m.snapshot(&pending);
+        // Different mesh size.
+        let mut other = NeuralMachine::new(MachineConfig::new(2, 2));
+        assert!(matches!(
+            other.install_snapshot(&bytes),
+            Err(crate::snapshot::SnapshotError::Mismatch(_))
+        ));
+        // Same config, different cores loaded.
+        let mut empty = NeuralMachine::new(MachineConfig::new(4, 4));
+        assert!(matches!(
+            empty.install_snapshot(&bytes),
+            Err(crate::snapshot::SnapshotError::Mismatch(_))
+        ));
+        // Truncated bytes.
+        let mut same = two_chip_machine(1000, 1);
+        assert!(matches!(
+            same.install_snapshot(&bytes[..bytes.len() / 2]),
+            Err(crate::snapshot::SnapshotError::Wire(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,13 @@ impl PopulationId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds an id from [`PopulationId::index`] (session snapshot
+    /// restore). The caller must ensure the index names a population of
+    /// the same network the index was taken from.
+    pub fn from_index(index: usize) -> PopulationId {
+        PopulationId(index)
+    }
 }
 
 /// Which point-neuron model a population runs.

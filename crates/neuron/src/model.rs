@@ -28,6 +28,89 @@ pub enum AnyNeuron {
     Lif(LifNeuron),
 }
 
+impl AnyNeuron {
+    /// Serializes the neuron's complete dynamic state (parameters and
+    /// membrane variables, bit-exact) for checkpoints.
+    pub fn encode(&self, enc: &mut spinn_sim::wire::Enc) {
+        match self {
+            AnyNeuron::Izhikevich(n) => {
+                enc.u8(0);
+                enc.f32(n.params.a)
+                    .f32(n.params.b)
+                    .f32(n.params.c)
+                    .f32(n.params.d);
+                for fx in [n.a, n.b, n.c, n.d, n.v, n.u] {
+                    enc.i32(fx.to_bits());
+                }
+            }
+            AnyNeuron::Lif(n) => {
+                enc.u8(1);
+                let p = &n.params;
+                enc.f32(p.v_rest)
+                    .f32(p.v_thresh)
+                    .f32(p.v_reset)
+                    .f32(p.tau_m)
+                    .f32(p.r_m)
+                    .u32(p.t_refract);
+                enc.f32(n.v).u32(n.refract_left);
+            }
+        }
+    }
+
+    /// Rebuilds a neuron from [`AnyNeuron::encode`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spinn_sim::wire::WireError`] on truncated or corrupt
+    /// input.
+    pub fn decode(
+        dec: &mut spinn_sim::wire::Dec<'_>,
+    ) -> Result<AnyNeuron, spinn_sim::wire::WireError> {
+        use crate::fixed::Fix1616;
+        use crate::izhikevich::IzhikevichParams;
+        use crate::lif::LifParams;
+        match dec.u8()? {
+            0 => {
+                let params = IzhikevichParams {
+                    a: dec.f32()?,
+                    b: dec.f32()?,
+                    c: dec.f32()?,
+                    d: dec.f32()?,
+                };
+                let mut fx = [Fix1616::ZERO; 6];
+                for slot in &mut fx {
+                    *slot = Fix1616::from_bits(dec.i32()?);
+                }
+                Ok(AnyNeuron::Izhikevich(IzhikevichNeuron {
+                    params,
+                    a: fx[0],
+                    b: fx[1],
+                    c: fx[2],
+                    d: fx[3],
+                    v: fx[4],
+                    u: fx[5],
+                }))
+            }
+            1 => {
+                let params = LifParams {
+                    v_rest: dec.f32()?,
+                    v_thresh: dec.f32()?,
+                    v_reset: dec.f32()?,
+                    tau_m: dec.f32()?,
+                    r_m: dec.f32()?,
+                    t_refract: dec.u32()?,
+                };
+                Ok(AnyNeuron::Lif(LifNeuron {
+                    params,
+                    v: dec.f32()?,
+                    refract_left: dec.u32()?,
+                }))
+            }
+            _ => Err(spinn_sim::wire::WireError::Corrupt("neuron model tag")),
+        }
+    }
+}
+
 impl NeuronModel for AnyNeuron {
     fn step_1ms(&mut self, input_current: f32) -> bool {
         match self {

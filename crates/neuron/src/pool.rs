@@ -212,6 +212,50 @@ impl NeuronPool {
         self.len() == 0
     }
 
+    /// Serializes the pool's complete state (checkpointing).
+    ///
+    /// The encoding is per-neuron ([`AnyNeuron::encode`]); decode
+    /// rebuilds the SoA form through [`NeuronPool::from_neurons`], which
+    /// reproduces the exact layout `from_neurons` would have produced on
+    /// the original neuron vector — restored dynamics are bit-exact.
+    pub fn encode(&self, enc: &mut spinn_sim::wire::Enc) {
+        enc.seq(self.len());
+        match self {
+            NeuronPool::Izhikevich(p) => {
+                for i in 0..p.v.len() {
+                    AnyNeuron::Izhikevich(p.neuron(i)).encode(enc);
+                }
+            }
+            NeuronPool::Lif(p) => {
+                for i in 0..p.v.len() {
+                    AnyNeuron::Lif(p.neuron(i)).encode(enc);
+                }
+            }
+            NeuronPool::Mixed(v) => {
+                for n in v {
+                    n.encode(enc);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a pool from [`NeuronPool::encode`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spinn_sim::wire::WireError`] on truncated or corrupt
+    /// input.
+    pub fn decode(
+        dec: &mut spinn_sim::wire::Dec<'_>,
+    ) -> Result<NeuronPool, spinn_sim::wire::WireError> {
+        let n = dec.seq(9)?;
+        let mut neurons = Vec::with_capacity(n);
+        for _ in 0..n {
+            neurons.push(AnyNeuron::decode(dec)?);
+        }
+        Ok(NeuronPool::from_neurons(neurons))
+    }
+
     /// Advances every neuron by 1 ms: `input(i)` supplies the summed
     /// drive in nA, `on_spike(i)` fires for each neuron that crossed
     /// threshold, in ascending index order.

@@ -95,6 +95,74 @@ impl InputRing {
     pub fn size_bytes(&self) -> usize {
         RING_SLOTS * self.neurons * 4
     }
+
+    /// Serializes the ring's complete state — cursor, every delay
+    /// slot's accumulators and the most recently drained slot — for
+    /// checkpoints. Accumulators are stored sparsely (only non-zero
+    /// entries), so a quiet ring costs a handful of bytes regardless of
+    /// neuron count.
+    pub fn encode(&self, enc: &mut spinn_sim::wire::Enc) {
+        enc.seq(self.neurons);
+        enc.u8(self.cursor as u8);
+        let nonzero = |v: &[i32]| v.iter().filter(|&&w| w != 0).count();
+        enc.seq(self.slots.iter().map(|s| nonzero(s)).sum());
+        for (si, slot) in self.slots.iter().enumerate() {
+            for (n, &w) in slot.iter().enumerate() {
+                if w != 0 {
+                    enc.u8(si as u8).u32(n as u32).i32(w);
+                }
+            }
+        }
+        enc.seq(nonzero(&self.drained));
+        for (n, &w) in self.drained.iter().enumerate() {
+            if w != 0 {
+                enc.u32(n as u32).i32(w);
+            }
+        }
+    }
+
+    /// Rebuilds a ring from [`InputRing::encode`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spinn_sim::wire::WireError`] on truncated or corrupt
+    /// input.
+    pub fn decode(
+        dec: &mut spinn_sim::wire::Dec<'_>,
+    ) -> Result<InputRing, spinn_sim::wire::WireError> {
+        use spinn_sim::wire::WireError;
+        // The neuron count is a *logical* size (the slots are stored
+        // sparsely), so it is not bounded by the remaining bytes.
+        let neurons = dec.u64()?;
+        if neurons > u32::MAX as u64 {
+            return Err(WireError::Corrupt("ring size"));
+        }
+        let neurons = neurons as usize;
+        let cursor = dec.u8()? as usize;
+        if cursor >= RING_SLOTS {
+            return Err(WireError::Corrupt("ring cursor"));
+        }
+        let mut ring = InputRing::new(neurons);
+        ring.cursor = cursor;
+        let n_slot_entries = dec.seq(9)?;
+        for _ in 0..n_slot_entries {
+            let slot = dec.u8()? as usize;
+            let neuron = dec.u32()? as usize;
+            if slot >= RING_SLOTS || neuron >= neurons {
+                return Err(WireError::Corrupt("ring entry index"));
+            }
+            ring.slots[slot][neuron] = dec.i32()?;
+        }
+        let n_drained = dec.seq(8)?;
+        for _ in 0..n_drained {
+            let neuron = dec.u32()? as usize;
+            if neuron >= neurons {
+                return Err(WireError::Corrupt("ring drained index"));
+            }
+            ring.drained[neuron] = dec.i32()?;
+        }
+        Ok(ring)
+    }
 }
 
 #[cfg(test)]

@@ -231,6 +231,61 @@ impl SynapticMatrix {
         self.words.extend_from_slice(words);
     }
 
+    /// Serializes the given rows' current arena contents — the
+    /// checkpoint form of STDP weight changes. Snapshots store only the
+    /// rows plasticity actually touched (deltas against the loader's
+    /// freshly built matrix), so an unplastic network costs zero
+    /// synaptic bytes per checkpoint.
+    pub fn encode_rows(&self, rows: &[u32], enc: &mut spinn_sim::wire::Enc) {
+        enc.seq(rows.len());
+        for &row in rows {
+            enc.u32(row);
+            let words = self.row(row);
+            enc.seq(words.len());
+            for w in words {
+                enc.u32(w.bits());
+            }
+        }
+    }
+
+    /// Applies an [`SynapticMatrix::encode_rows`] delta onto this
+    /// matrix, overwriting each row's words in place, and returns the
+    /// indices of the rows it rewrote (so the caller can keep tracking
+    /// them as dirty for subsequent checkpoints).
+    ///
+    /// The matrix must be structurally identical to the one the delta
+    /// was taken from (same rows, same row lengths): STDP rewrites
+    /// weights but never adds or removes synapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spinn_sim::wire::WireError`] if the input is
+    /// truncated, names a row this matrix does not have, or changes a
+    /// row's length.
+    pub fn apply_rows(
+        &mut self,
+        dec: &mut spinn_sim::wire::Dec<'_>,
+    ) -> Result<Vec<u32>, spinn_sim::wire::WireError> {
+        use spinn_sim::wire::WireError;
+        let n = dec.seq(12)?;
+        let mut applied = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row = dec.u32()?;
+            if row as usize >= self.rows.len() {
+                return Err(WireError::Corrupt("delta row index"));
+            }
+            let len = dec.seq(4)?;
+            if len != self.row_len(row) {
+                return Err(WireError::Corrupt("delta row length"));
+            }
+            for w in self.row_mut(row) {
+                *w = SynapticWord::from_bits(dec.u32()?);
+            }
+            applied.push(row);
+        }
+        Ok(applied)
+    }
+
     /// Rewrites row `row` with `words`: in place when it fits, else as
     /// a fresh run at the end of the arena.
     fn replace_row(&mut self, row: u32, words: &[SynapticWord]) {

@@ -17,6 +17,7 @@ use crate::direction::Direction;
 use crate::mesh::{NodeCoord, Torus};
 use crate::packet::{EmergencyState, Packet, PacketKind};
 use crate::router::{Port, RouteDecision, Router, RouterConfig, RouterStats};
+use crate::table::{McTableEntry, RouteSet};
 
 /// Scheduling interface the fabric uses to emit future events.
 pub trait NocScheduler {
@@ -798,6 +799,143 @@ impl Fabric {
             ls.busy = false;
         }
     }
+
+    // ------------------------------------------------------------------
+    // checkpoint/restore
+
+    /// Serializes the fabric's mutable state — routing tables, router
+    /// statistics, link failure/busy/queue state — into `enc`.
+    ///
+    /// Must be called at a drained instant: delivered/dropped packets
+    /// polled, no partition active, no cross-shard events buffered (the
+    /// machine's segment boundaries guarantee all three).
+    pub fn encode_state(&self, enc: &mut spinn_sim::wire::Enc) {
+        debug_assert!(
+            self.deliveries.is_empty(),
+            "undelivered packets at checkpoint"
+        );
+        debug_assert!(self.dropped.is_empty(), "unpolled drops at checkpoint");
+        debug_assert!(
+            self.remote.is_empty(),
+            "buffered remote events at checkpoint"
+        );
+        enc.seq(self.routers.len());
+        for r in &self.routers {
+            enc.seq(r.table.len());
+            for e in r.table.iter() {
+                enc.u32(e.key).u32(e.mask).u32(e.route.bits());
+            }
+            enc.u64(r.table.peak_len() as u64);
+            let s = &r.stats;
+            for v in [
+                s.mc_table_hits,
+                s.mc_default_routed,
+                s.mc_local_deliveries,
+                s.mc_unroutable_local,
+                s.p2p_forwarded,
+                s.p2p_delivered,
+                s.nn_delivered,
+                s.emergency_reroutes,
+                s.emergency_second_legs,
+                s.dropped,
+                s.aged_out,
+                s.table_peak_entries,
+                s.table_capacity,
+            ] {
+                enc.u64(v);
+            }
+        }
+        for ls in &self.links {
+            enc.bool(ls.failed).bool(ls.busy);
+            enc.seq(ls.queue.len());
+            for f in &ls.queue {
+                encode_flight(enc, f);
+            }
+        }
+    }
+
+    /// Restores [`Fabric::encode_state`] onto this fabric, overwriting
+    /// every router and link. The fabric must have the same geometry
+    /// and configuration as the one that was encoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`spinn_sim::wire::WireError`] on truncated or corrupt
+    /// input, or if the node count does not match this fabric.
+    pub fn apply_state(
+        &mut self,
+        dec: &mut spinn_sim::wire::Dec<'_>,
+    ) -> Result<(), spinn_sim::wire::WireError> {
+        use spinn_sim::wire::WireError;
+        let n = dec.seq(1)?;
+        if n != self.routers.len() {
+            return Err(WireError::Corrupt("fabric node count"));
+        }
+        for r in self.routers.iter_mut() {
+            let mut table = crate::table::McTable::new(r.table.capacity());
+            let entries = dec.seq(12)?;
+            for _ in 0..entries {
+                let key = dec.u32()?;
+                let mask = dec.u32()?;
+                let route = RouteSet::from_bits(dec.u32()?);
+                table
+                    .insert(McTableEntry { key, mask, route })
+                    .map_err(|_| WireError::Corrupt("routing table overflow"))?;
+            }
+            table.restore_peak(dec.u64()? as usize);
+            r.table = table;
+            let s = &mut r.stats;
+            for v in [
+                &mut s.mc_table_hits,
+                &mut s.mc_default_routed,
+                &mut s.mc_local_deliveries,
+                &mut s.mc_unroutable_local,
+                &mut s.p2p_forwarded,
+                &mut s.p2p_delivered,
+                &mut s.nn_delivered,
+                &mut s.emergency_reroutes,
+                &mut s.emergency_second_legs,
+                &mut s.dropped,
+                &mut s.aged_out,
+                &mut s.table_peak_entries,
+                &mut s.table_capacity,
+            ] {
+                *v = dec.u64()?;
+            }
+        }
+        for ls in self.links.iter_mut() {
+            ls.failed = dec.bool()?;
+            ls.busy = dec.bool()?;
+            ls.queue.clear();
+            let qn = dec.seq(28)?;
+            for _ in 0..qn {
+                ls.queue.push_back(decode_flight(dec)?);
+            }
+        }
+        self.deliveries.clear();
+        self.dropped.clear();
+        self.remote.clear();
+        Ok(())
+    }
+}
+
+/// Serializes an in-flight packet (wire word + flight record).
+pub fn encode_flight(enc: &mut spinn_sim::wire::Enc, f: &InFlight) {
+    enc.u128(f.packet.encode());
+    enc.u32(f.hops).u64(f.injected_at);
+}
+
+/// Decodes an [`encode_flight`] record.
+pub fn decode_flight(
+    dec: &mut spinn_sim::wire::Dec<'_>,
+) -> Result<InFlight, spinn_sim::wire::WireError> {
+    let packet = Packet::decode(dec.u128()?)
+        .ok_or(spinn_sim::wire::WireError::Corrupt("packet wire word"))?;
+    Ok(InFlight {
+        packet,
+        hops: dec.u32()?,
+        injected_at: dec.u64()?,
+    })
 }
 
 /// The 16-bit p2p address of a node coordinate (`x << 8 | y`).

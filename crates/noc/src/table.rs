@@ -248,6 +248,13 @@ impl McTable {
     pub fn iter(&self) -> impl Iterator<Item = &McTableEntry> {
         self.entries.iter()
     }
+
+    /// Restores the occupancy high-water mark from a checkpoint
+    /// (clamped up by the current length, so a restored table never
+    /// reports a peak below what is installed).
+    pub(crate) fn restore_peak(&mut self, peak: usize) {
+        self.peak_len = peak.max(self.entries.len());
+    }
 }
 
 #[cfg(test)]

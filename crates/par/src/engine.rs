@@ -27,6 +27,11 @@ pub trait ShardModel: Model {
     fn drain_outbox(&mut self) -> Vec<RemoteEvent<Self::Event>>;
 }
 
+/// One shard's checkpoint form: the model plus its drained pending
+/// events in canonical `(time, rank)` pop order (see
+/// [`ParEngine::into_parts`]).
+pub type ShardParts<M> = (M, Vec<(SimTime, u128, <M as Model>::Event)>);
+
 /// A cross-shard event emitted by a [`ShardModel`].
 #[derive(Debug)]
 pub struct RemoteEvent<E> {
@@ -188,6 +193,33 @@ where
             shards: models.into_iter().map(Engine::new_in).collect(),
             stats: ParStats::default(),
         }
+    }
+
+    /// Wraps one engine around each shard model with every shard clock
+    /// starting at `now` instead of zero — the resume path of
+    /// checkpointed runs (see [`Engine::resume_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn resume_in(models: Vec<M>, now: SimTime) -> Self {
+        assert!(!models.is_empty(), "ParEngine needs at least one shard");
+        ParEngine {
+            shards: models
+                .into_iter()
+                .map(|m| Engine::resume_at(m, now))
+                .collect(),
+            stats: ParStats::default(),
+        }
+    }
+
+    /// Consumes the engine, returning each shard's model together with
+    /// its drained pending events in canonical `(time, rank)` pop order
+    /// — the checkpoint form of a paused sharded run (mailboxes are
+    /// always empty between [`ParEngine::run_until`] calls, so the
+    /// shard queues hold the complete pending set).
+    pub fn into_parts(self) -> Vec<ShardParts<M>> {
+        self.shards.into_iter().map(Engine::into_parts).collect()
     }
 
     /// Number of shards (= worker threads).

@@ -73,7 +73,7 @@
 
 mod engine;
 
-pub use engine::{ParEngine, ParStats, RemoteEvent, ShardModel};
+pub use engine::{ParEngine, ParStats, RemoteEvent, ShardModel, ShardParts};
 
 use spinn_sim::Xoshiro256;
 

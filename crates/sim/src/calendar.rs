@@ -193,6 +193,22 @@ impl<E> CalendarQueue<E> {
 
     /// Removes and returns the earliest event (ties by `(rank, seq)`).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(t, e)| (t, e.event))
+    }
+
+    /// Drains the queue in canonical pop order as `(time, rank, event)`
+    /// triples (see [`Queue::drain_ranked`]), leaving the queue in its
+    /// freshly-constructed state.
+    pub fn drain_ranked(&mut self) -> Vec<(SimTime, u128, E)> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some((t, e)) = self.pop_entry() {
+            out.push((t, e.rank, e.event));
+        }
+        self.clear();
+        out
+    }
+
+    fn pop_entry(&mut self) -> Option<(SimTime, Entry<E>)> {
         let t = self.next_tick?;
         self.floor = t;
         if t >= self.window_start + SLOTS as u64 {
@@ -226,7 +242,7 @@ impl<E> CalendarQueue<E> {
             self.words[i / 64] &= !(1 << (i % 64));
             self.next_tick = self.earliest_pending(t + 1);
         }
-        Some((SimTime::new(t), entry.event))
+        Some((SimTime::new(t), entry))
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -312,6 +328,9 @@ impl<E> Queue<E> for CalendarQueue<E> {
     }
     fn clear(&mut self) {
         CalendarQueue::clear(self);
+    }
+    fn drain_ranked(&mut self) -> Vec<(SimTime, u128, E)> {
+        CalendarQueue::drain_ranked(self)
     }
 }
 
@@ -426,6 +445,49 @@ mod tests {
         q.push(SimTime::new(50), ());
         q.pop();
         q.push(SimTime::new(10), ());
+    }
+
+    #[test]
+    fn drain_restore_round_trips_across_queue_kinds() {
+        // A drained snapshot restores into either implementation and
+        // keeps interleaving with *new* pushes exactly as the original
+        // queue would have.
+        let fill = |q: &mut dyn FnMut(SimTime, u128, u64)| {
+            q(SimTime::new(9), 2, 0);
+            q(SimTime::new(5), 7, 1);
+            q(SimTime::new(5), 1, 2);
+            q(SimTime::new(5), 1, 3);
+            q(SimTime::new(SLOTS as u64 * 4 + 3), 0, 4); // overflow tier
+        };
+        let mut cal = CalendarQueue::new();
+        fill(&mut |t, r, e| cal.push_ranked(t, r, e));
+        let snap = cal.drain_ranked();
+        assert!(cal.is_empty());
+        assert_eq!(
+            snap.iter()
+                .map(|&(t, r, e)| (t.ticks(), r, e))
+                .collect::<Vec<_>>(),
+            vec![
+                (5, 1, 2),
+                (5, 1, 3),
+                (5, 7, 1),
+                (9, 2, 0),
+                (SLOTS as u64 * 4 + 3, 0, 4)
+            ]
+        );
+        // Restore into a heap queue and a fresh calendar; push one new
+        // same-(time, rank) event into each — it must pop *after* the
+        // restored ones.
+        let mut heap = EventQueue::new();
+        Queue::restore(&mut heap, snap.clone());
+        let mut cal2 = CalendarQueue::new();
+        Queue::restore(&mut cal2, snap);
+        heap.push_ranked(SimTime::new(5), 1, 99);
+        cal2.push_ranked(SimTime::new(5), 1, 99);
+        let a: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|(_, e)| e).collect();
+        let b: Vec<u64> = std::iter::from_fn(|| cal2.pop()).map(|(_, e)| e).collect();
+        assert_eq!(a, vec![2, 3, 99, 1, 0, 4]);
+        assert_eq!(a, b);
     }
 
     /// Randomized equivalence against the heap queue (the fuller

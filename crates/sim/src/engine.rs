@@ -137,6 +137,49 @@ impl<M: Model, Q: Queue<M::Event>> Engine<M, Q> {
         }
     }
 
+    /// Creates an engine whose clock starts at `now` instead of zero —
+    /// the resume path of checkpointed runs. The queue starts empty;
+    /// feed the drained events back through
+    /// [`Engine::restore_events`].
+    pub fn resume_at(model: M, now: SimTime) -> Self {
+        let mut e = Engine::new_in(model);
+        e.now = now;
+        e
+    }
+
+    /// Drains the pending events as canonical `(time, rank, event)`
+    /// triples (see [`crate::Queue::drain_ranked`]). The engine's clock
+    /// is unchanged; the queue is left empty.
+    pub fn drain_events(&mut self) -> Vec<(SimTime, u128, M::Event)> {
+        self.queue.drain_ranked()
+    }
+
+    /// Consumes the engine, returning the model together with the
+    /// drained pending events — the checkpoint form of a paused run.
+    pub fn into_parts(mut self) -> (M, Vec<(SimTime, u128, M::Event)>) {
+        let events = self.queue.drain_ranked();
+        (self.model, events)
+    }
+
+    /// Restores a [`Engine::drain_events`] snapshot into the queue (see
+    /// [`crate::Queue::restore`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any restored event lies before the engine's current
+    /// time.
+    pub fn restore_events(&mut self, items: Vec<(SimTime, u128, M::Event)>) {
+        if let Some((t, _, _)) = items.first() {
+            assert!(
+                *t >= self.now,
+                "cannot restore events into the past: now={} first={}",
+                self.now,
+                t
+            );
+        }
+        self.queue.restore(items);
+    }
+
     /// Schedules an event at an absolute time (before or during a run).
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
         assert!(

@@ -127,6 +127,17 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.seq = 0;
     }
+
+    /// Drains the queue in canonical pop order as `(time, rank, event)`
+    /// triples (see [`Queue::drain_ranked`]).
+    pub fn drain_ranked(&mut self) -> Vec<(SimTime, u128, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push((e.time, e.rank, e.event));
+        }
+        self.seq = 0;
+        out
+    }
 }
 
 impl<E> Queue<E> for EventQueue<E> {
@@ -144,6 +155,9 @@ impl<E> Queue<E> for EventQueue<E> {
     }
     fn clear(&mut self) {
         EventQueue::clear(self);
+    }
+    fn drain_ranked(&mut self) -> Vec<(SimTime, u128, E)> {
+        EventQueue::drain_ranked(self)
     }
 }
 

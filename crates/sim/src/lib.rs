@@ -74,6 +74,7 @@ pub mod queue;
 mod rng;
 mod stats;
 mod time;
+pub mod wire;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Context, Engine, Model, RunOutcome};

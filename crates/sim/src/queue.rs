@@ -74,6 +74,31 @@ pub trait Queue<E>: Default {
     /// Removes every pending event and resets the insertion-sequence
     /// counter (the queue behaves exactly like a fresh one afterwards).
     fn clear(&mut self);
+
+    /// Drains the queue into `(time, rank, event)` triples in canonical
+    /// pop order — the checkpoint form of the queue's contents.
+    ///
+    /// The triples omit the private insertion sequence on purpose: FIFO
+    /// only breaks ties between events whose `(time, rank)` collide,
+    /// and the ordering contract requires such events to be
+    /// interchangeable. Re-inserting the triples in drain order through
+    /// [`Queue::restore`] therefore reproduces the exact pop sequence,
+    /// and a drained snapshot from one queue implementation restores
+    /// into the other (or into a differently-sharded run) without loss.
+    fn drain_ranked(&mut self) -> Vec<(SimTime, u128, E)>;
+
+    /// Restores a [`Queue::drain_ranked`] snapshot: clears the queue,
+    /// then re-inserts the triples in order with fresh ascending
+    /// insertion sequences. After `restore`, the pop sequence equals the
+    /// drain order, and events pushed later sort after restored events
+    /// with the same `(time, rank)` — exactly as they would have in the
+    /// original queue.
+    fn restore(&mut self, items: Vec<(SimTime, u128, E)>) {
+        self.clear();
+        for (time, rank, event) in items {
+            self.push_ranked(time, rank, event);
+        }
+    }
 }
 
 /// Which event-queue implementation a simulation should run on.

@@ -55,6 +55,26 @@ impl Xoshiro256 {
         Xoshiro256::seed_from_u64(seed)
     }
 
+    /// The raw generator state (checkpointing: a restored generator
+    /// continues the same stream bit-for-bit).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from [`Xoshiro256::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the all-zero state, which xoshiro256** cannot leave
+    /// (and which `seed_from_u64` can never produce).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256** state must be non-zero"
+        );
+        Xoshiro256 { s }
+    }
+
     /// The next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

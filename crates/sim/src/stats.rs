@@ -253,6 +253,43 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Serializes the histogram (geometry + counts) for checkpoints.
+    pub fn encode(&self, enc: &mut crate::wire::Enc) {
+        enc.seq(self.buckets.len());
+        enc.u64(self.width);
+        for &b in &self.buckets {
+            enc.u64(b);
+        }
+        enc.u64(self.overflow)
+            .u64(self.count)
+            .u64(self.max)
+            .u128(self.sum);
+    }
+
+    /// Rebuilds a histogram from [`Histogram::encode`] bytes.
+    pub fn decode(dec: &mut crate::wire::Dec<'_>) -> Result<Histogram, crate::wire::WireError> {
+        let n = dec.seq(8)?;
+        if n == 0 {
+            return Err(crate::wire::WireError::Corrupt("histogram buckets"));
+        }
+        let width = dec.u64()?;
+        if width == 0 {
+            return Err(crate::wire::WireError::Corrupt("histogram width"));
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(dec.u64()?);
+        }
+        Ok(Histogram {
+            buckets,
+            width,
+            overflow: dec.u64()?,
+            count: dec.u64()?,
+            max: dec.u64()?,
+            sum: dec.u128()?,
+        })
+    }
+
     /// Iterates `(bucket_lower_bound, count)` for all non-empty buckets.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets

@@ -1,0 +1,344 @@
+//! A minimal hand-rolled binary codec for simulation snapshots.
+//!
+//! Checkpoint/restore (`spinn-machine`'s machine snapshots, the
+//! `spinnaker` run sessions) needs a compact, deterministic, offline
+//! serialization format. The build environment has no crates.io
+//! access, so instead of serde the snapshot code writes through this
+//! little-endian [`Enc`]/[`Dec`] pair: fixed-width integers, bit-cast
+//! floats (so restored state is *bit*-identical, never rounded) and
+//! length-prefixed sequences.
+//!
+//! # Example
+//!
+//! ```
+//! use spinn_sim::wire::{Dec, Enc};
+//!
+//! let mut enc = Enc::new();
+//! enc.u32(7).f64(0.25).str("hello");
+//! let bytes = enc.into_bytes();
+//! let mut dec = Dec::new(&bytes);
+//! assert_eq!(dec.u32().unwrap(), 7);
+//! assert_eq!(dec.f64().unwrap(), 0.25);
+//! assert_eq!(dec.str().unwrap(), "hello");
+//! assert!(dec.is_empty());
+//! ```
+
+use std::fmt;
+
+/// Errors decoding a snapshot byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended before the expected value.
+    Eof,
+    /// A magic/section tag did not match.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    Version(u32),
+    /// A structurally invalid value (named for diagnostics).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "snapshot truncated"),
+            WireError::BadMagic => write!(f, "snapshot magic/tag mismatch"),
+            WireError::Version(v) => write!(f, "unsupported snapshot version {v}"),
+            WireError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A little-endian byte-stream encoder. All methods return `&mut Self`
+/// so fields chain.
+#[derive(Clone, Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(v as u8)
+    }
+
+    /// Writes a `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a `u128`.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an `i16`.
+    pub fn i16(&mut self, v: i16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an `i32`.
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an `f32` bit pattern (restores bit-exactly, incl. NaN).
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.u32(v.to_bits())
+    }
+
+    /// Writes an `f64` bit pattern (restores bit-exactly, incl.
+    /// infinities, which the STDP timestamps use as "never").
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Writes a sequence length (`u64`; lengths are validated against
+    /// the remaining bytes on decode).
+    pub fn seq(&mut self, len: usize) -> &mut Self {
+        self.u64(len as u64)
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.seq(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Writes raw bytes with no length prefix (section magics).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+}
+
+/// A little-endian byte-stream decoder over a borrowed buffer.
+#[derive(Clone, Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the stream is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool (rejecting values other than 0/1).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Corrupt("bool")),
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u128`.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i16`.
+    pub fn i16(&mut self) -> Result<i16, WireError> {
+        Ok(i16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i32`.
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a sequence length, bounding it by the remaining bytes so a
+    /// corrupt length cannot trigger a huge allocation (`min_elem_bytes`
+    /// is the smallest possible encoding of one element; pass 1 for
+    /// variable-size elements).
+    pub fn seq(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let len = self.u64()?;
+        let floor = min_elem_bytes.max(1);
+        if len as usize > self.remaining() / floor + 1 {
+            return Err(WireError::Corrupt("sequence length"));
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.seq(1)?;
+        std::str::from_utf8(self.take(len)?).map_err(|_| WireError::Corrupt("utf-8"))
+    }
+
+    /// Reads `n` raw bytes and checks them against an expected magic.
+    pub fn magic(&mut self, expect: &[u8]) -> Result<(), WireError> {
+        if self.take(expect.len())? == expect {
+            Ok(())
+        } else {
+            Err(WireError::BadMagic)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_width() {
+        let mut e = Enc::new();
+        e.u8(0xAB)
+            .bool(true)
+            .u16(0xBEEF)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 3)
+            .u128(u128::MAX / 7)
+            .i16(-12345)
+            .i32(i32::MIN)
+            .f32(-0.0)
+            .f64(f64::NEG_INFINITY)
+            .str("snapshot");
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(d.u128().unwrap(), u128::MAX / 7);
+        assert_eq!(d.i16().unwrap(), -12345);
+        assert_eq!(d.i32().unwrap(), i32::MIN);
+        assert_eq!(d.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(d.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(d.str().unwrap(), "snapshot");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Enc::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes[..5]);
+        assert_eq!(d.u64(), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn corrupt_lengths_rejected() {
+        let mut e = Enc::new();
+        e.seq(usize::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert!(matches!(d.seq(4), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn magic_mismatch() {
+        let mut e = Enc::new();
+        e.raw(b"SPNX");
+        let bytes = e.into_bytes();
+        assert_eq!(Dec::new(&bytes).magic(b"SPNY"), Err(WireError::BadMagic));
+        assert!(Dec::new(&bytes).magic(b"SPNX").is_ok());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let bytes = [7u8];
+        assert!(matches!(
+            Dec::new(&bytes).bool(),
+            Err(WireError::Corrupt("bool"))
+        ));
+    }
+}

@@ -1,29 +1,70 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json reports' end-to-end spikes/sec and fail on regression.
+"""Diff BENCH_*.json reports and fail on regression.
 
-Usage:
-    python3 scripts/bench_compare.py NEW.json BASELINE.json [--max-regress 0.20]
+Two modes:
 
-Matches `end_to_end_sweep` records between the two reports by their
-(mesh, queue, threads, bio_ms) configuration and compares the
-`spikes_per_sec` metric. Exits:
+Pairwise (the CI gate):
+    python3 scripts/bench_compare.py NEW.json BASELINE.json \
+        [--max-regress 0.20] [--kind sweep|micro|all] [--allow-missing-rows]
+
+Chain (the trajectory table):
+    python3 scripts/bench_compare.py --chain A.json B.json C.json ... \
+        [--max-regress 0.20] [--allow-missing-rows]
+
+Row kinds compared:
+
+* ``end_to_end_sweep`` records, matched by (mesh, queue, threads,
+  bio_ms), on the ``spikes_per_sec`` metric (higher is better) — noisy
+  on shared runners (wall-clock), so usually gated generously or
+  advisory.
+* ``queue_microbench`` records, matched by case name, on the
+  ``calendar_ns_per_op`` metric (lower is better) — a tight kernel
+  loop, stable enough to gate on.
+
+Chain mode compares each consecutive pair (old -> new) and appends a
+markdown trajectory table to ``$GITHUB_STEP_SUMMARY`` when that
+variable is set (always also printed to stdout).
+
+Exit codes:
 
     0  every matched row is within the allowed regression
     1  at least one matched row regressed more than --max-regress
-    2  usage error, unreadable input, or no comparable rows
+    2  usage error, unreadable/missing input file, no comparable rows,
+       or (without --allow-missing-rows) a row present in only one
+       report
 
 Only Python's standard library is used (the build environment is
-offline). Rows present in one report but not the other are reported and
-skipped — the sweep grids may differ between quick and full modes.
+offline). Unit tests: ``python3 scripts/test_bench_compare.py``.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
+def fail_usage(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    if not os.path.exists(path):
+        fail_usage(
+            f"benchmark report {path} does not exist — a missing baseline must "
+            "fail the gate, not skip it. Committed baselines are regenerated "
+            "with `cargo run --release -p spinn-bench --bin run_experiments -- "
+            "E14` (or E15/E16)"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail_usage(f"cannot read {path}: {err}")
+
+
 def sweep_rows(report):
-    """(mesh, queue, threads, bio_ms) -> spikes_per_sec for every sweep record."""
+    """(mesh, queue, threads, bio_ms) -> spikes_per_sec (higher is better)."""
     rows = {}
     for record in report.get("records", []):
         if record.get("name") != "end_to_end_sweep":
@@ -42,71 +83,181 @@ def sweep_rows(report):
     return rows
 
 
-def load(path):
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+def micro_rows(report):
+    """case -> calendar_ns_per_op (lower is better)."""
+    rows = {}
+    for record in report.get("records", []):
+        if record.get("name") != "queue_microbench":
+            continue
+        case = record.get("config", {}).get("case")
+        ns = record.get("metrics", {}).get("calendar_ns_per_op")
+        if case is not None and ns is not None:
+            rows[case] = float(ns)
+    return rows
+
+
+# (label, extractor, True when higher is better)
+KINDS = {
+    "sweep": ("end_to_end_sweep spikes/sec", sweep_rows, True),
+    "micro": ("queue_microbench calendar ns/op", micro_rows, False),
+}
+
+
+def compare_kind(kind, new_report, base_report, new_name, base_name, args):
+    """Compares one row kind; returns (rows, failures) where rows are
+    (key, base, new, delta, regressed) tuples. Exits 2 on missing rows
+    unless --allow-missing-rows."""
+    label, extract, higher_better = KINDS[kind]
+    new_rows = extract(new_report)
+    base_rows = extract(base_report)
+    shared = sorted(set(new_rows) & set(base_rows), key=str)
+    missing = sorted((set(new_rows) | set(base_rows)) - set(shared), key=str)
+    if missing and not args.allow_missing_rows:
+        for key in missing:
+            where = new_name if key in new_rows else base_name
+            print(
+                f"error: {label} row {key} exists only in {where} — a vanished "
+                "row must fail the gate, not be skipped (pass "
+                "--allow-missing-rows to compare different sweep grids)",
+                file=sys.stderr,
+            )
         sys.exit(2)
+    rows = []
+    failures = 0
+    for key in shared:
+        base, new = base_rows[key], new_rows[key]
+        if higher_better:
+            delta = (new - base) / base if base > 0 else 0.0
+            regressed = base > 0 and new < base * (1.0 - args.max_regress)
+        else:
+            delta = (base - new) / base if base > 0 else 0.0  # improvement > 0
+            regressed = base > 0 and new > base * (1.0 + args.max_regress)
+        failures += regressed
+        rows.append((key, base, new, delta, regressed))
+    return rows, failures, missing
 
 
-def main():
+def print_rows(label, rows):
+    print(f"  {label}:")
+    print(f"    {'row':<40} {'baseline':>12} {'new':>12} {'delta':>8}")
+    for key, base, new, delta, regressed in rows:
+        flag = "  << REGRESSION" if regressed else ""
+        print(
+            f"    {str(key):<40} {base:>12.1f} {new:>12.1f} {delta:>+7.1%}{flag}"
+        )
+
+
+def compare_pair(new_name, base_name, kinds, args):
+    """Full pairwise comparison; returns (total failures, markdown rows)."""
+    new_report = load(new_name)
+    base_report = load(base_name)
+    print(
+        f"comparing {new_name} (commit {new_report.get('commit', '?')[:12]}) "
+        f"against {base_name} (commit {base_report.get('commit', '?')[:12]}); "
+        f"allowed regression {args.max_regress:.0%}"
+    )
+    total_failures = 0
+    any_rows = False
+    md = []
+    for kind in kinds:
+        rows, failures, missing = compare_kind(
+            kind, new_report, base_report, new_name, base_name, args
+        )
+        if not rows:
+            continue
+        any_rows = True
+        total_failures += failures
+        print_rows(KINDS[kind][0], rows)
+        if missing:
+            print(f"    ({len(missing)} row(s) present in only one report; skipped)")
+        for key, base, new, delta, regressed in rows:
+            md.append(
+                (base_name, new_name, kind, str(key), base, new, delta, regressed)
+            )
+    if not any_rows:
+        fail_usage(
+            f"{new_name} and {base_name} share no comparable rows "
+            f"(kinds tried: {', '.join(kinds)})"
+        )
+    return total_failures, md
+
+
+def write_summary(md_rows):
+    """Appends the trajectory as a markdown table to $GITHUB_STEP_SUMMARY
+    (if set) and always prints it to stdout."""
+    lines = [
+        "### Benchmark trajectory",
+        "",
+        "| baseline | new | kind | row | baseline value | new value | delta |",
+        "|---|---|---|---|---:|---:|---:|",
+    ]
+    for base_name, new_name, kind, key, base, new, delta, regressed in md_rows:
+        mark = " ⚠️" if regressed else ""
+        lines.append(
+            f"| {base_name} | {new_name} | {kind} | `{key}` "
+            f"| {base:.1f} | {new:.1f} | {delta:+.1%}{mark} |"
+        )
+    text = "\n".join(lines) + "\n"
+    print()
+    print(text)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write(text)
+
+
+def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("new", help="freshly measured report (e.g. BENCH_e15.json)")
-    ap.add_argument("baseline", help="committed baseline (e.g. BENCH_e14.json)")
+    ap.add_argument("reports", nargs="+", help="NEW BASELINE, or --chain A B C ...")
+    ap.add_argument(
+        "--chain",
+        action="store_true",
+        help="treat the reports as a chronological chain (oldest first) and "
+        "compare each consecutive pair, emitting a markdown trajectory table",
+    )
     ap.add_argument(
         "--max-regress",
         type=float,
         default=0.20,
-        help="maximum allowed fractional spikes/sec drop (default 0.20)",
+        help="maximum allowed fractional regression (default 0.20)",
     )
-    args = ap.parse_args()
-
-    new_report = load(args.new)
-    base_report = load(args.baseline)
-    new_rows = sweep_rows(new_report)
-    base_rows = sweep_rows(base_report)
-
-    shared = sorted(set(new_rows) & set(base_rows), key=str)
-    if not shared:
-        print("error: the reports share no comparable end_to_end_sweep rows", file=sys.stderr)
-        sys.exit(2)
-
-    print(
-        f"comparing {args.new} (commit {new_report.get('commit', '?')[:12]}) against "
-        f"{args.baseline} (commit {base_report.get('commit', '?')[:12]}); "
-        f"allowed regression {args.max_regress:.0%}"
+    ap.add_argument(
+        "--kind",
+        choices=["sweep", "micro", "all"],
+        default="all",
+        help="row kinds to compare (default: all kinds present in both reports)",
     )
-    header = f"{'mesh':<8} {'queue':<10} {'threads':>7} {'baseline':>12} {'new':>12} {'delta':>8}"
-    print(header)
+    ap.add_argument(
+        "--allow-missing-rows",
+        action="store_true",
+        help="skip rows present in only one report instead of failing "
+        "(for comparing quick-mode against full-mode sweep grids)",
+    )
+    args = ap.parse_args(argv)
+    kinds = ["sweep", "micro"] if args.kind == "all" else [args.kind]
+
     failures = 0
-    for key in shared:
-        mesh, queue, threads, _bio_ms = key
-        base = base_rows[key]
-        new = new_rows[key]
-        delta = (new - base) / base if base > 0 else 0.0
-        flag = ""
-        if base > 0 and new < base * (1.0 - args.max_regress):
-            flag = "  << REGRESSION"
-            failures += 1
-        print(
-            f"{str(mesh):<8} {str(queue):<10} {threads!s:>7} {base:>12.0f} {new:>12.0f} "
-            f"{delta:>+7.1%}{flag}"
-        )
-
-    skipped = (set(new_rows) | set(base_rows)) - set(shared)
-    if skipped:
-        print(f"({len(skipped)} row(s) present in only one report; skipped)")
+    md_rows = []
+    if args.chain:
+        if len(args.reports) < 2:
+            fail_usage("--chain needs at least two reports (oldest first)")
+        for old, new in zip(args.reports, args.reports[1:]):
+            f, md = compare_pair(new, old, kinds, args)
+            failures += f
+            md_rows.extend(md)
+        write_summary(md_rows)
+    else:
+        if len(args.reports) != 2:
+            fail_usage("pairwise mode takes exactly NEW and BASELINE")
+        failures, md_rows = compare_pair(args.reports[0], args.reports[1], kinds, args)
 
     if failures:
         print(
-            f"FAIL: {failures}/{len(shared)} row(s) regressed more than "
-            f"{args.max_regress:.0%}",
+            f"FAIL: {failures} row(s) regressed more than {args.max_regress:.0%}",
             file=sys.stderr,
         )
         sys.exit(1)
-    print(f"OK: {len(shared)} row(s) within bounds")
+    print("OK: all compared rows within bounds")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py (stdlib only; CI runs this).
+
+    python3 scripts/test_bench_compare.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def report(sweep=None, micro=None, commit="deadbeef"):
+    records = []
+    for (mesh, queue, threads, bio_ms), sps in (sweep or {}).items():
+        records.append(
+            {
+                "name": "end_to_end_sweep",
+                "config": {
+                    "mesh": mesh,
+                    "queue": queue,
+                    "threads": threads,
+                    "bio_ms": bio_ms,
+                },
+                "metrics": {"spikes_per_sec": sps},
+            }
+        )
+    for case, ns in (micro or {}).items():
+        records.append(
+            {
+                "name": "queue_microbench",
+                "config": {"case": case},
+                "metrics": {"calendar_ns_per_op": ns},
+            }
+        )
+    return {"experiment": "EX", "commit": commit, "records": records}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self._summary = tempfile.NamedTemporaryFile(
+            mode="r", suffix=".md", delete=False
+        )
+        self.addCleanup(lambda: os.unlink(self._summary.name))
+        os.environ["GITHUB_STEP_SUMMARY"] = self._summary.name
+
+    def write(self, name, rep):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(rep, f)
+        return path
+
+    def run_main(self, argv):
+        """Runs bench_compare.main, returning the exit code (0 if it
+        returns normally)."""
+        try:
+            bench_compare.main(argv)
+        except SystemExit as e:
+            return e.code or 0
+        return 0
+
+    def sweep_key(self):
+        return ("8x8", "calendar", 4, 100)
+
+    def test_within_bounds_passes(self):
+        base = self.write("base.json", report(sweep={self.sweep_key(): 1000.0}))
+        new = self.write("new.json", report(sweep={self.sweep_key(): 950.0}))
+        self.assertEqual(self.run_main([new, base]), 0)
+
+    def test_sweep_regression_fails(self):
+        base = self.write("base.json", report(sweep={self.sweep_key(): 1000.0}))
+        new = self.write("new.json", report(sweep={self.sweep_key(): 700.0}))
+        self.assertEqual(self.run_main([new, base]), 1)
+
+    def test_micro_regression_fails(self):
+        # Lower is better for ns/op: 100 -> 130 is a 30% regression.
+        base = self.write("base.json", report(micro={"dense": 100.0}))
+        new = self.write("new.json", report(micro={"dense": 130.0}))
+        self.assertEqual(self.run_main([new, base, "--kind", "micro"]), 1)
+
+    def test_micro_improvement_passes(self):
+        base = self.write("base.json", report(micro={"dense": 100.0}))
+        new = self.write("new.json", report(micro={"dense": 60.0}))
+        self.assertEqual(self.run_main([new, base, "--kind", "micro"]), 0)
+
+    def test_missing_baseline_file_is_exit_2(self):
+        new = self.write("new.json", report(sweep={self.sweep_key(): 1.0}))
+        missing = os.path.join(self.dir.name, "BENCH_e99.json")
+        self.assertEqual(self.run_main([new, missing]), 2)
+
+    def test_corrupt_json_is_exit_2(self):
+        path = os.path.join(self.dir.name, "bad.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        new = self.write("new.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main([new, path]), 2)
+
+    def test_missing_row_is_exit_2_by_default(self):
+        # Regression guard: a vanished sweep row used to be silently
+        # skipped, letting a gate "pass" while comparing nothing.
+        base = self.write(
+            "base.json",
+            report(sweep={self.sweep_key(): 1000.0, ("8x8", "heap", 1, 100): 900.0}),
+        )
+        new = self.write("new.json", report(sweep={self.sweep_key(): 1000.0}))
+        self.assertEqual(self.run_main([new, base]), 2)
+
+    def test_missing_row_allowed_with_flag(self):
+        base = self.write(
+            "base.json",
+            report(sweep={self.sweep_key(): 1000.0, ("8x8", "heap", 1, 100): 900.0}),
+        )
+        new = self.write("new.json", report(sweep={self.sweep_key(): 1000.0}))
+        self.assertEqual(self.run_main([new, base, "--allow-missing-rows"]), 0)
+
+    def test_no_comparable_rows_is_exit_2(self):
+        base = self.write("base.json", report(micro={"dense": 1.0}))
+        new = self.write("new.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main([new, base]), 2)
+
+    def test_chain_compares_consecutive_pairs_and_writes_summary(self):
+        a = self.write("a.json", report(sweep={self.sweep_key(): 1000.0}))
+        b = self.write("b.json", report(sweep={self.sweep_key(): 1100.0}))
+        c = self.write("c.json", report(sweep={self.sweep_key(): 1050.0}))
+        self.assertEqual(self.run_main(["--chain", a, b, c]), 0)
+        with open(self._summary.name, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("Benchmark trajectory", text)
+        self.assertIn("| baseline | new |", text)
+        # Two pairwise comparisons -> two data rows.
+        self.assertEqual(text.count("end_to_end_sweep"), 0)  # kind column says 'sweep'
+        self.assertEqual(text.count("| sweep |"), 2)
+
+    def test_chain_regression_fails(self):
+        a = self.write("a.json", report(sweep={self.sweep_key(): 1000.0}))
+        b = self.write("b.json", report(sweep={self.sweep_key(): 500.0}))
+        self.assertEqual(self.run_main(["--chain", a, b]), 1)
+
+    def test_chain_needs_two_reports(self):
+        a = self.write("a.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--chain", a]), 2)
+
+    def test_committed_artifacts_chain_cleanly(self):
+        # The real committed BENCH_*.json files must stay chainable (the
+        # CI trajectory step depends on it). Micro rows only exist in
+        # E14, so allow missing rows across the chain.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        chain = [
+            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16)
+        ]
+        for path in chain:
+            self.assertTrue(os.path.exists(path), f"{path} must be committed")
+        code = self.run_main(
+            ["--chain", *chain, "--allow-missing-rows", "--max-regress", "0.35"]
+        )
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

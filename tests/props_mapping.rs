@@ -47,8 +47,18 @@ fn arb_net() -> impl Strategy<Value = NetworkGraph> {
         })
 }
 
+/// 48 cases per commit; `PROPTEST_CASES` (the nightly job sets 1024)
+/// overrides it.
+fn configured_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(configured_cases(48)))]
 
     #[test]
     fn placement_always_complete_and_disjoint(

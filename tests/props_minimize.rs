@@ -58,8 +58,18 @@ fn lookup(entries: &[McTableEntry], key: u32) -> Option<RouteSet> {
     entries.iter().find(|e| e.matches(key)).map(|e| e.route)
 }
 
+/// 32 cases per commit; `PROPTEST_CASES` (the nightly job sets 1024)
+/// overrides it.
+fn configured_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(configured_cases(32)))]
 
     #[test]
     fn minimized_tables_preserve_all_live_routes(
