@@ -2419,3 +2419,311 @@ pub mod e16_sessions {
         }
     }
 }
+
+/// E17 — low-overhead telemetry: the per-shard phase breakdown
+/// (ns/neuron, ns/synaptic-event, barrier-wait share) of the E15
+/// 100k-neuron workload at 1/4/16 threads, the counters-on overhead of
+/// the E14 sweep workload, and a determinism verdict (bit-identical
+/// spikes in every observability mode). Emits `BENCH_e17.json`; render
+/// or gate the artifact with `scripts/telemetry_report.py`.
+pub mod e17_telemetry {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport, Json};
+    use spinn_obs::{Counter, Phase};
+    use spinnaker::prelude::*;
+    use spinnaker::Completed;
+    use std::time::Instant;
+
+    /// Runs the phase-breakdown workload once under full telemetry.
+    fn run_traced(net: &NetworkGraph, threads: u32, ms: u32) -> (f64, Completed) {
+        let cfg = SimConfig::new(8, 8)
+            .with_neurons_per_core(256)
+            .with_threads(threads)
+            .with_observability(ObsMode::CountersAndTrace);
+        let sim = Simulation::build(net, cfg).expect("workload fits an 8x8 machine");
+        let t0 = Instant::now();
+        let done = sim.run(ms);
+        (t0.elapsed().as_secs_f64() * 1e3, done)
+    }
+
+    /// Best-of-`repeats` spikes/sec of the E14 sweep workload at the
+    /// given observability mode (the overhead measurement).
+    fn best_spikes_per_sec(
+        net: &NetworkGraph,
+        threads: u32,
+        ms: u32,
+        repeats: usize,
+        obs: ObsMode,
+    ) -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..repeats.max(1) {
+            let cfg = SimConfig::new(8, 8)
+                .with_neurons_per_core(128)
+                .with_placer(Placer::Random { seed: 0xE14 })
+                .with_queue(QueueKind::Calendar)
+                .with_threads(threads)
+                .with_observability(obs);
+            let sim = Simulation::build(net, cfg).expect("workload fits an 8x8 machine");
+            let t0 = Instant::now();
+            let done = sim.run(ms);
+            let sps = done.machine.spikes().len() as f64 / t0.elapsed().as_secs_f64();
+            best = best.max(sps);
+        }
+        best
+    }
+
+    /// The E17 report: phase-breakdown rows, per-shard skew rows, the
+    /// counters-on overhead rows, and the determinism verdict.
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E17",
+            "low-overhead telemetry: phase breakdown, shard skew, counter overhead",
+            quick,
+        );
+
+        // Phase breakdown: the E15 100k-neuron FixedProbability chain
+        // under full telemetry, across thread counts.
+        let (pops, size, p) = if quick {
+            (20u32, 5_000u32, 0.02)
+        } else {
+            (25, 8_000, 0.015)
+        };
+        let net = super::e15_memory_model::prob_net(pops, size, p);
+        let total_neurons = net.total_neurons();
+        let ms = if quick { 30u32 } else { 100 };
+        for threads in [1u32, 4, 16] {
+            let (wall_ms, done) = run_traced(&net, threads, ms);
+            let t = done.machine.telemetry();
+            report.push(
+                BenchRecord::new("phase_breakdown")
+                    .config("neurons", total_neurons)
+                    .config("mesh", "8x8")
+                    .config("threads", threads)
+                    .config("bio_ms", ms)
+                    .config("obs", t.mode().to_string())
+                    .metric("wall_ms", wall_ms)
+                    .metric("spikes", done.machine.spikes().len())
+                    .metric("events", t.total(Counter::Events))
+                    .metric("synaptic_events", t.total(Counter::SynapticEvents))
+                    .metric("ns_per_neuron", t.ns_per_neuron())
+                    .metric("ns_per_synaptic_event", t.ns_per_synaptic_event())
+                    .metric("barrier_wait_share", t.barrier_wait_share())
+                    .metric("shard_skew", t.shard_skew())
+                    .metric("queue_peak", t.total(Counter::QueuePeak))
+                    .metric("trace_len", t.trace().count())
+                    .metric("trace_overwritten", t.trace_overwritten()),
+            );
+            report.push(
+                BenchRecord::new("shard_skew")
+                    .config("threads", threads)
+                    .config("bio_ms", ms)
+                    .metric("skew", t.shard_skew())
+                    .metric(
+                        "per_shard_events",
+                        Json::Arr(
+                            t.shards()
+                                .iter()
+                                .map(|s| Json::Num(s.counters[Counter::Events as usize] as f64))
+                                .collect(),
+                        ),
+                    )
+                    .metric(
+                        "per_shard_barrier_ns",
+                        Json::Arr(
+                            t.shards()
+                                .iter()
+                                .map(|s| {
+                                    Json::Num(s.phases[Phase::BarrierWait as usize].sum_ns as f64)
+                                })
+                                .collect(),
+                        ),
+                    ),
+            );
+        }
+
+        // Counters-on overhead: the E14 sweep workload, best-of-N,
+        // Disabled vs Counters. The CI gate
+        // (`scripts/telemetry_report.py --check-overhead`) holds every
+        // row's overhead_frac under its bound.
+        let sweep_net = super::e12_parallel_execution::synfire_net(16, 512);
+        let (sweep_ms, repeats) = if quick { (100u32, 3usize) } else { (200, 5) };
+        for threads in [1u32, 4] {
+            let off =
+                best_spikes_per_sec(&sweep_net, threads, sweep_ms, repeats, ObsMode::Disabled);
+            let on = best_spikes_per_sec(&sweep_net, threads, sweep_ms, repeats, ObsMode::Counters);
+            report.push(
+                BenchRecord::new("telemetry_overhead")
+                    .config("mesh", "8x8")
+                    .config("queue", QueueKind::Calendar.to_string())
+                    .config("threads", threads)
+                    .config("bio_ms", sweep_ms)
+                    .config("repeats", repeats)
+                    .metric("spikes_per_sec_off", off)
+                    .metric("spikes_per_sec_on", on)
+                    .metric("overhead_frac", 1.0 - on / off),
+            );
+        }
+
+        // Determinism: the same build must spike identically whatever
+        // is watching, and the spike counter must agree with the
+        // recorded raster.
+        let det_net = super::e15_memory_model::prob_net(4, 200, 0.05);
+        let det_run = |obs| {
+            let cfg = SimConfig::new(4, 4)
+                .with_neurons_per_core(64)
+                .with_threads(4)
+                .with_observability(obs);
+            Simulation::build(&det_net, cfg)
+                .expect("workload fits a 4x4 machine")
+                .run(20)
+        };
+        let base = det_run(ObsMode::Disabled);
+        let counted = det_run(ObsMode::Counters);
+        let traced = det_run(ObsMode::CountersAndTrace);
+        let bit_exact = base.machine.spikes() == counted.machine.spikes()
+            && base.machine.spikes() == traced.machine.spikes();
+        let spikes = base.machine.spikes().len() as u64;
+        let counter_spikes = counted.machine.telemetry().total(Counter::Spikes);
+        report.push(
+            BenchRecord::new("telemetry_determinism")
+                .config("neurons", det_net.total_neurons())
+                .config("bio_ms", 20u32)
+                .metric("bit_exact", bit_exact)
+                .metric("spikes", spikes)
+                .metric("counter_spikes", counter_spikes)
+                .metric("counter_matches", counter_spikes == spikes),
+        );
+        report
+    }
+
+    /// The E17 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E17 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E17: low-overhead telemetry — phase breakdown, shard skew, counter overhead ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   observe without steering: relaxed per-shard counters, log2 phase\n   histograms and a bounded trace ring; every mode replays bit-exactly\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>14} {:>10} {:>8}",
+            "threads", "wall ms", "ns/neuron", "ns/syn-event", "barrier%", "skew"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "phase_breakdown")
+        {
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>10.1} {:>12.1} {:>14.2} {:>9.1}% {:>8.2}",
+                num(&r.config, "threads"),
+                num(&r.metrics, "wall_ms"),
+                num(&r.metrics, "ns_per_neuron"),
+                num(&r.metrics, "ns_per_synaptic_event"),
+                100.0 * num(&r.metrics, "barrier_wait_share"),
+                num(&r.metrics, "shard_skew"),
+            );
+        }
+        let _ = writeln!(out);
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "telemetry_overhead")
+        {
+            let _ = writeln!(
+                out,
+                "  overhead: {:>2.0} thread(s)  counters on {:>12.0} spikes/s  off {:>12.0}  ({:+.2}%)",
+                num(&r.config, "threads"),
+                num(&r.metrics, "spikes_per_sec_on"),
+                num(&r.metrics, "spikes_per_sec_off"),
+                100.0 * num(&r.metrics, "overhead_frac"),
+            );
+        }
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "telemetry_determinism")
+        {
+            let _ = writeln!(
+                out,
+                "  determinism: bit-exact across modes: {};  spikes counter {:.0} vs recorded {:.0}",
+                str_field(&r.metrics, "bit_exact"),
+                num(&r.metrics, "counter_spikes"),
+                num(&r.metrics, "spikes"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ntelemetry observes, it never steers: counters are relaxed per-shard atomics,\nphase timings are 32-bucket log2 histograms, the trace ring is bounded and\ndrop-counting, and Disabled mode costs one None-check per site\n(tests/telemetry_determinism.rs pins every mode to bit-identical spikes).\nrender or gate the artifact: scripts/telemetry_report.py BENCH_e17.json"
+        );
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formatter_smoke_on_synthetic_records() {
+            let mut report = BenchReport::new("E17", "test", true);
+            report.push(
+                BenchRecord::new("phase_breakdown")
+                    .config("threads", 4u32)
+                    .metric("wall_ms", 10.0f64)
+                    .metric("ns_per_neuron", 120.0f64)
+                    .metric("ns_per_synaptic_event", 8.5f64)
+                    .metric("barrier_wait_share", 0.25f64)
+                    .metric("shard_skew", 1.2f64),
+            );
+            report.push(
+                BenchRecord::new("telemetry_overhead")
+                    .config("threads", 4u32)
+                    .metric("spikes_per_sec_off", 1_000_000.0f64)
+                    .metric("spikes_per_sec_on", 990_000.0f64)
+                    .metric("overhead_frac", 0.01f64),
+            );
+            report.push(
+                BenchRecord::new("telemetry_determinism")
+                    .metric("bit_exact", true)
+                    .metric("spikes", 42u64)
+                    .metric("counter_spikes", 42u64)
+                    .metric("counter_matches", true),
+            );
+            let text = format_report(&report);
+            assert!(text.contains("ns/neuron"), "{text}");
+            assert!(text.contains("bit-exact across modes: true"), "{text}");
+            assert!(report.to_json_string().contains("overhead_frac"));
+        }
+
+        #[test]
+        fn traced_run_yields_finite_phase_rows() {
+            // A miniature phase-breakdown measurement: full telemetry
+            // on a small net must produce finite per-loop rows and a
+            // spike counter that matches the recorded raster.
+            let net = super::super::e15_memory_model::prob_net(3, 200, 0.05);
+            let (_, done) = run_traced(&net, 4, 10);
+            let t = done.machine.telemetry();
+            assert!(t.is_enabled());
+            assert!(t.ns_per_neuron().is_finite(), "{}", t.ns_per_neuron());
+            assert!(
+                t.total(Counter::Spikes) == done.machine.spikes().len() as u64,
+                "counter {} vs raster {}",
+                t.total(Counter::Spikes),
+                done.machine.spikes().len()
+            );
+            assert!(t.total(Counter::Events) > 0);
+        }
+    }
+}

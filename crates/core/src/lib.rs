@@ -39,12 +39,15 @@ pub mod session;
 mod simulation;
 
 pub use error::{SdramOverflow, SpinnError};
-pub use session::{RunSession, Snapshot};
+pub use session::{RunSession, SegmentSummary, Snapshot};
 pub use simulation::{Completed, PopSpike, SimConfig, Simulation};
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::{Completed, PopSpike, RunSession, SimConfig, Simulation, Snapshot, SpinnError};
+    pub use crate::{
+        Completed, PopSpike, RunSession, SegmentSummary, SimConfig, Simulation, Snapshot,
+        SpinnError,
+    };
     pub use spinn_machine::config::MachineConfig;
     pub use spinn_map::graph::{Connector, NetworkGraph, NeuronKind, PopulationId, Synapses};
     pub use spinn_map::place::Placer;
@@ -52,6 +55,7 @@ pub mod prelude {
     pub use spinn_neuron::lif::LifParams;
     pub use spinn_noc::direction::Direction;
     pub use spinn_noc::mesh::NodeCoord;
+    pub use spinn_obs::ObsMode;
     pub use spinn_sim::QueueKind;
 }
 
@@ -61,4 +65,5 @@ pub use spinn_machine as machine;
 pub use spinn_map as map;
 pub use spinn_neuron as neuron;
 pub use spinn_noc as noc;
+pub use spinn_obs as obs;
 pub use spinn_sim as sim;

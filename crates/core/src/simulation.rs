@@ -80,6 +80,15 @@ impl SimConfig {
         self.neurons_per_core = n;
         self
     }
+
+    /// Selects the telemetry level ([`spinn_obs::ObsMode`]) for the
+    /// run. Spike output is bit-identical across modes (telemetry
+    /// observes, it never steers); the default is
+    /// [`spinn_obs::ObsMode::Disabled`].
+    pub fn with_observability(mut self, obs: spinn_obs::ObsMode) -> Self {
+        self.machine.obs = obs;
+        self
+    }
 }
 
 /// A built (but not yet run) simulation.
@@ -415,6 +424,12 @@ impl Completed {
             "memory totals:       {} B synaptic SDRAM, {} dropped packet(s)",
             sdram_total, dropped_total
         );
+        // The run-telemetry section, present only when collection was
+        // enabled ([`SimConfig::with_observability`]).
+        let telemetry = self.machine.telemetry();
+        if telemetry.is_enabled() {
+            out.push_str(&telemetry.render_table());
+        }
         out
     }
 }

@@ -8,6 +8,7 @@
 //! core, 20 cores per chip, a node under 1 W.
 
 use spinn_noc::fabric::FabricConfig;
+use spinn_obs::ObsMode;
 use spinn_sim::QueueKind;
 
 /// Whole-machine configuration.
@@ -43,6 +44,11 @@ pub struct MachineConfig {
     /// dense same-timestamp event bursts where the heap pays
     /// `O(log n)` per event.
     pub queue: QueueKind,
+    /// Telemetry level for runs on this machine. [`ObsMode::Disabled`]
+    /// (the default) makes every instrumentation point a `None`-check;
+    /// no mode changes simulation results (golden-trace conformance
+    /// suite), only what is observed about them.
+    pub obs: ObsMode,
 }
 
 impl MachineConfig {
@@ -70,12 +76,19 @@ impl MachineConfig {
             costs: CostModel::default(),
             energy: EnergyModel::default(),
             queue: QueueKind::default(),
+            obs: ObsMode::default(),
         }
     }
 
     /// Selects the event-queue implementation for runs on this machine.
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    /// Selects the telemetry level for runs on this machine.
+    pub fn with_observability(mut self, obs: ObsMode) -> Self {
+        self.obs = obs;
         self
     }
 

@@ -33,6 +33,7 @@ use spinn_noc::fabric::{CtxScheduler, Delivery, DroppedPacket, Fabric, NocEvent,
 use spinn_noc::mesh::NodeCoord;
 use spinn_noc::packet::{Packet, PacketKind};
 use spinn_noc::router::RouterStats;
+use spinn_obs::{Counter, Observability, Phase, PhaseProbe, RunTelemetry, TraceKind};
 use spinn_par::{ParEngine, RemoteEvent, ShardModel};
 use spinn_sim::{
     CalendarQueue, Context, Engine, EventQueue, Histogram, Model, Queue, QueueKind, SimTime,
@@ -350,6 +351,12 @@ pub struct NeuralMachine {
     tick_inputs: Vec<i32>,
     delivery_scratch: Vec<Delivery>,
     dropped_scratch: Vec<DroppedPacket>,
+    /// Live telemetry handles for the current segment (shard-scoped
+    /// while sharded; the fabric holds a clone of the counter handle).
+    obs: Observability,
+    /// Telemetry accumulated across completed segments
+    /// ([`NeuralMachine::telemetry`]).
+    telemetry: RunTelemetry,
 }
 
 impl NeuralMachine {
@@ -357,8 +364,11 @@ impl NeuralMachine {
     pub fn new(cfg: MachineConfig) -> Self {
         let chips = cfg.chips();
         let per = cfg.cores_per_chip as usize;
+        let obs = Observability::new(cfg.obs);
+        let mut fabric = Fabric::new(cfg.fabric);
+        fabric.set_observability(obs.counters().clone());
         NeuralMachine {
-            fabric: Fabric::new(cfg.fabric),
+            fabric,
             cores: (0..chips * per).map(|_| None).collect(),
             dma_free_at: vec![0; chips],
             stimuli: Vec::new(),
@@ -375,8 +385,24 @@ impl NeuralMachine {
             tick_inputs: Vec::new(),
             delivery_scratch: Vec::new(),
             dropped_scratch: Vec::new(),
+            obs,
+            telemetry: RunTelemetry::default(),
             cfg,
         }
+    }
+
+    /// Re-creates the live telemetry handles scoped to `shard` and
+    /// re-registers the counter handle with the fabric (which may have
+    /// been replaced wholesale, e.g. by the shard-split clone).
+    fn install_observability(&mut self, shard: u32) {
+        self.obs = Observability::for_shard(self.cfg.obs, shard);
+        self.fabric.set_observability(self.obs.counters().clone());
+    }
+
+    /// Telemetry accumulated by completed run segments (empty unless
+    /// [`MachineConfig::obs`] enables collection).
+    pub fn telemetry(&self) -> &RunTelemetry {
+        &self.telemetry
     }
 
     /// Window/exchange counters of the last [`NeuralMachine::run_parallel`]
@@ -391,6 +417,10 @@ impl NeuralMachine {
     pub(crate) fn clear_par_stats(&mut self) {
         self.par_stats = None;
         self.timer_chips = (0..self.cfg.chips() as u32).collect();
+        // Telemetry describes *this* process's run, not the restored
+        // machine state: start the restored run's accounting fresh.
+        self.telemetry = RunTelemetry::default();
+        self.install_observability(0);
     }
 
     /// Enables pair-based STDP on every loaded core. Weight updates are
@@ -758,8 +788,13 @@ impl NeuralMachine {
             engine.schedule_at(SimTime::new(t), MachineEvent::FailLink { chip, dir });
         }
         engine.run_until(SimTime::new(Self::segment_end_ns(target)));
+        let queue_peak = engine.queue_peak() as u64;
         let (mut m, drained) = engine.into_parts();
         let pending_out = canonical_pending(vec![drained]);
+        m.obs.counters().gauge_max(Counter::QueuePeak, queue_peak);
+        let mut telemetry = std::mem::take(&mut m.telemetry);
+        telemetry.absorb(&mut m.obs);
+        m.telemetry = telemetry;
         m.finalize();
         (m, pending_out)
     }
@@ -789,6 +824,7 @@ impl NeuralMachine {
         let carry_latency = std::mem::replace(&mut self.spike_latency, Histogram::new(4000, 250));
         let carry_reissued = self.reissued_packets;
         let carry_writebacks = self.weight_writebacks;
+        let mut carry_telemetry = std::mem::take(&mut self.telemetry);
         let dma_free_at = self.dma_free_at.clone();
         let cfg = self.cfg;
         let per = cfg.cores_per_chip as usize;
@@ -805,6 +841,10 @@ impl NeuralMachine {
                 m.timer_chips = (0..chips as u32)
                     .filter(|&c| owner[c as usize] == s as u32)
                     .collect();
+                // The fabric replica above replaced the one `new` wired
+                // up: install shard-scoped handles against it (before
+                // the engines are built, which capture the phase probe).
+                m.install_observability(s as u32);
                 m
             })
             .collect();
@@ -854,11 +894,20 @@ impl NeuralMachine {
         }
         par.run_until(SimTime::new(Self::segment_end_ns(target)), lookahead);
         let stats = par.stats().clone();
+        let queue_peaks = par.queue_peaks();
 
         let mut parts = par.into_parts().into_iter();
         let (mut base, first_drained) = parts.next().expect("threads >= 2");
+        base.obs
+            .counters()
+            .gauge_max(Counter::QueuePeak, queue_peaks[0] as u64);
+        carry_telemetry.absorb(&mut base.obs);
         let mut drained = vec![first_drained];
         for (i, (mut m, d)) in parts.enumerate() {
+            m.obs
+                .counters()
+                .gauge_max(Counter::QueuePeak, queue_peaks[i + 1] as u64);
+            carry_telemetry.absorb(&mut m.obs);
             base.fabric.adopt_owned(&mut m.fabric, (i + 1) as u32);
             for (idx, slot) in m.cores.iter_mut().enumerate() {
                 if let Some(core) = slot.take() {
@@ -886,6 +935,7 @@ impl NeuralMachine {
         base.spike_latency.merge(&carry_latency);
         base.reissued_packets += carry_reissued;
         base.weight_writebacks += carry_writebacks;
+        base.telemetry = carry_telemetry;
         let pending_out = canonical_pending(drained);
         base.finalize();
         (base, pending_out)
@@ -1051,6 +1101,7 @@ impl NeuralMachine {
                 ..
             } = c;
             let base_key = *base_key;
+            let tok = self.obs.phases().start();
             neurons.step_tick(
                 |i| bias_na[i] + inputs[i] as f32 / 256.0,
                 |i| {
@@ -1058,16 +1109,24 @@ impl NeuralMachine {
                     last_post_ms[i] = tick_ms as f64;
                 },
             );
+            self.obs.phases().record(Phase::NeuronTick, tok);
             c.spikes_emitted += c.pending_spikes.len() as u64;
             let n_neurons = c.neurons.len() as u64;
             let n_spikes = c.pending_spikes.len() as u64;
+            self.obs.counters().add(Counter::NeuronsTicked, n_neurons);
+            self.obs.counters().add(Counter::Spikes, n_spikes);
             c.current = Some(WorkItem::Timer);
+            let now_ns = ctx.now().ticks();
+            let tracing = self.obs.tracing();
             let c = self.cores[idx].as_ref().expect("checked above");
             for &key in &c.pending_spikes {
                 self.spikes.push(SpikeRecord {
                     time_ms: tick_ms,
                     key,
                 });
+                if tracing {
+                    self.obs.trace(now_ns, TraceKind::Spike, key, tick_ms);
+                }
             }
             self.tick_inputs = inputs;
             let ns = self.charge(
@@ -1098,6 +1157,7 @@ impl NeuralMachine {
                     let done = start + self.cfg.dma_ns(bytes);
                     self.dma_free_at[chip as usize] = done;
                     self.meter.sdram_bytes += bytes;
+                    self.obs.counters().add(Counter::DmaBytes, bytes);
                     ctx.schedule_at(
                         SimTime::new(done),
                         MachineEvent::DmaDone { chip, core, key },
@@ -1110,6 +1170,8 @@ impl NeuralMachine {
                 let stdp = self.stdp;
                 let now_ms = now as f64 / MS as f64;
                 let mut writeback_bytes = None;
+                let row_events = c.matrix.row_len(row) as u64;
+                let tok = self.obs.phases().start();
                 {
                     let mut modified = false;
                     if let Some(p) = stdp {
@@ -1155,10 +1217,13 @@ impl NeuralMachine {
                         writeback_bytes = Some(matrix.row_bytes(row) as u64);
                     }
                 }
+                self.obs.phases().record(Phase::RowWalk, tok);
+                self.obs.counters().add(Counter::SynapticEvents, row_events);
                 if let Some(bytes) = writeback_bytes {
                     // §5.3: modified connectivity data is DMAed back.
                     self.weight_writebacks += 1;
                     self.meter.sdram_bytes += bytes;
+                    self.obs.counters().add(Counter::DmaBytes, bytes);
                     let start = now.max(self.dma_free_at[chip as usize]);
                     self.dma_free_at[chip as usize] = start + self.cfg.dma_ns(bytes);
                 }
@@ -1215,6 +1280,11 @@ impl NeuralMachine {
         let mut dropped_buf = std::mem::take(&mut self.dropped_scratch);
         self.fabric.swap_dropped(&mut dropped_buf);
         for dropped in dropped_buf.drain(..) {
+            if self.obs.tracing() {
+                let chip = self.fabric.torus().id_of(dropped.node) as u32;
+                self.obs
+                    .trace(dropped.time_ns, TraceKind::Drop, dropped.packet.key, chip);
+            }
             if dropped.packet.kind == PacketKind::Multicast && dropped.packet.timestamp < 3 {
                 let chip = self.fabric.torus().id_of(dropped.node) as u32;
                 ctx.schedule_in(
@@ -1236,6 +1306,7 @@ impl NeuralMachine {
             if d.packet.kind != PacketKind::Multicast {
                 continue; // p2p/nn system traffic is not used mid-run
             }
+            self.obs.trace(now, TraceKind::Packet, d.packet.key, d.hops);
             self.spike_latency.record(now - d.injected_at_ns);
             self.meter.packet_hops += d.hops as u64;
             let chip = self.fabric.torus().id_of(d.node) as u32;
@@ -1269,6 +1340,10 @@ impl ShardModel for NeuralMachine {
 
 impl Model for NeuralMachine {
     type Event = MachineEvent;
+
+    fn phase_probe(&self) -> PhaseProbe {
+        self.obs.phases().clone()
+    }
 
     /// Content-derived same-instant ordering.
     ///
@@ -1333,15 +1408,20 @@ impl Model for NeuralMachine {
 
     fn handle(&mut self, ctx: &mut Context<MachineEvent>, ev: MachineEvent) {
         let now = ctx.now().ticks();
+        self.obs.counters().add(Counter::Events, 1);
         match ev {
             MachineEvent::Noc(ev) => {
+                let tok = self.obs.phases().start();
                 self.fabric
-                    .handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc))
+                    .handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc));
+                self.obs.phases().record(Phase::RouterLookup, tok);
             }
             MachineEvent::Timer => self.on_timer(ctx),
             MachineEvent::FailLink { chip, dir } => {
                 let coord = self.fabric.torus().coord_of(chip as usize);
                 self.fabric.fail_link(coord, dir);
+                self.obs
+                    .trace(now, TraceKind::Fault, chip, dir.index() as u32);
             }
             MachineEvent::CoreDone { chip, core } => self.on_core_done(chip, core, ctx),
             MachineEvent::DmaDone { chip, core, key } => {

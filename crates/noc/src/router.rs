@@ -149,11 +149,15 @@ impl Router {
     fn refresh_compiled(&mut self) {
         if self.compiled.version() != self.table.version() {
             self.compiled = CompiledTable::compile(&self.table);
+            // Stats are cumulative across recompiles: both occupancy
+            // fields only ever ratchet upwards, so a wholesale table
+            // replacement (fault injection, migration) cannot regress
+            // what the monitor has already observed.
             self.stats.table_peak_entries = self
                 .stats
                 .table_peak_entries
                 .max(self.table.peak_len() as u64);
-            self.stats.table_capacity = self.table.capacity() as u64;
+            self.stats.table_capacity = self.stats.table_capacity.max(self.table.capacity() as u64);
         }
     }
 
@@ -363,6 +367,57 @@ mod tests {
         let _ = r.decide_mc(0, Port::Local);
         assert_eq!(r.stats.table_peak_entries, 5);
         assert_eq!(r.table.peak_len(), 5);
+    }
+
+    #[test]
+    fn stats_stay_cumulative_across_table_version_bumps() {
+        // Regression: stats live on the router, not the compiled table,
+        // and must keep accumulating across lazy recompiles — including
+        // a wholesale replacement with a *smaller* table, which used to
+        // regress the recorded capacity (plain assignment instead of a
+        // ratchet).
+        let mut r = Router::new(RouterConfig::default());
+        for key in 0..4 {
+            r.table
+                .insert(McTableEntry {
+                    key,
+                    mask: u32::MAX,
+                    route: RouteSet::EMPTY.with_core(1),
+                })
+                .unwrap();
+        }
+        let _ = r.decide_mc(0, Port::Local); // hit
+        let _ = r.decide_mc(99, Port::Link(Direction::West)); // default
+
+        // Edit-in-place bump: clear + re-insert.
+        r.table.clear();
+        r.table
+            .insert(McTableEntry {
+                key: 0,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_core(2),
+            })
+            .unwrap();
+        let _ = r.decide_mc(0, Port::Local); // hit against v2
+
+        // Wholesale replacement with a smaller-capacity table.
+        let mut small = McTable::new(16);
+        small
+            .insert(McTableEntry {
+                key: 0,
+                mask: u32::MAX,
+                route: RouteSet::EMPTY.with_core(3),
+            })
+            .unwrap();
+        r.table = small;
+        let _ = r.decide_mc(0, Port::Local); // hit against v3
+        let _ = r.decide_mc(1, Port::Local); // miss: unroutable
+
+        assert_eq!(r.stats.mc_table_hits, 3, "hits accumulate across bumps");
+        assert_eq!(r.stats.mc_default_routed, 1);
+        assert_eq!(r.stats.mc_unroutable_local, 1);
+        assert_eq!(r.stats.table_peak_entries, 4, "peak ratchets");
+        assert_eq!(r.stats.table_capacity, 1024, "capacity ratchets");
     }
 
     #[test]

@@ -1,0 +1,1008 @@
+//! # spinn-obs — low-overhead run telemetry
+//!
+//! SpiNNaker ships monitor cores and router diagnostic counters because
+//! a million-core run is undebuggable without them. This crate is the
+//! simulated machine's equivalent: a telemetry core the whole stack
+//! threads through, cheap enough to leave compiled in everywhere.
+//!
+//! Three collection layers, each independently zero-cost when off:
+//!
+//! * **Counters** ([`CounterShard`]) — a per-shard, cache-line-padded
+//!   registry of relaxed-atomic event counters ([`Counter`]): spikes,
+//!   packets by route class, drops, DMA bytes, queue occupancy
+//!   high-water, emergency-route hops. A disabled shard is a `None`
+//!   handle; [`CounterShard::add`] on it is a branch and nothing else.
+//! * **Phase timing** ([`PhaseProbe`]) — fixed-bucket log2 histograms
+//!   over the tick phases ([`Phase`]): queue pop, neuron tick,
+//!   synaptic-row walk, router lookup, barrier wait. Enabled only in
+//!   [`ObsMode::CountersAndTrace`], because each sample costs two
+//!   monotonic-clock reads.
+//! * **Event tracing** ([`Tracer`]) — a bounded ring buffer of
+//!   spike/packet/drop/fault records with overwrite accounting. The hot
+//!   path never blocks and never allocates past the ring's capacity;
+//!   the ring flushes to JSONL via [`RunTelemetry::trace_jsonl`].
+//!
+//! Per-run results accumulate in a [`RunTelemetry`], which merges any
+//! number of per-shard [`Observability`] handles (serial runs are one
+//! shard) and renders the per-loop ns/neuron and ns/synaptic-event rows
+//! the benchmark pipeline records.
+//!
+//! **Determinism**: telemetry observes, it never steers. Simulation
+//! results are bit-identical across every [`ObsMode`] — locked down by
+//! the golden-trace conformance suite (`tests/telemetry_determinism.rs`
+//! in the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How much telemetry a run collects.
+///
+/// The mode is a run knob, not part of a machine's identity: snapshots
+/// taken under one mode restore under any other, and spike output is
+/// bit-identical across all three.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ObsMode {
+    /// No collection. Every hook is a `None`-check (the default).
+    #[default]
+    Disabled,
+    /// Event counters only: relaxed-atomic increments, cheap enough
+    /// for production runs (the CI overhead gate holds this within 5%
+    /// of [`ObsMode::Disabled`] throughput).
+    Counters,
+    /// Counters plus tick-phase timing histograms plus the bounded
+    /// event tracer — the debugging/profiling mode.
+    CountersAndTrace,
+}
+
+impl std::fmt::Display for ObsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsMode::Disabled => f.write_str("disabled"),
+            ObsMode::Counters => f.write_str("counters"),
+            ObsMode::CountersAndTrace => f.write_str("counters+trace"),
+        }
+    }
+}
+
+/// One entry of the counter registry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Neurons that fired.
+    Spikes,
+    /// Neurons stepped through their 1 ms tick update.
+    NeuronsTicked,
+    /// Synaptic words deposited by row walks.
+    SynapticEvents,
+    /// Multicast routing decisions taken.
+    PacketsMc,
+    /// Point-to-point packets delivered or forwarded.
+    PacketsP2p,
+    /// Nearest-neighbour packets delivered.
+    PacketsNn,
+    /// Packets dropped (unroutable, retry-exhausted or aged out).
+    PacketsDropped,
+    /// Bytes moved over the simulated SDRAM DMA ports.
+    DmaBytes,
+    /// Emergency-route hops (first legs taken plus second legs closed).
+    EmergencyHops,
+    /// Event-queue occupancy high-water mark (a gauge: merged with
+    /// `max`, not summed).
+    QueuePeak,
+    /// Events dispatched by the discrete-event engine.
+    Events,
+}
+
+impl Counter {
+    /// Number of counters in the registry.
+    pub const COUNT: usize = 11;
+
+    /// Every counter, in registry order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::Spikes,
+        Counter::NeuronsTicked,
+        Counter::SynapticEvents,
+        Counter::PacketsMc,
+        Counter::PacketsP2p,
+        Counter::PacketsNn,
+        Counter::PacketsDropped,
+        Counter::DmaBytes,
+        Counter::EmergencyHops,
+        Counter::QueuePeak,
+        Counter::Events,
+    ];
+
+    /// Stable snake_case name (the JSON/JSONL key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Spikes => "spikes",
+            Counter::NeuronsTicked => "neurons_ticked",
+            Counter::SynapticEvents => "synaptic_events",
+            Counter::PacketsMc => "packets_mc",
+            Counter::PacketsP2p => "packets_p2p",
+            Counter::PacketsNn => "packets_nn",
+            Counter::PacketsDropped => "packets_dropped",
+            Counter::DmaBytes => "dma_bytes",
+            Counter::EmergencyHops => "emergency_hops",
+            Counter::QueuePeak => "queue_peak",
+            Counter::Events => "events",
+        }
+    }
+
+    /// True for gauges (merged with `max` rather than summed).
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Counter::QueuePeak)
+    }
+}
+
+/// One atomic counter padded out to its own cache line, so shards (and
+/// the fabric handle cloned from a shard) never false-share.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct PaddedU64(AtomicU64);
+
+/// The per-shard counter storage.
+#[derive(Debug)]
+struct CounterSet {
+    vals: [PaddedU64; Counter::COUNT],
+}
+
+impl CounterSet {
+    fn new() -> CounterSet {
+        CounterSet {
+            vals: std::array::from_fn(|_| PaddedU64::default()),
+        }
+    }
+}
+
+/// A cloneable handle onto one shard's counter set (or onto nothing,
+/// when telemetry is disabled). Clones share the same storage — the
+/// machine hands one clone to its fabric so router increments land in
+/// the owning shard's registry.
+#[derive(Clone, Debug, Default)]
+pub struct CounterShard(Option<Arc<CounterSet>>);
+
+impl CounterShard {
+    /// A live shard with fresh (all-zero) counters.
+    pub fn enabled() -> CounterShard {
+        CounterShard(Some(Arc::new(CounterSet::new())))
+    }
+
+    /// Whether increments on this handle are recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to `c` (relaxed; a no-op branch when disabled).
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(set) = &self.0 {
+            set.vals[c as usize].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises gauge `c` to at least `v` (relaxed `fetch_max`).
+    #[inline]
+    pub fn gauge_max(&self, c: Counter, v: u64) {
+        if let Some(set) = &self.0 {
+            set.vals[c as usize].0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads every counter (zeros when disabled).
+    pub fn snapshot(&self) -> [u64; Counter::COUNT] {
+        match &self.0 {
+            Some(set) => std::array::from_fn(|i| set.vals[i].0.load(Ordering::Relaxed)),
+            None => [0; Counter::COUNT],
+        }
+    }
+
+    /// Reads and resets every counter (the segment-end harvest).
+    pub fn drain(&self) -> [u64; Counter::COUNT] {
+        match &self.0 {
+            Some(set) => std::array::from_fn(|i| set.vals[i].0.swap(0, Ordering::Relaxed)),
+            None => [0; Counter::COUNT],
+        }
+    }
+}
+
+/// The instrumented phases of the machine's event loop.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Popping the next event off the event queue.
+    QueuePop,
+    /// Stepping a core's neuron pool through one 1 ms tick.
+    NeuronTick,
+    /// Walking a synaptic row into the input ring.
+    RowWalk,
+    /// A fabric event: router lookup, link arbitration, retries.
+    RouterLookup,
+    /// Waiting at a window barrier of the sharded engine.
+    BarrierWait,
+}
+
+impl Phase {
+    /// Number of instrumented phases.
+    pub const COUNT: usize = 5;
+
+    /// Every phase, in storage order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::QueuePop,
+        Phase::NeuronTick,
+        Phase::RowWalk,
+        Phase::RouterLookup,
+        Phase::BarrierWait,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::QueuePop => "queue_pop",
+            Phase::NeuronTick => "neuron_tick",
+            Phase::RowWalk => "row_walk",
+            Phase::RouterLookup => "router_lookup",
+            Phase::BarrierWait => "barrier_wait",
+        }
+    }
+}
+
+/// Number of log2 duration buckets per phase: bucket 0 holds 0 ns,
+/// bucket `i` holds durations in `[2^(i-1), 2^i)` ns, bucket 31 holds
+/// everything from ~1 s up.
+pub const PHASE_BUCKETS: usize = 32;
+
+#[derive(Debug)]
+struct PhaseSlot {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    buckets: [AtomicU64; PHASE_BUCKETS],
+}
+
+impl PhaseSlot {
+    fn new() -> PhaseSlot {
+        PhaseSlot {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PhaseSet {
+    slots: [PhaseSlot; Phase::COUNT],
+}
+
+/// The log2 bucket a duration falls in.
+fn bucket_of(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((ns.ilog2() as usize) + 1).min(PHASE_BUCKETS - 1)
+    }
+}
+
+/// A started phase measurement (see [`PhaseProbe::start`]). Carries no
+/// clock read when timing is disabled.
+#[must_use = "pass the token back to PhaseProbe::record"]
+#[derive(Debug)]
+pub struct PhaseToken(Option<Instant>);
+
+/// A cloneable handle onto one shard's phase-timing histograms (or onto
+/// nothing). The engine and the parallel driver each hold a clone;
+/// samples land in the shard's shared storage.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProbe(Option<Arc<PhaseSet>>);
+
+impl PhaseProbe {
+    /// A live probe with fresh histograms.
+    pub fn enabled() -> PhaseProbe {
+        PhaseProbe(Some(Arc::new(PhaseSet {
+            slots: std::array::from_fn(|_| PhaseSlot::new()),
+        })))
+    }
+
+    /// Whether samples on this handle are recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Starts a measurement. Reads the monotonic clock only when the
+    /// probe is live; a disabled probe returns an inert token.
+    #[inline]
+    pub fn start(&self) -> PhaseToken {
+        PhaseToken(self.0.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Completes a measurement, attributing the elapsed time to
+    /// `phase`. Inert tokens are dropped for free.
+    #[inline]
+    pub fn record(&self, phase: Phase, token: PhaseToken) {
+        if let (Some(set), Some(t0)) = (&self.0, token.0) {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let slot = &set.slots[phase as usize];
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            slot.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            slot.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads and resets every phase histogram (the segment-end
+    /// harvest). All zeros when disabled.
+    pub fn drain(&self) -> [PhaseStats; Phase::COUNT] {
+        match &self.0 {
+            Some(set) => std::array::from_fn(|i| {
+                let slot = &set.slots[i];
+                PhaseStats {
+                    count: slot.count.swap(0, Ordering::Relaxed),
+                    sum_ns: slot.sum_ns.swap(0, Ordering::Relaxed),
+                    buckets: std::array::from_fn(|b| slot.buckets[b].swap(0, Ordering::Relaxed)),
+                }
+            }),
+            None => std::array::from_fn(|_| PhaseStats::default()),
+        }
+    }
+}
+
+/// A harvested phase histogram: sample count, total nanoseconds and the
+/// log2 duration buckets.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Total nanoseconds across all samples.
+    pub sum_ns: u64,
+    /// Log2 duration buckets (see [`PHASE_BUCKETS`]).
+    pub buckets: [u64; PHASE_BUCKETS],
+}
+
+impl PhaseStats {
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Mean sample duration, ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// What kind of event a trace record describes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A neuron fired: `a` = routing key, `b` = tick (ms).
+    Spike,
+    /// A packet delivered: `a` = routing key, `b` = hop count.
+    Packet,
+    /// A packet dropped: `a` = routing key, `b` = chip id.
+    Drop,
+    /// A fault fired: `a` = chip id, `b` = link direction index.
+    Fault,
+}
+
+impl TraceKind {
+    /// Stable lowercase name (the JSONL `kind` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Spike => "spike",
+            TraceKind::Packet => "packet",
+            TraceKind::Drop => "drop",
+            TraceKind::Fault => "fault",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the event, ns.
+    pub time_ns: u64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// First payload word (see [`TraceKind`] for the meaning).
+    pub a: u32,
+    /// Second payload word.
+    pub b: u32,
+}
+
+/// Default per-shard trace ring capacity.
+pub const DEFAULT_TRACE_CAP: usize = 16 * 1024;
+
+/// A bounded ring buffer of [`TraceRecord`]s. Recording never blocks
+/// and never grows past the capacity: when full, the oldest record is
+/// overwritten and [`Tracer::overwritten`] counts the loss.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    ring: VecDeque<TraceRecord>,
+    cap: usize,
+    overwritten: u64,
+}
+
+impl Tracer {
+    /// A tracer bounded at `cap` records (at least 1).
+    pub fn new(cap: usize) -> Tracer {
+        let cap = cap.max(1);
+        Tracer {
+            ring: VecDeque::with_capacity(cap),
+            cap,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, time_ns: u64, kind: TraceKind, a: u32, b: u32) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.overwritten += 1;
+        }
+        self.ring.push_back(TraceRecord {
+            time_ns,
+            kind,
+            a,
+            b,
+        });
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Records lost to overwriting so far.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Takes every record (oldest first) and resets the loss counter.
+    pub fn drain(&mut self) -> (Vec<TraceRecord>, u64) {
+        let lost = std::mem::take(&mut self.overwritten);
+        (self.ring.drain(..).collect(), lost)
+    }
+}
+
+/// One shard's complete telemetry handles for a run segment: the
+/// counter registry, the phase probe and (in
+/// [`ObsMode::CountersAndTrace`]) the event tracer.
+#[derive(Debug, Default)]
+pub struct Observability {
+    mode: ObsMode,
+    shard: u32,
+    counters: CounterShard,
+    phases: PhaseProbe,
+    tracer: Option<Tracer>,
+}
+
+impl Observability {
+    /// Telemetry for a serial run (shard 0).
+    pub fn new(mode: ObsMode) -> Observability {
+        Observability::for_shard(mode, 0)
+    }
+
+    /// Telemetry for one shard of a sharded run.
+    pub fn for_shard(mode: ObsMode, shard: u32) -> Observability {
+        let (counters, phases, tracer) = match mode {
+            ObsMode::Disabled => (CounterShard::default(), PhaseProbe::default(), None),
+            ObsMode::Counters => (CounterShard::enabled(), PhaseProbe::default(), None),
+            ObsMode::CountersAndTrace => (
+                CounterShard::enabled(),
+                PhaseProbe::enabled(),
+                Some(Tracer::new(DEFAULT_TRACE_CAP)),
+            ),
+        };
+        Observability {
+            mode,
+            shard,
+            counters,
+            phases,
+            tracer,
+        }
+    }
+
+    /// The collection mode.
+    pub fn mode(&self) -> ObsMode {
+        self.mode
+    }
+
+    /// The shard this telemetry belongs to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// The counter registry handle (cloneable; hand clones to
+    /// subsystems so their increments land here).
+    pub fn counters(&self) -> &CounterShard {
+        &self.counters
+    }
+
+    /// The phase-timing handle (cloneable).
+    pub fn phases(&self) -> &PhaseProbe {
+        &self.phases
+    }
+
+    /// Whether the tracer is live.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Appends a trace record (a no-op branch unless tracing).
+    #[inline]
+    pub fn trace(&mut self, time_ns: u64, kind: TraceKind, a: u32, b: u32) {
+        if let Some(t) = &mut self.tracer {
+            t.record(time_ns, kind, a, b);
+        }
+    }
+}
+
+/// Telemetry of one shard as accumulated into a [`RunTelemetry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// The shard id (0 for serial runs).
+    pub shard: u32,
+    /// Counter totals, indexed by [`Counter`] (gauges hold the max).
+    pub counters: [u64; Counter::COUNT],
+    /// Phase histograms, indexed by [`Phase`].
+    pub phases: [PhaseStats; Phase::COUNT],
+}
+
+/// Machine-level trace bound: segments append their shard rings here,
+/// oldest records dropping first.
+const RUN_TRACE_CAP: usize = 64 * 1024;
+
+/// A whole run's accumulated telemetry: per-shard counters and phase
+/// histograms plus the merged event trace. Built by absorbing each
+/// segment's per-shard [`Observability`] handles; survives any mix of
+/// thread counts across segments (shards merge by id).
+#[derive(Clone, Debug, Default)]
+pub struct RunTelemetry {
+    mode: ObsMode,
+    shards: Vec<ShardTelemetry>,
+    trace: VecDeque<TraceRecord>,
+    trace_overwritten: u64,
+}
+
+impl RunTelemetry {
+    /// The strongest collection mode absorbed so far.
+    pub fn mode(&self) -> ObsMode {
+        self.mode
+    }
+
+    /// Whether any telemetry was collected.
+    pub fn is_enabled(&self) -> bool {
+        self.mode != ObsMode::Disabled
+    }
+
+    /// Per-shard telemetry, ordered by shard id.
+    pub fn shards(&self) -> &[ShardTelemetry] {
+        &self.shards
+    }
+
+    /// The merged event trace, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.trace.iter()
+    }
+
+    /// Trace records lost to ring bounds (per-shard and merged).
+    pub fn trace_overwritten(&self) -> u64 {
+        self.trace_overwritten
+    }
+
+    /// Folds one shard's segment telemetry into the run totals,
+    /// draining (and so resetting) the live handles.
+    pub fn absorb(&mut self, obs: &mut Observability) {
+        if obs.mode == ObsMode::Disabled {
+            return;
+        }
+        if self.mode == ObsMode::Disabled || obs.mode == ObsMode::CountersAndTrace {
+            self.mode = obs.mode;
+        }
+        let counters = obs.counters.drain();
+        let phases = obs.phases.drain();
+        let entry = match self.shards.iter_mut().find(|s| s.shard == obs.shard) {
+            Some(e) => e,
+            None => {
+                self.shards.push(ShardTelemetry {
+                    shard: obs.shard,
+                    counters: [0; Counter::COUNT],
+                    phases: std::array::from_fn(|_| PhaseStats::default()),
+                });
+                self.shards.sort_by_key(|s| s.shard);
+                self.shards
+                    .iter_mut()
+                    .find(|s| s.shard == obs.shard)
+                    .expect("just inserted")
+            }
+        };
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if c.is_gauge() {
+                entry.counters[i] = entry.counters[i].max(counters[i]);
+            } else {
+                entry.counters[i] += counters[i];
+            }
+        }
+        for (slot, seg) in entry.phases.iter_mut().zip(phases.iter()) {
+            slot.merge(seg);
+        }
+        if let Some(t) = &mut obs.tracer {
+            let (records, lost) = t.drain();
+            self.trace_overwritten += lost;
+            for r in records {
+                if self.trace.len() == RUN_TRACE_CAP {
+                    self.trace.pop_front();
+                    self.trace_overwritten += 1;
+                }
+                self.trace.push_back(r);
+            }
+        }
+    }
+
+    /// Folds another run's telemetry into this one (shards merge by
+    /// id) — the segment-carry path of the sharded machine.
+    pub fn merge(&mut self, other: &RunTelemetry) {
+        if other.mode == ObsMode::Disabled {
+            return;
+        }
+        if self.mode == ObsMode::Disabled || other.mode == ObsMode::CountersAndTrace {
+            self.mode = other.mode;
+        }
+        for os in &other.shards {
+            match self.shards.iter_mut().find(|s| s.shard == os.shard) {
+                Some(e) => {
+                    for (i, c) in Counter::ALL.iter().enumerate() {
+                        if c.is_gauge() {
+                            e.counters[i] = e.counters[i].max(os.counters[i]);
+                        } else {
+                            e.counters[i] += os.counters[i];
+                        }
+                    }
+                    for (slot, seg) in e.phases.iter_mut().zip(os.phases.iter()) {
+                        slot.merge(seg);
+                    }
+                }
+                None => self.shards.push(os.clone()),
+            }
+        }
+        self.shards.sort_by_key(|s| s.shard);
+        self.trace_overwritten += other.trace_overwritten;
+        for r in &other.trace {
+            if self.trace.len() == RUN_TRACE_CAP {
+                self.trace.pop_front();
+                self.trace_overwritten += 1;
+            }
+            self.trace.push_back(*r);
+        }
+    }
+
+    /// Counter total across shards (gauges report the max).
+    pub fn total(&self, c: Counter) -> u64 {
+        let i = c as usize;
+        if c.is_gauge() {
+            self.shards.iter().map(|s| s.counters[i]).max().unwrap_or(0)
+        } else {
+            self.shards.iter().map(|s| s.counters[i]).sum()
+        }
+    }
+
+    /// Phase histogram merged across shards.
+    pub fn phase_total(&self, p: Phase) -> PhaseStats {
+        let mut out = PhaseStats::default();
+        for s in &self.shards {
+            out.merge(&s.phases[p as usize]);
+        }
+        out
+    }
+
+    /// Nanoseconds of neuron-tick phase per neuron update (NaN without
+    /// phase timing).
+    pub fn ns_per_neuron(&self) -> f64 {
+        let n = self.total(Counter::NeuronsTicked);
+        let t = self.phase_total(Phase::NeuronTick);
+        if n == 0 || t.count == 0 {
+            f64::NAN
+        } else {
+            t.sum_ns as f64 / n as f64
+        }
+    }
+
+    /// Nanoseconds of row-walk phase per synaptic event (NaN without
+    /// phase timing).
+    pub fn ns_per_synaptic_event(&self) -> f64 {
+        let n = self.total(Counter::SynapticEvents);
+        let t = self.phase_total(Phase::RowWalk);
+        if n == 0 || t.count == 0 {
+            f64::NAN
+        } else {
+            t.sum_ns as f64 / n as f64
+        }
+    }
+
+    /// Barrier-wait time as a fraction of all timed phase time (NaN
+    /// without phase timing).
+    pub fn barrier_wait_share(&self) -> f64 {
+        let total: u64 = Phase::ALL.iter().map(|&p| self.phase_total(p).sum_ns).sum();
+        if total == 0 {
+            f64::NAN
+        } else {
+            self.phase_total(Phase::BarrierWait).sum_ns as f64 / total as f64
+        }
+    }
+
+    /// Event-count skew across shards: `max/min` of per-shard
+    /// dispatched events (1.0 for a single shard, NaN when empty).
+    pub fn shard_skew(&self) -> f64 {
+        let i = Counter::Events as usize;
+        let counts: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.counters[i])
+            .filter(|&c| c > 0)
+            .collect();
+        match (counts.iter().max(), counts.iter().min()) {
+            (Some(&max), Some(&min)) if min > 0 => max as f64 / min as f64,
+            _ => f64::NAN,
+        }
+    }
+
+    /// The human-readable telemetry section of a run report.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "telemetry:           mode {}, {} shard(s)",
+            self.mode,
+            self.shards.len()
+        );
+        let _ = writeln!(
+            out,
+            "  counters:          {} spikes, {} mc / {} p2p / {} nn packets, {} dropped, {} emergency hops",
+            self.total(Counter::Spikes),
+            self.total(Counter::PacketsMc),
+            self.total(Counter::PacketsP2p),
+            self.total(Counter::PacketsNn),
+            self.total(Counter::PacketsDropped),
+            self.total(Counter::EmergencyHops),
+        );
+        let _ = writeln!(
+            out,
+            "  load:              {} events, {} neuron ticks, {} synaptic events, {} DMA B, queue peak {}",
+            self.total(Counter::Events),
+            self.total(Counter::NeuronsTicked),
+            self.total(Counter::SynapticEvents),
+            self.total(Counter::DmaBytes),
+            self.total(Counter::QueuePeak),
+        );
+        if self.mode == ObsMode::CountersAndTrace {
+            let mut phases = String::new();
+            for &p in &Phase::ALL {
+                let t = self.phase_total(p);
+                if t.count == 0 {
+                    continue;
+                }
+                let _ = write!(
+                    phases,
+                    "{} {:.2} ms ({} x {:.0} ns)  ",
+                    p.name(),
+                    t.sum_ns as f64 / 1e6,
+                    t.count,
+                    t.mean_ns()
+                );
+            }
+            let _ = writeln!(out, "  phases:            {}", phases.trim_end());
+            let _ = writeln!(
+                out,
+                "  per-loop:          {:.1} ns/neuron, {:.1} ns/synaptic-event, barrier share {:.1}%",
+                self.ns_per_neuron(),
+                self.ns_per_synaptic_event(),
+                100.0 * if self.barrier_wait_share().is_nan() {
+                    0.0
+                } else {
+                    self.barrier_wait_share()
+                },
+            );
+            let _ = writeln!(
+                out,
+                "  trace:             {} record(s), {} overwritten",
+                self.trace.len(),
+                self.trace_overwritten
+            );
+        }
+        if self.shards.len() > 1 {
+            let skew = self.shard_skew();
+            let _ = writeln!(
+                out,
+                "  shard skew:        events max/min {:.2}x across {} shards",
+                skew,
+                self.shards.len()
+            );
+        }
+        out
+    }
+
+    /// Flushes the merged event trace as JSONL: one object per record
+    /// (`{"t_ns":…,"kind":"…","a":…,"b":…}`), oldest first.
+    pub fn trace_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.trace {
+            let _ = writeln!(
+                out,
+                "{{\"t_ns\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+                r.time_ns,
+                r.kind.name(),
+                r.a,
+                r.b
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let shard = CounterShard::default();
+        shard.add(Counter::Spikes, 5);
+        shard.gauge_max(Counter::QueuePeak, 9);
+        assert_eq!(shard.snapshot(), [0; Counter::COUNT]);
+        let probe = PhaseProbe::default();
+        let tok = probe.start();
+        probe.record(Phase::QueuePop, tok);
+        assert!(probe.drain().iter().all(|p| p.count == 0));
+    }
+
+    #[test]
+    fn counters_add_and_gauge() {
+        let shard = CounterShard::enabled();
+        shard.add(Counter::Spikes, 2);
+        shard.add(Counter::Spikes, 3);
+        shard.gauge_max(Counter::QueuePeak, 7);
+        shard.gauge_max(Counter::QueuePeak, 4);
+        let snap = shard.snapshot();
+        assert_eq!(snap[Counter::Spikes as usize], 5);
+        assert_eq!(snap[Counter::QueuePeak as usize], 7);
+        // Clones share storage.
+        let clone = shard.clone();
+        clone.add(Counter::Spikes, 1);
+        assert_eq!(shard.snapshot()[Counter::Spikes as usize], 6);
+        // Drain resets.
+        assert_eq!(shard.drain()[Counter::Spikes as usize], 6);
+        assert_eq!(shard.snapshot()[Counter::Spikes as usize], 0);
+    }
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), PHASE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn phase_probe_records() {
+        let probe = PhaseProbe::enabled();
+        let tok = probe.start();
+        probe.record(Phase::NeuronTick, tok);
+        let stats = probe.drain();
+        assert_eq!(stats[Phase::NeuronTick as usize].count, 1);
+        assert_eq!(
+            stats[Phase::NeuronTick as usize]
+                .buckets
+                .iter()
+                .sum::<u64>(),
+            1
+        );
+        // Drained.
+        assert_eq!(probe.drain()[Phase::NeuronTick as usize].count, 0);
+    }
+
+    #[test]
+    fn tracer_bounds_and_accounts() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u32 {
+            t.record(i as u64, TraceKind::Spike, i, 0);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.overwritten(), 2);
+        let (records, lost) = t.drain();
+        assert_eq!(lost, 2);
+        assert_eq!(
+            records.iter().map(|r| r.a).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.overwritten(), 0);
+    }
+
+    #[test]
+    fn telemetry_absorbs_shards_by_id() {
+        let mut run = RunTelemetry::default();
+        let mut s0 = Observability::for_shard(ObsMode::Counters, 0);
+        let mut s1 = Observability::for_shard(ObsMode::Counters, 1);
+        s0.counters().add(Counter::Spikes, 10);
+        s0.counters().gauge_max(Counter::QueuePeak, 5);
+        s1.counters().add(Counter::Spikes, 4);
+        run.absorb(&mut s0);
+        run.absorb(&mut s1);
+        // A second segment on shard 0 accumulates.
+        s0.counters().add(Counter::Spikes, 1);
+        s0.counters().gauge_max(Counter::QueuePeak, 3);
+        run.absorb(&mut s0);
+        assert_eq!(run.shards().len(), 2);
+        assert_eq!(run.total(Counter::Spikes), 15);
+        assert_eq!(run.total(Counter::QueuePeak), 5);
+        assert!(run.is_enabled());
+    }
+
+    #[test]
+    fn telemetry_merges_traces_and_renders() {
+        let mut run = RunTelemetry::default();
+        let mut obs = Observability::new(ObsMode::CountersAndTrace);
+        obs.counters().add(Counter::Spikes, 1);
+        obs.counters().add(Counter::NeuronsTicked, 2);
+        obs.counters().add(Counter::SynapticEvents, 3);
+        let tok = obs.phases().start();
+        obs.phases().record(Phase::NeuronTick, tok);
+        obs.trace(1_000, TraceKind::Spike, 0x10, 0);
+        obs.trace(2_000, TraceKind::Drop, 0x20, 3);
+        run.absorb(&mut obs);
+        assert_eq!(run.trace().count(), 2);
+        let jsonl = run.trace_jsonl();
+        assert!(jsonl.contains("\"kind\":\"spike\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"drop\""), "{jsonl}");
+        assert_eq!(jsonl.lines().count(), 2);
+        let table = run.render_table();
+        assert!(table.contains("telemetry:"), "{table}");
+        assert!(table.contains("counters+trace"), "{table}");
+        assert!(table.contains("ns/neuron"), "{table}");
+    }
+
+    #[test]
+    fn disabled_absorb_is_a_noop() {
+        let mut run = RunTelemetry::default();
+        let mut obs = Observability::new(ObsMode::Disabled);
+        obs.counters().add(Counter::Spikes, 99);
+        run.absorb(&mut obs);
+        assert!(!run.is_enabled());
+        assert!(run.shards().is_empty());
+    }
+
+    #[test]
+    fn run_merge_combines_by_shard() {
+        let mut a = RunTelemetry::default();
+        let mut b = RunTelemetry::default();
+        let mut s = Observability::for_shard(ObsMode::Counters, 2);
+        s.counters().add(Counter::Events, 7);
+        a.absorb(&mut s);
+        s.counters().add(Counter::Events, 5);
+        b.absorb(&mut s);
+        a.merge(&b);
+        assert_eq!(a.total(Counter::Events), 12);
+        assert_eq!(a.shards().len(), 1);
+    }
+}

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use spinn_obs::Phase;
 use spinn_sim::{Engine, EventQueue, Model, Queue, SimTime};
 
 /// Sentinel for "this shard's queue is empty".
@@ -237,6 +238,13 @@ where
         &self.stats
     }
 
+    /// Each shard queue's occupancy high-water mark, in shard order
+    /// (see [`spinn_sim::Queue::peak_len`]). Read before
+    /// [`ParEngine::into_parts`], which drains the queues.
+    pub fn queue_peaks(&self) -> Vec<usize> {
+        self.shards.iter().map(Engine::queue_peak).collect()
+    }
+
     /// Consumes the engine, returning the shard models in shard order.
     pub fn into_models(self) -> Vec<M> {
         self.shards.into_iter().map(Engine::into_model).collect()
@@ -308,6 +316,10 @@ fn shard_loop<M: ShardModel, Q: Queue<M::Event>>(
 ) -> ParStats {
     let mut stats = ParStats::default();
     let mut seq = 0u64;
+    // Barrier waits are where shard imbalance shows up: a shard that
+    // finishes its window early burns the difference here. Time both
+    // waits into the shard's probe (inert unless telemetry is on).
+    let probe = shard.probe().clone();
     loop {
         // Phase 1: publish my earliest pending timestamp, then agree on
         // the global minimum. No thread can restart phase 1 before every
@@ -315,7 +327,9 @@ fn shard_loop<M: ShardModel, Q: Queue<M::Event>>(
         // all workers compute the same minimum.
         let local = shard.next_event_time().map_or(IDLE, |t| t.ticks());
         next[me].store(local, Ordering::Release);
+        let tok = probe.start();
         barrier.wait();
+        probe.record(Phase::BarrierWait, tok);
         let min = next
             .iter()
             .map(|a| a.load(Ordering::Acquire))
@@ -357,7 +371,9 @@ fn shard_loop<M: ShardModel, Q: Queue<M::Event>>(
                 .expect("mailbox poisoned")
                 .push(env);
         }
+        let tok = probe.start();
         barrier.wait();
+        probe.record(Phase::BarrierWait, tok);
 
         // Phase 3: drain my mailbox in canonical order, so FIFO
         // tie-breaking in the queue is independent of thread timing.

@@ -133,6 +133,8 @@ pub struct CalendarQueue<E> {
     seq: u64,
     /// Time of the most recent pop (monotonic-push floor).
     floor: u64,
+    /// Occupancy high-water mark (see [`Queue::peak_len`]).
+    peak: usize,
 }
 
 impl<E> CalendarQueue<E> {
@@ -148,6 +150,7 @@ impl<E> CalendarQueue<E> {
             next_tick: None,
             seq: 0,
             floor: 0,
+            peak: 0,
         }
     }
 
@@ -188,6 +191,7 @@ impl<E> CalendarQueue<E> {
             self.overflow.entry(t).or_default().push(entry);
             self.overflow_entries += 1;
         }
+        self.peak = self.peak.max(self.ring_entries + self.overflow_entries);
         self.next_tick = Some(self.next_tick.map_or(t, |n| n.min(t)));
     }
 
@@ -260,6 +264,11 @@ impl<E> CalendarQueue<E> {
         self.len() == 0
     }
 
+    /// Occupancy high-water mark (see [`Queue::peak_len`]).
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
     /// Removes every pending event and resets the insertion-sequence
     /// counter (same replay-after-reuse semantics as
     /// [`EventQueue::clear`](crate::EventQueue::clear)).
@@ -276,6 +285,7 @@ impl<E> CalendarQueue<E> {
         self.next_tick = None;
         self.seq = 0;
         self.floor = 0;
+        self.peak = 0;
     }
 
     /// Earliest occupied tick at or after `from`, across ring and
@@ -325,6 +335,9 @@ impl<E> Queue<E> for CalendarQueue<E> {
     }
     fn len(&self) -> usize {
         CalendarQueue::len(self)
+    }
+    fn peak_len(&self) -> usize {
+        CalendarQueue::peak_len(self)
     }
     fn clear(&mut self) {
         CalendarQueue::clear(self);

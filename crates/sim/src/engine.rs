@@ -1,5 +1,7 @@
 //! The simulation engine: drives a [`Model`] from the event queue.
 
+use spinn_obs::{Phase, PhaseProbe};
+
 use crate::event::EventQueue;
 use crate::queue::Queue;
 use crate::time::SimTime;
@@ -31,6 +33,17 @@ pub trait Model {
     /// (their handling order must not affect the model's final state).
     fn tie_rank(_event: &Self::Event) -> u128 {
         0
+    }
+
+    /// The phase-timing probe the engine should record queue-pop (and,
+    /// in drivers like `spinn-par`, barrier-wait) samples into.
+    ///
+    /// The engine captures this once at construction
+    /// ([`Engine::new_in`] / [`Engine::resume_at`]). The default is a
+    /// disabled probe: every timing hook reduces to a `None`-check, so
+    /// uninstrumented models pay nothing.
+    fn phase_probe(&self) -> PhaseProbe {
+        PhaseProbe::default()
     }
 }
 
@@ -113,6 +126,9 @@ pub struct Engine<M: Model, Q: Queue<M::Event> = EventQueue<<M as Model>::Event>
     /// per-event allocation of handler-scheduled follow-on events (a
     /// packet-heavy machine run stages one or more events per packet).
     staged: Vec<(SimTime, M::Event)>,
+    /// Phase-timing probe captured from [`Model::phase_probe`] at
+    /// construction (disabled unless the model enables telemetry).
+    probe: PhaseProbe,
 }
 
 impl<M: Model> Engine<M> {
@@ -128,12 +144,14 @@ impl<M: Model, Q: Queue<M::Event>> Engine<M, Q> {
     /// chosen queue implementation (e.g.
     /// `Engine::<M, CalendarQueue<_>>::new_in(model)`).
     pub fn new_in(model: M) -> Self {
+        let probe = model.phase_probe();
         Engine {
             queue: Q::default(),
             model,
             now: SimTime::ZERO,
             processed: 0,
             staged: Vec::new(),
+            probe,
         }
     }
 
@@ -220,6 +238,18 @@ impl<M: Model, Q: Queue<M::Event>> Engine<M, Q> {
         self.queue.peek_time()
     }
 
+    /// Queue-occupancy high-water mark (see
+    /// [`crate::Queue::peak_len`]).
+    pub fn queue_peak(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// The phase-timing probe captured at construction (cloneable;
+    /// windowed drivers record their barrier waits through a clone).
+    pub fn probe(&self) -> &PhaseProbe {
+        &self.probe
+    }
+
     /// Shared access to the model.
     #[inline]
     pub fn model(&self) -> &M {
@@ -241,7 +271,10 @@ impl<M: Model, Q: Queue<M::Event>> Engine<M, Q> {
     /// the staged follow-on events. Returns `(time, stop_requested)`.
     #[inline]
     fn dispatch_one(&mut self) -> Option<(SimTime, bool)> {
-        let (time, event) = self.queue.pop()?;
+        let tok = self.probe.start();
+        let popped = self.queue.pop();
+        self.probe.record(Phase::QueuePop, tok);
+        let (time, event) = popped?;
         debug_assert!(time >= self.now, "event queue went back in time");
         self.now = time;
         self.processed += 1;

@@ -37,6 +37,7 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    peak: usize,
 }
 
 #[derive(Debug)]
@@ -74,6 +75,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            peak: 0,
         }
     }
 
@@ -94,6 +96,7 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        self.peak = self.peak.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -116,6 +119,11 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Occupancy high-water mark (see [`Queue::peak_len`]).
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
     /// Removes every pending event and resets the insertion-order
     /// counter, returning the queue to its freshly-constructed state.
     ///
@@ -126,6 +134,7 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.seq = 0;
+        self.peak = 0;
     }
 
     /// Drains the queue in canonical pop order as `(time, rank, event)`
@@ -136,6 +145,7 @@ impl<E> EventQueue<E> {
             out.push((e.time, e.rank, e.event));
         }
         self.seq = 0;
+        self.peak = 0;
         out
     }
 }
@@ -152,6 +162,9 @@ impl<E> Queue<E> for EventQueue<E> {
     }
     fn len(&self) -> usize {
         EventQueue::len(self)
+    }
+    fn peak_len(&self) -> usize {
+        EventQueue::peak_len(self)
     }
     fn clear(&mut self) {
         EventQueue::clear(self);

@@ -66,6 +66,18 @@ pub trait Queue<E>: Default {
     /// Number of pending events.
     fn len(&self) -> usize;
 
+    /// High-water mark of [`Queue::len`] — the occupancy gauge the
+    /// telemetry layer reads.
+    ///
+    /// The gauge contract (identical across implementations, locked
+    /// down by `tests/props_queue.rs`): the peak rises on every push,
+    /// and resets to zero with [`Queue::clear`] and
+    /// [`Queue::drain_ranked`] (both return the queue to its
+    /// freshly-constructed state). After [`Queue::restore`], the peak
+    /// equals the number of restored items — the re-push loop rebuilds
+    /// it identically in every implementation.
+    fn peak_len(&self) -> usize;
+
     /// Whether the queue holds no pending events.
     fn is_empty(&self) -> bool {
         self.len() == 0

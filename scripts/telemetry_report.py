@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Render or gate the E17 run-telemetry artifact (BENCH_e17.json).
+
+Render mode (human tables):
+
+    python3 scripts/telemetry_report.py BENCH_e17.json
+
+prints the per-thread phase breakdown (ns/neuron, ns/synaptic-event,
+barrier-wait share), the per-shard load-skew table, and the telemetry
+overhead and determinism rows.
+
+Gate mode (the CI check):
+
+    python3 scripts/telemetry_report.py --check-overhead BENCH_e17.json \
+        [--max 0.05]
+
+fails when any ``telemetry_overhead`` row's counters-on overhead
+exceeds ``--max``, or when the ``telemetry_determinism`` verdict is not
+bit-exact (telemetry that moves a spike is a correctness bug, not an
+overhead bug).
+
+Exit codes:
+
+    0  rendered, or every gated row within bounds
+    1  overhead above the bound, or determinism verdict failed
+    2  usage error, unreadable input, or no gateable rows
+
+Only Python's standard library is used (the build environment is
+offline). Unit tests: ``python3 scripts/test_telemetry_report.py``.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail_usage(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    if not os.path.exists(path):
+        fail_usage(
+            f"telemetry report {path} does not exist — a missing artifact must "
+            "fail the gate, not skip it. Regenerate with `cargo run --release "
+            "-p spinn-bench --bin run_experiments -- E17`"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail_usage(f"cannot read {path}: {err}")
+
+
+def records_named(report, name):
+    return [r for r in report.get("records", []) if r.get("name") == name]
+
+
+def fmt_num(value, spec):
+    """Formats a metric that may be missing/null (JSON null -> n/a)."""
+    if value is None:
+        return "n/a"
+    return format(float(value), spec)
+
+
+def render_phase_table(report):
+    lines = []
+    rows = records_named(report, "phase_breakdown")
+    if not rows:
+        return lines
+    lines.append("phase breakdown (per loop, full telemetry):")
+    lines.append(
+        f"  {'threads':>8} {'wall ms':>10} {'ns/neuron':>11} "
+        f"{'ns/syn-event':>13} {'barrier%':>9} {'skew':>7}"
+    )
+    for r in rows:
+        cfg, m = r.get("config", {}), r.get("metrics", {})
+        share = m.get("barrier_wait_share")
+        share = "n/a" if share is None else f"{100.0 * float(share):.1f}%"
+        lines.append(
+            f"  {cfg.get('threads', '?'):>8} {fmt_num(m.get('wall_ms'), '.1f'):>10} "
+            f"{fmt_num(m.get('ns_per_neuron'), '.1f'):>11} "
+            f"{fmt_num(m.get('ns_per_synaptic_event'), '.2f'):>13} "
+            f"{share:>9} {fmt_num(m.get('shard_skew'), '.2f'):>7}"
+        )
+    return lines
+
+
+def render_skew_table(report):
+    lines = []
+    rows = records_named(report, "shard_skew")
+    if not rows:
+        return lines
+    lines.append("per-shard load (events dispatched; skew = max/min):")
+    for r in rows:
+        cfg, m = r.get("config", {}), r.get("metrics", {})
+        events = m.get("per_shard_events") or []
+        total = sum(float(e) for e in events) or 1.0
+        shares = "  ".join(
+            f"s{i}:{100.0 * float(e) / total:.1f}%" for i, e in enumerate(events)
+        )
+        lines.append(
+            f"  {cfg.get('threads', '?'):>3} thread(s)  "
+            f"skew {fmt_num(m.get('skew'), '.2f')}  {shares}"
+        )
+    return lines
+
+
+def render_overhead(report):
+    lines = []
+    for r in records_named(report, "telemetry_overhead"):
+        cfg, m = r.get("config", {}), r.get("metrics", {})
+        frac = m.get("overhead_frac")
+        frac = "n/a" if frac is None else f"{100.0 * float(frac):+.2f}%"
+        lines.append(
+            f"  overhead: {cfg.get('threads', '?'):>2} thread(s)  "
+            f"counters on {fmt_num(m.get('spikes_per_sec_on'), ',.0f')} spikes/s  "
+            f"off {fmt_num(m.get('spikes_per_sec_off'), ',.0f')}  ({frac})"
+        )
+    return lines
+
+
+def render_determinism(report):
+    lines = []
+    for r in records_named(report, "telemetry_determinism"):
+        m = r.get("metrics", {})
+        lines.append(
+            f"  determinism: bit-exact across modes: {m.get('bit_exact')}; "
+            f"spikes counter {fmt_num(m.get('counter_spikes'), '.0f')} "
+            f"vs recorded {fmt_num(m.get('spikes'), '.0f')}"
+        )
+    return lines
+
+
+def render(report):
+    title = report.get("title", "")
+    commit = str(report.get("commit", "?"))[:12]
+    lines = [
+        f"{report.get('experiment', '?')}: {title} "
+        f"({report.get('mode', '?')} mode, commit {commit})",
+        "",
+    ]
+    for section in (
+        render_phase_table(report),
+        render_skew_table(report),
+        render_overhead(report),
+        render_determinism(report),
+    ):
+        if section:
+            lines.extend(section)
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def check_overhead(report, path, max_frac):
+    """Returns the number of gate failures (0 = pass); exits 2 when the
+    report has nothing to gate on."""
+    overhead_rows = records_named(report, "telemetry_overhead")
+    det_rows = records_named(report, "telemetry_determinism")
+    if not overhead_rows:
+        fail_usage(
+            f"{path} has no telemetry_overhead rows to gate on — an empty "
+            "gate must fail, not pass"
+        )
+    failures = 0
+    for r in overhead_rows:
+        threads = r.get("config", {}).get("threads", "?")
+        frac = r.get("metrics", {}).get("overhead_frac")
+        if frac is None:
+            print(
+                f"FAIL: {threads} thread(s): overhead_frac missing/non-finite",
+            )
+            failures += 1
+            continue
+        frac = float(frac)
+        verdict = "FAIL" if frac > max_frac else "ok"
+        print(
+            f"{verdict}: {threads} thread(s): counters-on overhead "
+            f"{100.0 * frac:+.2f}% (bound {100.0 * max_frac:.1f}%)"
+        )
+        failures += frac > max_frac
+    for r in det_rows:
+        m = r.get("metrics", {})
+        for key in ("bit_exact", "counter_matches"):
+            if m.get(key) is False:
+                print(f"FAIL: telemetry_determinism {key} is false")
+                failures += 1
+    return failures
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="BENCH_e17.json (or any E17-shaped report)")
+    ap.add_argument(
+        "--check-overhead",
+        action="store_true",
+        help="gate mode: fail when counters-on overhead exceeds --max or the "
+        "determinism verdict is false",
+    )
+    ap.add_argument(
+        "--max",
+        type=float,
+        default=0.05,
+        help="maximum allowed counters-on overhead fraction (default 0.05)",
+    )
+    args = ap.parse_args(argv)
+    report = load(args.report)
+
+    if args.check_overhead:
+        failures = check_overhead(report, args.report, args.max)
+        if failures:
+            print(f"FAIL: {failures} telemetry gate check(s) failed", file=sys.stderr)
+            sys.exit(1)
+        print("OK: telemetry overhead within bounds, determinism verdict holds")
+        return
+
+    print(render(report), end="")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/telemetry_report.py (stdlib only; CI runs this).
+
+    python3 scripts/test_telemetry_report.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import telemetry_report  # noqa: E402
+
+
+def report(overhead=None, determinism=None, phases=None, skew=None):
+    records = []
+    for threads, (off, on, frac) in (overhead or {}).items():
+        records.append(
+            {
+                "name": "telemetry_overhead",
+                "config": {"threads": threads},
+                "metrics": {
+                    "spikes_per_sec_off": off,
+                    "spikes_per_sec_on": on,
+                    "overhead_frac": frac,
+                },
+            }
+        )
+    if determinism is not None:
+        bit_exact, counter_matches = determinism
+        records.append(
+            {
+                "name": "telemetry_determinism",
+                "config": {},
+                "metrics": {
+                    "bit_exact": bit_exact,
+                    "counter_matches": counter_matches,
+                    "spikes": 42,
+                    "counter_spikes": 42,
+                },
+            }
+        )
+    for threads, metrics in (phases or {}).items():
+        records.append(
+            {
+                "name": "phase_breakdown",
+                "config": {"threads": threads},
+                "metrics": metrics,
+            }
+        )
+    for threads, events in (skew or {}).items():
+        records.append(
+            {
+                "name": "shard_skew",
+                "config": {"threads": threads},
+                "metrics": {
+                    "skew": max(events) / min(events) if events else None,
+                    "per_shard_events": events,
+                },
+            }
+        )
+    return {
+        "experiment": "E17",
+        "title": "telemetry test",
+        "commit": "deadbeef",
+        "mode": "quick",
+        "records": records,
+    }
+
+
+class TelemetryReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, rep):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(rep, f)
+        return path
+
+    def run_main(self, argv):
+        """Runs telemetry_report.main, returning the exit code (0 if it
+        returns normally)."""
+        try:
+            telemetry_report.main(argv)
+        except SystemExit as e:
+            return e.code or 0
+        return 0
+
+    def test_overhead_within_bound_passes(self):
+        path = self.write(
+            "r.json", report(overhead={4: (1000.0, 980.0, 0.02)}, determinism=(True, True))
+        )
+        self.assertEqual(self.run_main(["--check-overhead", path, "--max", "0.05"]), 0)
+
+    def test_overhead_breach_fails(self):
+        path = self.write("r.json", report(overhead={4: (1000.0, 900.0, 0.10)}))
+        self.assertEqual(self.run_main(["--check-overhead", path, "--max", "0.05"]), 1)
+
+    def test_negative_overhead_passes(self):
+        # Counters-on measuring faster than off is runner noise, not a
+        # regression.
+        path = self.write("r.json", report(overhead={1: (1000.0, 1010.0, -0.01)}))
+        self.assertEqual(self.run_main(["--check-overhead", path]), 0)
+
+    def test_determinism_failure_gates_even_with_low_overhead(self):
+        path = self.write(
+            "r.json",
+            report(overhead={4: (1000.0, 999.0, 0.001)}, determinism=(False, True)),
+        )
+        self.assertEqual(self.run_main(["--check-overhead", path]), 1)
+
+    def test_counter_mismatch_gates(self):
+        path = self.write(
+            "r.json",
+            report(overhead={4: (1000.0, 999.0, 0.001)}, determinism=(True, False)),
+        )
+        self.assertEqual(self.run_main(["--check-overhead", path]), 1)
+
+    def test_missing_overhead_frac_fails(self):
+        rep = report(overhead={4: (1000.0, 990.0, 0.01)})
+        rep["records"][0]["metrics"]["overhead_frac"] = None  # JSON null (NaN)
+        path = self.write("r.json", rep)
+        self.assertEqual(self.run_main(["--check-overhead", path]), 1)
+
+    def test_gate_with_no_overhead_rows_is_exit_2(self):
+        # An empty gate must fail loudly, not pass vacuously.
+        path = self.write("r.json", report(determinism=(True, True)))
+        self.assertEqual(self.run_main(["--check-overhead", path]), 2)
+
+    def test_missing_file_is_exit_2(self):
+        missing = os.path.join(self.dir.name, "BENCH_e99.json")
+        self.assertEqual(self.run_main(["--check-overhead", missing]), 2)
+
+    def test_corrupt_json_is_exit_2(self):
+        path = os.path.join(self.dir.name, "bad.json")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        self.assertEqual(self.run_main([path]), 2)
+
+    def test_render_produces_all_sections(self):
+        rep = report(
+            overhead={4: (1000.0, 980.0, 0.02)},
+            determinism=(True, True),
+            phases={
+                4: {
+                    "wall_ms": 120.5,
+                    "ns_per_neuron": 85.0,
+                    "ns_per_synaptic_event": 6.25,
+                    "barrier_wait_share": 0.31,
+                    "shard_skew": 1.4,
+                }
+            },
+            skew={4: [100.0, 120.0, 90.0, 110.0]},
+        )
+        text = telemetry_report.render(rep)
+        self.assertIn("phase breakdown", text)
+        self.assertIn("ns/neuron", text)
+        self.assertIn("per-shard load", text)
+        self.assertIn("skew 1.33", text)  # 120/90
+        self.assertIn("overhead:", text)
+        self.assertIn("bit-exact across modes: True", text)
+
+    def test_render_tolerates_null_metrics(self):
+        # Serial rows legitimately carry null (NaN) barrier share.
+        rep = report(
+            phases={
+                1: {
+                    "wall_ms": 50.0,
+                    "ns_per_neuron": None,
+                    "ns_per_synaptic_event": None,
+                    "barrier_wait_share": None,
+                    "shard_skew": None,
+                }
+            }
+        )
+        text = telemetry_report.render(rep)
+        self.assertIn("n/a", text)
+
+    def test_committed_artifact_renders_and_gates(self):
+        # The real committed BENCH_e17.json must stay renderable and
+        # hold the CI overhead bound (the gate step depends on it).
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(root, "BENCH_e17.json")
+        self.assertTrue(os.path.exists(path), f"{path} must be committed")
+        self.assertEqual(self.run_main([path]), 0)
+        self.assertEqual(self.run_main(["--check-overhead", path, "--max", "0.05"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -78,6 +78,11 @@ fn run_script(ops: &[Op]) -> usize {
             }
         }
         assert_eq!(heap.len(), cal.len(), "len divergence at op {i}");
+        assert_eq!(
+            heap.peak_len(),
+            cal.peak_len(),
+            "occupancy-gauge divergence at op {i}"
+        );
     }
     loop {
         let (a, b) = (heap.pop(), cal.pop());
@@ -122,6 +127,52 @@ proptest! {
             .collect();
         run_script(&ops);
     }
+}
+
+/// The occupancy-gauge contract both queue kinds share: `peak_len`
+/// rises with pushes, survives pops, resets to zero on `drain_ranked`
+/// (and `clear`), and after restoring the drained items equals exactly
+/// the restored count — whatever tier (ring or overflow) the calendar
+/// held them in.
+#[test]
+fn occupancy_gauge_agrees_across_drain_and_restore() {
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+    // Mixed in-window and overflow-tier times, with rank collisions.
+    for i in 0..64u64 {
+        let t = SimTime::new(if i % 3 == 0 { i * 50_000 } else { i });
+        heap.push_ranked(t, u128::from(i % 4), i);
+        cal.push_ranked(t, u128::from(i % 4), i);
+    }
+    assert_eq!(heap.peak_len(), 64);
+    assert_eq!(cal.peak_len(), 64);
+    // Pops lower the length but not the high-water mark.
+    for _ in 0..10 {
+        assert_eq!(heap.pop(), cal.pop());
+    }
+    assert_eq!(heap.peak_len(), 64);
+    assert_eq!(cal.peak_len(), 64);
+
+    // Checkpoint: drain resets the gauge on both kinds.
+    let heap_items = heap.drain_ranked();
+    let cal_items = cal.drain_ranked();
+    assert_eq!(heap_items, cal_items, "drain order must agree");
+    assert_eq!(heap.peak_len(), 0, "drain must reset the heap gauge");
+    assert_eq!(cal.peak_len(), 0, "drain must reset the calendar gauge");
+
+    // Restore: the gauge climbs back to exactly the restored count.
+    for (t, rank, e) in heap_items {
+        heap.push_ranked(t, rank, e);
+        cal.push_ranked(t, rank, e);
+    }
+    assert_eq!(heap.peak_len(), 54);
+    assert_eq!(cal.peak_len(), 54);
+
+    // And clear behaves like drain.
+    heap.clear();
+    cal.clear();
+    assert_eq!(heap.peak_len(), 0);
+    assert_eq!(cal.peak_len(), 0);
 }
 
 /// Deterministic smoke case: a burst per tick with overflow re-arming,

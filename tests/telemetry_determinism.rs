@@ -1,0 +1,179 @@
+//! Telemetry must observe, never steer: the synfire golden trace
+//! (`tests/golden/synfire.trace`) replays **bit-exactly** under every
+//! observability mode — `Disabled`, `Counters`, `CountersAndTrace` —
+//! across both event-queue kinds and serial/sharded execution. The
+//! counters themselves are checked against ground truth (the recorded
+//! raster), and session segment summaries must partition the run's
+//! totals.
+
+use std::path::PathBuf;
+
+use spinnaker::machine::machine::SpikeRecord;
+use spinnaker::obs::Counter;
+use spinnaker::prelude::*;
+
+const RUN_MS: u32 = 200;
+
+/// The golden-suite synfire chain (must match `tests/golden_traces.rs`
+/// exactly — same net, placement seed and machine geometry).
+fn synfire_net() -> NetworkGraph {
+    let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+    let mut net = NetworkGraph::new();
+    let pops: Vec<_> = (0..8u32)
+        .map(|i| net.population(&format!("s{i}"), 128, kind, if i == 0 { 9.0 } else { 0.0 }))
+        .collect();
+    for (i, &src) in pops.iter().enumerate() {
+        let dst = pops[(i + 1) % pops.len()];
+        net.project(
+            src,
+            dst,
+            Connector::FixedFanOut(12),
+            Synapses::constant(600, 2),
+            i as u64,
+        );
+    }
+    net
+}
+
+fn synfire_cfg(obs: ObsMode, queue: QueueKind, threads: u32) -> SimConfig {
+    SimConfig::new(4, 4)
+        .with_neurons_per_core(64)
+        .with_placer(Placer::Random { seed: 0x60_1D })
+        .with_queue(queue)
+        .with_threads(threads)
+        .with_observability(obs)
+}
+
+fn run_synfire(obs: ObsMode, queue: QueueKind, threads: u32) -> Completed {
+    let net = synfire_net();
+    Simulation::build(&net, synfire_cfg(obs, queue, threads))
+        .expect("synfire fits a 4x4 machine")
+        .run(RUN_MS)
+}
+
+/// The recorded golden trace (the same file `tests/golden_traces.rs`
+/// pins the un-instrumented engine to).
+fn golden_synfire() -> Vec<SpikeRecord> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/synfire.trace");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden trace {}: {e}", path.display()))
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let time_ms: u32 = it.next().expect("time").parse().expect("time_ms");
+            let key = it.next().expect("key").trim_start_matches("0x");
+            SpikeRecord {
+                time_ms,
+                key: u32::from_str_radix(key, 16).expect("key"),
+            }
+        })
+        .collect()
+}
+
+/// The headline property: every observability mode replays the golden
+/// trace bit-exactly, whatever the queue kind or thread count.
+#[test]
+fn every_observability_mode_replays_the_golden_trace() {
+    let golden = golden_synfire();
+    assert!(
+        golden.len() >= 400,
+        "golden trace too quiet to pin anything"
+    );
+    for obs in [
+        ObsMode::Disabled,
+        ObsMode::Counters,
+        ObsMode::CountersAndTrace,
+    ] {
+        for queue in [QueueKind::Heap, QueueKind::Calendar] {
+            for threads in [1u32, 4, 16] {
+                let done = run_synfire(obs, queue, threads);
+                assert_eq!(
+                    done.machine.spikes(),
+                    &golden[..],
+                    "{obs} observability, {queue} queue, {threads} thread(s) \
+                     diverges from the golden trace"
+                );
+            }
+        }
+    }
+}
+
+/// The counters must agree with ground truth: the spike counter equals
+/// the recorded raster, neuron ticks cover population x biological
+/// time, and the queue-occupancy gauge saw real work.
+#[test]
+fn counters_match_the_recorded_raster() {
+    for threads in [1u32, 4] {
+        let done = run_synfire(ObsMode::Counters, QueueKind::Calendar, threads);
+        let t = done.machine.telemetry();
+        assert!(t.is_enabled());
+        assert_eq!(
+            t.total(Counter::Spikes),
+            done.machine.spikes().len() as u64,
+            "{threads} thread(s): spike counter vs raster"
+        );
+        assert_eq!(
+            t.total(Counter::NeuronsTicked),
+            8 * 128 * u64::from(RUN_MS),
+            "{threads} thread(s): every neuron ticks every millisecond"
+        );
+        assert!(t.total(Counter::Events) > 0);
+        assert!(t.total(Counter::QueuePeak) > 0);
+        // Counters mode keeps the expensive collectors off.
+        assert!(t.trace().next().is_none(), "no trace in Counters mode");
+    }
+}
+
+/// Full telemetry adds phase timing and the event trace on top of the
+/// counters, and the per-loop rows come out finite.
+#[test]
+fn full_telemetry_yields_phases_and_trace() {
+    let done = run_synfire(ObsMode::CountersAndTrace, QueueKind::Calendar, 4);
+    let t = done.machine.telemetry();
+    assert!(t.ns_per_neuron().is_finite(), "{}", t.ns_per_neuron());
+    assert!(
+        t.ns_per_synaptic_event().is_finite(),
+        "{}",
+        t.ns_per_synaptic_event()
+    );
+    let share = t.barrier_wait_share();
+    assert!((0.0..=1.0).contains(&share), "barrier share {share}");
+    assert!(t.trace().next().is_some(), "trace must capture spikes");
+    assert!(t.shards().len() > 1, "sharded run reports per-shard rows");
+    // The report surfaces the telemetry section only when enabled.
+    assert!(done.report().contains("telemetry:"), "{}", done.report());
+    let quiet = run_synfire(ObsMode::Disabled, QueueKind::Calendar, 4);
+    assert!(!quiet.report().contains("telemetry:"));
+    assert!(!quiet.machine.telemetry().is_enabled());
+}
+
+/// Segment summaries partition the session's totals: per-segment spike
+/// deltas sum to the run's spike count, whatever the segment cuts (and
+/// telemetry accumulates across segments rather than resetting).
+#[test]
+fn session_segment_summaries_partition_the_run() {
+    let net = synfire_net();
+    let cfg = synfire_cfg(ObsMode::Counters, QueueKind::Calendar, 4);
+    let mut session = Simulation::build(&net, cfg)
+        .expect("synfire fits a 4x4 machine")
+        .into_session();
+    session.run_for(30).run_for(50).run_for(20);
+    let summaries = session.segment_summaries().to_vec();
+    assert_eq!(summaries.len(), 3);
+    assert_eq!(
+        (summaries[0].start_ms, summaries[0].ms),
+        (0, 30),
+        "{summaries:?}"
+    );
+    assert_eq!(
+        (summaries[2].start_ms, summaries[2].ms),
+        (80, 20),
+        "{summaries:?}"
+    );
+    let spike_sum: u64 = summaries.iter().map(|s| s.spikes).sum();
+    assert_eq!(spike_sum, session.machine().spikes().len() as u64);
+    assert_eq!(spike_sum, session.telemetry().total(Counter::Spikes));
+    let tick_sum: u64 = summaries.iter().map(|s| s.events).sum();
+    assert!(tick_sum > 0);
+}
