@@ -1,0 +1,54 @@
+//! Quick phase-breakdown probe for the E17/E18 workload (dev aid).
+//!
+//! Usage: `profile_phase [THREADS] [MS]`
+
+use spinn_bench::experiments as e;
+use spinnaker::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let ms: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let net = e::e15_memory_model::prob_net(20, 5_000, 0.02);
+    let cfg = SimConfig::new(8, 8)
+        .with_neurons_per_core(256)
+        .with_threads(threads)
+        .with_observability(ObsMode::CountersAndTrace);
+    let sim = Simulation::build(&net, cfg).expect("build");
+    let t0 = Instant::now();
+    let done = sim.run(ms);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "threads={threads} ms={ms} wall_ms={wall:.1} spikes={}",
+        done.machine.spikes().len()
+    );
+    print!("{}", done.machine.telemetry().render_table());
+    if let Some(s) = done.machine.par_stats() {
+        println!(
+            "par: windows={} events={} exchanged={}",
+            s.windows, s.events, s.exchanged
+        );
+    }
+    let mut chips: Vec<(usize, u64)> = done
+        .machine
+        .chip_event_counts()
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    chips.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("hot chips (top 12 of {}):", chips.len());
+    for (c, n) in chips.iter().take(12) {
+        println!("  chip {c}: {n}");
+    }
+    for sh in done.machine.telemetry().shards() {
+        println!(
+            "shard {}: events={} queue_peak={}",
+            sh.shard,
+            sh.counters[spinn_obs::Counter::Events as usize],
+            sh.counters[spinn_obs::Counter::QueuePeak as usize],
+        );
+    }
+}

@@ -2727,3 +2727,258 @@ pub mod e17_telemetry {
         }
     }
 }
+
+/// E18 — collect the win: the vectorized fixed-point tick path, the
+/// compiled-router/flux-aware shard pipeline and the
+/// clamp-to-parallelism scheduler, measured together. Reports the E17
+/// phase-breakdown net (ns/neuron, ns/synaptic-event, barrier-wait
+/// share, window/exchange counts) at 1/4/16 threads plus the
+/// E14-compatible end-to-end sweep grid. Emits `BENCH_e18.json`;
+/// `scripts/bench_compare.py` gates the sweep rows against E14, the
+/// per-loop rows against E17, and (`--parallel-speedup`) holds the
+/// 4-thread wall strictly under the 1-thread wall with barrier share
+/// at most 0.5.
+pub mod e18_collected_win {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport, Json};
+    use spinn_obs::{Counter, Phase};
+    use spinnaker::prelude::*;
+    use spinnaker::Completed;
+    use std::time::Instant;
+
+    /// Runs the phase-breakdown workload once under full telemetry,
+    /// through the default scheduler (shard clamp included — that *is*
+    /// the measured configuration).
+    fn run_traced(net: &NetworkGraph, threads: u32, ms: u32) -> (f64, Completed) {
+        let cfg = SimConfig::new(8, 8)
+            .with_neurons_per_core(256)
+            .with_threads(threads)
+            .with_observability(ObsMode::CountersAndTrace);
+        let sim = Simulation::build(net, cfg).expect("workload fits an 8x8 machine");
+        let t0 = Instant::now();
+        let done = sim.run(ms);
+        (t0.elapsed().as_secs_f64() * 1e3, done)
+    }
+
+    /// The E18 report: phase-breakdown rows at 1/4/16 threads and the
+    /// E14 sweep grid (same net, mesh, queues and thread counts, so
+    /// the rows gate directly against the committed `BENCH_e14.json`).
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E18",
+            "collected win: wide tick lanes, flux-aware shards, clamp-to-parallelism scheduler",
+            quick,
+        );
+
+        let (pops, size, p) = if quick {
+            (20u32, 5_000u32, 0.02)
+        } else {
+            (25, 8_000, 0.015)
+        };
+        let net = super::e15_memory_model::prob_net(pops, size, p);
+        let total_neurons = net.total_neurons();
+        let ms = if quick { 30u32 } else { 100 };
+        for threads in [1u32, 4, 16] {
+            let (wall_ms, done) = run_traced(&net, threads, ms);
+            let t = done.machine.telemetry();
+            let par = done.machine.par_stats();
+            report.push(
+                BenchRecord::new("phase_breakdown")
+                    .config("neurons", total_neurons)
+                    .config("mesh", "8x8")
+                    .config("threads", threads)
+                    .config(
+                        "host_cores",
+                        std::thread::available_parallelism().map_or(1, |p| p.get()),
+                    )
+                    .config("bio_ms", ms)
+                    .config("obs", t.mode().to_string())
+                    .metric("wall_ms", wall_ms)
+                    .metric("spikes", done.machine.spikes().len())
+                    .metric("events", t.total(Counter::Events))
+                    .metric("synaptic_events", t.total(Counter::SynapticEvents))
+                    .metric("ns_per_neuron", t.ns_per_neuron())
+                    .metric("ns_per_synaptic_event", t.ns_per_synaptic_event())
+                    .metric("barrier_wait_share", {
+                        let s = t.barrier_wait_share();
+                        if s.is_nan() {
+                            0.0
+                        } else {
+                            s
+                        }
+                    })
+                    .metric("shard_skew", t.shard_skew())
+                    .metric("windows", par.map_or(0, |s| s.windows))
+                    .metric("exchanged", par.map_or(0, |s| s.exchanged))
+                    .metric("queue_peak", t.total(Counter::QueuePeak))
+                    .metric("trace_overwrite_ratio", t.trace_overwrite_ratio()),
+            );
+            report.push(
+                BenchRecord::new("shard_skew")
+                    .config("threads", threads)
+                    .config("bio_ms", ms)
+                    .metric("skew", t.shard_skew())
+                    .metric(
+                        "per_shard_events",
+                        Json::Arr(
+                            t.shards()
+                                .iter()
+                                .map(|s| Json::Num(s.counters[Counter::Events as usize] as f64))
+                                .collect(),
+                        ),
+                    )
+                    .metric(
+                        "per_shard_barrier_ns",
+                        Json::Arr(
+                            t.shards()
+                                .iter()
+                                .map(|s| {
+                                    Json::Num(s.phases[Phase::BarrierWait as usize].sum_ns as f64)
+                                })
+                                .collect(),
+                        ),
+                    ),
+            );
+        }
+
+        // The E14 sweep grid, verbatim (same synfire net, mesh, queue
+        // kinds, thread counts and duration), so every row keys
+        // identically to the committed `BENCH_e14.json` and the gate
+        // measures the cumulative speedup of everything since.
+        let sweep_net = super::e12_parallel_execution::synfire_net(16, 512);
+        let (edges, sweep_ms): (&[u32], u32) = if quick {
+            (&[8], 100)
+        } else {
+            (&[8, 16, 32], 200)
+        };
+        for &edge in edges {
+            for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                for threads in [1u32, 2, 4, 16] {
+                    super::e14_event_core::sweep_case(
+                        &mut report,
+                        &sweep_net,
+                        edge,
+                        threads,
+                        queue,
+                        sweep_ms,
+                    );
+                }
+            }
+        }
+        report
+    }
+
+    /// The E18 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E18 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E18: collected win — wide tick lanes, flux-aware shards, clamped scheduler ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   the tick loop runs chunked fixed-point lanes with a clamp-free fast\n   path, shard cuts follow measured link flux, and shard counts collapse\n   to the host's parallelism — all bit-exact against the scalar engine\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12} {:>14} {:>10} {:>9} {:>10}",
+            "threads", "wall ms", "ns/neuron", "ns/syn-event", "barrier%", "windows", "exchanged"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "phase_breakdown")
+        {
+            let _ = writeln!(
+                out,
+                "{:>8.0} {:>10.1} {:>12.1} {:>14.2} {:>9.1}% {:>9.0} {:>10.0}",
+                num(&r.config, "threads"),
+                num(&r.metrics, "wall_ms"),
+                num(&r.metrics, "ns_per_neuron"),
+                num(&r.metrics, "ns_per_synaptic_event"),
+                100.0 * num(&r.metrics, "barrier_wait_share"),
+                num(&r.metrics, "windows"),
+                num(&r.metrics, "exchanged"),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>10} {:>10} {:>14}",
+            "mesh", "queue", "threads", "wall ms", "spikes/sec"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "end_to_end_sweep")
+        {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>10.0} {:>10.1} {:>14.0}",
+                str_field(&r.config, "mesh"),
+                str_field(&r.config, "queue"),
+                num(&r.config, "threads"),
+                num(&r.metrics, "wall_ms"),
+                num(&r.metrics, "spikes_per_sec"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ngate the artifact: scripts/bench_compare.py BENCH_e18.json BENCH_e14.json\n--kind sweep (cumulative end-to-end), BENCH_e18.json BENCH_e17.json --kind\nperf (per-loop costs), and --parallel-speedup BENCH_e18.json (4-thread wall\nstrictly under 1-thread, barrier share <= 0.5)."
+        );
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formatter_smoke_on_synthetic_records() {
+            let mut report = BenchReport::new("E18", "test", true);
+            report.push(
+                BenchRecord::new("phase_breakdown")
+                    .config("threads", 4u32)
+                    .metric("wall_ms", 10.0f64)
+                    .metric("ns_per_neuron", 9.5f64)
+                    .metric("ns_per_synaptic_event", 30.1f64)
+                    .metric("barrier_wait_share", 0.0f64)
+                    .metric("windows", 1200u64)
+                    .metric("exchanged", 6800u64),
+            );
+            report.push(
+                BenchRecord::new("end_to_end_sweep")
+                    .config("mesh", "8x8")
+                    .config("queue", "calendar")
+                    .config("threads", 4u32)
+                    .metric("wall_ms", 100.0f64)
+                    .metric("spikes_per_sec", 1_000_000.0f64),
+            );
+            let text = format_report(&report);
+            assert!(text.contains("ns/neuron"), "{text}");
+            assert!(text.contains("spikes/sec"), "{text}");
+            assert!(report.to_json_string().contains("phase_breakdown"));
+        }
+
+        #[test]
+        fn traced_run_reports_windows_and_overwrite_ratio() {
+            // A miniature E18 measurement: the telemetry must yield
+            // finite per-loop rows and an overwrite ratio inside [0, 1].
+            let net = super::super::e15_memory_model::prob_net(3, 200, 0.05);
+            let (_, done) = run_traced(&net, 4, 10);
+            let t = done.machine.telemetry();
+            assert!(t.is_enabled());
+            assert!(t.ns_per_neuron().is_finite());
+            let ratio = t.trace_overwrite_ratio();
+            assert!((0.0..=1.0).contains(&ratio), "{ratio}");
+        }
+    }
+}

@@ -89,6 +89,24 @@ impl SimConfig {
         self.machine.obs = obs;
         self
     }
+
+    /// Sets the per-shard trace ring capacity, in records (only read in
+    /// [`spinn_obs::ObsMode::CountersAndTrace`]). The default bounded
+    /// ring keeps only the tail of event-heavy runs; size it to the run
+    /// when the whole trace matters.
+    pub fn with_trace_cap(mut self, records: usize) -> Self {
+        self.machine.trace_cap = records;
+        self
+    }
+
+    /// Allows the run to cut more shards than the host has cores (see
+    /// [`MachineConfig::force_shards`]). Spike output is unchanged
+    /// either way; conformance suites use this to exercise the sharded
+    /// engine on any host.
+    pub fn with_force_shards(mut self, force: bool) -> Self {
+        self.machine.force_shards = force;
+        self
+    }
 }
 
 /// A built (but not yet run) simulation.

@@ -49,6 +49,20 @@ pub struct MachineConfig {
     /// no mode changes simulation results (golden-trace conformance
     /// suite), only what is observed about them.
     pub obs: ObsMode,
+    /// Per-shard trace ring capacity, records (only read in
+    /// [`ObsMode::CountersAndTrace`]). The default
+    /// [`spinn_obs::DEFAULT_TRACE_CAP`] keeps memory bounded but
+    /// retains only the tail of event-heavy runs; size it to the run
+    /// when the whole trace matters.
+    pub trace_cap: usize,
+    /// Lets sharded runs cut more shards than the host has cores.
+    /// Sharding exists to occupy cores — by default the shard count is
+    /// clamped to `available_parallelism`, because extra shards buy no
+    /// parallelism yet still pay the window/exchange machinery (the
+    /// collapse is invisible in results: shard count never changes
+    /// them). Conformance suites set this to exercise the sharded
+    /// engine regardless of the host.
+    pub force_shards: bool,
 }
 
 impl MachineConfig {
@@ -77,6 +91,8 @@ impl MachineConfig {
             energy: EnergyModel::default(),
             queue: QueueKind::default(),
             obs: ObsMode::default(),
+            trace_cap: spinn_obs::DEFAULT_TRACE_CAP,
+            force_shards: false,
         }
     }
 
@@ -89,6 +105,19 @@ impl MachineConfig {
     /// Selects the telemetry level for runs on this machine.
     pub fn with_observability(mut self, obs: ObsMode) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the per-shard trace ring capacity, in records.
+    pub fn with_trace_cap(mut self, records: usize) -> Self {
+        self.trace_cap = records;
+        self
+    }
+
+    /// Allows sharded runs to cut more shards than the host has cores
+    /// (see [`MachineConfig::force_shards`]).
+    pub fn with_force_shards(mut self, force: bool) -> Self {
+        self.force_shards = force;
         self
     }
 

@@ -125,6 +125,17 @@ pub struct PendingEvent {
 /// `Some(chip)` for chip-local events, `None` for events every shard
 /// replays against its own replica (the coalesced timer, link
 /// failures).
+/// Whether `SPINN_FORCE_SHARDS=1` asks for shard counts beyond the
+/// host's parallelism (checked once per process; see
+/// [`MachineConfig::force_shards`] for the per-machine switch).
+fn force_shards_env() -> bool {
+    static FORCE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("SPINN_FORCE_SHARDS")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
+
 fn event_chip(ev: &MachineEvent) -> Option<u32> {
     match ev {
         MachineEvent::Noc(NocEvent::Arrive { node, .. })
@@ -357,6 +368,22 @@ pub struct NeuralMachine {
     /// Telemetry accumulated across completed segments
     /// ([`NeuralMachine::telemetry`]).
     telemetry: RunTelemetry,
+    /// Events handled per chip, accumulated across segments — the
+    /// measured load that seeds [`NeuralMachine::event_weighted_owner`]
+    /// once a first segment has run (static estimates only predict
+    /// structure, not activity; this is what the partition actually
+    /// needs). Not part of the checkpoint wire state: a restored run
+    /// re-seeds from its own first segment.
+    chip_events: Vec<u64>,
+    /// Per-link hop traffic: `chips * 6` counters indexed `chip * 6 +
+    /// port`, one increment per packet arrival over that link. The
+    /// arrival port identifies the sending neighbour, so summed over a
+    /// candidate shard cut this measures exactly the traffic the cut
+    /// would turn into cross-shard exchanges — including vertical and
+    /// wraparound links that are invisible to the dense-id axis. Feeds
+    /// the cross-cut term of [`NeuralMachine::event_weighted_owner`];
+    /// like [`NeuralMachine::chip_events`], not checkpoint state.
+    link_flux: Vec<u64>,
 }
 
 impl NeuralMachine {
@@ -364,7 +391,7 @@ impl NeuralMachine {
     pub fn new(cfg: MachineConfig) -> Self {
         let chips = cfg.chips();
         let per = cfg.cores_per_chip as usize;
-        let obs = Observability::new(cfg.obs);
+        let obs = Observability::for_shard_with_cap(cfg.obs, 0, cfg.trace_cap);
         let mut fabric = Fabric::new(cfg.fabric);
         fabric.set_observability(obs.counters().clone());
         NeuralMachine {
@@ -387,6 +414,8 @@ impl NeuralMachine {
             dropped_scratch: Vec::new(),
             obs,
             telemetry: RunTelemetry::default(),
+            chip_events: vec![0; chips],
+            link_flux: vec![0; chips * 6],
             cfg,
         }
     }
@@ -395,7 +424,7 @@ impl NeuralMachine {
     /// re-registers the counter handle with the fabric (which may have
     /// been replaced wholesale, e.g. by the shard-split clone).
     fn install_observability(&mut self, shard: u32) {
-        self.obs = Observability::for_shard(self.cfg.obs, shard);
+        self.obs = Observability::for_shard_with_cap(self.cfg.obs, shard, self.cfg.trace_cap);
         self.fabric.set_observability(self.obs.counters().clone());
     }
 
@@ -409,6 +438,13 @@ impl NeuralMachine {
     /// call (`None` after a serial run).
     pub fn par_stats(&self) -> Option<&spinn_par::ParStats> {
         self.par_stats.as_ref()
+    }
+
+    /// Events handled per dense chip id, accumulated across all
+    /// completed segments — the measured load that seeds the
+    /// event-weighted shard partition.
+    pub fn chip_event_counts(&self) -> &[u64] {
+        &self.chip_events
     }
 
     /// Resets run-mode bookkeeping after a snapshot install: the
@@ -674,18 +710,44 @@ impl NeuralMachine {
     /// threads (`spinn-par`), producing the same [`SpikeRecord`] stream
     /// as [`NeuralMachine::run`].
     ///
-    /// The chips are partitioned into contiguous blocks of dense ids —
-    /// one shard per thread — and each shard advances its own event
-    /// queue inside conservative windows bounded by the minimum
-    /// inter-chip link latency
+    /// The chips are partitioned into contiguous, *event-weighted*
+    /// blocks of dense ids — one shard per thread — and each shard
+    /// advances its own event queue inside conservative windows bounded
+    /// by the minimum inter-chip link latency
     /// ([`spinn_noc::fabric::FabricConfig::min_remote_delay_ns`]).
     /// Spike packets crossing a shard boundary are exchanged at window
     /// barriers with their exact arrival timestamps, so the parallel run
     /// is an event-exact replay of the serial one. `threads` is clamped
     /// to `[1, chips]`; with one thread this is exactly
     /// [`NeuralMachine::run`].
+    ///
+    /// The run is cut into rebalance epochs (segment chaining is
+    /// bit-exact, so the cuts are invisible in the results): each
+    /// epoch's measured per-chip event counts reseed the partition for
+    /// the next, so a hot region that no static estimate could predict
+    /// stops serializing the shards after the first epoch.
     pub fn run_parallel(self, ms: u32, threads: usize) -> NeuralMachine {
-        self.run_segment(Vec::new(), 0, ms, threads).0
+        /// Epoch length: long enough to amortize the shard split/merge,
+        /// short enough that a run settles onto measured weights early.
+        const EPOCH_MS: u32 = 5;
+        if self.effective_threads(threads) <= 1 {
+            // The shard clamp collapsed the run to one worker: rebalance
+            // epochs would only cut the segment (and pay the drain /
+            // canonicalize cost at every boundary) for a partition that
+            // no longer exists. One serial segment is the same result.
+            return self.run_segment(Vec::new(), 0, ms, 1).0;
+        }
+        let mut machine = self;
+        let mut pending = Vec::new();
+        let mut done = 0u32;
+        while done < ms {
+            let step = EPOCH_MS.min(ms - done);
+            let (m, p) = machine.run_segment(pending, done, step, threads);
+            machine = m;
+            pending = p;
+            done += step;
+        }
+        machine
     }
 
     /// Advances the machine by one **run segment**: `ms` milliseconds of
@@ -720,7 +782,7 @@ impl NeuralMachine {
         if ms == 0 {
             return (self, pending);
         }
-        let threads = threads.clamp(1, self.cfg.chips());
+        let threads = self.effective_threads(threads);
         match (self.cfg.queue, threads) {
             (QueueKind::Heap, 1) => {
                 self.segment_serial::<EventQueue<MachineEvent>>(pending, from_ms, ms)
@@ -799,6 +861,169 @@ impl NeuralMachine {
         (m, pending_out)
     }
 
+    /// The shard count a run request actually gets: clamped to `[1,
+    /// chips]`, and — unless `force_shards` (config or
+    /// `SPINN_FORCE_SHARDS=1`) asks otherwise — to the host's
+    /// parallelism. Shards exist to occupy cores; a wider cut buys no
+    /// parallelism yet still pays the window/exchange machinery, and
+    /// results are shard-count-invariant, so the collapse is free.
+    fn effective_threads(&self, threads: usize) -> usize {
+        let threads = threads.clamp(1, self.cfg.chips());
+        if self.cfg.force_shards || force_shards_env() {
+            threads
+        } else {
+            threads.min(std::thread::available_parallelism().map_or(1, |p| p.get()))
+        }
+    }
+
+    /// Event-weighted contiguous chip partition.
+    ///
+    /// Chip weights come from *measured* load when available — the
+    /// per-chip event counts accumulated by every previous segment —
+    /// because activity (which chips the spike traffic actually hammers)
+    /// is what the partition has to balance, and no static estimate
+    /// predicts it. A fresh machine falls back to a structural estimate:
+    /// every mapped neuron costs a tick event per millisecond and every
+    /// synapse feeds the packet/DMA/row-walk path in proportion to
+    /// activity, while empty chips only see the coalesced timer scan.
+    /// The dense chip-id axis is cut where the *cumulative weight*
+    /// crosses equal shares — row-major neighbours still land on the
+    /// same shard (small barrier exchanges), but a mapping whose hot
+    /// region sits on a prefix of the mesh no longer serializes behind
+    /// shard 0 the way fixed-size chip blocks did.
+    fn event_weighted_owner(&self, threads: usize) -> Vec<u32> {
+        let chips = self.cfg.chips();
+        debug_assert!(threads >= 2 && threads <= chips);
+        let per = self.cfg.cores_per_chip as usize;
+        // Floor of 16 per chip: timer scans keep even empty chips
+        // slightly warm, and a nonzero floor keeps the split total-order
+        // stable when whole regions are unmapped.
+        let mut weight = vec![16u64; chips];
+        let measured: u64 = self.chip_events.iter().sum();
+        if measured >= 1024 {
+            for (w, &n) in weight.iter_mut().zip(&self.chip_events) {
+                *w += n;
+            }
+        } else {
+            for (idx, slot) in self.cores.iter().enumerate() {
+                if let Some(core) = slot.as_ref() {
+                    weight[idx / per] +=
+                        core.neurons.len() as u64 + core.matrix.total_synapses() / 64;
+                }
+            }
+        }
+        let total = weight.iter().sum::<u64>().max(1) as f64;
+        // Dynamic program over cut positions. Two costs compete:
+        //
+        //  * imbalance, as the sum of squared shard shares (1/threads
+        //    each when perfectly balanced, approaching 1 when one shard
+        //    eats everything), and
+        //  * measured cross-shard traffic: every link hop recorded in
+        //    `link_flux` whose endpoints land on different shards. A
+        //    hop kept inside a shard is one queue push; the same hop
+        //    across shards pays the outbox/mailbox exchange *and* — far
+        //    worse — couples the two shards' conservative horizons, so
+        //    they advance in lookahead-sized windows instead of running
+        //    free. `CROSS_HOP_COST` is that measured machinery ratio:
+        //    splitting a hot cluster (~2k extra cross hops on the 100k
+        //    phase-breakdown net) multiplied windows 15x, i.e. each
+        //    cross hop dragged in window machinery worth hundreds of
+        //    local events.
+        //
+        // When the load is spread out, cut position barely moves the
+        // (roughly uniform) cross traffic, so the quadratic term decides
+        // and the cuts balance the shards; when one chatty cluster
+        // dominates (a stimulus hot spot no shard count can split), the
+        // flux term keeps the cluster intact on one shard, where the
+        // per-shard horizon lets it run ahead of its idle neighbours
+        // instead of barrier-stepping against them. Before any traffic
+        // is measured the flux matrix is all zero and the DP degenerates
+        // to pure load balancing.
+        const CROSS_HOP_COST: f64 = 256.0;
+        let torus = *self.fabric.torus();
+        // Symmetrised chip-to-chip hop counts, then 2-D prefix sums so
+        // the traffic *inside* a contiguous chip range is O(1) per DP
+        // transition: intra[a..b) = F[b][b] - F[a][b] - F[b][a] + F[a][a].
+        let mut flux = vec![0u64; chips * chips];
+        for node in 0..chips {
+            for port in 0..6 {
+                let hops = self.link_flux[node * 6 + port];
+                if hops > 0 {
+                    let from = torus
+                        .id_of(torus.neighbour(torus.coord_of(node), Direction::from_index(port)));
+                    flux[from * chips + node] += hops;
+                }
+            }
+        }
+        let flux_total: u64 = flux.iter().sum();
+        let mut fpre = vec![0.0f64; (chips + 1) * (chips + 1)];
+        for i in 0..chips {
+            for j in 0..chips {
+                fpre[(i + 1) * (chips + 1) + (j + 1)] = flux[i * chips + j] as f64
+                    + fpre[i * (chips + 1) + (j + 1)]
+                    + fpre[(i + 1) * (chips + 1) + j]
+                    - fpre[i * (chips + 1) + j];
+            }
+        }
+        let intra = |a: usize, b: usize| {
+            fpre[b * (chips + 1) + b] - fpre[a * (chips + 1) + b] - fpre[b * (chips + 1) + a]
+                + fpre[a * (chips + 1) + a]
+        };
+        // Cross traffic = total - sum of intra-shard traffic, so the DP
+        // equivalently *rewards* each shard's internal flux.
+        let flux_gain = |a: usize, b: usize| {
+            if flux_total == 0 {
+                0.0
+            } else {
+                CROSS_HOP_COST * intra(a, b) / total
+            }
+        };
+        let prefix: Vec<f64> = std::iter::once(0.0)
+            .chain(weight.iter().scan(0u64, |acc, &w| {
+                *acc += w;
+                Some(*acc as f64)
+            }))
+            .collect();
+        let share = |a: usize, b: usize| (prefix[b] - prefix[a]) / total;
+        // dp[s][c]: best cost splitting chips [0, c) into s+1 shards,
+        // each non-empty. Ties break toward the earliest cut, which is
+        // deterministic — the partition is part of no result, but a
+        // reproducible one keeps run traces comparable.
+        let mut dp = vec![vec![f64::INFINITY; chips + 1]; threads];
+        let mut cut_at = vec![vec![0usize; chips + 1]; threads];
+        #[allow(clippy::needless_range_loop)] // indexes two tables in lockstep
+        for c in 1..=chips {
+            dp[0][c] = share(0, c) * share(0, c) - flux_gain(0, c);
+        }
+        for s in 1..threads {
+            for c in (s + 1)..=chips {
+                let mut best = f64::INFINITY;
+                let mut best_b = s;
+                #[allow(clippy::needless_range_loop)] // reads dp[s-1][b], not an iterable
+                for b in s..c {
+                    let sh = share(b, c);
+                    let cost = dp[s - 1][b] + sh * sh - flux_gain(b, c);
+                    if cost < best {
+                        best = cost;
+                        best_b = b;
+                    }
+                }
+                dp[s][c] = best;
+                cut_at[s][c] = best_b;
+            }
+        }
+        let mut owner = vec![0u32; chips];
+        let mut end = chips;
+        for s in (1..threads).rev() {
+            let start = cut_at[s][end];
+            for o in owner.iter_mut().take(end).skip(start) {
+                *o = s as u32;
+            }
+            end = start;
+        }
+        owner
+    }
+
     /// [`NeuralMachine::run_segment`] sharded across worker threads.
     fn segment_parallel<Q: Queue<MachineEvent> + Send>(
         mut self,
@@ -811,9 +1036,7 @@ impl NeuralMachine {
         debug_assert!(threads >= 2);
         let target = from_ms + ms;
         let lookahead = self.cfg.fabric.min_remote_delay_ns().max(1);
-        // Contiguous blocks of dense chip ids: row-major neighbours tend
-        // to share a shard, which keeps barrier exchanges small.
-        let owner: Vec<u32> = (0..chips).map(|c| (c * threads / chips) as u32).collect();
+        let owner = self.event_weighted_owner(threads);
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
         // Results accumulated by earlier segments are carried across the
@@ -825,6 +1048,9 @@ impl NeuralMachine {
         let carry_reissued = self.reissued_packets;
         let carry_writebacks = self.weight_writebacks;
         let mut carry_telemetry = std::mem::take(&mut self.telemetry);
+        let carry_chip_events = std::mem::take(&mut self.chip_events);
+        let carry_link_flux = std::mem::take(&mut self.link_flux);
+        let carry_par = self.par_stats.take();
         let dma_free_at = self.dma_free_at.clone();
         let cfg = self.cfg;
         let per = cfg.cores_per_chip as usize;
@@ -919,6 +1145,12 @@ impl NeuralMachine {
             base.spike_latency.merge(&m.spike_latency);
             base.reissued_packets += m.reissued_packets;
             base.weight_writebacks += m.weight_writebacks;
+            for (a, b) in base.chip_events.iter_mut().zip(&m.chip_events) {
+                *a += *b;
+            }
+            for (a, b) in base.link_flux.iter_mut().zip(&m.link_flux) {
+                *a += *b;
+            }
             // Only a chip's owner advances its DMA port clock; everyone
             // else still holds the segment-start value.
             for (a, b) in base.dma_free_at.iter_mut().zip(&m.dma_free_at) {
@@ -928,8 +1160,23 @@ impl NeuralMachine {
         }
         base.fabric.clear_partition();
         base.duration_ms = target;
-        base.par_stats = Some(stats);
+        // Window counters accumulate across segments (rebalance epochs
+        // included), like every other run statistic.
+        base.par_stats = Some(match carry_par {
+            Some(prev) => spinn_par::ParStats {
+                windows: prev.windows + stats.windows,
+                events: prev.events + stats.events,
+                exchanged: prev.exchanged + stats.exchanged,
+            },
+            None => stats,
+        });
         base.timer_chips = (0..chips as u32).collect();
+        for (a, b) in base.chip_events.iter_mut().zip(&carry_chip_events) {
+            *a += *b;
+        }
+        for (a, b) in base.link_flux.iter_mut().zip(&carry_link_flux) {
+            *a += *b;
+        }
         base.spikes.extend(carry_spikes);
         base.meter.merge(&carry_meter);
         base.spike_latency.merge(&carry_latency);
@@ -1409,8 +1656,16 @@ impl Model for NeuralMachine {
     fn handle(&mut self, ctx: &mut Context<MachineEvent>, ev: MachineEvent) {
         let now = ctx.now().ticks();
         self.obs.counters().add(Counter::Events, 1);
+        if let Some(chip) = event_chip(&ev) {
+            // Measured per-chip load, seeding the next segment's
+            // event-weighted partition.
+            self.chip_events[chip as usize] += 1;
+        }
         match ev {
             MachineEvent::Noc(ev) => {
+                if let NocEvent::Arrive { node, port, .. } = &ev {
+                    self.link_flux[*node as usize * 6 + *port as usize] += 1;
+                }
                 let tok = self.obs.phases().start();
                 self.fabric
                     .handle(now, ev, &mut CtxScheduler::new(ctx, MachineEvent::Noc));

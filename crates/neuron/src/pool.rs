@@ -14,11 +14,43 @@
 //!
 //! Mixed-model cores (possible through the manual machine API, never
 //! produced by the loader) fall back to the enum-dispatch path.
+//!
+//! # Wide tick path
+//!
+//! Homogeneous pools step in `LANES`-wide chunks: the drive gather,
+//! the state update and the threshold test each run as short
+//! straight-line loops over a chunk (no per-neuron callback between
+//! them), and threshold crossings collect into a per-chunk bitmask
+//! that a trailing sweep turns into ascending-index `on_spike` calls.
+//! The arithmetic per neuron is exactly the scalar sequence — the
+//! Izhikevich update is integer 16.16 fixed point and the LIF decay
+//! factor is a cached value of the same `exp` call the scalar path
+//! makes — so chunking changes instruction scheduling, never results.
+//! Setting `SPINN_SCALAR_TICK=1` forces the per-neuron scalar path at
+//! run time (checked once per process); CI runs the conformance suite
+//! both ways.
 
 use crate::fixed::Fix1616;
 use crate::izhikevich::{IzhikevichNeuron, IzhikevichParams};
 use crate::lif::{LifNeuron, LifParams};
 use crate::model::{AnyNeuron, NeuronModel};
+
+/// Chunk width of the wide tick path. Eight 32-bit lanes span one
+/// 256-bit vector register; the update loops are written per-chunk so
+/// the autovectorizer can pick whatever width the target offers.
+const LANES: usize = 8;
+
+/// Whether the wide chunked tick path is active (the default).
+/// `SPINN_SCALAR_TICK=1` (or `true`) forces the per-neuron scalar
+/// fallback — same results, exercised by CI so the fallback stays
+/// correct on every runner.
+fn wide_tick_enabled() -> bool {
+    static WIDE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *WIDE.get_or_init(|| {
+        !std::env::var("SPINN_SCALAR_TICK")
+            .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+    })
+}
 
 /// Izhikevich state as parallel 16.16 fixed-point arrays.
 #[derive(Clone, Debug, Default)]
@@ -30,10 +62,17 @@ pub struct IzhikevichPool {
     d: Vec<Fix1616>,
     v: Vec<Fix1616>,
     u: Vec<Fix1616>,
+    /// Set when any neuron's `|a|` or `|b|` reaches 1.0 — outside the
+    /// clamp-free fast path's range proof (biological presets sit well
+    /// below; only the manual API can get here). Checked once per
+    /// chunk, not per tick, since parameters are fixed after `push`.
+    params_wild: bool,
 }
 
 impl IzhikevichPool {
     fn push(&mut self, n: IzhikevichNeuron) {
+        self.params_wild |=
+            n.a.to_bits().unsigned_abs() >= 1 << 16 || n.b.to_bits().unsigned_abs() >= 1 << 16;
         self.params.push(n.params);
         self.a.push(n.a);
         self.b.push(n.b);
@@ -79,6 +118,103 @@ impl IzhikevichPool {
         self.u[i] = u;
         fired
     }
+
+    /// Chunked tick: the same fixed-point sequence as
+    /// [`IzhikevichPool::step`], restructured as straight-line loops
+    /// over `LANES`-wide blocks with a bitmask spike sweep. The
+    /// update is integer arithmetic on independent lanes, so the
+    /// result is bit-identical to the scalar walk.
+    ///
+    /// Chunks whose state is small enough that no intermediate of the
+    /// update can reach the `i32` boundary take a clamp-free `i64`
+    /// path: `saturating_add`/`saturating_mul` degenerate to plain
+    /// add/widening-mul-shift when their clamps cannot trigger, so
+    /// eliding them is exact — and it removes two compare/selects per
+    /// arithmetic op from the hot loop. Interval propagation with
+    /// entry bounds `v ∈ [-160, 96)`, `|u| ≤ 64`, `|inj| ≤ 64` and
+    /// `|a|, |b| < 1` (see [`IzhikevichPool::params_wild`]) bounds the
+    /// worst intermediate — `0.04·v₁²` on the second substep with
+    /// `v₁ ≤ 654` — near 20,400 and `|v₂| ≤ 11,000`: everything stays
+    /// inside the ±32,768 value range, so no clamp can fire. The `v`
+    /// window covers rest (≈ -65), reset and hyperpolarized states;
+    /// the spike upstroke past +96 (which genuinely saturates around
+    /// `v ≈ 1,500`) falls back to the clamped walk for that chunk.
+    fn step_tick_wide(&mut self, input: &impl Fn(usize) -> f32, on_spike: &mut impl FnMut(usize)) {
+        let n = self.v.len();
+        let half = Fix1616::from_f32(0.5);
+        let k004 = Fix1616::from_f32(0.04);
+        let k5 = Fix1616::from_int(5);
+        let k140 = Fix1616::from_int(140);
+        let mut base = 0;
+        while base < n {
+            let m = LANES.min(n - base);
+            // Gather the drive first so the update loop is pure lane
+            // arithmetic with no interleaved calls. `spread` folds the
+            // clamp-free guard: zero iff every lane has
+            // `v + 160 ∈ [0, 256)` and `|u|, |inj| < 64` in value.
+            let mut inj = [Fix1616::from_int(0); LANES];
+            let mut spread: u64 = 0;
+            for (k, lane) in inj.iter_mut().enumerate().take(m) {
+                *lane = Fix1616::from_f32(input(base + k));
+                let i = base + k;
+                spread |= ((self.v[i].to_bits() as i64 + (160 << 16)) as u64) >> 24;
+                spread |= (self.u[i].to_bits().unsigned_abs() as u64) >> 22;
+                spread |= (lane.to_bits().unsigned_abs() as u64) >> 22;
+            }
+            let mut fired: u32 = 0;
+            if spread == 0 && !self.params_wild {
+                for k in 0..m {
+                    let i = base + k;
+                    let (mut v, mut u) = (self.v[i].to_bits() as i64, self.u[i].to_bits() as i64);
+                    let (a, b) = (self.a[i].to_bits() as i64, self.b[i].to_bits() as i64);
+                    let inj = inj[k].to_bits() as i64;
+                    let (k004, k5, k140) = (
+                        k004.to_bits() as i64,
+                        k5.to_bits() as i64,
+                        k140.to_bits() as i64,
+                    );
+                    for _ in 0..2 {
+                        // Same association as `k004 * v * v + ...`; the
+                        // `* half` is an exact arithmetic halving.
+                        let t = ((((k004 * v) >> 16) * v) >> 16) + ((k5 * v) >> 16);
+                        let dv = t + k140 - u + inj;
+                        v += dv >> 1;
+                    }
+                    u += (a * (((b * v) >> 16) - u)) >> 16;
+                    fired |= u32::from(v >= (30 << 16)) << k;
+                    self.v[i] = Fix1616::from_bits(v as i32);
+                    self.u[i] = Fix1616::from_bits(u as i32);
+                }
+            } else {
+                for (k, &inj_k) in inj.iter().enumerate().take(m) {
+                    let i = base + k;
+                    let (mut v, mut u) = (self.v[i], self.u[i]);
+                    for _ in 0..2 {
+                        let dv = k004 * v * v + k5 * v + k140 - u + inj_k;
+                        v += dv * half;
+                    }
+                    u += self.a[i] * (self.b[i] * v - u);
+                    // `v.to_f32() >= 30.0` in the fixed domain: the
+                    // conversion is exact for |bits| <= 2^24 and both
+                    // sides agree for saturated magnitudes, so the
+                    // integer compare decides identically.
+                    fired |= u32::from(v.to_bits() >= 30 << 16) << k;
+                    self.v[i] = v;
+                    self.u[i] = u;
+                }
+            }
+            // Spike sweep: resets and callbacks only for set lanes, in
+            // ascending index order (the scalar path's order).
+            while fired != 0 {
+                let i = base + fired.trailing_zeros() as usize;
+                fired &= fired - 1;
+                self.v[i] = self.c[i];
+                self.u[i] += self.d[i];
+                on_spike(i);
+            }
+            base += m;
+        }
+    }
 }
 
 /// LIF state as parallel arrays.
@@ -87,10 +223,17 @@ pub struct LifPool {
     params: Vec<LifParams>,
     v: Vec<f32>,
     refract_left: Vec<u32>,
+    /// Cached membrane decay `exp(-1/tau_m)` per neuron. Parameters are
+    /// fixed after `push`, and this is the very expression
+    /// [`LifPool::step`] evaluates, so caching it cannot change a bit
+    /// of the dynamics — it only lifts a transcendental out of the
+    /// per-tick loop.
+    alpha: Vec<f32>,
 }
 
 impl LifPool {
     fn push(&mut self, n: LifNeuron) {
+        self.alpha.push((-1.0 / n.params.tau_m).exp());
         self.params.push(n.params);
         self.v.push(n.v);
         self.refract_left.push(n.refract_left);
@@ -123,6 +266,43 @@ impl LifPool {
         } else {
             self.v[i] = v;
             false
+        }
+    }
+
+    /// Chunked tick: the same f32 sequence as [`LifPool::step`] with
+    /// the decay factor taken from the [`LifPool::alpha`] cache and
+    /// threshold crossings gathered into a bitmask before the reset
+    /// sweep. Refractory bookkeeping stays inline — it is a counter
+    /// decrement, not worth a separate pass.
+    fn step_tick_wide(&mut self, input: &impl Fn(usize) -> f32, on_spike: &mut impl FnMut(usize)) {
+        let n = self.v.len();
+        let mut base = 0;
+        while base < n {
+            let m = LANES.min(n - base);
+            let mut fired: u32 = 0;
+            for k in 0..m {
+                let i = base + k;
+                if self.refract_left[i] > 0 {
+                    self.refract_left[i] -= 1;
+                    continue;
+                }
+                let p = &self.params[i];
+                let v_inf = p.v_rest + p.r_m * input(i);
+                let v = v_inf + (self.v[i] - v_inf) * self.alpha[i];
+                if v >= p.v_thresh {
+                    fired |= 1 << k;
+                } else {
+                    self.v[i] = v;
+                }
+            }
+            while fired != 0 {
+                let i = base + fired.trailing_zeros() as usize;
+                fired &= fired - 1;
+                self.v[i] = self.params[i].v_reset;
+                self.refract_left[i] = self.params[i].t_refract;
+                on_spike(i);
+            }
+            base += m;
         }
     }
 }
@@ -259,20 +439,32 @@ impl NeuronPool {
     /// Advances every neuron by 1 ms: `input(i)` supplies the summed
     /// drive in nA, `on_spike(i)` fires for each neuron that crossed
     /// threshold, in ascending index order.
+    /// Homogeneous pools take the chunked wide path (see the module
+    /// docs) unless `SPINN_SCALAR_TICK=1` pins the scalar fallback;
+    /// both orders of evaluation are bit-identical.
     #[inline]
     pub fn step_tick(&mut self, input: impl Fn(usize) -> f32, mut on_spike: impl FnMut(usize)) {
+        let wide = wide_tick_enabled();
         match self {
             NeuronPool::Izhikevich(p) => {
-                for i in 0..p.v.len() {
-                    if p.step(i, input(i)) {
-                        on_spike(i);
+                if wide {
+                    p.step_tick_wide(&input, &mut on_spike);
+                } else {
+                    for i in 0..p.v.len() {
+                        if p.step(i, input(i)) {
+                            on_spike(i);
+                        }
                     }
                 }
             }
             NeuronPool::Lif(p) => {
-                for i in 0..p.v.len() {
-                    if p.step(i, input(i)) {
-                        on_spike(i);
+                if wide {
+                    p.step_tick_wide(&input, &mut on_spike);
+                } else {
+                    for i in 0..p.v.len() {
+                        if p.step(i, input(i)) {
+                            on_spike(i);
+                        }
                     }
                 }
             }
@@ -363,6 +555,64 @@ mod tests {
         let pool = NeuronPool::from_neurons((0..6).map(mk).collect());
         assert!(matches!(pool, NeuronPool::Mixed(_)));
         assert_pool_matches_aos(mk, 16, 300);
+    }
+
+    /// The chunked wide path must equal the scalar `step` walk exactly
+    /// — spikes and post-state — including ragged tails shorter than a
+    /// chunk and neurons sitting right at the chunk seams.
+    #[test]
+    fn wide_path_matches_scalar_step() {
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33] {
+            // Izhikevich: drive hard enough that lanes fire on
+            // different ticks.
+            let presets = [
+                IzhikevichParams::regular_spiking(),
+                IzhikevichParams::fast_spiking(),
+                IzhikevichParams::chattering(),
+            ];
+            let mk = |i: usize| IzhikevichNeuron::new(presets[i % 3]);
+            let mut wide = match NeuronPool::from_neurons((0..n).map(|i| mk(i).into()).collect()) {
+                NeuronPool::Izhikevich(p) => p,
+                _ => unreachable!(),
+            };
+            let mut scalar = wide.clone();
+            for t in 0..400 {
+                let mut got = Vec::new();
+                wide.step_tick_wide(&|i| drive(t, i), &mut |i| got.push(i));
+                let mut expect = Vec::new();
+                for i in 0..n {
+                    if scalar.step(i, drive(t, i)) {
+                        expect.push(i);
+                    }
+                }
+                assert_eq!(got, expect, "izh n={n} tick {t}");
+                assert_eq!(wide.v, scalar.v, "izh n={n} tick {t}");
+                assert_eq!(wide.u, scalar.u, "izh n={n} tick {t}");
+            }
+            // LIF with a spread of refractory periods.
+            let mut wide = LifPool::default();
+            for i in 0..n {
+                wide.push(LifNeuron::new(LifParams {
+                    t_refract: (i % 5) as u32,
+                    tau_m: 10.0 + (i % 7) as f32,
+                    ..Default::default()
+                }));
+            }
+            let mut scalar = wide.clone();
+            for t in 0..400 {
+                let mut got = Vec::new();
+                wide.step_tick_wide(&|i| drive(t, i) * 2.0, &mut |i| got.push(i));
+                let mut expect = Vec::new();
+                for i in 0..n {
+                    if scalar.step(i, drive(t, i) * 2.0) {
+                        expect.push(i);
+                    }
+                }
+                assert_eq!(got, expect, "lif n={n} tick {t}");
+                assert_eq!(wide.v, scalar.v, "lif n={n} tick {t}");
+                assert_eq!(wide.refract_left, scalar.refract_left, "lif n={n} tick {t}");
+            }
+        }
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //! CAM as a linear scan — faithful to the hardware's parallel compare,
 //! but O(entries) per packet in software. [`CompiledTable`] rebuilds the
 //! same table as a set of **mask groups**: entries sharing a ternary
-//! mask land in one hash map keyed by `key & mask`, so a lookup costs
+//! mask land in one hash table keyed by `key & mask`, so a lookup costs
 //! one hash probe per *distinct mask* instead of one compare per entry.
 //! Routing plans use a handful of masks (a core-block mask plus the
 //! widened masks minimization produces), so the probe count stays tiny
 //! even at full 1024-entry occupancy.
+//!
+//! The per-group table is a small open-addressing map with a
+//! multiply-shift hash rather than `std::collections::HashMap`: the
+//! router probes it for every packet hop, and SipHash plus the
+//! `HashMap` miss path cost more than the rest of the routing decision
+//! combined. The map is an internal acceleration structure — lookups
+//! return exactly the linear scan's result either way — and the
+//! Fibonacci hash is deterministic, so compiled routers behave
+//! identically across runs and hosts.
 //!
 //! First-match priority is preserved exactly: every entry carries its
 //! CAM index, each bucket keeps the lowest index for its masked key, and
@@ -17,17 +26,116 @@
 //! lowest index — precisely the entry the linear scan would have found
 //! first.
 
-use std::collections::HashMap;
-
 use crate::table::{McTable, RouteSet};
 
-/// One group of entries sharing a ternary mask.
+/// One slot of the open-addressing map: a masked key, the CAM index of
+/// the first entry with that masked key, and its route. `index ==
+/// EMPTY_SLOT` marks a free slot (CAM indices are bounded by the
+/// table's capacity, far below the sentinel).
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    masked_key: u32,
+    index: u32,
+    route: RouteSet,
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// One group of entries sharing a ternary mask: an open-addressing
+/// table over `key & mask` with linear probing. Capacity is a power of
+/// two at least twice the bucket count, so probe chains stay short.
 #[derive(Clone, Debug)]
 struct MaskGroup {
     /// The shared ternary mask.
     mask: u32,
-    /// `key & mask` → (CAM index of the first such entry, its route).
-    buckets: HashMap<u32, (u32, RouteSet)>,
+    /// Power-of-two slot array.
+    slots: Vec<Slot>,
+    /// `slots.len() - 1`, for masking the hash.
+    cap_mask: usize,
+}
+
+impl MaskGroup {
+    fn new(mask: u32) -> Self {
+        let mut g = MaskGroup {
+            mask,
+            slots: Vec::new(),
+            cap_mask: 0,
+        };
+        g.rebuild(8);
+        g
+    }
+
+    /// Fibonacci (multiply-shift) hash of a masked key.
+    #[inline]
+    fn hash(&self, masked_key: u32) -> usize {
+        (masked_key.wrapping_mul(0x9E37_79B1) >> 16) as usize & self.cap_mask
+    }
+
+    fn rebuild(&mut self, capacity: usize) {
+        debug_assert!(capacity.is_power_of_two());
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    masked_key: 0,
+                    index: EMPTY_SLOT,
+                    route: RouteSet::EMPTY,
+                };
+                capacity
+            ],
+        );
+        self.cap_mask = capacity - 1;
+        for s in old {
+            if s.index != EMPTY_SLOT {
+                self.insert(s.masked_key, s.index, s.route);
+            }
+        }
+    }
+
+    /// Inserts keeping the lowest CAM index per masked key; grows at
+    /// 50% occupancy (count tracked by the caller via `len`).
+    fn insert(&mut self, masked_key: u32, index: u32, route: RouteSet) {
+        let mut i = self.hash(masked_key);
+        loop {
+            let s = &mut self.slots[i];
+            if s.index == EMPTY_SLOT {
+                *s = Slot {
+                    masked_key,
+                    index,
+                    route,
+                };
+                return;
+            }
+            if s.masked_key == masked_key {
+                // First match wins: keep the lowest CAM index.
+                if index < s.index {
+                    s.index = index;
+                    s.route = route;
+                }
+                return;
+            }
+            i = (i + 1) & self.cap_mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, masked_key: u32) -> Option<(u32, RouteSet)> {
+        let mut i = self.hash(masked_key);
+        loop {
+            let s = &self.slots[i];
+            if s.index == EMPTY_SLOT {
+                return None;
+            }
+            if s.masked_key == masked_key {
+                return Some((s.index, s.route));
+            }
+            i = (i + 1) & self.cap_mask;
+        }
+    }
+
+    fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.index != EMPTY_SLOT).count()
+    }
 }
 
 /// A key-indexed compilation of an [`McTable`] with identical first-match
@@ -69,18 +177,19 @@ impl CompiledTable {
             let group = match groups.iter_mut().find(|g| g.mask == e.mask) {
                 Some(g) => g,
                 None => {
-                    groups.push(MaskGroup {
-                        mask: e.mask,
-                        buckets: HashMap::new(),
-                    });
+                    groups.push(MaskGroup::new(e.mask));
                     groups.last_mut().expect("just pushed")
                 }
             };
-            // First match wins: keep the lowest CAM index per masked key.
-            group
-                .buckets
-                .entry(e.key & e.mask)
-                .or_insert((index as u32, e.route));
+            group.insert(e.key & e.mask, index as u32, e.route);
+            // Keep occupancy at or below half so probe chains stay
+            // short. `occupied` is a scan, but compilation is rare
+            // (per table version) and tables are at most ~1k entries.
+            let occupied = group.occupied();
+            if occupied * 2 > group.slots.len() {
+                let capacity = group.slots.len() * 2;
+                group.rebuild(capacity);
+            }
         }
         CompiledTable {
             version: table.version(),
@@ -115,7 +224,7 @@ impl CompiledTable {
     pub fn lookup(&self, packet_key: u32) -> Option<RouteSet> {
         let mut best: Option<(u32, RouteSet)> = None;
         for g in &self.groups {
-            if let Some(&(index, route)) = g.buckets.get(&(packet_key & g.mask)) {
+            if let Some((index, route)) = g.get(packet_key & g.mask) {
                 if best.is_none_or(|(b, _)| index < b) {
                     best = Some((index, route));
                 }

@@ -499,15 +499,26 @@ impl Observability {
         Observability::for_shard(mode, 0)
     }
 
-    /// Telemetry for one shard of a sharded run.
+    /// Telemetry for one shard of a sharded run, with the default
+    /// [`DEFAULT_TRACE_CAP`] trace ring.
     pub fn for_shard(mode: ObsMode, shard: u32) -> Observability {
+        Observability::for_shard_with_cap(mode, shard, DEFAULT_TRACE_CAP)
+    }
+
+    /// Telemetry for one shard with an explicit trace ring capacity.
+    ///
+    /// The default 16 Ki-record ring keeps the hot path cheap but loses
+    /// most records on event-heavy runs (E17 measured ~276 k overwrites
+    /// over a 10 ms segment); callers that want the full tail — trace
+    /// archaeology, conformance replay — size the ring to the run.
+    pub fn for_shard_with_cap(mode: ObsMode, shard: u32, trace_cap: usize) -> Observability {
         let (counters, phases, tracer) = match mode {
             ObsMode::Disabled => (CounterShard::default(), PhaseProbe::default(), None),
             ObsMode::Counters => (CounterShard::enabled(), PhaseProbe::default(), None),
             ObsMode::CountersAndTrace => (
                 CounterShard::enabled(),
                 PhaseProbe::enabled(),
-                Some(Tracer::new(DEFAULT_TRACE_CAP)),
+                Some(Tracer::new(trace_cap)),
             ),
         };
         Observability {
@@ -605,6 +616,20 @@ impl RunTelemetry {
     /// Trace records lost to ring bounds (per-shard and merged).
     pub fn trace_overwritten(&self) -> u64 {
         self.trace_overwritten
+    }
+
+    /// Fraction of all recorded trace events lost to ring overwrites,
+    /// in `[0, 1]` — `0.0` when nothing was recorded. A ratio near 1
+    /// means the retained trace is a thin recent-history window of the
+    /// run; size the ring up (machine `trace_cap`) before reading the
+    /// trace as a record of the whole run.
+    pub fn trace_overwrite_ratio(&self) -> f64 {
+        let recorded = self.trace_overwritten + self.trace.len() as u64;
+        if recorded == 0 {
+            0.0
+        } else {
+            self.trace_overwritten as f64 / recorded as f64
+        }
     }
 
     /// Folds one shard's segment telemetry into the run totals,
@@ -822,9 +847,10 @@ impl RunTelemetry {
             );
             let _ = writeln!(
                 out,
-                "  trace:             {} record(s), {} overwritten",
+                "  trace:             {} record(s), {} overwritten ({:.1}% lost)",
                 self.trace.len(),
-                self.trace_overwritten
+                self.trace_overwritten,
+                100.0 * self.trace_overwrite_ratio()
             );
         }
         if self.shards.len() > 1 {

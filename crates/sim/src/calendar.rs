@@ -31,10 +31,14 @@ use crate::time::SimTime;
 
 /// Number of per-tick buckets in the ring (must be a power of two).
 ///
-/// 2^14 ticks = 16.4 µs at the machine's 1 ns resolution: wide enough
-/// that packet hops, handler completions and DMA transfers land in the
-/// ring, while millisecond-scale timer events take the overflow tier.
-const SLOTS: usize = 1 << 14;
+/// 2^15 ticks = 32.8 µs at the machine's 1 ns resolution: wide enough
+/// that packet hops, handler completions, DMA transfers *and* the
+/// 20 µs dropped-packet reissue delay land in the ring, while
+/// millisecond-scale timer events take the overflow tier. (At 2^14 the
+/// reissue storm of a congested run — more reissues than first-try
+/// packets — churned through the overflow `BTreeMap`, and the map's
+/// node traffic dominated `queue_pop`.)
+const SLOTS: usize = 1 << 15;
 const WORDS: usize = SLOTS / 64;
 
 #[derive(Debug)]

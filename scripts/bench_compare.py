@@ -20,6 +20,19 @@ Row kinds compared:
 * ``queue_microbench`` records, matched by case name, on the
   ``calendar_ns_per_op`` metric (lower is better) — a tight kernel
   loop, stable enough to gate on.
+* ``phase_breakdown`` records, matched by (threads, bio_ms, metric),
+  on the ``ns_per_neuron`` and ``ns_per_synaptic_event`` metrics
+  (lower is better) — per-loop costs normalized by simulated work, so
+  they gate tighter than wall-clock rows.
+
+A third mode checks one report in isolation:
+
+    python3 scripts/bench_compare.py --parallel-speedup REPORT.json
+
+and fails unless the report's ``phase_breakdown`` rows show the
+4-thread wall-clock strictly beating the 1-thread wall-clock with a
+4-thread barrier-wait share of at most 0.5 — threads must pay, not
+just cost.
 
 Chain mode compares each consecutive pair (old -> new) and appends a
 markdown trajectory table to ``$GITHUB_STEP_SUMMARY`` when that
@@ -96,11 +109,72 @@ def micro_rows(report):
     return rows
 
 
+def perf_rows(report):
+    """(threads, bio_ms, metric) -> ns (lower is better) for the
+    per-loop phase_breakdown costs."""
+    rows = {}
+    for record in report.get("records", []):
+        if record.get("name") != "phase_breakdown":
+            continue
+        cfg = record.get("config", {})
+        metrics = record.get("metrics", {})
+        for metric in ("ns_per_neuron", "ns_per_synaptic_event"):
+            value = metrics.get(metric)
+            if value is not None:
+                rows[(cfg.get("threads"), cfg.get("bio_ms"), metric)] = float(value)
+    return rows
+
+
 # (label, extractor, True when higher is better)
 KINDS = {
     "sweep": ("end_to_end_sweep spikes/sec", sweep_rows, True),
     "micro": ("queue_microbench calendar ns/op", micro_rows, False),
+    "perf": ("phase_breakdown ns per unit of work", perf_rows, False),
 }
+
+
+def check_parallel_speedup(name):
+    """Single-report gate: 4-thread wall_ms must be strictly below
+    1-thread wall_ms, and the 4-thread barrier-wait share at most 0.5,
+    for every bio_ms the report measured both thread counts at.
+    Returns the number of failed checks (exits 2 if the report has no
+    comparable phase_breakdown pair)."""
+    report = load(name)
+    walls = {}
+    barrier = {}
+    for record in report.get("records", []):
+        if record.get("name") != "phase_breakdown":
+            continue
+        cfg = record.get("config", {})
+        metrics = record.get("metrics", {})
+        key = (cfg.get("threads"), cfg.get("bio_ms"))
+        if metrics.get("wall_ms") is not None:
+            walls[key] = float(metrics["wall_ms"])
+        if metrics.get("barrier_wait_share") is not None:
+            barrier[key] = float(metrics["barrier_wait_share"])
+    pairs = sorted(
+        bio for (threads, bio) in walls if threads == 1 and (4, bio) in walls
+    )
+    if not pairs:
+        fail_usage(
+            f"{name} has no phase_breakdown rows at both 1 and 4 threads — "
+            "nothing to check parallel speedup on"
+        )
+    failures = 0
+    print(f"parallel speedup check on {name}:")
+    for bio in pairs:
+        w1, w4 = walls[(1, bio)], walls[(4, bio)]
+        share = barrier.get((4, bio), 0.0)
+        ok_wall = w4 < w1
+        ok_share = share <= 0.5
+        failures += (not ok_wall) + (not ok_share)
+        print(
+            f"  bio_ms={bio}: wall 1T {w1:.1f} ms vs 4T {w4:.1f} ms "
+            f"({w4 / w1 - 1.0:+.1%}) {'ok' if ok_wall else '<< 4T must beat 1T'}; "
+            f"4T barrier share {share:.3f} "
+            f"{'ok' if ok_share else '<< must be <= 0.5'}"
+        )
+    return failures
 
 
 def compare_kind(kind, new_report, base_report, new_name, base_name, args):
@@ -223,9 +297,15 @@ def main(argv=None):
     )
     ap.add_argument(
         "--kind",
-        choices=["sweep", "micro", "all"],
+        choices=["sweep", "micro", "perf", "all"],
         default="all",
         help="row kinds to compare (default: all kinds present in both reports)",
+    )
+    ap.add_argument(
+        "--parallel-speedup",
+        action="store_true",
+        help="check a single report's phase_breakdown rows: 4-thread wall_ms "
+        "strictly below 1-thread, 4-thread barrier share at most 0.5",
     )
     ap.add_argument(
         "--allow-missing-rows",
@@ -234,7 +314,17 @@ def main(argv=None):
         "(for comparing quick-mode against full-mode sweep grids)",
     )
     args = ap.parse_args(argv)
-    kinds = ["sweep", "micro"] if args.kind == "all" else [args.kind]
+    kinds = ["sweep", "micro", "perf"] if args.kind == "all" else [args.kind]
+
+    if args.parallel_speedup:
+        if args.chain or len(args.reports) != 1:
+            fail_usage("--parallel-speedup takes exactly one report")
+        failures = check_parallel_speedup(args.reports[0])
+        if failures:
+            print(f"FAIL: {failures} parallel-speedup check(s) failed", file=sys.stderr)
+            sys.exit(1)
+        print("OK: threads pay — 4-thread wall beats 1-thread within barrier bounds")
+        return
 
     failures = 0
     md_rows = []

@@ -14,7 +14,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402
 
 
-def report(sweep=None, micro=None, commit="deadbeef"):
+def report(sweep=None, micro=None, phase=None, commit="deadbeef"):
     records = []
     for (mesh, queue, threads, bio_ms), sps in (sweep or {}).items():
         records.append(
@@ -35,6 +35,14 @@ def report(sweep=None, micro=None, commit="deadbeef"):
                 "name": "queue_microbench",
                 "config": {"case": case},
                 "metrics": {"calendar_ns_per_op": ns},
+            }
+        )
+    for (threads, bio_ms), metrics in (phase or {}).items():
+        records.append(
+            {
+                "name": "phase_breakdown",
+                "config": {"threads": threads, "bio_ms": bio_ms},
+                "metrics": dict(metrics),
             }
         )
     return {"experiment": "EX", "commit": commit, "records": records}
@@ -146,13 +154,60 @@ class BenchCompareTest(unittest.TestCase):
         a = self.write("a.json", report(sweep={self.sweep_key(): 1.0}))
         self.assertEqual(self.run_main(["--chain", a]), 2)
 
+    def phase_rows(self, w1=100.0, w4=80.0, share=0.1, ns_neuron=15.0):
+        return {
+            (1, 30): {
+                "wall_ms": w1,
+                "barrier_wait_share": 0.0,
+                "ns_per_neuron": ns_neuron,
+                "ns_per_synaptic_event": 45.0,
+            },
+            (4, 30): {
+                "wall_ms": w4,
+                "barrier_wait_share": share,
+                "ns_per_neuron": ns_neuron,
+                "ns_per_synaptic_event": 45.0,
+            },
+        }
+
+    def test_perf_kind_regression_fails(self):
+        # Lower is better for ns/neuron: 10 -> 14 is a 40% regression.
+        base = self.write("base.json", report(phase=self.phase_rows(ns_neuron=10.0)))
+        new = self.write("new.json", report(phase=self.phase_rows(ns_neuron=14.0)))
+        self.assertEqual(self.run_main([new, base, "--kind", "perf"]), 1)
+
+    def test_perf_kind_improvement_passes(self):
+        base = self.write("base.json", report(phase=self.phase_rows(ns_neuron=18.0)))
+        new = self.write("new.json", report(phase=self.phase_rows(ns_neuron=12.0)))
+        self.assertEqual(self.run_main([new, base, "--kind", "perf"]), 0)
+
+    def test_parallel_speedup_passes_when_threads_pay(self):
+        rep = self.write("rep.json", report(phase=self.phase_rows(w1=100.0, w4=80.0)))
+        self.assertEqual(self.run_main(["--parallel-speedup", rep]), 0)
+
+    def test_parallel_speedup_fails_when_4t_is_slower(self):
+        rep = self.write("rep.json", report(phase=self.phase_rows(w1=100.0, w4=100.0)))
+        self.assertEqual(self.run_main(["--parallel-speedup", rep]), 1)
+
+    def test_parallel_speedup_fails_on_barrier_share(self):
+        rep = self.write(
+            "rep.json", report(phase=self.phase_rows(w1=100.0, w4=80.0, share=0.9))
+        )
+        self.assertEqual(self.run_main(["--parallel-speedup", rep]), 1)
+
+    def test_parallel_speedup_without_pair_is_exit_2(self):
+        rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--parallel-speedup", rep]), 2)
+
     def test_committed_artifacts_chain_cleanly(self):
         # The real committed BENCH_*.json files must stay chainable (the
         # CI trajectory step depends on it). Micro rows only exist in
-        # E14, so allow missing rows across the chain.
+        # E14, so allow missing rows across the chain. E17 carries only
+        # phase_breakdown rows, so it is gated pairwise against E18
+        # below instead of sitting in the sweep chain.
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         chain = [
-            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16)
+            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16, 18)
         ]
         for path in chain:
             self.assertTrue(os.path.exists(path), f"{path} must be committed")
@@ -160,6 +215,18 @@ class BenchCompareTest(unittest.TestCase):
             ["--chain", *chain, "--allow-missing-rows", "--max-regress", "0.35"]
         )
         self.assertEqual(code, 0)
+
+    def test_committed_e18_gates_hold(self):
+        # The collected-win acceptance gates, run on the committed
+        # artifacts exactly as CI does: per-loop costs vs E17 and the
+        # threads-must-pay check on E18 itself.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        e17 = os.path.join(root, "BENCH_e17.json")
+        e18 = os.path.join(root, "BENCH_e18.json")
+        self.assertEqual(
+            self.run_main([e18, e17, "--kind", "perf", "--max-regress", "0.35"]), 0
+        )
+        self.assertEqual(self.run_main(["--parallel-speedup", e18]), 0)
 
 
 if __name__ == "__main__":

@@ -58,6 +58,7 @@ fn synfire(queue: QueueKind, threads: u32) -> Simulation {
         .with_neurons_per_core(64)
         .with_placer(Placer::Random { seed: 0x60_1D })
         .with_queue(queue)
+        .with_force_shards(true)
         .with_threads(threads);
     Simulation::build(&net, cfg).expect("synfire fits a 4x4 machine")
 }
@@ -84,6 +85,7 @@ fn retina(queue: QueueKind, threads: u32) -> Simulation {
         .with_neurons_per_core(64)
         .with_placer(Placer::Random { seed: 0x2E71 })
         .with_queue(queue)
+        .with_force_shards(true)
         .with_threads(threads);
     Simulation::build(&net, cfg).expect("retina net fits a 4x4 machine")
 }
@@ -100,7 +102,9 @@ fn faulted_machine(queue: QueueKind) -> NeuralMachine {
             .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
             .collect()
     };
-    let mut cfg = MachineConfig::new(4, 4).with_queue(queue);
+    let mut cfg = MachineConfig::new(4, 4)
+        .with_queue(queue)
+        .with_force_shards(true);
     cfg.fabric.router.emergency_enabled = false;
     let mut m = NeuralMachine::new(cfg);
     let a = NodeCoord::new(0, 0); // tonically driven source

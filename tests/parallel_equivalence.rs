@@ -24,7 +24,7 @@ fn rs_neurons(n: usize) -> Vec<AnyNeuron> {
 /// relay on (1,0) feeding a far target on (3,2), so spikes cross several
 /// chips (and shard boundaries at every thread count).
 fn chain_machine() -> NeuralMachine {
-    let mut m = NeuralMachine::new(MachineConfig::new(4, 4));
+    let mut m = NeuralMachine::new(MachineConfig::new(4, 4).with_force_shards(true));
     let a = NodeCoord::new(0, 0);
     let b = NodeCoord::new(1, 0);
     let c = NodeCoord::new(3, 2);
@@ -159,7 +159,9 @@ fn api_net(seed: u64) -> NetworkGraph {
 fn api_run_identical_for_1_2_4_threads() {
     let net = api_net(42);
     let spikes_at = |threads: u32| {
-        let cfg = SimConfig::new(4, 4).with_threads(threads);
+        let cfg = SimConfig::new(4, 4)
+            .with_force_shards(true)
+            .with_threads(threads);
         Simulation::build(&net, cfg).unwrap().run(200).spikes()
     };
     let reference = spikes_at(1);
@@ -191,6 +193,7 @@ fn dense_random_placement_stays_identical() {
         );
     }
     let cfg = SimConfig::new(4, 4)
+        .with_force_shards(true)
         .with_neurons_per_core(128)
         .with_placer(Placer::Random { seed: 0xD15E });
     let serial = Simulation::build(&net, cfg.clone()).unwrap().run(120);
@@ -222,7 +225,7 @@ proptest! {
             _ => Placer::Random { seed: place_seed },
         };
         let net = api_net(net_seed);
-        let cfg = SimConfig::new(4, 4).with_placer(placer);
+        let cfg = SimConfig::new(4, 4).with_force_shards(true).with_placer(placer);
         let serial = Simulation::build(&net, cfg.clone()).unwrap().run(100).spikes();
         let par = Simulation::build(&net, cfg.with_threads(threads))
             .unwrap()

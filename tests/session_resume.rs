@@ -57,6 +57,7 @@ fn synfire_net() -> NetworkGraph {
 
 fn synfire_cfg(queue: QueueKind, threads: u32) -> SimConfig {
     SimConfig::new(4, 4)
+        .with_force_shards(true)
         .with_neurons_per_core(64)
         .with_placer(Placer::Random { seed: 0x60_1D })
         .with_queue(queue)
@@ -82,6 +83,7 @@ fn retina_net() -> NetworkGraph {
 
 fn retina_cfg(queue: QueueKind, threads: u32) -> SimConfig {
     SimConfig::new(4, 4)
+        .with_force_shards(true)
         .with_neurons_per_core(64)
         .with_placer(Placer::Random { seed: 0x2E71 })
         .with_queue(queue)
@@ -96,7 +98,9 @@ fn faulted_machine(queue: QueueKind) -> NeuralMachine {
             .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
             .collect()
     };
-    let mut cfg = MachineConfig::new(4, 4).with_queue(queue);
+    let mut cfg = MachineConfig::new(4, 4)
+        .with_force_shards(true)
+        .with_queue(queue);
     cfg.fabric.router.emergency_enabled = false;
     let mut m = NeuralMachine::new(cfg);
     let a = NodeCoord::new(0, 0);
@@ -297,7 +301,9 @@ fn overloaded_machine(queue: QueueKind) -> NeuralMachine {
             .map(|_| IzhikevichNeuron::new(IzhikevichParams::regular_spiking()).into())
             .collect()
     };
-    let mut cfg = MachineConfig::new(2, 2).with_queue(queue);
+    let mut cfg = MachineConfig::new(2, 2)
+        .with_force_shards(true)
+        .with_queue(queue);
     // 60k instructions per neuron at 200 MHz = 0.3 ms/neuron: a 12-neuron
     // core needs 3.6 ms per 1 ms tick — a permanent real-time violation.
     cfg.costs.per_neuron_instr = 60_000;
@@ -386,7 +392,11 @@ fn poisson_net() -> (NetworkGraph, PopulationId, PopulationId) {
 #[test]
 fn poisson_sources_are_split_invariant_and_survive_restore() {
     let (net, input, out) = poisson_net();
-    let cfg = || SimConfig::new(4, 4).with_neurons_per_core(32);
+    let cfg = || {
+        SimConfig::new(4, 4)
+            .with_force_shards(true)
+            .with_neurons_per_core(32)
+    };
     let run_whole = || {
         let mut s = Simulation::build(&net, cfg()).unwrap().into_session();
         s.add_poisson(input, 180.0, 0xF00D);
@@ -412,6 +422,7 @@ fn poisson_sources_are_split_invariant_and_survive_restore() {
 fn warm_mutation_between_segments() {
     let (net, input, _out) = poisson_net();
     let cfg = SimConfig::new(4, 4)
+        .with_force_shards(true)
         .with_neurons_per_core(32)
         .with_stdp(spinnaker::neuron::stdp::StdpParams::default());
     let mut session = Simulation::build(&net, cfg).unwrap().into_session();
@@ -460,7 +471,7 @@ proptest! {
         let (net, input, _out) = poisson_net();
         let queue = if use_calendar == 1 { QueueKind::Calendar } else { QueueKind::Heap };
         let cfg = |threads: u32| {
-            SimConfig::new(4, 4)
+            SimConfig::new(4, 4).with_force_shards(true)
                 .with_neurons_per_core(32)
                 .with_queue(queue)
                 .with_threads(threads)

@@ -37,6 +37,7 @@ fn synfire_net() -> NetworkGraph {
 
 fn synfire_cfg(obs: ObsMode, queue: QueueKind, threads: u32) -> SimConfig {
     SimConfig::new(4, 4)
+        .with_force_shards(true)
         .with_neurons_per_core(64)
         .with_placer(Placer::Random { seed: 0x60_1D })
         .with_queue(queue)
