@@ -2982,3 +2982,374 @@ pub mod e18_collected_win {
         }
     }
 }
+
+/// E19 — Monte Carlo resilience campaigns (§6): spike-delivery
+/// degradation vs link-failure rate from ≥ 1000 sessions forked off one
+/// warm checkpoint, plus the repair arms (queued `RepairLink`, live
+/// re-route) that claw delivery back. See `crate::resil` for the
+/// harness; `scripts/bench_compare.py --resilience BENCH_e19.json`
+/// gates the committed artifact.
+pub mod e19_resilience {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport};
+    use crate::resil::{summarize, BucketSummary, Campaign, RepairPolicy};
+    use spinnaker::prelude::*;
+    use std::time::Instant;
+
+    /// Campaign seed — every fork's fault schedule derives from it (and
+    /// the fork id) alone, so the whole campaign replays bit-exactly.
+    pub const SEED: u64 = 0x5EED_0E19;
+
+    /// Failure rates swept by the degradation curve (fraction of the
+    /// machine's cables failed per fork).
+    /// The low end shows emergency routing (Fig. 8) absorbing sparse
+    /// cable death outright; past ~0.25 the two-leg detours saturate
+    /// and delivery falls — the region the repair arms operate in.
+    pub const RATES: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+    /// The headline rate the repair arms run at.
+    pub const HEADLINE_RATE: f64 = 0.35;
+
+    /// The campaign workload: a feed-forward synfire chain scattered
+    /// over the torus by random placement. The tonically-driven head
+    /// launches a wave down the chain every firing cycle, so every
+    /// downstream spike certifies delivery across the inter-chip links
+    /// behind it; a dead cable silences the tail of the chain instead
+    /// of merely perturbing re-entrant timing (which can *add* spikes
+    /// and would blur the degradation curve).
+    pub fn campaign_net(stages: u32, size: u32) -> (NetworkGraph, PopulationId) {
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..stages)
+            .map(|i| net.population(&format!("s{i}"), size, kind, if i == 0 { 9.0 } else { 0.0 }))
+            .collect();
+        for (i, pair) in pops.windows(2).enumerate() {
+            net.project(
+                pair[0],
+                pair[1],
+                Connector::FixedFanOut(12),
+                Synapses::constant(600, 2),
+                i as u64,
+            );
+        }
+        (net, pops[0])
+    }
+
+    /// Builds, warms and checkpoints the campaign session (forced
+    /// shards, so sharded replays exercise real cross-shard traffic at
+    /// any host parallelism).
+    pub fn prepare() -> Campaign {
+        let (net, input) = campaign_net(8, 96);
+        let cfg = SimConfig::new(4, 4)
+            .with_neurons_per_core(64)
+            .with_placer(Placer::Random { seed: 0xE19 })
+            .with_force_shards(true);
+        Campaign::prepare(net, cfg, input, 20.0, 30, 90, (2, 30))
+    }
+
+    /// The E19 report: the delivery-degradation curve, the repair
+    /// arms on matched fault schedules, and the campaign/determinism
+    /// verdict row.
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E19",
+            "resilience campaigns: Monte Carlo fault sweeps + live route repair from one warm checkpoint",
+            quick,
+        );
+        // Full mode clears the 1000-fork acceptance bar:
+        // 1 baseline + 5*160 curve + 3*100 repair arms + 8*3 replays.
+        let (curve_forks, repair_forks, det_forks) = if quick {
+            (4u32, 4u32, 2u32)
+        } else {
+            (160, 100, 8)
+        };
+
+        let t0 = Instant::now();
+        let campaign = prepare();
+        let prep_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut forks_total = 1u64; // the baseline fork inside prepare()
+
+        let t0 = Instant::now();
+        let curve = campaign.sweep(SEED, &RATES, RepairPolicy::Unrepaired, curve_forks, 0);
+        forks_total += curve.len() as u64;
+        for b in summarize(&curve) {
+            report.push(bucket_record("delivery_vs_failure_rate", &b));
+        }
+
+        // Repair arms on *matched* fault schedules: the same fork ids
+        // (hence identical fault draws) run under each policy, so the
+        // recovery deltas are paired, not resampled.
+        const REPAIR_BASE: u32 = 50_000;
+        let control = campaign.sweep(
+            SEED,
+            &[HEADLINE_RATE],
+            RepairPolicy::Unrepaired,
+            repair_forks,
+            REPAIR_BASE,
+        );
+        let repaired = campaign.sweep(
+            SEED,
+            &[HEADLINE_RATE],
+            RepairPolicy::QueuedRepair { delay_ms: 15 },
+            repair_forks,
+            REPAIR_BASE,
+        );
+        let rerouted = campaign.sweep(
+            SEED,
+            &[HEADLINE_RATE],
+            RepairPolicy::Reroute { after_ms: 31 },
+            repair_forks,
+            REPAIR_BASE,
+        );
+        forks_total += (control.len() + repaired.len() + rerouted.len()) as u64;
+        for arm in [&control, &repaired, &rerouted] {
+            for b in summarize(arm) {
+                report.push(bucket_record("live_repair", &b));
+            }
+        }
+        let mean = |o: &[crate::resil::ForkOutcome]| -> f64 {
+            o.iter().map(|f| f.delivery_ratio).sum::<f64>() / o.len() as f64
+        };
+        let load = |o: &[crate::resil::ForkOutcome]| -> f64 {
+            o.iter()
+                .map(|f| (f.emergency_reroutes + f.dropped) as f64)
+                .sum::<f64>()
+                / o.len() as f64
+        };
+        let (c_mean, q_mean, r_mean) = (mean(&control), mean(&repaired), mean(&rerouted));
+        // Live repair has two observable effects, and the two arms split
+        // them: restoring the cable (`repair_link`) rescues forks whose
+        // topology was severed outright — a delivery-ratio gain that no
+        // table rewrite can match — while re-routing the tables around
+        // the dead cables (`reroute`) takes the standing emergency-detour
+        // and drop load off the fabric (Fig. 8's mechanism is for
+        // transient faults; permanent ones are supposed to be routed
+        // around).
+        let (c_load, r_load) = (load(&control), load(&rerouted));
+        report.push(
+            BenchRecord::new("repair_recovery")
+                .config("failure_rate", HEADLINE_RATE)
+                .config("forks_per_arm", repair_forks)
+                .metric("unrepaired_ratio", c_mean)
+                .metric("repair_link_ratio", q_mean)
+                .metric("reroute_ratio", r_mean)
+                .metric("repair_link_gain", q_mean - c_mean)
+                .metric("reroute_gain", r_mean - c_mean)
+                .metric("unrepaired_fault_load", c_load)
+                .metric("reroute_fault_load", r_load)
+                .metric(
+                    "reroute_load_cut",
+                    if c_load > 0.0 {
+                        1.0 - r_load / c_load
+                    } else {
+                        0.0
+                    },
+                ),
+        );
+
+        // Determinism: replay a slice of the control arm at other
+        // thread counts; every replay must reproduce the fork's spike
+        // stream bit-exactly (compared via the FNV fingerprint).
+        let mut bit_exact = true;
+        let mut replays = 0u64;
+        for i in 0..det_forks {
+            let fork = REPAIR_BASE + i;
+            let base = campaign.run_fork(SEED, fork, HEADLINE_RATE, RepairPolicy::Unrepaired, None);
+            for threads in [2u32, 4] {
+                let replay = campaign.run_fork(
+                    SEED,
+                    fork,
+                    HEADLINE_RATE,
+                    RepairPolicy::Unrepaired,
+                    Some(threads),
+                );
+                bit_exact &= replay.spike_hash == base.spike_hash && replay.spikes == base.spikes;
+                replays += 2;
+            }
+            replays += 1;
+        }
+        forks_total += replays;
+        let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        report.push(
+            BenchRecord::new("campaign")
+                .config("seed", SEED)
+                .config("mesh", "4x4")
+                .config("stages", 8u32)
+                .config("neurons", 8u32 * 96)
+                .config("warm_ms", 30u32)
+                .config("fork_ms", 90u32)
+                .metric("forks_total", forks_total)
+                .metric("forks_per_sec", forks_total as f64 / (sweep_ms / 1e3))
+                .metric("prepare_ms", prep_ms)
+                .metric("sweep_ms", sweep_ms)
+                .metric("snapshot_bytes", campaign.snapshot_bytes())
+                .metric("baseline_spikes", campaign.baseline_spikes)
+                .metric("total_cables", campaign.total_cables())
+                .metric("determinism_bit_exact", bit_exact)
+                .metric("determinism_replays", replays),
+        );
+        report
+    }
+
+    /// One bucket as a benchmark record.
+    fn bucket_record(name: &str, b: &BucketSummary) -> BenchRecord {
+        BenchRecord::new(name)
+            .config("failure_rate", b.failure_rate)
+            .config("policy", b.policy)
+            .config("forks", b.forks)
+            .metric("delivery_ratio_mean", b.delivery_ratio_mean)
+            .metric("delivery_ratio_min", b.delivery_ratio_min)
+            .metric("links_failed_mean", b.links_failed_mean)
+            .metric("emergency_reroutes_mean", b.emergency_reroutes_mean)
+            .metric("dropped_mean", b.dropped_mean)
+            .metric("reissued_mean", b.reissued_mean)
+    }
+
+    /// The E19 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E19 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E19: resilience campaigns — Monte Carlo fault sweeps + live repair ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   §6 keep-computing-through-death: forks from one warm checkpoint under\n   randomized link-failure schedules, scored against the fault-free baseline\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>12} {:>8} {:>9} {:>10} {:>10} {:>10} {:>9}",
+            "failure rate", "forks", "links", "delivery", "worst", "emergency", "dropped"
+        );
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "delivery_vs_failure_rate")
+        {
+            let _ = writeln!(
+                out,
+                "{:>12.3} {:>8.0} {:>9.1} {:>10.3} {:>10.3} {:>10.1} {:>9.1}",
+                num(&r.config, "failure_rate"),
+                num(&r.config, "forks"),
+                num(&r.metrics, "links_failed_mean"),
+                num(&r.metrics, "delivery_ratio_mean"),
+                num(&r.metrics, "delivery_ratio_min"),
+                num(&r.metrics, "emergency_reroutes_mean"),
+                num(&r.metrics, "dropped_mean"),
+            );
+        }
+        for r in report.records.iter().filter(|r| r.name == "live_repair") {
+            let _ = writeln!(
+                out,
+                "  repair arm {:<12} at rate {:.3}: delivery {:.3} (worst {:.3})",
+                str_field(&r.config, "policy"),
+                num(&r.config, "failure_rate"),
+                num(&r.metrics, "delivery_ratio_mean"),
+                num(&r.metrics, "delivery_ratio_min"),
+            );
+        }
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "repair_recovery")
+        {
+            let _ = writeln!(
+                out,
+                "  recovery at rate {:.3}: unrepaired {:.3} -> repair_link {:.3} (+{:.3}), reroute {:.3} (+{:.3})",
+                num(&r.config, "failure_rate"),
+                num(&r.metrics, "unrepaired_ratio"),
+                num(&r.metrics, "repair_link_ratio"),
+                num(&r.metrics, "repair_link_gain"),
+                num(&r.metrics, "reroute_ratio"),
+                num(&r.metrics, "reroute_gain"),
+            );
+            let _ = writeln!(
+                out,
+                "  reroute cuts standing fault load (emergency legs + drops) {:.1} -> {:.1} per fork ({:.0}% off)",
+                num(&r.metrics, "unrepaired_fault_load"),
+                num(&r.metrics, "reroute_fault_load"),
+                num(&r.metrics, "reroute_load_cut") * 100.0,
+            );
+        }
+        for r in report.records.iter().filter(|r| r.name == "campaign") {
+            let _ = writeln!(
+                out,
+                "  campaign: {:.0} forks ({:.1}/s) from one {:.0}-byte checkpoint; replays bit-exact: {}",
+                num(&r.metrics, "forks_total"),
+                num(&r.metrics, "forks_per_sec"),
+                num(&r.metrics, "snapshot_bytes"),
+                str_field(&r.metrics, "determinism_bit_exact"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ngate the artifact: scripts/bench_compare.py --resilience BENCH_e19.json\n(delivery floor per failure-rate bucket, paired repair recovery > 0,\nbit-exact replay verdict)."
+        );
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formatter_smoke_on_synthetic_records() {
+            let mut report = BenchReport::new("E19", "test", true);
+            report.push(
+                BenchRecord::new("delivery_vs_failure_rate")
+                    .config("failure_rate", 0.1f64)
+                    .config("policy", "none")
+                    .config("forks", 4u32)
+                    .metric("delivery_ratio_mean", 0.8f64)
+                    .metric("delivery_ratio_min", 0.7f64)
+                    .metric("links_failed_mean", 5.0f64)
+                    .metric("emergency_reroutes_mean", 12.0f64)
+                    .metric("dropped_mean", 3.0f64)
+                    .metric("reissued_mean", 3.0f64),
+            );
+            report.push(
+                BenchRecord::new("repair_recovery")
+                    .config("failure_rate", 0.1f64)
+                    .config("forks_per_arm", 4u32)
+                    .metric("unrepaired_ratio", 0.8f64)
+                    .metric("repair_link_ratio", 0.95f64)
+                    .metric("reroute_ratio", 0.9f64)
+                    .metric("repair_link_gain", 0.15f64)
+                    .metric("reroute_gain", 0.1f64)
+                    .metric("unrepaired_fault_load", 120.0f64)
+                    .metric("reroute_fault_load", 60.0f64)
+                    .metric("reroute_load_cut", 0.5f64),
+            );
+            report.push(
+                BenchRecord::new("campaign")
+                    .config("seed", SEED)
+                    .metric("forks_total", 21u64)
+                    .metric("forks_per_sec", 50.0f64)
+                    .metric("snapshot_bytes", 123456u64)
+                    .metric("determinism_bit_exact", true)
+                    .metric("determinism_replays", 4u64),
+            );
+            let text = format_report(&report);
+            assert!(text.contains("failure rate"), "{text}");
+            assert!(text.contains("repair_link"), "{text}");
+            assert!(text.contains("bit-exact: true"), "{text}");
+            assert!(report.to_json_string().contains("delivery_vs_failure_rate"));
+        }
+
+        #[test]
+        fn campaign_net_is_a_chain() {
+            let (net, input) = campaign_net(4, 16);
+            assert_eq!(net.total_neurons(), 64);
+            assert_eq!(input.index(), 0);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod figures;
 pub mod record;
+pub mod resil;
 
 /// True when the harness should run full-size experiments
 /// (`SPINN_FULL=1`); benches default to quick mode.

@@ -1,0 +1,500 @@
+//! Monte Carlo resilience campaigns (paper §6): fork thousands of
+//! short sessions from **one warm checkpoint** under randomized
+//! link-failure schedules, and measure how spike delivery degrades —
+//! and how repair claws it back — as the failure rate rises.
+//!
+//! The paper's viability argument for a million-core machine is that it
+//! keeps computing through component death. This module composes the
+//! pieces the repo already had ([`spinnaker::RunSession`] checkpoints,
+//! `queue_fail_link`, emergency routing) with the new repair paths
+//! (queueable `RepairLink`, live re-route via
+//! `RunSession::reroute_around_faults`) into the workload shape warm
+//! forking is fast at: thousands of short runs from a single snapshot.
+//!
+//! A campaign is: [`Campaign::prepare`] once (build, warm up, baseline,
+//! checkpoint), then [`Campaign::sweep`] per arm — every fork restores
+//! the same snapshot, injects its own seeded fault schedule, applies a
+//! [`RepairPolicy`], and is scored against the fault-free baseline.
+//! Fork RNG streams are derived from `(campaign seed, fork id)` only,
+//! so a fixed seed reproduces the same campaign bit-exactly at any
+//! thread count.
+
+use spinnaker::noc::direction::Direction;
+use spinnaker::noc::mesh::Torus;
+use spinnaker::prelude::*;
+use spinnaker::sim::Xoshiro256;
+use spinnaker::{RunSession, Snapshot};
+
+/// What a campaign fork does about the faults it injects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RepairPolicy {
+    /// Every failed link stays dead — the unrepaired control arm.
+    Unrepaired,
+    /// Each fault queues a `RepairLink` for the same cable `delay_ms`
+    /// later: a transient fault, or an operator reseating a board.
+    QueuedRepair {
+        /// Outage length per cable, biological ms.
+        delay_ms: u32,
+    },
+    /// Links stay dead, but `after_ms` into the fork the campaign
+    /// re-routes the placed network around every failed link and
+    /// hot-installs the detoured tables (live route repair). Choose
+    /// `after_ms` past the fault window so one re-route catches all
+    /// faults.
+    Reroute {
+        /// When to re-route, ms after the checkpoint.
+        after_ms: u32,
+    },
+}
+
+impl RepairPolicy {
+    /// Stable label for reports and bucket grouping.
+    pub fn label(self) -> &'static str {
+        match self {
+            RepairPolicy::Unrepaired => "none",
+            RepairPolicy::QueuedRepair { .. } => "repair_link",
+            RepairPolicy::Reroute { .. } => "reroute",
+        }
+    }
+}
+
+/// One fork's measurements — counters are deltas over the fork window
+/// (the warm-up's contribution is subtracted).
+#[derive(Clone, Debug)]
+pub struct ForkOutcome {
+    /// Fork index within the campaign.
+    pub fork: u32,
+    /// Fraction of the machine's cables failed.
+    pub failure_rate: f64,
+    /// The repair arm this fork ran under.
+    pub policy: &'static str,
+    /// Cables actually failed.
+    pub links_failed: u32,
+    /// Downstream spikes delivered over the fork window (raw count —
+    /// congestion can push this *above* the baseline when delayed
+    /// arrivals double-fire a neuron).
+    pub spikes: u64,
+    /// `min(spikes, baseline) / baseline`: the fraction of the
+    /// baseline's activity the faulted fabric still delivered. Capped
+    /// at 1.0 because congestion-induced extra firing is not delivery;
+    /// crediting it would let a badly-degraded fork outscore a healthy
+    /// one. The uncapped count stays in [`ForkOutcome::spikes`].
+    pub delivery_ratio: f64,
+    /// Emergency first legs taken (blocked/dead links dodged).
+    pub emergency_reroutes: u64,
+    /// Emergency detours completed.
+    pub emergency_second_legs: u64,
+    /// Packets dropped after both wait phases.
+    pub dropped: u64,
+    /// Dropped spikes the monitor re-issued.
+    pub reissued: u64,
+    /// FNV-1a over the fork's `(time, pop, neuron)` spike stream — the
+    /// cheap bit-exactness fingerprint for cross-thread-count replays.
+    pub spike_hash: u64,
+}
+
+/// Aggregates of one `(failure rate, policy)` bucket.
+#[derive(Clone, Debug)]
+pub struct BucketSummary {
+    /// Fraction of cables failed in this bucket.
+    pub failure_rate: f64,
+    /// Repair arm label.
+    pub policy: &'static str,
+    /// Forks aggregated.
+    pub forks: u32,
+    /// Mean cables failed per fork.
+    pub links_failed_mean: f64,
+    /// Mean delivery ratio vs the fault-free baseline.
+    pub delivery_ratio_mean: f64,
+    /// Worst fork in the bucket.
+    pub delivery_ratio_min: f64,
+    /// Mean emergency first legs per fork.
+    pub emergency_reroutes_mean: f64,
+    /// Mean drops per fork.
+    pub dropped_mean: f64,
+    /// Mean monitor re-issues per fork.
+    pub reissued_mean: f64,
+}
+
+/// Router counters at the checkpoint — subtracted from every fork so
+/// outcomes measure the fork window only.
+#[derive(Clone, Copy, Debug, Default)]
+struct BaseCounters {
+    emergency_reroutes: u64,
+    emergency_second_legs: u64,
+    dropped: u64,
+    reissued: u64,
+}
+
+/// A prepared campaign: the warm checkpoint every fork restores from,
+/// the fault-free baseline it is scored against, and the fork-window
+/// geometry.
+pub struct Campaign {
+    net: NetworkGraph,
+    cfg: SimConfig,
+    snapshot: Snapshot,
+    warm_ms: u32,
+    /// The driven population. Its spikes are excluded from delivery
+    /// scoring: they are produced by bias/stimulus, not by the fabric,
+    /// so they would dilute the degradation signal.
+    input: PopulationId,
+    base: BaseCounters,
+    /// Spikes a fault-free fork delivers over the fork window (the
+    /// denominator of every delivery ratio).
+    pub baseline_spikes: u64,
+    /// Length of each fork's run, biological ms.
+    pub fork_ms: u32,
+    /// Faults land uniformly in this window after the checkpoint, ms
+    /// (inclusive, both ends; the start must be ≥ 1).
+    pub fault_window_ms: (u32, u32),
+    width: u32,
+    height: u32,
+}
+
+impl Campaign {
+    /// Builds the network once, drives it warm for `warm_ms` under a
+    /// Poisson probe on `input`, checkpoints, and scores the fault-free
+    /// baseline fork. Every later fork restores this snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not fit the configured machine, the
+    /// fault window is empty or starts at 0, or the baseline fork
+    /// delivers no spikes (nothing to measure degradation against).
+    pub fn prepare(
+        net: NetworkGraph,
+        cfg: SimConfig,
+        input: PopulationId,
+        rate_hz: f64,
+        warm_ms: u32,
+        fork_ms: u32,
+        fault_window_ms: (u32, u32),
+    ) -> Campaign {
+        assert!(
+            fault_window_ms.0 >= 1 && fault_window_ms.0 <= fault_window_ms.1,
+            "fault window must start at >= 1 ms after the checkpoint"
+        );
+        assert!(
+            fault_window_ms.1 <= fork_ms,
+            "fault window must fit in the fork"
+        );
+        let mut session = Simulation::build(&net, cfg.clone())
+            .expect("campaign workload fits the machine")
+            .into_session();
+        session.add_poisson(input, rate_hz, 0xE19);
+        session.run_for(warm_ms);
+        let snapshot = session.checkpoint();
+        let fc = session.machine().fabric().config();
+        let (width, height) = (fc.width, fc.height);
+        let stats = session.machine().router_stats();
+        let base = BaseCounters {
+            emergency_reroutes: stats.emergency_reroutes,
+            emergency_second_legs: stats.emergency_second_legs,
+            dropped: stats.dropped,
+            reissued: session.machine().reissued_packets(),
+        };
+        let mut campaign = Campaign {
+            net,
+            cfg,
+            snapshot,
+            warm_ms,
+            input,
+            base,
+            baseline_spikes: 0,
+            fork_ms,
+            fault_window_ms,
+            width,
+            height,
+        };
+        let baseline = campaign.run_fork(0, 0, 0.0, RepairPolicy::Unrepaired, None);
+        assert!(
+            baseline.spikes > 0,
+            "baseline fork is silent — raise the drive or the fork length"
+        );
+        campaign.baseline_spikes = baseline.spikes;
+        campaign
+    }
+
+    /// The warm checkpoint's size, bytes.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    /// Total distinct cables on the machine (each unordered cable
+    /// counted once: East/NorthEast/North from every chip cover all six
+    /// directions of the torus).
+    pub fn total_cables(&self) -> u64 {
+        (self.width as u64) * (self.height as u64) * 3
+    }
+
+    /// Restores the warm checkpoint, injects a seeded random fault
+    /// schedule failing `rate` of the machine's cables at uniform times
+    /// inside the fault window, applies the repair policy, runs the
+    /// fork window and scores it against the baseline.
+    ///
+    /// The fork's RNG stream is derived from `(seed, fork)` only, and
+    /// `threads` overrides the restore's thread count without touching
+    /// the schedule — replaying one fork at different thread counts
+    /// must reproduce the same [`ForkOutcome::spike_hash`].
+    pub fn run_fork(
+        &self,
+        seed: u64,
+        fork: u32,
+        rate: f64,
+        policy: RepairPolicy,
+        threads: Option<u32>,
+    ) -> ForkOutcome {
+        let cfg = match threads {
+            Some(t) => self.cfg.clone().with_threads(t),
+            None => self.cfg.clone(),
+        };
+        let mut s =
+            RunSession::restore(&self.net, cfg, &self.snapshot).expect("warm checkpoint restores");
+        let torus = Torus::new(self.width, self.height);
+        let n_cables = self.total_cables();
+        let k = ((rate * n_cables as f64).round() as u64).min(n_cables);
+        // SplitMix-style fork stream: nearby fork ids get unrelated
+        // schedules.
+        let mut rng = Xoshiro256::seed_from_u64(
+            seed ^ 0xE19_u64.rotate_left(32)
+                ^ (fork as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Partial Fisher-Yates over the cable universe: k distinct
+        // cables, each failed once at a uniform time in the window.
+        let mut cables: Vec<u64> = (0..n_cables).collect();
+        let (w_lo, w_hi) = self.fault_window_ms;
+        let mut links_failed = 0u32;
+        for i in 0..k as usize {
+            let j = i + rng.gen_range_u64(n_cables - i as u64) as usize;
+            cables.swap(i, j);
+            let chip = torus.coord_of((cables[i] / 3) as usize);
+            let dir =
+                [Direction::East, Direction::NorthEast, Direction::North][(cables[i] % 3) as usize];
+            let at = self.warm_ms + w_lo + rng.gen_range_u64((w_hi - w_lo) as u64 + 1) as u32;
+            s.queue_fail_link(at, chip, dir);
+            if let RepairPolicy::QueuedRepair { delay_ms } = policy {
+                s.queue_repair_link(at + delay_ms, chip, dir);
+            }
+            links_failed += 1;
+        }
+        // Score the fork window only: drop the warm-up's spikes.
+        s.take_spikes();
+        match policy {
+            RepairPolicy::Reroute { after_ms } => {
+                let cut = after_ms.clamp(1, self.fork_ms);
+                s.run_for(cut);
+                s.reroute_around_faults(&self.net)
+                    .expect("detoured plan fits the router CAMs");
+                s.run_for(self.fork_ms - cut);
+            }
+            _ => {
+                s.run_for(self.fork_ms);
+            }
+        }
+        let spikes = s.take_spikes();
+        let stats = s.machine().router_stats();
+        // The fingerprint covers *every* spike (bit-exactness is a
+        // whole-raster property); the score counts only downstream
+        // populations, whose firing depends on fabric delivery.
+        let mut spike_hash = 0xcbf2_9ce4_8422_2325u64;
+        for sp in &spikes {
+            for v in [sp.time_ms as u64, sp.pop.index() as u64, sp.neuron as u64] {
+                spike_hash ^= v;
+                spike_hash = spike_hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        let delivered = spikes.iter().filter(|sp| sp.pop != self.input).count() as u64;
+        ForkOutcome {
+            fork,
+            failure_rate: rate,
+            policy: policy.label(),
+            links_failed,
+            spikes: delivered,
+            delivery_ratio: if self.baseline_spikes > 0 {
+                (delivered.min(self.baseline_spikes)) as f64 / self.baseline_spikes as f64
+            } else {
+                1.0
+            },
+            emergency_reroutes: stats
+                .emergency_reroutes
+                .saturating_sub(self.base.emergency_reroutes),
+            emergency_second_legs: stats
+                .emergency_second_legs
+                .saturating_sub(self.base.emergency_second_legs),
+            dropped: stats.dropped.saturating_sub(self.base.dropped),
+            reissued: s
+                .machine()
+                .reissued_packets()
+                .saturating_sub(self.base.reissued),
+            spike_hash,
+        }
+    }
+
+    /// Runs one campaign arm: `forks_per_bucket` forks for every
+    /// failure rate, under one repair policy. Fork ids are assigned
+    /// deterministically (`bucket * forks_per_bucket + i`, offset by
+    /// `fork_base`), so arms can be replayed or distributed without
+    /// schedule collisions.
+    pub fn sweep(
+        &self,
+        seed: u64,
+        rates: &[f64],
+        policy: RepairPolicy,
+        forks_per_bucket: u32,
+        fork_base: u32,
+    ) -> Vec<ForkOutcome> {
+        let mut out = Vec::with_capacity(rates.len() * forks_per_bucket as usize);
+        for (b, &rate) in rates.iter().enumerate() {
+            for i in 0..forks_per_bucket {
+                let fork = fork_base + b as u32 * forks_per_bucket + i;
+                out.push(self.run_fork(seed, fork, rate, policy, None));
+            }
+        }
+        out
+    }
+}
+
+/// Groups outcomes into `(failure rate, policy)` buckets, in ascending
+/// rate order (policies in first-seen order within a rate).
+pub fn summarize(outcomes: &[ForkOutcome]) -> Vec<BucketSummary> {
+    let mut keys: Vec<(u64, &'static str)> = Vec::new();
+    for o in outcomes {
+        let key = (o.failure_rate.to_bits(), o.policy);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    keys.sort_by(|a, b| {
+        f64::from_bits(a.0)
+            .partial_cmp(&f64::from_bits(b.0))
+            .expect("rates are finite")
+            .then(a.1.cmp(b.1))
+    });
+    keys.into_iter()
+        .map(|(rate_bits, policy)| {
+            let rate = f64::from_bits(rate_bits);
+            let bucket: Vec<&ForkOutcome> = outcomes
+                .iter()
+                .filter(|o| o.failure_rate.to_bits() == rate_bits && o.policy == policy)
+                .collect();
+            let n = bucket.len() as f64;
+            let mean = |f: &dyn Fn(&ForkOutcome) -> f64| -> f64 {
+                bucket.iter().map(|o| f(o)).sum::<f64>() / n
+            };
+            BucketSummary {
+                failure_rate: rate,
+                policy,
+                forks: bucket.len() as u32,
+                links_failed_mean: mean(&|o| o.links_failed as f64),
+                delivery_ratio_mean: mean(&|o| o.delivery_ratio),
+                delivery_ratio_min: bucket
+                    .iter()
+                    .map(|o| o.delivery_ratio)
+                    .fold(f64::INFINITY, f64::min),
+                emergency_reroutes_mean: mean(&|o| o.emergency_reroutes as f64),
+                dropped_mean: mean(&|o| o.dropped as f64),
+                reissued_mean: mean(&|o| o.reissued as f64),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small feed-forward synfire chain scattered over a 4x4 mesh:
+    /// the tonically-driven head launches a wave down the chain every
+    /// firing cycle, so each downstream spike certifies delivery across
+    /// the inter-chip links behind it and a dead cable shows up as a
+    /// silenced tail rather than re-entrant timing noise.
+    fn tiny_campaign(fork_ms: u32) -> Campaign {
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..8u32)
+            .map(|i| net.population(&format!("s{i}"), 96, kind, if i == 0 { 9.0 } else { 0.0 }))
+            .collect();
+        for (i, pair) in pops.windows(2).enumerate() {
+            net.project(
+                pair[0],
+                pair[1],
+                Connector::FixedFanOut(12),
+                Synapses::constant(600, 2),
+                i as u64,
+            );
+        }
+        let cfg = SimConfig::new(4, 4)
+            .with_neurons_per_core(64)
+            .with_placer(Placer::Random { seed: 0xE19 })
+            .with_force_shards(true);
+        Campaign::prepare(net, cfg, pops[0], 20.0, 30, fork_ms, (2, fork_ms / 2))
+    }
+
+    #[test]
+    fn baseline_and_faulted_forks_score_sanely() {
+        let c = tiny_campaign(40);
+        assert!(c.baseline_spikes > 0);
+        let healthy = c.run_fork(0xABC, 1, 0.0, RepairPolicy::Unrepaired, None);
+        assert_eq!(healthy.spikes, c.baseline_spikes, "rate 0 is the baseline");
+        assert_eq!(healthy.links_failed, 0);
+        let hurt = c.run_fork(0xABC, 2, 0.25, RepairPolicy::Unrepaired, None);
+        assert!(hurt.links_failed > 0);
+        assert!(
+            hurt.delivery_ratio <= 1.0,
+            "delivery ratio is capped at 1.0 (got {})",
+            hurt.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn forks_are_deterministic_across_replays_and_threads() {
+        let c = tiny_campaign(30);
+        let a = c.run_fork(7, 3, 0.15, RepairPolicy::Unrepaired, None);
+        let b = c.run_fork(7, 3, 0.15, RepairPolicy::Unrepaired, None);
+        assert_eq!(a.spike_hash, b.spike_hash, "same fork must replay");
+        assert_eq!(a.spikes, b.spikes);
+        for threads in [2u32, 4] {
+            let t = c.run_fork(7, 3, 0.15, RepairPolicy::Unrepaired, Some(threads));
+            assert_eq!(
+                t.spike_hash, a.spike_hash,
+                "{threads}-thread replay diverged"
+            );
+        }
+        // Sibling forks draw independent fault schedules: at a heavy
+        // failure rate their congestion signatures must differ (a
+        // fixed-seed, hence deterministic, check — rasters themselves
+        // may legitimately converge to "only self-driven neurons fire").
+        let signatures: Vec<(u64, u64)> = (10..14)
+            .map(|f| {
+                let o = c.run_fork(7, f, 0.5, RepairPolicy::Unrepaired, None);
+                (o.dropped, o.emergency_reroutes)
+            })
+            .collect();
+        assert!(
+            signatures.iter().any(|&s| s != signatures[0]),
+            "heavy-failure sibling forks all saw identical congestion"
+        );
+    }
+
+    #[test]
+    fn repair_policies_run_and_summarize() {
+        let c = tiny_campaign(40);
+        let mut all = c.sweep(11, &[0.0, 0.2], RepairPolicy::Unrepaired, 2, 0);
+        all.extend(c.sweep(
+            11,
+            &[0.2],
+            RepairPolicy::QueuedRepair { delay_ms: 10 },
+            2,
+            100,
+        ));
+        all.extend(c.sweep(11, &[0.2], RepairPolicy::Reroute { after_ms: 21 }, 2, 200));
+        let buckets = summarize(&all);
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].failure_rate, 0.0);
+        assert!(buckets[0].delivery_ratio_mean > 0.999);
+        for b in &buckets {
+            assert_eq!(b.forks, 2);
+            assert!(b.delivery_ratio_min.is_finite());
+        }
+    }
+}

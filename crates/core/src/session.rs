@@ -52,7 +52,7 @@ use spinn_machine::snapshot::SnapshotError;
 use spinn_map::graph::{NetworkGraph, PopulationId};
 use spinn_map::keys::neuron_key;
 use spinn_map::place::Placement;
-use spinn_map::route::RouteStats;
+use spinn_map::route::{RouteStats, RoutingPlan};
 use spinn_neuron::stdp::StdpParams;
 use spinn_noc::direction::Direction;
 use spinn_noc::mesh::NodeCoord;
@@ -302,6 +302,62 @@ impl RunSession {
         self.machine_mut_ref()
             .queue_fail_link(at_ms as u64 * MS, chip, dir);
         self
+    }
+
+    /// Queues a mid-run link repair at the start of tick `at_ms`: the
+    /// inverse of [`RunSession::queue_fail_link`] — the cable between
+    /// `chip` and its neighbour in direction `dir` comes back up in
+    /// both directions. A failure and a repair of the same cable queued
+    /// for the same tick resolve deterministically: the link ends the
+    /// tick repaired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_ms` does not lie after the simulated time.
+    pub fn queue_repair_link(&mut self, at_ms: u32, chip: NodeCoord, dir: Direction) -> &mut Self {
+        assert!(
+            at_ms > self.elapsed_ms,
+            "repair at {at_ms} ms lies in the session's past ({} ms elapsed)",
+            self.elapsed_ms
+        );
+        self.machine_mut_ref()
+            .queue_repair_link(at_ms as u64 * MS, chip, dir);
+        self
+    }
+
+    /// The links currently failed on the resident fabric, as
+    /// `(dense chip id, outgoing direction)` pairs — both ends of every
+    /// dead cable.
+    pub fn failed_links(&self) -> Vec<(u32, Direction)> {
+        self.machine_ref().fabric().failed_links()
+    }
+
+    /// Live route repair: re-routes the placed network around every
+    /// currently failed link and hot-installs the minimized plan into
+    /// the resident machine, without tearing the session down. Call it
+    /// between segments once faults have landed (after the `run_for`
+    /// that crossed the failure time); trees the failures never touch
+    /// keep their original routes, so the repair is regional.
+    ///
+    /// `net` must be the same network the session was built from.
+    /// Returns the number of CAM entries installed. The swapped tables
+    /// ride in subsequent [`RunSession::checkpoint`]s, so a restored
+    /// campaign fork resumes with the repaired routes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpinnError::TableOverflow`] if the detoured plan no
+    /// longer fits a router CAM — fatal for the session.
+    pub fn reroute_around_faults(&mut self, net: &NetworkGraph) -> Result<usize, SpinnError> {
+        let failed = self.failed_links();
+        let (w, h) = {
+            let cfg = self.machine_ref().fabric().config();
+            (cfg.width, cfg.height)
+        };
+        let plan = RoutingPlan::build_avoiding(net, &self.placement, w, h, &failed).minimized();
+        let installed = self.machine_mut_ref().reinstall_routing_plan(&plan)?;
+        self.route_stats = plan.stats().clone();
+        Ok(installed)
     }
 
     /// Advances the session by `ms` milliseconds of biological time.

@@ -64,6 +64,16 @@ pub enum MachineEvent {
         /// Direction of the cable from `chip` (both directions fail).
         dir: Direction,
     },
+    /// A scheduled mid-run link repair — the inverse of
+    /// [`MachineEvent::FailLink`] (see
+    /// [`NeuralMachine::queue_repair_link`]).
+    RepairLink {
+        /// Dense chip id of one end of the repaired cable.
+        chip: u32,
+        /// Direction of the cable from `chip` (both directions are
+        /// restored).
+        dir: Direction,
+    },
     /// A core finishes its current handler.
     CoreDone {
         /// Dense chip id.
@@ -145,7 +155,9 @@ fn event_chip(ev: &MachineEvent) -> Option<u32> {
         | MachineEvent::DmaDone { chip, .. }
         | MachineEvent::InjectSpike { chip, .. }
         | MachineEvent::ReissueSpike { chip, .. } => Some(*chip),
-        MachineEvent::Timer | MachineEvent::FailLink { .. } => None,
+        MachineEvent::Timer | MachineEvent::FailLink { .. } | MachineEvent::RepairLink { .. } => {
+            None
+        }
     }
 }
 
@@ -162,12 +174,18 @@ fn canonical_pending(per_shard: Vec<Vec<(SimTime, u128, MachineEvent)>>) -> Vec<
     flat.sort_by_key(|&(t, r, _)| (t, r));
     let mut seen_timers: HashSet<u64> = HashSet::new();
     let mut seen_faults: HashSet<(u64, u32, u8)> = HashSet::new();
+    let mut seen_repairs: HashSet<(u64, u32, u8)> = HashSet::new();
     let mut out = Vec::with_capacity(flat.len());
     for (at_ns, _rank, event) in flat {
         match event {
             MachineEvent::Timer if !seen_timers.insert(at_ns) => continue,
             MachineEvent::FailLink { chip, dir }
                 if !seen_faults.insert((at_ns, chip, dir.index() as u8)) =>
+            {
+                continue
+            }
+            MachineEvent::RepairLink { chip, dir }
+                if !seen_repairs.insert((at_ns, chip, dir.index() as u8)) =>
             {
                 continue
             }
@@ -344,6 +362,7 @@ pub struct NeuralMachine {
     pub(crate) dma_free_at: Vec<u64>,
     pub(crate) stimuli: Vec<(u64, u32, u32)>, // (time_ns, chip, key)
     pub(crate) fault_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
+    pub(crate) repair_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
     pub(crate) spikes: Vec<SpikeRecord>,
     pub(crate) meter: EnergyMeter,
     pub(crate) spike_latency: Histogram,
@@ -400,6 +419,7 @@ impl NeuralMachine {
             dma_free_at: vec![0; chips],
             stimuli: Vec::new(),
             fault_plan: Vec::new(),
+            repair_plan: Vec::new(),
             spikes: Vec::new(),
             meter: EnergyMeter::new(),
             spike_latency: Histogram::new(4000, 250), // 250 ns buckets to 1 ms
@@ -539,9 +559,38 @@ impl NeuralMachine {
         plan.install_into(&mut self.fabric)
     }
 
+    /// Hot-swaps the routing tables of a (possibly mid-run) machine:
+    /// every router CAM is cleared, then the plan is loaded through the
+    /// same fallible path as [`NeuralMachine::install_routing_plan`].
+    /// Safe between events — packets re-resolve their route at every
+    /// chip — which is what live repair relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`spinn_noc::table::TableFull`] if any chip's table
+    /// exceeds the router CAM capacity; treat that as fatal (tables are
+    /// left partially swapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was built for a different mesh size.
+    pub fn reinstall_routing_plan(
+        &mut self,
+        plan: &spinn_map::route::RoutingPlan,
+    ) -> Result<usize, spinn_noc::table::TableFull> {
+        plan.reinstall_into(&mut self.fabric)
+    }
+
     /// Fails an inter-chip link (fault injection for E3/E4).
     pub fn fail_link(&mut self, chip: NodeCoord, d: spinn_noc::direction::Direction) {
         self.fabric.fail_link(chip, d);
+    }
+
+    /// Restores a previously failed inter-chip link (both directions of
+    /// the cable) — the machine-level inverse of
+    /// [`NeuralMachine::fail_link`].
+    pub fn restore_link(&mut self, chip: NodeCoord, d: spinn_noc::direction::Direction) {
+        self.fabric.repair_link(chip, d);
     }
 
     /// Loads neurons onto an application core.
@@ -689,11 +738,24 @@ impl NeuralMachine {
         self.fault_plan.push((time_ns, id, dir));
     }
 
+    /// Queues a mid-run link repair: at simulated time `time_ns` the
+    /// cable between `chip` and its neighbour in direction `dir` is
+    /// restored in both directions — the queueable inverse of
+    /// [`NeuralMachine::queue_fail_link`], scheduled and replayed under
+    /// exactly the same rules (broadcast to every shard, deterministic
+    /// ordering against same-instant traffic).
+    pub fn queue_repair_link(&mut self, time_ns: u64, chip: NodeCoord, dir: Direction) {
+        let id = self.fabric.torus().id_of(chip) as u32;
+        self.repair_plan.push((time_ns, id, dir));
+    }
+
     /// Discards every fault queued with
-    /// [`NeuralMachine::queue_fail_link`] (e.g. to run a healthy
+    /// [`NeuralMachine::queue_fail_link`] and every repair queued with
+    /// [`NeuralMachine::queue_repair_link`] (e.g. to run a healthy
     /// control of an otherwise identical machine).
     pub fn clear_fault_plan(&mut self) {
         self.fault_plan.clear();
+        self.repair_plan.clear();
     }
 
     /// Runs the machine for `ms` milliseconds of biological time and
@@ -829,6 +891,7 @@ impl NeuralMachine {
         self.timer_chips = (0..self.cfg.chips() as u32).collect();
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
+        let repairs = std::mem::take(&mut self.repair_plan);
         let start = Self::segment_start_ns(from_ms);
         let mut engine: Engine<NeuralMachine, Q> = Engine::resume_at(self, SimTime::new(start));
         // The queue snapshot goes back first (Queue::restore resets the
@@ -848,6 +911,9 @@ impl NeuralMachine {
         }
         for (t, chip, dir) in faults {
             engine.schedule_at(SimTime::new(t), MachineEvent::FailLink { chip, dir });
+        }
+        for (t, chip, dir) in repairs {
+            engine.schedule_at(SimTime::new(t), MachineEvent::RepairLink { chip, dir });
         }
         engine.run_until(SimTime::new(Self::segment_end_ns(target)));
         let queue_peak = engine.queue_peak() as u64;
@@ -1039,6 +1105,7 @@ impl NeuralMachine {
         let owner = self.event_weighted_owner(threads);
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
+        let repairs = std::mem::take(&mut self.repair_plan);
         // Results accumulated by earlier segments are carried across the
         // shard split and merged back afterwards (fabric/router state
         // rides inside the cloned fabric instead).
@@ -1111,11 +1178,20 @@ impl NeuralMachine {
                 MachineEvent::InjectSpike { chip, key },
             );
         }
-        // Link failures mutate every shard's fabric replica: broadcast
-        // the schedule so all replicas stay consistent at `t`.
+        // Link failures and repairs mutate every shard's fabric replica:
+        // broadcast the schedules so all replicas stay consistent at `t`.
         for (t, chip, dir) in faults {
             for shard in 0..threads {
                 par.schedule(shard, SimTime::new(t), MachineEvent::FailLink { chip, dir });
+            }
+        }
+        for (t, chip, dir) in repairs {
+            for shard in 0..threads {
+                par.schedule(
+                    shard,
+                    SimTime::new(t),
+                    MachineEvent::RepairLink { chip, dir },
+                );
             }
         }
         par.run_until(SimTime::new(Self::segment_end_ns(target)), lookahead);
@@ -1633,10 +1709,16 @@ impl Model for NeuralMachine {
                     | *left as u64,
                 packet_bits(flight),
             ),
-            // Link failures sort before all same-instant traffic (tag 0)
-            // so a packet routed at exactly the failure time sees the
-            // failed link in serial and sharded runs alike.
+            // Link failures and repairs sort before all same-instant
+            // traffic (tag 0) so a packet routed at exactly the
+            // transition time sees the new link state in serial and
+            // sharded runs alike. A repair at the same instant as a
+            // failure of the same cable ranks after it (b = 1): the link
+            // ends the nanosecond repaired, deterministically.
             MachineEvent::FailLink { chip, dir } => pack(0, ((*chip as u64) << 8) | *dir as u64, 0),
+            MachineEvent::RepairLink { chip, dir } => {
+                pack(0, ((*chip as u64) << 8) | *dir as u64, 1)
+            }
             MachineEvent::Timer => pack(4, 0, 0),
             MachineEvent::CoreDone { chip, core } => {
                 pack(5, ((*chip as u64) << 8) | *core as u64, 0)
@@ -1677,6 +1759,12 @@ impl Model for NeuralMachine {
                 self.fabric.fail_link(coord, dir);
                 self.obs
                     .trace(now, TraceKind::Fault, chip, dir.index() as u32);
+            }
+            MachineEvent::RepairLink { chip, dir } => {
+                let coord = self.fabric.torus().coord_of(chip as usize);
+                self.fabric.repair_link(coord, dir);
+                self.obs
+                    .trace(now, TraceKind::Repair, chip, dir.index() as u32);
             }
             MachineEvent::CoreDone { chip, core } => self.on_core_done(chip, core, ctx),
             MachineEvent::DmaDone { chip, core, key } => {
@@ -2097,18 +2185,17 @@ mod tests {
         assert_eq!(m.weight_writebacks(), 0);
     }
 
-    #[test]
-    fn monitor_reissues_dropped_spikes() {
-        // Kill every usable link out of the source chip except a
-        // congested one... simplest deterministic setup: disable
-        // emergency routing and fail the East link mid-run is not
-        // possible pre-run; instead shrink the queues and waits so a
-        // burst drops, then check reissue recovers deliveries.
+    /// A congested two-chip stream whose East link dies mid-run: cap-1
+    /// queues and short waits make the burst drop packets, and from
+    /// 50 ms the dead link forces emergency detours (second legs that
+    /// cross shard boundaries once sharded). Shared by the monitor
+    /// re-issue and shard-merge regression tests.
+    fn congested_faulted_machine() -> NeuralMachine {
         let mut cfg = MachineConfig::new(4, 4);
         cfg.fabric.out_queue_cap = 1;
         cfg.fabric.router.wait1_ns = 100;
         cfg.fabric.router.wait2_ns = 100;
-        cfg.fabric.router.emergency_enabled = false;
+        cfg.force_shards = true;
         let mut m = NeuralMachine::new(cfg);
         let src = NodeCoord::new(0, 0);
         let dst = NodeCoord::new(1, 0);
@@ -2138,15 +2225,150 @@ mod tests {
                 .collect();
             m.set_row(dst, 1, 0x1000 + i, row);
         }
-        let m = m.run(100);
-        assert!(
-            m.router_stats().dropped > 0,
-            "setup should produce drops (got none)"
-        );
+        m.queue_fail_link(50 * MS, src, Direction::East);
+        m
+    }
+
+    #[test]
+    fn monitor_reissues_dropped_spikes() {
+        // Emergency routing stays enabled and composes with the mid-run
+        // East-link failure: the congested burst drops packets, the
+        // dead link forces emergency detours, and the monitor re-issues
+        // what was dropped — with bit-identical spikes at every thread
+        // count even though the detour legs cross shard boundaries.
+        let m = congested_faulted_machine()
+            .run_segment(Vec::new(), 0, 100, 1)
+            .0;
+        let stats = m.router_stats();
+        assert!(stats.dropped > 0, "setup should produce drops (got none)");
         assert!(
             m.reissued_packets() > 0,
             "monitor must re-issue dropped spikes"
         );
+        assert!(
+            stats.emergency_reroutes > 0,
+            "the dead East link must invoke emergency routing"
+        );
+        assert!(
+            stats.emergency_second_legs > 0,
+            "emergency detours must complete their second leg"
+        );
+        for threads in [4, 16] {
+            let p = congested_faulted_machine()
+                .run_segment(Vec::new(), 0, 100, threads)
+                .0;
+            assert_eq!(
+                p.spikes(),
+                m.spikes(),
+                "{threads}-shard spikes must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_merge_preserves_router_stats() {
+        // Regression guard for the shard merge: `adopt_owned` must
+        // count every chip's router exactly once, so a multi-shard
+        // report's emergency/drop counters equal the serial run's.
+        let serial = congested_faulted_machine()
+            .run_segment(Vec::new(), 0, 100, 1)
+            .0
+            .router_stats();
+        assert!(serial.emergency_reroutes > 0, "no reroutes to undercount");
+        for threads in [2, 4, 16] {
+            let sharded = congested_faulted_machine()
+                .run_segment(Vec::new(), 0, 100, threads)
+                .0
+                .router_stats();
+            assert_eq!(
+                sharded, serial,
+                "{threads}-shard RouterStats diverge from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn queued_repair_restores_delivery() {
+        // Fail the only route at 30 ms; with emergency routing off the
+        // target goes silent, the monitor keeps re-issuing the dropped
+        // spikes, and a RepairLink at 90 ms lets the backlog and the
+        // live stream through again — unlike the unrepaired control,
+        // and bit-exactly at every thread count.
+        fn run(repair_at: Option<u32>, threads: usize) -> NeuralMachine {
+            let mut cfg = MachineConfig::new(4, 4);
+            cfg.fabric.router.emergency_enabled = false;
+            cfg.force_shards = true;
+            let mut m = NeuralMachine::new(cfg);
+            let src = NodeCoord::new(0, 0);
+            let dst = NodeCoord::new(1, 0);
+            m.load_core(src, 1, rs_neurons(10), vec![12.0; 10], 0x1000)
+                .unwrap();
+            m.load_core(dst, 1, rs_neurons(10), vec![0.0; 10], 0x2000)
+                .unwrap();
+            m.router_mut(src)
+                .table
+                .insert(McTableEntry {
+                    key: 0x1000,
+                    mask: 0xFFFF_F000,
+                    route: RouteSet::EMPTY.with_link(Direction::East),
+                })
+                .unwrap();
+            m.router_mut(dst)
+                .table
+                .insert(McTableEntry {
+                    key: 0x1000,
+                    mask: 0xFFFF_F000,
+                    route: RouteSet::EMPTY.with_core(1),
+                })
+                .unwrap();
+            for i in 0..10u32 {
+                let row: SynapticRow = (0..10)
+                    .map(|t| SynapticWord::new(1200, 1, t as u16))
+                    .collect();
+                m.set_row(dst, 1, 0x1000 + i, row);
+            }
+            m.queue_fail_link(30 * MS, src, Direction::East);
+            if let Some(at) = repair_at {
+                m.queue_repair_link(at as u64 * MS, src, Direction::East);
+            }
+            m.run_segment(Vec::new(), 0, 150, threads).0
+        }
+        let dst_spikes = |m: &NeuralMachine| {
+            m.spikes()
+                .iter()
+                .filter(|s| s.key & 0xF000 == 0x2000)
+                .count()
+        };
+        let control = run(None, 1);
+        let repaired = run(Some(90), 1);
+        assert!(
+            dst_spikes(&repaired) > dst_spikes(&control),
+            "repair must recover deliveries ({} vs {})",
+            dst_spikes(&repaired),
+            dst_spikes(&control)
+        );
+        assert!(
+            repaired
+                .spikes()
+                .iter()
+                .any(|s| s.key & 0xF000 == 0x2000 && s.time_ms >= 95),
+            "target must fire again after the repair lands"
+        );
+        assert!(
+            control
+                .spikes()
+                .iter()
+                .all(|s| s.key & 0xF000 != 0x2000 || s.time_ms < 40),
+            "unrepaired control must stay silent past the failure"
+        );
+        for threads in [4, 16] {
+            let p = run(Some(90), threads);
+            assert_eq!(
+                p.spikes(),
+                repaired.spikes(),
+                "{threads}-shard repair run must match serial"
+            );
+        }
     }
 
     #[test]

@@ -41,9 +41,11 @@ use spinn_sim::Histogram;
 use crate::config::MachineConfig;
 use crate::machine::{MachineEvent, NeuralMachine, PendingEvent, SpikeRecord, WorkItem};
 
-/// Snapshot format magic + version.
+/// Snapshot format magic + version. Version 2 added the repair plan
+/// (queued [`MachineEvent::RepairLink`] schedules) after the fault
+/// plan, plus the `RepairLink` pending-event tag.
 const MAGIC: &[u8] = b"SPNNMACH";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Why a snapshot could not be installed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -174,6 +176,9 @@ fn encode_event(ev: &MachineEvent, enc: &mut Enc) {
             enc.u8(8).u32(*node).u8(*dir).u8(*phase).u8(*left);
             encode_flight(enc, flight);
         }
+        MachineEvent::RepairLink { chip, dir } => {
+            enc.u8(9).u32(*chip).u8(dir.index() as u8);
+        }
     }
 }
 
@@ -204,9 +209,9 @@ fn validate_event(ev: &MachineEvent, chips: u32, cores_per_chip: u8) -> Result<(
     };
     match ev {
         MachineEvent::Timer => Ok(()),
-        MachineEvent::FailLink { chip, .. } | MachineEvent::InjectSpike { chip, .. } => {
-            chip_ok(*chip)
-        }
+        MachineEvent::FailLink { chip, .. }
+        | MachineEvent::RepairLink { chip, .. }
+        | MachineEvent::InjectSpike { chip, .. } => chip_ok(*chip),
         MachineEvent::ReissueSpike {
             chip, timestamp, ..
         } => {
@@ -284,6 +289,10 @@ fn decode_event(dec: &mut Dec<'_>) -> Result<MachineEvent, WireError> {
             left: dec.u8()?,
             flight: decode_flight(dec)?,
         }),
+        9 => MachineEvent::RepairLink {
+            chip: dec.u32()?,
+            dir: decode_direction(dec)?,
+        },
         _ => return Err(WireError::Corrupt("event tag")),
     })
 }
@@ -375,6 +384,10 @@ impl NeuralMachine {
         }
         enc.seq(self.fault_plan.len());
         for &(t, chip, dir) in &self.fault_plan {
+            enc.u64(t).u32(chip).u8(dir.index() as u8);
+        }
+        enc.seq(self.repair_plan.len());
+        for &(t, chip, dir) in &self.repair_plan {
             enc.u64(t).u32(chip).u8(dir.index() as u8);
         }
         self.fabric.encode_state(&mut enc);
@@ -527,6 +540,15 @@ impl NeuralMachine {
                 return Err(SnapshotError::Wire(WireError::Corrupt("fault chip id")));
             }
             self.fault_plan.push((t, chip, dir));
+        }
+        let n_repairs = dec.seq(13)?;
+        self.repair_plan = Vec::with_capacity(n_repairs);
+        for _ in 0..n_repairs {
+            let (t, chip, dir) = (dec.u64()?, dec.u32()?, decode_direction(&mut dec)?);
+            if chip >= chips {
+                return Err(SnapshotError::Wire(WireError::Corrupt("repair chip id")));
+            }
+            self.repair_plan.push((t, chip, dir));
         }
         self.fabric.apply_state(&mut dec)?;
 

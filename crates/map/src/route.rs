@@ -18,7 +18,7 @@
 //! [`RoutingPlan::verify_against`] replays every source through two
 //! plans to prove they deliver identically.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use spinn_noc::direction::Direction;
 use spinn_noc::fabric::Fabric;
@@ -98,6 +98,40 @@ impl RoutingPlan {
         height: u32,
         elide: bool,
     ) -> Self {
+        Self::build_inner(net, placement, width, height, elide, &HashSet::new())
+    }
+
+    /// Builds the plan for the same placed network while routing every
+    /// multicast tree around `avoid` — the currently failed links as
+    /// `(dense chip id, outgoing direction)` pairs, both cable ends, as
+    /// returned by `Fabric::failed_links`. Tree paths that never touch
+    /// an avoided link are grown exactly as [`RoutingPlan::build`]
+    /// grows them, so the repair is regional: unaffected trees keep
+    /// their original tables entry-for-entry. Paths that do cross a
+    /// failed link are replaced by deterministic breadth-first detours;
+    /// a destination the avoided links disconnect entirely falls back
+    /// to the direct path (that route stays broken until the cable is
+    /// repaired — emergency routing still gets a shot at it).
+    pub fn build_avoiding(
+        net: &NetworkGraph,
+        placement: &Placement,
+        width: u32,
+        height: u32,
+        avoid: &[(u32, Direction)],
+    ) -> Self {
+        let avoid: HashSet<(usize, Direction)> =
+            avoid.iter().map(|&(c, d)| (c as usize, d)).collect();
+        Self::build_inner(net, placement, width, height, true, &avoid)
+    }
+
+    fn build_inner(
+        net: &NetworkGraph,
+        placement: &Placement,
+        width: u32,
+        height: u32,
+        elide: bool,
+        avoid: &HashSet<(usize, Direction)>,
+    ) -> Self {
         let torus = Torus::new(width, height);
         let mut tables: Vec<Vec<McTableEntry>> = vec![Vec::new(); torus.len()];
         let mut stats = RouteStats::default();
@@ -119,7 +153,13 @@ impl RoutingPlan {
             }
             stats.trees += 1;
             let src_chip = torus.id_of(slice.chip);
-            let tree = grow_tree(&torus, src_chip, dest_cores.keys().copied(), &mut stats);
+            let tree = grow_tree_avoiding(
+                &torus,
+                src_chip,
+                dest_cores.keys().copied(),
+                &mut stats,
+                avoid,
+            );
             sources.push((src_chip, slice.global_core));
             for &chip in tree.keys() {
                 traversals[chip].push(slice.global_core);
@@ -272,6 +312,35 @@ impl RoutingPlan {
         }
         Ok(installed)
     }
+
+    /// Replaces every router's table with this plan's: clears each CAM
+    /// (version-bumped, so compiled lookup caches refresh) before
+    /// installing through the same fallible path as
+    /// [`RoutingPlan::install_into`]. This is the live-repair hot-swap:
+    /// it is safe to call on a running machine between events because
+    /// in-flight packets re-resolve their route at every chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableFull`] if any router's CAM capacity is exceeded;
+    /// chips already processed keep the new tables, so callers should
+    /// treat an error as fatal for the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric's mesh does not match the plan's.
+    pub fn reinstall_into(&self, fabric: &mut Fabric) -> Result<usize, TableFull> {
+        assert_eq!(
+            (fabric.config().width, fabric.config().height),
+            (self.width, self.height),
+            "plan does not match the fabric's mesh"
+        );
+        for chip_id in 0..self.tables.len() {
+            let coord = fabric.torus().coord_of(chip_id);
+            fabric.router_mut(coord).table.clear();
+        }
+        self.install_into(fabric)
+    }
 }
 
 /// First-match lookup over a raw entry list.
@@ -388,6 +457,19 @@ fn grow_tree(
     dests: impl Iterator<Item = usize>,
     stats: &mut RouteStats,
 ) -> HashMap<usize, TreeNode> {
+    grow_tree_avoiding(torus, src, dests, stats, &HashSet::new())
+}
+
+/// [`grow_tree`] with an avoid set: graft paths that would cross an
+/// avoided link are re-planned as breadth-first detours (see
+/// [`plan_path`]); with an empty set the two are identical.
+fn grow_tree_avoiding(
+    torus: &Torus,
+    src: usize,
+    dests: impl Iterator<Item = usize>,
+    stats: &mut RouteStats,
+    avoid: &HashSet<(usize, Direction)>,
+) -> HashMap<usize, TreeNode> {
     let mut tree: HashMap<usize, TreeNode> = HashMap::new();
     tree.insert(src, TreeNode::default());
     let mut dests: Vec<usize> = dests.collect();
@@ -411,20 +493,11 @@ fn grow_tree(
             .copied()
             .min_by_key(|&c| (torus.hex_distance(torus.coord_of(c), dc), tree[&c].depth, c))
             .unwrap_or(src);
-        // The greedy path from the graft point; it may cross chips that
-        // are already on the tree (the source path, say), in which case
+        // The path from the graft point; it may cross chips that are
+        // already on the tree (the source path, say), in which case
         // only the segment after the last crossing is added — every
         // chip keeps exactly one parent.
-        let mut path = vec![(attach, None)];
-        let mut cur = attach;
-        while cur != dest {
-            let hop = torus
-                .p2p_next_hop(torus.coord_of(cur), dc)
-                .expect("cur != dest");
-            path.last_mut().expect("non-empty").1 = Some(hop);
-            cur = torus.id_of(torus.neighbour(torus.coord_of(cur), hop));
-            path.push((cur, None));
-        }
+        let path = plan_path(torus, attach, dest, avoid);
         let start = (0..path.len())
             .rev()
             .find(|&i| tree.contains_key(&path[i].0))
@@ -461,6 +534,87 @@ fn grow_tree(
         stats.total_path_len += tree[&dest].depth;
     }
     tree
+}
+
+/// Plans the path from `from` to `to` as `[(chip, Some(hop)), ...,
+/// (to, None)]`. The greedy torus path is used verbatim whenever it
+/// crosses no avoided link — keeping avoid-aware plans bit-identical to
+/// [`RoutingPlan::build`] everywhere the failures don't reach — and is
+/// otherwise replaced by a breadth-first detour. If the avoided links
+/// disconnect the pair the greedy path is returned anyway (the broken
+/// hop stays; emergency routing is the last line of defence).
+fn plan_path(
+    torus: &Torus,
+    from: usize,
+    to: usize,
+    avoid: &HashSet<(usize, Direction)>,
+) -> Vec<(usize, Option<Direction>)> {
+    let tc = torus.coord_of(to);
+    let mut path = vec![(from, None)];
+    let mut cur = from;
+    while cur != to {
+        let hop = torus
+            .p2p_next_hop(torus.coord_of(cur), tc)
+            .expect("cur != to");
+        path.last_mut().expect("non-empty").1 = Some(hop);
+        cur = torus.id_of(torus.neighbour(torus.coord_of(cur), hop));
+        path.push((cur, None));
+    }
+    let clean = avoid.is_empty()
+        || path
+            .windows(2)
+            .all(|w| !avoid.contains(&(w[0].0, w[0].1.expect("interior hop"))));
+    if clean {
+        return path;
+    }
+    bfs_path(torus, from, to, avoid).unwrap_or(path)
+}
+
+/// Deterministic breadth-first shortest path that never takes an
+/// avoided outgoing link. Directions are explored in index order and
+/// the queue is FIFO, so ties break identically on every run and every
+/// thread count. Returns `None` when `to` is unreachable.
+fn bfs_path(
+    torus: &Torus,
+    from: usize,
+    to: usize,
+    avoid: &HashSet<(usize, Direction)>,
+) -> Option<Vec<(usize, Option<Direction>)>> {
+    let mut prev: Vec<Option<(usize, Direction)>> = vec![None; torus.len()];
+    let mut seen = vec![false; torus.len()];
+    seen[from] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    'search: while let Some(cur) = queue.pop_front() {
+        let cc = torus.coord_of(cur);
+        for d in 0..6 {
+            let dir = Direction::from_index(d);
+            if avoid.contains(&(cur, dir)) {
+                continue;
+            }
+            let next = torus.id_of(torus.neighbour(cc, dir));
+            if !seen[next] {
+                seen[next] = true;
+                prev[next] = Some((cur, dir));
+                if next == to {
+                    break 'search;
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    if !seen[to] {
+        return None;
+    }
+    let mut rev: Vec<(usize, Option<Direction>)> = vec![(to, None)];
+    let mut cur = to;
+    while cur != from {
+        let (p, d) = prev[cur].expect("walked from `from`");
+        rev.push((p, Some(d)));
+        cur = p;
+    }
+    rev.reverse();
+    Some(rev)
 }
 
 /// Emits CAM entries for one tree, eliding pure straight-through chips
@@ -764,5 +918,88 @@ mod tests {
             .unwrap();
         broken.tables[busiest].clear();
         assert!(plan.verify_against(&broken) > 0);
+    }
+
+    #[test]
+    fn build_avoiding_nothing_matches_build() {
+        let net = line_net(4, 100);
+        let placement = Placement::compute(&net, 6, 6, 17, 100, Placer::RoundRobin).unwrap();
+        let base = RoutingPlan::build(&net, &placement, 6, 6);
+        let avoided = RoutingPlan::build_avoiding(&net, &placement, 6, 6, &[]);
+        assert_eq!(base.total_entries(), avoided.total_entries());
+        assert_eq!(base.verify_against(&avoided), 0);
+    }
+
+    #[test]
+    fn bfs_path_detours_around_avoided_link() {
+        let torus = Torus::new(8, 8);
+        let from = torus.id_of(NodeCoord::new(0, 0));
+        let to = torus.id_of(NodeCoord::new(3, 0));
+        let greedy = plan_path(&torus, from, to, &HashSet::new());
+        assert_eq!(greedy.len(), 4, "three East hops");
+        // Kill the first East hop (both cable ends, as failed_links
+        // reports them).
+        let peer = torus.id_of(torus.neighbour(NodeCoord::new(0, 0), Direction::East));
+        let avoid: HashSet<(usize, Direction)> =
+            [(from, Direction::East), (peer, Direction::East.opposite())]
+                .into_iter()
+                .collect();
+        let detour = plan_path(&torus, from, to, &avoid);
+        assert_ne!(detour[0].1, Some(Direction::East), "must leave another way");
+        assert_eq!(detour.last().unwrap().0, to);
+        // Shortest detour on the hex torus is one hop longer than the
+        // straight line at most (NE then SE-ish composite): just check
+        // it is a valid connected path that skips the avoided links.
+        for w in detour.windows(2) {
+            let (cur, hop) = (w[0].0, w[0].1.expect("interior hop"));
+            assert!(!avoid.contains(&(cur, hop)), "took an avoided link");
+            assert_eq!(
+                torus.id_of(torus.neighbour(torus.coord_of(cur), hop)),
+                w[1].0,
+                "hops must chain"
+            );
+        }
+    }
+
+    #[test]
+    fn build_avoiding_still_delivers_everywhere() {
+        let (net, placement) = dense_random_ring();
+        let base = RoutingPlan::build(&net, &placement, 4, 4);
+        // Avoid every outgoing link of chip 0 except two, from both
+        // cable ends — a harsh regional failure.
+        let torus = Torus::new(4, 4);
+        let mut avoid: Vec<(u32, Direction)> = Vec::new();
+        for d in [Direction::East, Direction::NorthEast, Direction::North] {
+            let peer = torus.id_of(torus.neighbour(torus.coord_of(0), d));
+            avoid.push((0, d));
+            avoid.push((peer as u32, d.opposite()));
+        }
+        let repaired = RoutingPlan::build_avoiding(&net, &placement, 4, 4, &avoid);
+        // Same delivered (chip, core) sets for every source.
+        assert_eq!(base.verify_against(&repaired), 0);
+        // And chip 0's tables genuinely changed course: no entry routes
+        // out an avoided direction.
+        for e in repaired.chip_table(0) {
+            for d in [Direction::East, Direction::NorthEast, Direction::North] {
+                assert!(!e.route.has_link(d), "entry still uses avoided link {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_path_reports_disconnection() {
+        let torus = Torus::new(4, 4);
+        // Seal chip 5 in completely.
+        let mut avoid = HashSet::new();
+        for d in 0..6 {
+            let dir = Direction::from_index(d);
+            let peer = torus.id_of(torus.neighbour(torus.coord_of(5), dir));
+            avoid.insert((5usize, dir));
+            avoid.insert((peer, dir.opposite()));
+        }
+        assert!(bfs_path(&torus, 0, 5, &avoid).is_none());
+        // plan_path falls back to the greedy path rather than panicking.
+        let fallback = plan_path(&torus, 0, 5, &avoid);
+        assert_eq!(fallback.last().unwrap().0, 5);
     }
 }

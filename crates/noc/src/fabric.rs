@@ -422,6 +422,22 @@ impl Fabric {
         self.links[self.torus.id_of(node) * 6 + d.index()].failed
     }
 
+    /// Every currently failed outgoing link as `(dense chip id,
+    /// direction)`, in dense-id order. Both ends of a failed cable are
+    /// listed (a cable fails in both directions), so the result feeds
+    /// an avoid-set for route repair without further expansion.
+    pub fn failed_links(&self) -> Vec<(u32, Direction)> {
+        let mut out = Vec::new();
+        for id in 0..self.torus.len() {
+            for d in 0..6 {
+                if self.links[id * 6 + d].failed {
+                    out.push((id as u32, Direction::from_index(d)));
+                }
+            }
+        }
+        out
+    }
+
     /// Current occupancy of an output-link queue (congestion probe).
     pub fn link_queue_len(&self, node: NodeCoord, d: Direction) -> usize {
         let ls = &self.links[self.torus.id_of(node) * 6 + d.index()];

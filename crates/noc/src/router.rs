@@ -37,7 +37,7 @@ impl Default for RouterConfig {
 }
 
 /// Counters a router exposes to its monitor processor.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// Multicast packets routed via a table hit.
     pub mc_table_hits: u64,

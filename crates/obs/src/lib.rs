@@ -393,6 +393,9 @@ pub enum TraceKind {
     Drop,
     /// A fault fired: `a` = chip id, `b` = link direction index.
     Fault,
+    /// A failed link was repaired: `a` = chip id, `b` = link direction
+    /// index.
+    Repair,
 }
 
 impl TraceKind {
@@ -403,6 +406,7 @@ impl TraceKind {
             TraceKind::Packet => "packet",
             TraceKind::Drop => "drop",
             TraceKind::Fault => "fault",
+            TraceKind::Repair => "repair",
         }
     }
 }

@@ -25,14 +25,23 @@ Row kinds compared:
   (lower is better) — per-loop costs normalized by simulated work, so
   they gate tighter than wall-clock rows.
 
-A third mode checks one report in isolation:
+Single-report modes check one report in isolation:
 
     python3 scripts/bench_compare.py --parallel-speedup REPORT.json
 
-and fails unless the report's ``phase_breakdown`` rows show the
-4-thread wall-clock strictly beating the 1-thread wall-clock with a
-4-thread barrier-wait share of at most 0.5 — threads must pay, not
-just cost.
+fails unless the report's ``phase_breakdown`` rows show the 4-thread
+wall-clock strictly beating the 1-thread wall-clock with a 4-thread
+barrier-wait share of at most 0.5 — threads must pay, not just cost.
+
+    python3 scripts/bench_compare.py --resilience REPORT.json
+
+gates a resilience-campaign report (E19): every fault-sweep bucket
+meets a per-failure-rate delivery floor, the paired repair arms show
+``repair_link`` recovering delivery and ``reroute`` shedding
+emergency/drop load, and the campaign's thread-count replays were
+bit-exact. ``resil`` rows (bucket delivery ratios keyed by
+(failure_rate, policy), higher is better) also join the pairwise and
+chain comparisons.
 
 Chain mode compares each consecutive pair (old -> new) and appends a
 markdown trajectory table to ``$GITHUB_STEP_SUMMARY`` when that
@@ -125,11 +134,26 @@ def perf_rows(report):
     return rows
 
 
+def resil_rows(report):
+    """(failure_rate, policy) -> delivery_ratio_mean (higher is better)
+    for the Monte Carlo fault-sweep buckets (curve and repair arms)."""
+    rows = {}
+    for record in report.get("records", []):
+        if record.get("name") not in ("delivery_vs_failure_rate", "live_repair"):
+            continue
+        cfg = record.get("config", {})
+        ratio = record.get("metrics", {}).get("delivery_ratio_mean")
+        if ratio is not None:
+            rows[(cfg.get("failure_rate"), cfg.get("policy"))] = float(ratio)
+    return rows
+
+
 # (label, extractor, True when higher is better)
 KINDS = {
     "sweep": ("end_to_end_sweep spikes/sec", sweep_rows, True),
     "micro": ("queue_microbench calendar ns/op", micro_rows, False),
     "perf": ("phase_breakdown ns per unit of work", perf_rows, False),
+    "resil": ("fault-sweep delivery ratio", resil_rows, True),
 }
 
 
@@ -173,6 +197,95 @@ def check_parallel_speedup(name):
             f"({w4 / w1 - 1.0:+.1%}) {'ok' if ok_wall else '<< 4T must beat 1T'}; "
             f"4T barrier share {share:.3f} "
             f"{'ok' if ok_share else '<< must be <= 0.5'}"
+        )
+    return failures
+
+
+def resilience_floor(rate):
+    """Minimum acceptable mean delivery ratio at a given cable-failure
+    rate. Linear in the failure rate with generous slack below the
+    measured curve (full mode measures ~1.0, 0.997, 0.974, 0.881,
+    0.694, 0.497 at rates 0, 0.05, 0.1, 0.2, 0.35, 0.5): emergency
+    routing must keep absorbing sparse death, and heavy death must not
+    collapse below what detours + monitor reissue recover."""
+    if rate == 0.0:
+        return 0.999
+    return max(0.15, 0.92 - 1.3 * rate)
+
+
+def check_resilience(name):
+    """Single-report gate on a resilience-campaign report (E19):
+
+    * every ``delivery_vs_failure_rate`` bucket meets the per-rate
+      delivery floor (the fault-free bucket must score ~1.0);
+    * the paired ``repair_recovery`` record shows live repair actually
+      recovering delivery (``repair_link_gain`` positive) and table
+      re-routing taking standing emergency/drop load off the fabric
+      (``reroute_load_cut`` positive);
+    * the campaign's replays were bit-exact across thread counts.
+
+    The campaign is seeded and deterministic, so these are exact
+    reproducible numbers, not statistical tests. Returns the number of
+    failed checks (exits 2 if the report has no resilience rows)."""
+    report = load(name)
+    curve = []
+    recovery = None
+    campaign = None
+    for record in report.get("records", []):
+        if record.get("name") == "delivery_vs_failure_rate":
+            cfg = record.get("config", {})
+            m = record.get("metrics", {})
+            if m.get("delivery_ratio_mean") is not None:
+                curve.append(
+                    (float(cfg.get("failure_rate", 0.0)), float(m["delivery_ratio_mean"]))
+                )
+        elif record.get("name") == "repair_recovery":
+            recovery = record.get("metrics", {})
+        elif record.get("name") == "campaign":
+            campaign = record.get("metrics", {})
+    if not curve:
+        fail_usage(
+            f"{name} has no delivery_vs_failure_rate rows — not a resilience "
+            "report (regenerate with `cargo run --release -p spinn-bench "
+            "--bin run_experiments -- E19`)"
+        )
+    failures = 0
+    print(f"resilience check on {name}:")
+    for rate, ratio in sorted(curve):
+        floor = resilience_floor(rate)
+        ok = ratio >= floor
+        failures += not ok
+        print(
+            f"  rate {rate:.3f}: delivery {ratio:.3f} "
+            f"(floor {floor:.3f}) {'ok' if ok else '<< below floor'}"
+        )
+    if recovery is None:
+        print("  no repair_recovery record << required", file=sys.stderr)
+        failures += 1
+    else:
+        gain = float(recovery.get("repair_link_gain", float("nan")))
+        cut = float(recovery.get("reroute_load_cut", float("nan")))
+        ok_gain = gain > 0.0
+        ok_cut = cut > 0.0
+        failures += (not ok_gain) + (not ok_cut)
+        print(
+            f"  repair_link gain {gain:+.3f} "
+            f"{'ok' if ok_gain else '<< repair must recover delivery'}"
+        )
+        print(
+            f"  reroute load cut {cut:+.1%} "
+            f"{'ok' if ok_cut else '<< reroute must shed emergency/drop load'}"
+        )
+    if campaign is None:
+        print("  no campaign record << required", file=sys.stderr)
+        failures += 1
+    else:
+        exact = campaign.get("determinism_bit_exact")
+        ok = exact is True
+        failures += not ok
+        print(
+            f"  replays bit-exact: {exact} "
+            f"{'ok' if ok else '<< thread-count replays must be bit-exact'}"
         )
     return failures
 
@@ -297,7 +410,7 @@ def main(argv=None):
     )
     ap.add_argument(
         "--kind",
-        choices=["sweep", "micro", "perf", "all"],
+        choices=["sweep", "micro", "perf", "resil", "all"],
         default="all",
         help="row kinds to compare (default: all kinds present in both reports)",
     )
@@ -308,14 +421,22 @@ def main(argv=None):
         "strictly below 1-thread, 4-thread barrier share at most 0.5",
     )
     ap.add_argument(
+        "--resilience",
+        action="store_true",
+        help="check a single resilience-campaign report (E19): per-rate "
+        "delivery floors, positive paired repair recovery, bit-exact replays",
+    )
+    ap.add_argument(
         "--allow-missing-rows",
         action="store_true",
         help="skip rows present in only one report instead of failing "
         "(for comparing quick-mode against full-mode sweep grids)",
     )
     args = ap.parse_args(argv)
-    kinds = ["sweep", "micro", "perf"] if args.kind == "all" else [args.kind]
+    kinds = ["sweep", "micro", "perf", "resil"] if args.kind == "all" else [args.kind]
 
+    if args.parallel_speedup and args.resilience:
+        fail_usage("--parallel-speedup and --resilience are separate checks")
     if args.parallel_speedup:
         if args.chain or len(args.reports) != 1:
             fail_usage("--parallel-speedup takes exactly one report")
@@ -324,6 +445,18 @@ def main(argv=None):
             print(f"FAIL: {failures} parallel-speedup check(s) failed", file=sys.stderr)
             sys.exit(1)
         print("OK: threads pay — 4-thread wall beats 1-thread within barrier bounds")
+        return
+    if args.resilience:
+        if args.chain or len(args.reports) != 1:
+            fail_usage("--resilience takes exactly one report")
+        failures = check_resilience(args.reports[0])
+        if failures:
+            print(f"FAIL: {failures} resilience check(s) failed", file=sys.stderr)
+            sys.exit(1)
+        print(
+            "OK: the campaign degrades gracefully, live repair recovers "
+            "delivery, replays are bit-exact"
+        )
         return
 
     failures = 0

@@ -14,7 +14,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402
 
 
-def report(sweep=None, micro=None, phase=None, commit="deadbeef"):
+def report(sweep=None, micro=None, phase=None, resil=None, commit="deadbeef"):
     records = []
     for (mesh, queue, threads, bio_ms), sps in (sweep or {}).items():
         records.append(
@@ -45,7 +45,48 @@ def report(sweep=None, micro=None, phase=None, commit="deadbeef"):
                 "metrics": dict(metrics),
             }
         )
+    records.extend(resil or [])
     return {"experiment": "EX", "commit": commit, "records": records}
+
+
+def resil_records(
+    curve=((0.0, 1.0), (0.2, 0.9)),
+    gain=0.3,
+    load_cut=0.5,
+    bit_exact=True,
+    with_recovery=True,
+    with_campaign=True,
+):
+    """Synthetic resilience-report records (E19 shape)."""
+    records = [
+        {
+            "name": "delivery_vs_failure_rate",
+            "config": {"failure_rate": rate, "policy": "none", "forks": 4},
+            "metrics": {"delivery_ratio_mean": ratio, "delivery_ratio_min": ratio},
+        }
+        for rate, ratio in curve
+    ]
+    if with_recovery:
+        records.append(
+            {
+                "name": "repair_recovery",
+                "config": {"failure_rate": 0.35},
+                "metrics": {
+                    "repair_link_gain": gain,
+                    "reroute_gain": gain,
+                    "reroute_load_cut": load_cut,
+                },
+            }
+        )
+    if with_campaign:
+        records.append(
+            {
+                "name": "campaign",
+                "config": {"seed": 1},
+                "metrics": {"determinism_bit_exact": bit_exact},
+            }
+        )
+    return records
 
 
 class BenchCompareTest(unittest.TestCase):
@@ -198,6 +239,64 @@ class BenchCompareTest(unittest.TestCase):
     def test_parallel_speedup_without_pair_is_exit_2(self):
         rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
         self.assertEqual(self.run_main(["--parallel-speedup", rep]), 2)
+
+    def test_resilience_gate_passes_on_healthy_report(self):
+        rep = self.write("rep.json", report(resil=resil_records()))
+        self.assertEqual(self.run_main(["--resilience", rep]), 0)
+
+    def test_resilience_gate_fails_below_delivery_floor(self):
+        # At a 0.2 failure rate the floor is 0.92 - 1.3 * 0.2 = 0.66.
+        rep = self.write(
+            "rep.json", report(resil=resil_records(curve=((0.0, 1.0), (0.2, 0.5))))
+        )
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_fails_on_degraded_faultfree_bucket(self):
+        # The fault-free bucket is the baseline replaying itself: anything
+        # below ~1.0 means the campaign harness broke, not the fabric.
+        rep = self.write(
+            "rep.json", report(resil=resil_records(curve=((0.0, 0.97), (0.2, 0.9))))
+        )
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_fails_on_nonpositive_repair_gain(self):
+        rep = self.write("rep.json", report(resil=resil_records(gain=0.0)))
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_fails_on_nonpositive_load_cut(self):
+        rep = self.write("rep.json", report(resil=resil_records(load_cut=-0.1)))
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_fails_on_inexact_replays(self):
+        rep = self.write("rep.json", report(resil=resil_records(bit_exact=False)))
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_fails_without_recovery_record(self):
+        rep = self.write(
+            "rep.json", report(resil=resil_records(with_recovery=False))
+        )
+        self.assertEqual(self.run_main(["--resilience", rep]), 1)
+
+    def test_resilience_gate_without_curve_is_exit_2(self):
+        rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--resilience", rep]), 2)
+
+    def test_resil_kind_compares_buckets_pairwise(self):
+        # Higher is better for delivery ratios: 0.9 -> 0.6 regresses.
+        base = self.write("base.json", report(resil=resil_records()))
+        worse = self.write(
+            "worse.json", report(resil=resil_records(curve=((0.0, 1.0), (0.2, 0.6))))
+        )
+        self.assertEqual(self.run_main([worse, base, "--kind", "resil"]), 1)
+        self.assertEqual(self.run_main([base, base, "--kind", "resil"]), 0)
+
+    def test_committed_e19_resilience_gate_holds(self):
+        # The committed E19 artifact must clear its own acceptance gate,
+        # exactly as CI runs it.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        e19 = os.path.join(root, "BENCH_e19.json")
+        self.assertTrue(os.path.exists(e19), f"{e19} must be committed")
+        self.assertEqual(self.run_main(["--resilience", e19]), 0)
 
     def test_committed_artifacts_chain_cleanly(self):
         # The real committed BENCH_*.json files must stay chainable (the

@@ -164,6 +164,37 @@ fn faulted_machine(queue: QueueKind) -> NeuralMachine {
     m
 }
 
+/// Scenario 4 — fault → repair with a checkpoint *inside* the failure
+/// window: the scenario-3 machine's only b -> c leg dies at 50 ms and a
+/// queued `RepairLink` brings it back at 120 ms. The run is cut at
+/// 80 ms — mid-outage, with the future repair still pending — the
+/// machine is snapshotted, restored onto a fresh identical build (the
+/// pending `RepairLink` rides the wire codec), and finished. Target
+/// spikes stop during the outage and resume after the repair; the
+/// concatenated raster is pinned bit-exactly for both queue kinds and
+/// every shard count.
+fn repaired_machine(queue: QueueKind) -> NeuralMachine {
+    let mut m = faulted_machine(queue);
+    m.queue_repair_link(120 * MS_NS, NodeCoord::new(1, 0), Direction::NorthEast);
+    m
+}
+
+fn run_repaired(queue: QueueKind, threads: u32) -> Vec<SpikeRecord> {
+    let threads = threads as usize;
+    let (m, pending) = repaired_machine(queue).run_segment(Vec::new(), 0, 80, threads);
+    let bytes = m.snapshot(&pending);
+    // Restore onto a freshly built machine: install_snapshot replaces
+    // the fresh build's fault/repair plans with the checkpoint's state
+    // (the failure already applied to the fabric, the repair pending).
+    let mut fresh = repaired_machine(queue);
+    let restored = fresh
+        .install_snapshot(&bytes)
+        .expect("mid-outage snapshot installs");
+    assert_eq!(restored.elapsed_ms, 80);
+    let (done, _) = fresh.run_segment(restored.pending, 80, RUN_MS - 80, threads);
+    done.spikes().to_vec()
+}
+
 fn run_machine(queue: QueueKind, threads: u32) -> Vec<SpikeRecord> {
     let m = faulted_machine(queue);
     let m = if threads > 1 {
@@ -261,6 +292,51 @@ fn retina_pipeline_replays_golden_trace() {
 #[test]
 fn fault_injected_net_replays_golden_trace() {
     check_scenario("fault", run_machine, 200);
+}
+
+#[test]
+fn fault_repair_cycle_replays_golden_trace() {
+    check_scenario("fault_repair", run_repaired, 200);
+}
+
+/// The repair must actually bite, and the mid-outage checkpoint must be
+/// a no-op: the link ends the run healthy, the target fires again after
+/// 120 ms (unlike the never-repaired scenario-3 machine), and cutting
+/// at 80 ms + restoring equals running straight through.
+#[test]
+fn mid_outage_checkpoint_and_repair_fire() {
+    let whole = repaired_machine(QueueKind::Calendar).run(RUN_MS);
+    assert!(
+        !whole
+            .fabric()
+            .link_failed(NodeCoord::new(1, 0), Direction::NorthEast),
+        "the queued repair must leave the link healthy"
+    );
+    let late_target_spikes = whole
+        .spikes()
+        .iter()
+        .filter(|s| s.key & 0xF000 == 0x3000 && s.time_ms > 125)
+        .count();
+    assert!(
+        late_target_spikes > 0,
+        "target must fire again once the relay link is repaired"
+    );
+    let never_repaired = faulted_machine(QueueKind::Calendar).run(RUN_MS);
+    assert_eq!(
+        never_repaired
+            .spikes()
+            .iter()
+            .filter(|s| s.key & 0xF000 == 0x3000 && s.time_ms > 125)
+            .count(),
+        0,
+        "without the repair the target stays silent"
+    );
+    let resumed = run_repaired(QueueKind::Calendar, 1);
+    assert_eq!(
+        whole.spikes(),
+        resumed.as_slice(),
+        "checkpoint/restore mid-outage must not move a spike"
+    );
 }
 
 /// The mid-run fault must actually bite: the fabric's link state after
