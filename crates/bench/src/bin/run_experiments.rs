@@ -1,9 +1,9 @@
-//! Prints every experiment's table (E1-E19, A1-A2). `SPINN_FULL=1` for
+//! Prints every experiment's table (E1-E20, A1-A2). `SPINN_FULL=1` for
 //! the full-size versions recorded in EXPERIMENTS.md.
 //!
 //! Experiments with machine-readable benchmark emitters (E14, E15,
-//! E16, E17, E18, E19) also write their commit-stamped `BENCH_*.json`
-//! artifact to the repository root.
+//! E16, E17, E18, E19, E20) also write their commit-stamped
+//! `BENCH_*.json` artifact to the repository root.
 //!
 //! Usage: `run_experiments [NAME...]` — with arguments, only the named
 //! experiments run (e.g. `run_experiments E14` regenerates just the
@@ -106,12 +106,22 @@ fn main() {
         }
     }
 
+    if wanted("E20") {
+        println!("==================================================================");
+        let report = e::e20_scaling::report(quick);
+        println!("{}", e::e20_scaling::format_report(&report));
+        match report.write_to(&record::repo_root()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write BENCH_e20.json: {err}"),
+        }
+    }
+
     // A typo'd filter (e.g. `run_experiments E17`) must not masquerade
     // as a successful run that silently produced nothing.
     let known: Vec<&str> = runs
         .iter()
         .map(|(n, _)| *n)
-        .chain(["E14", "E15", "E16", "E17", "E18", "E19"])
+        .chain(["E14", "E15", "E16", "E17", "E18", "E19", "E20"])
         .collect();
     let unknown: Vec<&String> = filter
         .iter()

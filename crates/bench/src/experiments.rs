@@ -1537,6 +1537,10 @@ pub mod e14_event_core {
                 .config("chips", (edge * edge) as u64)
                 .config("threads", threads)
                 .config(
+                    "effective_threads",
+                    done.machine.effective_threads(threads as usize) as u64,
+                )
+                .config(
                     "host_cores",
                     std::thread::available_parallelism().map_or(1, |p| p.get()),
                 )
@@ -2788,6 +2792,10 @@ pub mod e18_collected_win {
                     .config("mesh", "8x8")
                     .config("threads", threads)
                     .config(
+                        "effective_threads",
+                        done.machine.effective_threads(threads as usize) as u64,
+                    )
+                    .config(
                         "host_cores",
                         std::thread::available_parallelism().map_or(1, |p| p.get()),
                     )
@@ -3350,6 +3358,524 @@ pub mod e19_resilience {
             let (net, input) = campaign_net(4, 16);
             assert_eq!(net.total_neurons(), 64);
             assert_eq!(input.index(), 0);
+        }
+    }
+}
+
+/// E20 — compute beyond a million cores: the scaling study. One
+/// population per chip on meshes from 32 x 32 up to the paper's full
+/// 256 x 256 machine (>10^6 cores loaded, >10^9 synapses), built
+/// through the streaming loader into compressed lazy arenas and run
+/// through the chunked work-stealing scheduler. Emits `BENCH_e20.json`;
+/// `scripts/bench_compare.py --memory` gates the scale/memory claims
+/// and `--work-stealing` the chunked-vs-static arms (skipping honestly
+/// on hosts whose parallelism collapses the comparison).
+pub mod e20_scaling {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport};
+    use spinn_obs::Counter;
+    use spinnaker::map::loader::{BuildOptions, LazyMode, LoadedApp};
+    use spinnaker::map::place::Placement;
+    use spinnaker::prelude::*;
+    use std::time::Instant;
+
+    /// Cores per chip for the study: 16 application cores + monitor,
+    /// so a 256 x 256 mesh loads exactly 2^20 application cores.
+    const CORES_PER_CHIP: u8 = 17;
+    /// Neurons per chip (16 app cores x 8 neurons each).
+    const NEURONS_PER_CHIP: u32 = 128;
+    /// Neurons per application core.
+    const NPC: u32 = 8;
+
+    /// Peak resident set of this process so far, bytes (Linux
+    /// `/proc/self/status` `VmHWM`; 0 where unavailable). Monotone over
+    /// the process lifetime, so rows are ordered smallest mesh first
+    /// and each row's value approximates that row's true peak.
+    pub fn peak_rss_bytes() -> u64 {
+        proc_status_kb("VmHWM:") * 1024
+    }
+
+    /// Current resident set of this process, bytes (`VmRSS`; 0 where
+    /// unavailable).
+    pub fn current_rss_bytes() -> u64 {
+        proc_status_kb("VmRSS:") * 1024
+    }
+
+    fn proc_status_kb(field: &str) -> u64 {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(field))
+            .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// The scaling workload: one `NEURONS_PER_CHIP`-neuron population
+    /// per chip, chained into a ring of `AllToAll` constant-weight
+    /// projections (so every chip holds 128 x 128 = 16 Ki synapses and
+    /// a 256 x 256 mesh holds 2^30). Constant `AllToAll` rows are
+    /// analytic for the generator, so the lazy loader stores each as a
+    /// recipe and only spike-touched rows ever materialize. Only chip
+    /// 0's population is biased: activity trickles around the ring
+    /// while the other ~65 k chips sit idle — the configuration the
+    /// paper's "interrupt-driven, no polling" energy argument cares
+    /// about, and the one that exposes any O(all chips) per-tick cost.
+    pub fn chip_ring_net(chips: u32) -> NetworkGraph {
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..chips)
+            .map(|i| {
+                let bias = if i == 0 { 9.0 } else { 0.0 };
+                net.population(&format!("c{i}"), NEURONS_PER_CHIP, kind, bias)
+            })
+            .collect();
+        for (i, &src) in pops.iter().enumerate() {
+            let dst = pops[(i + 1) % pops.len()];
+            net.project(
+                src,
+                dst,
+                Connector::AllToAll { allow_self: false },
+                Synapses::constant(40, 1),
+                0xE20 ^ i as u64,
+            );
+        }
+        net
+    }
+
+    /// A deliberately skewed load for the work-stealing arms: the same
+    /// ring, but the first `hot` chips get strongly biased populations
+    /// with a dense recurrent projection, so nearly all spike work
+    /// lands in one corner of the mesh while the static structural
+    /// partition still cuts chips evenly.
+    pub fn skewed_net(chips: u32, hot: u32) -> NetworkGraph {
+        let kind = NeuronKind::Izhikevich(IzhikevichParams::regular_spiking());
+        let mut net = NetworkGraph::new();
+        let pops: Vec<_> = (0..chips)
+            .map(|i| {
+                let bias = if i < hot { 12.0 } else { 0.0 };
+                net.population(&format!("c{i}"), NEURONS_PER_CHIP, kind, bias)
+            })
+            .collect();
+        for (i, &src) in pops.iter().enumerate() {
+            let dst = pops[(i + 1) % pops.len()];
+            net.project(
+                src,
+                dst,
+                Connector::AllToAll { allow_self: false },
+                Synapses::constant(40, 1),
+                0xE20 ^ i as u64,
+            );
+        }
+        for &p in pops.iter().take(hot as usize) {
+            net.project(
+                p,
+                p,
+                Connector::FixedProbability(0.25),
+                Synapses::constant(90, 1),
+                0x5E20 ^ p.index() as u64,
+            );
+        }
+        net
+    }
+
+    fn host_cores() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    /// Builds and runs one scaling-sweep cell, recording build time,
+    /// wall clock, per-neuron cost, barrier share and the resident
+    /// memory per synapse next to the *post-clamp* thread count.
+    #[allow(clippy::cast_precision_loss)]
+    fn scaling_case(
+        report: &mut BenchReport,
+        net: &NetworkGraph,
+        edge: u32,
+        threads: u32,
+        ms: u32,
+    ) {
+        let mut cfg = SimConfig::new(edge, edge)
+            .with_neurons_per_core(NPC)
+            .with_threads(threads)
+            .with_observability(ObsMode::CountersAndTrace);
+        cfg.machine.cores_per_chip = CORES_PER_CHIP;
+        let t0 = Instant::now();
+        let sim = Simulation::build(net, cfg).expect("ring net fits one pop per chip");
+        let build_s = t0.elapsed().as_secs_f64();
+        let effective = sim.machine().effective_threads(threads as usize);
+        let loaded_cores = sim
+            .machine()
+            .chip_occupancy()
+            .iter()
+            .map(|o| u64::from(o.loaded_cores))
+            .sum::<u64>();
+        let synapses = sim.machine().total_synapses();
+        let lazy_before = sim.machine().total_lazy_rows();
+        let t1 = Instant::now();
+        let done = sim.run(ms);
+        let wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let t = done.machine.telemetry();
+        let resident = done.machine.total_resident_bytes();
+        report.push(
+            BenchRecord::new("scaling")
+                .config("mesh", format!("{edge}x{edge}"))
+                .config("chips", u64::from(edge) * u64::from(edge))
+                .config(
+                    "machine_cores",
+                    (edge as u64) * (edge as u64) * CORES_PER_CHIP as u64,
+                )
+                .config("loaded_cores", loaded_cores)
+                .config("neurons", net.total_neurons())
+                .config("threads", threads)
+                .config("effective_threads", effective as u64)
+                .config("host_cores", host_cores() as u64)
+                .config("bio_ms", ms)
+                .metric("build_s", build_s)
+                .metric("wall_ms", wall_ms)
+                .metric("ns_per_neuron", t.ns_per_neuron())
+                .metric("barrier_wait_share", {
+                    let s = t.barrier_wait_share();
+                    if s.is_nan() {
+                        0.0
+                    } else {
+                        s
+                    }
+                })
+                .metric("spikes", done.machine.spikes().len())
+                .metric("events", t.total(Counter::Events))
+                .metric("synapses", synapses)
+                .metric("bytes_per_synapse", resident as f64 / synapses as f64)
+                .metric("resident_mb", resident as f64 / (1024.0 * 1024.0))
+                .metric(
+                    "sdram_model_mb",
+                    done.machine.total_sdram_bytes() as f64 / (1024.0 * 1024.0),
+                )
+                .metric("lazy_rows_before", lazy_before)
+                .metric("lazy_rows_after", done.machine.total_lazy_rows())
+                .metric("trace_cap", t.trace_cap())
+                .metric("trace_overwrite_ratio", t.trace_overwrite_ratio())
+                .metric("peak_rss_mb", peak_rss_bytes() as f64 / (1024.0 * 1024.0)),
+        );
+    }
+
+    /// Builds one loader arm (lazy forced on or off) and records its
+    /// memory/footprint row.
+    #[allow(clippy::cast_precision_loss)]
+    fn memory_case(
+        report: &mut BenchReport,
+        net: &NetworkGraph,
+        edge: u32,
+        lazy: LazyMode,
+        arm: &str,
+    ) {
+        let placement = Placement::compute(net, edge, edge, CORES_PER_CHIP, NPC, Placer::Locality)
+            .expect("ring net fits one pop per chip");
+        let t0 = Instant::now();
+        let app = LoadedApp::build_with(net, &placement, BuildOptions { threads: 1, lazy });
+        let build_s = t0.elapsed().as_secs_f64();
+        let resident: u64 = app.images.iter().map(|i| i.matrix.resident_bytes()).sum();
+        let lazy_rows: u64 = app.images.iter().map(|i| i.matrix.lazy_rows()).sum();
+        let synapses = app.total_synapses();
+        report.push(
+            BenchRecord::new("memory")
+                .config("mesh", format!("{edge}x{edge}"))
+                .config("chips", u64::from(edge) * u64::from(edge))
+                .config("arm", arm)
+                .metric("build_s", build_s)
+                .metric("synapses", synapses)
+                .metric("bytes_per_synapse", resident as f64 / synapses as f64)
+                .metric("resident_mb", resident as f64 / (1024.0 * 1024.0))
+                .metric(
+                    "sdram_model_mb",
+                    app.total_sdram_bytes() as f64 / (1024.0 * 1024.0),
+                )
+                .metric("lazy_rows", lazy_rows)
+                .metric("peak_rss_mb", peak_rss_bytes() as f64 / (1024.0 * 1024.0)),
+        );
+    }
+
+    /// Runs one work-stealing arm (static split vs chunked stealing)
+    /// on the skewed net, `force_shards` so the shard machinery runs
+    /// regardless of the host.
+    #[allow(clippy::cast_precision_loss)]
+    fn stealing_case(
+        report: &mut BenchReport,
+        net: &NetworkGraph,
+        edge: u32,
+        threads: u32,
+        chunk_factor: u8,
+        ms: u32,
+    ) {
+        let mut cfg = SimConfig::new(edge, edge)
+            .with_neurons_per_core(NPC)
+            .with_threads(threads)
+            .with_chunk_factor(chunk_factor)
+            .with_force_shards(true)
+            .with_observability(ObsMode::CountersAndTrace);
+        cfg.machine.cores_per_chip = CORES_PER_CHIP;
+        let sim = Simulation::build(net, cfg).expect("skewed net fits one pop per chip");
+        let effective = sim.machine().effective_threads(threads as usize);
+        let t0 = Instant::now();
+        let done = sim.run(ms);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t = done.machine.telemetry();
+        report.push(
+            BenchRecord::new("work_stealing")
+                .config("mesh", format!("{edge}x{edge}"))
+                .config("arm", if chunk_factor <= 1 { "static" } else { "steal" })
+                .config("chunk_factor", u64::from(chunk_factor))
+                .config("threads", threads)
+                .config("effective_threads", effective as u64)
+                .config("host_cores", host_cores() as u64)
+                .config("bio_ms", ms)
+                .metric("wall_ms", wall_ms)
+                .metric("barrier_wait_share", {
+                    let s = t.barrier_wait_share();
+                    if s.is_nan() {
+                        0.0
+                    } else {
+                        s
+                    }
+                })
+                .metric("shard_skew", t.shard_skew())
+                .metric("spikes", done.machine.spikes().len())
+                .metric("windows", done.machine.par_stats().map_or(0, |s| s.windows)),
+        );
+    }
+
+    /// The E20 report: the mesh x thread scaling grid (smallest first,
+    /// so the monotone peak-RSS counter approximates each row's own
+    /// peak), the lazy-vs-eager loader arms, the skewed work-stealing
+    /// arms, and the E14 sweep grid so the artifact chains against the
+    /// committed E14/E15/E16/E18 baselines.
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E20",
+            "compute beyond a million cores: streaming build, lazy arenas, work-stealing windows",
+            quick,
+        );
+
+        let (edges, thread_grid, ms): (&[u32], &[u32], u32) = if quick {
+            (&[8, 16], &[1, 4], 20)
+        } else {
+            (&[32, 64, 128, 256], &[1, 4, 32], 10)
+        };
+        for &edge in edges {
+            let net = chip_ring_net(edge * edge);
+            for &threads in thread_grid {
+                // The full 2^16-chip mesh runs the 1-thread cell plus
+                // one parallel cell; re-running an 8-million-neuron
+                // serial run per thread count buys nothing.
+                if edge >= 256 && threads > 1 && threads != thread_grid[thread_grid.len() - 1] {
+                    continue;
+                }
+                scaling_case(&mut report, &net, edge, threads, ms);
+            }
+        }
+
+        let mem_edge = if quick { 16 } else { 64 };
+        let mem_net = chip_ring_net(mem_edge * mem_edge);
+        memory_case(&mut report, &mem_net, mem_edge, LazyMode::Force, "lazy");
+        memory_case(&mut report, &mem_net, mem_edge, LazyMode::Off, "eager");
+
+        let steal_edge = if quick { 8 } else { 16 };
+        let steal_ms = if quick { 30 } else { 60 };
+        let steal_net = skewed_net(steal_edge * steal_edge, steal_edge);
+        stealing_case(&mut report, &steal_net, steal_edge, 4, 1, steal_ms);
+        stealing_case(&mut report, &steal_net, steal_edge, 4, 4, steal_ms);
+
+        // The E14 sweep grid, so BENCH_e20.json extends the committed
+        // trajectory chain E14 -> E15 -> E16 -> E18 -> E20. The quick
+        // cells (8x8, 100 bio-ms) run in BOTH modes: the committed
+        // upstream artifacts were recorded quick, and a full-mode E20
+        // must still share rows with them or the chain gate exits 2.
+        let sweep_net = super::e12_parallel_execution::synfire_net(16, 512);
+        let sweep_grid: &[(&[u32], u32)] = if quick {
+            &[(&[8], 100)]
+        } else {
+            &[(&[8], 100), (&[16, 32], 200)]
+        };
+        for &(edges, sweep_ms) in sweep_grid {
+            for &edge in edges {
+                for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                    for threads in [1u32, 2, 4, 16] {
+                        super::e14_event_core::sweep_case(
+                            &mut report,
+                            &sweep_net,
+                            edge,
+                            threads,
+                            queue,
+                            sweep_ms,
+                        );
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// The E20 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E20 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E20: scaling study — a million cores, a billion synapses, one host ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   one population per chip, ring-connected; constant all-to-all rows stay\n   compressed generator recipes until a spike's DMA touches them, and the\n   chunked window scheduler lets idle workers steal skewed shard work\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>8}/{:<4} {:>9} {:>9} {:>11} {:>10} {:>9} {:>9}",
+            "mesh",
+            "cores",
+            "thr",
+            "eff",
+            "build s",
+            "wall ms",
+            "ns/neuron",
+            "B/synapse",
+            "res MB",
+            "RSS MB"
+        );
+        for r in report.records.iter().filter(|r| r.name == "scaling") {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>9.0} {:>8.0}/{:<4.0} {:>9.2} {:>9.1} {:>11.1} {:>10.2} {:>9.1} {:>9.1}",
+                str_field(&r.config, "mesh"),
+                num(&r.config, "loaded_cores"),
+                num(&r.config, "threads"),
+                num(&r.config, "effective_threads"),
+                num(&r.metrics, "build_s"),
+                num(&r.metrics, "wall_ms"),
+                num(&r.metrics, "ns_per_neuron"),
+                num(&r.metrics, "bytes_per_synapse"),
+                num(&r.metrics, "resident_mb"),
+                num(&r.metrics, "peak_rss_mb"),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>9} {:>8} {:>10} {:>12} {:>11} {:>12}",
+            "mesh", "arm", "build s", "synapses", "B/synapse", "resident MB"
+        );
+        for r in report.records.iter().filter(|r| r.name == "memory") {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>8} {:>10.2} {:>12.0} {:>11.2} {:>12.1}",
+                str_field(&r.config, "mesh"),
+                str_field(&r.config, "arm"),
+                num(&r.metrics, "build_s"),
+                num(&r.metrics, "synapses"),
+                num(&r.metrics, "bytes_per_synapse"),
+                num(&r.metrics, "resident_mb"),
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:>9} {:>8} {:>8}/{:<4} {:>10} {:>10} {:>10}",
+            "mesh", "arm", "thr", "eff", "wall ms", "barrier%", "windows"
+        );
+        for r in report.records.iter().filter(|r| r.name == "work_stealing") {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>8} {:>8.0}/{:<4.0} {:>10.1} {:>9.1}% {:>10.0}",
+                str_field(&r.config, "mesh"),
+                str_field(&r.config, "arm"),
+                num(&r.config, "threads"),
+                num(&r.config, "effective_threads"),
+                num(&r.metrics, "wall_ms"),
+                100.0 * num(&r.metrics, "barrier_wait_share"),
+                num(&r.metrics, "windows"),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\ngate the artifact: scripts/bench_compare.py --memory BENCH_e20.json (scale,\nbytes/synapse and lazy < eager), --work-stealing BENCH_e20.json (steal arm\nbeats static at 4+ effective threads; warns-and-skips on collapsed hosts),\nand the chain BENCH_e14 -> e15 -> e16 -> e18 -> e20 (--kind sweep)."
+        );
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn formatter_smoke_on_synthetic_records() {
+            let mut report = BenchReport::new("E20", "test", true);
+            report.push(
+                BenchRecord::new("scaling")
+                    .config("mesh", "32x32")
+                    .config("loaded_cores", 16384u64)
+                    .config("threads", 4u32)
+                    .config("effective_threads", 1u64)
+                    .config("host_cores", 1u64)
+                    .metric("build_s", 1.5f64)
+                    .metric("wall_ms", 220.0f64)
+                    .metric("ns_per_neuron", 80.0f64)
+                    .metric("bytes_per_synapse", 1.4f64)
+                    .metric("resident_mb", 22.0f64)
+                    .metric("peak_rss_mb", 310.0f64),
+            );
+            report.push(
+                BenchRecord::new("memory")
+                    .config("mesh", "64x64")
+                    .config("arm", "lazy")
+                    .metric("build_s", 0.8f64)
+                    .metric("synapses", 67108864u64)
+                    .metric("bytes_per_synapse", 1.3f64)
+                    .metric("resident_mb", 83.0f64),
+            );
+            report.push(
+                BenchRecord::new("work_stealing")
+                    .config("mesh", "16x16")
+                    .config("arm", "steal")
+                    .config("threads", 4u32)
+                    .config("effective_threads", 4u64)
+                    .metric("wall_ms", 120.0f64)
+                    .metric("barrier_wait_share", 0.2f64)
+                    .metric("windows", 400.0f64),
+            );
+            let text = format_report(&report);
+            assert!(text.contains("32x32"), "{text}");
+            assert!(text.contains("lazy"), "{text}");
+            assert!(text.contains("steal"), "{text}");
+            assert!(report.to_json_string().contains("bytes_per_synapse"));
+        }
+
+        #[test]
+        fn ring_net_synapse_count() {
+            let net = chip_ring_net(16);
+            assert_eq!(net.total_neurons(), 16 * 128);
+            let expected: u64 = net
+                .projections()
+                .iter()
+                .map(|p| p.pairs(net.pop(p.src).size, net.pop(p.dst).size).len() as u64)
+                .sum();
+            assert_eq!(expected, 16 * 128 * 128);
+        }
+
+        #[test]
+        fn quick_scaling_cell_loads_every_chip() {
+            let net = chip_ring_net(16);
+            let mut cfg = SimConfig::new(4, 4).with_neurons_per_core(NPC);
+            cfg.machine.cores_per_chip = CORES_PER_CHIP;
+            let sim = Simulation::build(&net, cfg).expect("fits");
+            assert_eq!(sim.machine().total_synapses(), 16 * 128 * 128);
+            // Analytic constant rows: everything stays lazy at load.
+            assert!(sim.machine().total_lazy_rows() > 0);
         }
     }
 }

@@ -91,11 +91,21 @@ impl SimConfig {
     }
 
     /// Sets the per-shard trace ring capacity, in records (only read in
-    /// [`spinn_obs::ObsMode::CountersAndTrace`]). The default bounded
-    /// ring keeps only the tail of event-heavy runs; size it to the run
-    /// when the whole trace matters.
+    /// [`spinn_obs::ObsMode::CountersAndTrace`]). `0` — the default —
+    /// scales the ring with the loaded neuron count; a nonzero value
+    /// pins it exactly (see [`MachineConfig::trace_cap`]).
     pub fn with_trace_cap(mut self, records: usize) -> Self {
         self.machine.trace_cap = records;
+        self
+    }
+
+    /// Sets the shard over-decomposition factor for parallel runs: `1`
+    /// restores the static one-shard-per-worker split, larger values
+    /// cut more chunks than workers so idle workers steal them (see
+    /// [`MachineConfig::chunk_factor`]). Results are bit-identical for
+    /// every value.
+    pub fn with_chunk_factor(mut self, factor: u8) -> Self {
+        self.machine.chunk_factor = factor;
         self
     }
 
@@ -160,7 +170,18 @@ impl Simulation {
             cfg.placer,
         )?;
         let plan = RoutingPlan::build(net, &placement, m.width, m.height).minimized();
-        let app = LoadedApp::build(net, &placement);
+        // The loader parallelizes across the same worker budget as the
+        // run, and compresses replayable connectivity into lazy arenas
+        // (rows materialize on first DMA touch) — both bit-exact
+        // against the serial eager build.
+        let app = LoadedApp::build_with(
+            net,
+            &placement,
+            spinn_map::loader::BuildOptions {
+                threads: cfg.threads as usize,
+                lazy: spinn_map::loader::LazyMode::Auto,
+            },
+        );
 
         // SDRAM capacity: the synaptic matrices of all cores on a chip
         // share its 128 MB SDRAM.

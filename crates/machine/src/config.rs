@@ -50,11 +50,24 @@ pub struct MachineConfig {
     /// suite), only what is observed about them.
     pub obs: ObsMode,
     /// Per-shard trace ring capacity, records (only read in
-    /// [`ObsMode::CountersAndTrace`]). The default
-    /// [`spinn_obs::DEFAULT_TRACE_CAP`] keeps memory bounded but
-    /// retains only the tail of event-heavy runs; size it to the run
-    /// when the whole trace matters.
+    /// [`ObsMode::CountersAndTrace`]). `0` — the default — means
+    /// **auto**: the machine scales the ring with the loaded neuron
+    /// count (bounded between [`spinn_obs::DEFAULT_TRACE_CAP`] and
+    /// 1 Mi records), so 100k-neuron runs no longer lose ~94% of their
+    /// trace to a ring sized for toy nets. Set a nonzero value to pin
+    /// the capacity exactly (memory-sensitive sweeps, conformance
+    /// replay).
     pub trace_cap: usize,
+    /// Shard over-decomposition factor for parallel runs: a
+    /// `threads`-worker segment is cut into up to `threads ×
+    /// chunk_factor` chip-contiguous task chunks that idle workers
+    /// *steal* through the window engine's claim counters. `1` restores
+    /// the static one-shard-per-worker split; the default `4` keeps
+    /// chunks coarse enough to amortize the split/merge while letting a
+    /// skewed spike distribution spread across the pool mid-window.
+    /// Results are bit-identical for every value (the spike stream is
+    /// shard-count-invariant).
+    pub chunk_factor: u8,
     /// Lets sharded runs cut more shards than the host has cores.
     /// Sharding exists to occupy cores — by default the shard count is
     /// clamped to `available_parallelism`, because extra shards buy no
@@ -91,7 +104,8 @@ impl MachineConfig {
             energy: EnergyModel::default(),
             queue: QueueKind::default(),
             obs: ObsMode::default(),
-            trace_cap: spinn_obs::DEFAULT_TRACE_CAP,
+            trace_cap: 0,
+            chunk_factor: 4,
             force_shards: false,
         }
     }
@@ -108,9 +122,17 @@ impl MachineConfig {
         self
     }
 
-    /// Sets the per-shard trace ring capacity, in records.
+    /// Sets the per-shard trace ring capacity, in records (`0` restores
+    /// the neuron-scaled auto sizing; see [`MachineConfig::trace_cap`]).
     pub fn with_trace_cap(mut self, records: usize) -> Self {
         self.trace_cap = records;
+        self
+    }
+
+    /// Sets the shard over-decomposition factor for parallel runs (see
+    /// [`MachineConfig::chunk_factor`]; clamped to at least 1 at use).
+    pub fn with_chunk_factor(mut self, factor: u8) -> Self {
+        self.chunk_factor = factor;
         self
     }
 

@@ -358,7 +358,12 @@ impl std::error::Error for DtcmOverflow {}
 pub struct NeuralMachine {
     pub(crate) cfg: MachineConfig,
     pub(crate) fabric: Fabric,
-    pub(crate) cores: Vec<Option<AppCore>>,
+    /// One slot per `(chip, core)` pair. Boxed so an empty slot costs a
+    /// pointer, not a full [`AppCore`] of inline `Vec` headers: a
+    /// million-core mesh has ~1.1 M slots, and sharded segments
+    /// allocate a slot table *per shard* — inline, idle slots alone
+    /// would dwarf the loaded state.
+    pub(crate) cores: Vec<Option<Box<AppCore>>>,
     pub(crate) dma_free_at: Vec<u64>,
     pub(crate) stimuli: Vec<(u64, u32, u32)>, // (time_ns, chip, key)
     pub(crate) fault_plan: Vec<(u64, u32, Direction)>, // (time_ns, chip, direction)
@@ -371,10 +376,16 @@ pub struct NeuralMachine {
     pub(crate) reissued_packets: u64,
     pub(crate) weight_writebacks: u64,
     par_stats: Option<spinn_par::ParStats>,
-    /// Dense chip ids this machine's coalesced [`MachineEvent::Timer`]
-    /// services, ascending (all chips serially; the owned block when
-    /// running as one shard of `run_parallel`).
-    timer_chips: Vec<u32>,
+    /// The `(chip, core)` pairs this machine's coalesced
+    /// [`MachineEvent::Timer`] services, in ascending `(chip, core)`
+    /// order — exactly the order the per-slot scan used to visit loaded
+    /// cores, so the replay is bit-identical. Rebuilt from the loaded
+    /// slots at every segment start (all loaded cores serially; the
+    /// owned cores when running as one shard), so a tick costs the
+    /// loaded-core count, not `chips × cores_per_chip` slot checks —
+    /// the difference between a million-chip mesh idling for free and
+    /// every tick scanning 1.1 M empty `Option`s.
+    timer_cores: Vec<(u32, u8)>,
     /// Reusable per-tick buffers (ring-slot snapshot) and per-event
     /// drain buffers (delivered/dropped packets): the hot path runs
     /// allocation-free once they reach steady-state capacity.
@@ -410,7 +421,8 @@ impl NeuralMachine {
     pub fn new(cfg: MachineConfig) -> Self {
         let chips = cfg.chips();
         let per = cfg.cores_per_chip as usize;
-        let obs = Observability::for_shard_with_cap(cfg.obs, 0, cfg.trace_cap);
+        let obs =
+            Observability::for_shard_with_cap(cfg.obs, 0, Self::auto_trace_cap(cfg.trace_cap, 0));
         let mut fabric = Fabric::new(cfg.fabric);
         fabric.set_observability(obs.counters().clone());
         NeuralMachine {
@@ -428,7 +440,7 @@ impl NeuralMachine {
             reissued_packets: 0,
             weight_writebacks: 0,
             par_stats: None,
-            timer_chips: (0..chips as u32).collect(),
+            timer_cores: Vec::new(),
             tick_inputs: Vec::new(),
             delivery_scratch: Vec::new(),
             dropped_scratch: Vec::new(),
@@ -442,10 +454,44 @@ impl NeuralMachine {
 
     /// Re-creates the live telemetry handles scoped to `shard` and
     /// re-registers the counter handle with the fabric (which may have
-    /// been replaced wholesale, e.g. by the shard-split clone).
+    /// been replaced wholesale, e.g. by the shard-split clone). Called
+    /// at segment start, when the loaded neuron count — which sizes the
+    /// auto trace ring — is known.
     fn install_observability(&mut self, shard: u32) {
-        self.obs = Observability::for_shard_with_cap(self.cfg.obs, shard, self.cfg.trace_cap);
+        let neurons: usize = self.cores.iter().flatten().map(|c| c.neurons.len()).sum();
+        let cap = Self::auto_trace_cap(self.cfg.trace_cap, neurons);
+        self.obs = Observability::for_shard_with_cap(self.cfg.obs, shard, cap);
         self.fabric.set_observability(self.obs.counters().clone());
+    }
+
+    /// Resolves [`MachineConfig::trace_cap`]: a nonzero configured value
+    /// is used as-is; `0` (auto) scales the ring to ~4 records per
+    /// loaded neuron, rounded to a power of two and bounded to
+    /// `[DEFAULT_TRACE_CAP, 1 Mi]`. Small nets keep the historical
+    /// default; a 100k-neuron run gets a 512 Ki ring instead of losing
+    /// ~94% of its records to a 16 Ki one.
+    fn auto_trace_cap(configured: usize, neurons: usize) -> usize {
+        if configured != 0 {
+            return configured;
+        }
+        neurons
+            .saturating_mul(4)
+            .next_power_of_two()
+            .clamp(spinn_obs::DEFAULT_TRACE_CAP, 1 << 20)
+    }
+
+    /// Rebuilds the coalesced timer's dense service list from the
+    /// loaded slots (ascending `(chip, core)` — slot order).
+    fn rebuild_timer_cores(&mut self) {
+        let per = self.cfg.cores_per_chip as usize;
+        self.timer_cores.clear();
+        self.timer_cores.extend(
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_some())
+                .map(|(idx, _)| ((idx / per) as u32, (idx % per) as u8)),
+        );
     }
 
     /// Telemetry accumulated by completed run segments (empty unless
@@ -472,7 +518,7 @@ impl NeuralMachine {
     /// far, whatever sharding produced the checkpoint.
     pub(crate) fn clear_par_stats(&mut self) {
         self.par_stats = None;
-        self.timer_chips = (0..self.cfg.chips() as u32).collect();
+        self.rebuild_timer_cores();
         // Telemetry describes *this* process's run, not the restored
         // machine state: start the restored run's accounting fresh.
         self.telemetry = RunTelemetry::default();
@@ -518,8 +564,10 @@ impl NeuralMachine {
         let idx = self.core_index(chip, core);
         self.cores[idx].as_ref().and_then(|c| {
             c.matrix.lookup(src_key).and_then(|row| {
+                // `row_words` regenerates lazily stored rows without
+                // mutating the arena (inspection must not materialize).
                 c.matrix
-                    .row(row)
+                    .row_words(row)
                     .iter()
                     .find(|w| w.target() == target)
                     .map(|w| w.weight_raw())
@@ -631,7 +679,7 @@ impl NeuralMachine {
         let idx = self.core_index(chip, core);
         assert!(self.cores[idx].is_none(), "core already loaded");
         let n = neurons.len();
-        self.cores[idx] = Some(AppCore {
+        self.cores[idx] = Some(Box::new(AppCore {
             ring,
             neurons: NeuronPool::from_neurons(neurons),
             bias_na,
@@ -648,7 +696,7 @@ impl NeuralMachine {
             row_last_pre_ms: Vec::new(),
             last_post_ms: vec![f64::NEG_INFINITY; n],
             dirty_rows: Vec::new(),
-        });
+        }));
         Ok(())
     }
 
@@ -686,11 +734,14 @@ impl NeuralMachine {
     /// functional migration after a fault, §5.3).
     pub fn evict_core(&mut self, chip: NodeCoord, core: u8) -> Option<CorePayload> {
         let idx = self.core_index(chip, core);
-        self.cores[idx].take().map(|c| CorePayload {
-            neurons: c.neurons.into_neurons(),
-            bias_na: c.bias_na,
-            matrix: c.matrix,
-            base_key: c.base_key,
+        self.cores[idx].take().map(|c| {
+            let c = *c;
+            CorePayload {
+                neurons: c.neurons.into_neurons(),
+                bias_na: c.bias_na,
+                matrix: c.matrix,
+                base_key: c.base_key,
+            }
         })
     }
 
@@ -888,7 +939,11 @@ impl NeuralMachine {
     ) -> (NeuralMachine, Vec<PendingEvent>) {
         let target = from_ms + ms;
         self.duration_ms = target;
-        self.timer_chips = (0..self.cfg.chips() as u32).collect();
+        self.rebuild_timer_cores();
+        // Fresh segment-scoped telemetry: the previous segment's handles
+        // were absorbed at its end, and the auto trace cap must be
+        // re-resolved against whatever is loaded *now*.
+        self.install_observability(0);
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
         let repairs = std::mem::take(&mut self.repair_plan);
@@ -927,13 +982,15 @@ impl NeuralMachine {
         (m, pending_out)
     }
 
-    /// The shard count a run request actually gets: clamped to `[1,
+    /// The worker count a run request actually gets: clamped to `[1,
     /// chips]`, and — unless `force_shards` (config or
     /// `SPINN_FORCE_SHARDS=1`) asks otherwise — to the host's
-    /// parallelism. Shards exist to occupy cores; a wider cut buys no
+    /// parallelism. Workers exist to occupy cores; a wider pool buys no
     /// parallelism yet still pays the window/exchange machinery, and
     /// results are shard-count-invariant, so the collapse is free.
-    fn effective_threads(&self, threads: usize) -> usize {
+    /// Public so benchmark rows can record the post-clamp parallelism
+    /// honestly next to the requested one.
+    pub fn effective_threads(&self, threads: usize) -> usize {
         let threads = threads.clamp(1, self.cfg.chips());
         if self.cfg.force_shards || force_shards_env() {
             threads
@@ -978,7 +1035,22 @@ impl NeuralMachine {
                 }
             }
         }
-        let total = weight.iter().sum::<u64>().max(1) as f64;
+        // The DP below is O(shards · B²) with a B² flux matrix over the
+        // cut axis. Exact per-chip resolution is affordable to ~1k
+        // chips; beyond that the dense-id axis is grouped into at most
+        // 1024 contiguous *blocks* (cuts then land on block edges —
+        // plenty for balancing, since any shard spans many blocks). At
+        // or below 1024 chips the stride is 1 and the partition is
+        // bit-identical to the exact DP; a 65k-chip mesh costs a
+        // 1024-block DP instead of a 4-billion-entry flux matrix.
+        let stride = chips.div_ceil(1024).min((chips / threads).max(1)).max(1);
+        let nb = chips.div_ceil(stride);
+        debug_assert!(nb >= threads);
+        let mut bweight = vec![0u64; nb];
+        for (chip, w) in weight.iter().enumerate() {
+            bweight[chip / stride] += *w;
+        }
+        let total = bweight.iter().sum::<u64>().max(1) as f64;
         // Dynamic program over cut positions. Two costs compete:
         //
         //  * imbalance, as the sum of squared shard shares (1/threads
@@ -1007,33 +1079,33 @@ impl NeuralMachine {
         // to pure load balancing.
         const CROSS_HOP_COST: f64 = 256.0;
         let torus = *self.fabric.torus();
-        // Symmetrised chip-to-chip hop counts, then 2-D prefix sums so
-        // the traffic *inside* a contiguous chip range is O(1) per DP
+        // Block-to-block hop counts, then 2-D prefix sums so the
+        // traffic *inside* a contiguous block range is O(1) per DP
         // transition: intra[a..b) = F[b][b] - F[a][b] - F[b][a] + F[a][a].
-        let mut flux = vec![0u64; chips * chips];
+        let mut flux = vec![0u64; nb * nb];
         for node in 0..chips {
             for port in 0..6 {
                 let hops = self.link_flux[node * 6 + port];
                 if hops > 0 {
                     let from = torus
                         .id_of(torus.neighbour(torus.coord_of(node), Direction::from_index(port)));
-                    flux[from * chips + node] += hops;
+                    flux[(from / stride) * nb + node / stride] += hops;
                 }
             }
         }
         let flux_total: u64 = flux.iter().sum();
-        let mut fpre = vec![0.0f64; (chips + 1) * (chips + 1)];
-        for i in 0..chips {
-            for j in 0..chips {
-                fpre[(i + 1) * (chips + 1) + (j + 1)] = flux[i * chips + j] as f64
-                    + fpre[i * (chips + 1) + (j + 1)]
-                    + fpre[(i + 1) * (chips + 1) + j]
-                    - fpre[i * (chips + 1) + j];
+        let mut fpre = vec![0.0f64; (nb + 1) * (nb + 1)];
+        for i in 0..nb {
+            for j in 0..nb {
+                fpre[(i + 1) * (nb + 1) + (j + 1)] = flux[i * nb + j] as f64
+                    + fpre[i * (nb + 1) + (j + 1)]
+                    + fpre[(i + 1) * (nb + 1) + j]
+                    - fpre[i * (nb + 1) + j];
             }
         }
         let intra = |a: usize, b: usize| {
-            fpre[b * (chips + 1) + b] - fpre[a * (chips + 1) + b] - fpre[b * (chips + 1) + a]
-                + fpre[a * (chips + 1) + a]
+            fpre[b * (nb + 1) + b] - fpre[a * (nb + 1) + b] - fpre[b * (nb + 1) + a]
+                + fpre[a * (nb + 1) + a]
         };
         // Cross traffic = total - sum of intra-shard traffic, so the DP
         // equivalently *rewards* each shard's internal flux.
@@ -1045,24 +1117,24 @@ impl NeuralMachine {
             }
         };
         let prefix: Vec<f64> = std::iter::once(0.0)
-            .chain(weight.iter().scan(0u64, |acc, &w| {
+            .chain(bweight.iter().scan(0u64, |acc, &w| {
                 *acc += w;
                 Some(*acc as f64)
             }))
             .collect();
         let share = |a: usize, b: usize| (prefix[b] - prefix[a]) / total;
-        // dp[s][c]: best cost splitting chips [0, c) into s+1 shards,
+        // dp[s][c]: best cost splitting blocks [0, c) into s+1 shards,
         // each non-empty. Ties break toward the earliest cut, which is
         // deterministic — the partition is part of no result, but a
         // reproducible one keeps run traces comparable.
-        let mut dp = vec![vec![f64::INFINITY; chips + 1]; threads];
-        let mut cut_at = vec![vec![0usize; chips + 1]; threads];
+        let mut dp = vec![vec![f64::INFINITY; nb + 1]; threads];
+        let mut cut_at = vec![vec![0usize; nb + 1]; threads];
         #[allow(clippy::needless_range_loop)] // indexes two tables in lockstep
-        for c in 1..=chips {
+        for c in 1..=nb {
             dp[0][c] = share(0, c) * share(0, c) - flux_gain(0, c);
         }
         for s in 1..threads {
-            for c in (s + 1)..=chips {
+            for c in (s + 1)..=nb {
                 let mut best = f64::INFINITY;
                 let mut best_b = s;
                 #[allow(clippy::needless_range_loop)] // reads dp[s-1][b], not an iterable
@@ -1079,10 +1151,14 @@ impl NeuralMachine {
             }
         }
         let mut owner = vec![0u32; chips];
-        let mut end = chips;
+        let mut end = nb;
         for s in (1..threads).rev() {
             let start = cut_at[s][end];
-            for o in owner.iter_mut().take(end).skip(start) {
+            for o in owner
+                .iter_mut()
+                .take((end * stride).min(chips))
+                .skip(start * stride)
+            {
                 *o = s as u32;
             }
             end = start;
@@ -1102,7 +1178,17 @@ impl NeuralMachine {
         debug_assert!(threads >= 2);
         let target = from_ms + ms;
         let lookahead = self.cfg.fabric.min_remote_delay_ns().max(1);
-        let owner = self.event_weighted_owner(threads);
+        // Over-decompose: cut `chunk_factor` times more chip-contiguous
+        // shards than there are workers, so the pool's claim counters
+        // steal chunks mid-window instead of each worker being chained
+        // to one static block. Bounded by the chip count (shards must
+        // be non-empty) and by 1024 (the split/merge cost is per
+        // shard). `chunk_factor == 1` is the static split.
+        let chunks = (threads * self.cfg.chunk_factor.max(1) as usize)
+            .min(chips)
+            .min(1024)
+            .max(threads);
+        let owner = self.event_weighted_owner(chunks);
         let stimuli = std::mem::take(&mut self.stimuli);
         let faults = std::mem::take(&mut self.fault_plan);
         let repairs = std::mem::take(&mut self.repair_plan);
@@ -1121,7 +1207,7 @@ impl NeuralMachine {
         let dma_free_at = self.dma_free_at.clone();
         let cfg = self.cfg;
         let per = cfg.cores_per_chip as usize;
-        let mut shards: Vec<NeuralMachine> = (0..threads)
+        let mut shards: Vec<NeuralMachine> = (0..chunks)
             .map(|s| {
                 let mut m = NeuralMachine::new(cfg);
                 m.fabric = self.fabric.clone();
@@ -1130,14 +1216,6 @@ impl NeuralMachine {
                 m.stdp = self.stdp;
                 m.duration_ms = target;
                 m.dma_free_at = dma_free_at.clone();
-                // Each shard's coalesced timer services its owned block.
-                m.timer_chips = (0..chips as u32)
-                    .filter(|&c| owner[c as usize] == s as u32)
-                    .collect();
-                // The fabric replica above replaced the one `new` wired
-                // up: install shard-scoped handles against it (before
-                // the engines are built, which capture the phase probe).
-                m.install_observability(s as u32);
                 m
             })
             .collect();
@@ -1146,11 +1224,21 @@ impl NeuralMachine {
                 shards[owner[idx / per] as usize].cores[idx] = Some(core);
             }
         }
+        for (s, m) in shards.iter_mut().enumerate() {
+            // Each shard's coalesced timer services exactly its owned
+            // loaded cores; the shard-scoped telemetry handles replace
+            // the ones `new` wired up against the replaced fabric —
+            // both only computable now that the cores have moved in,
+            // and both needed before the engines are built (which
+            // capture the phase probe).
+            m.rebuild_timer_cores();
+            m.install_observability(s as u32);
+        }
 
         let start = Self::segment_start_ns(from_ms);
         let mut par: ParEngine<NeuralMachine, Q> =
             ParEngine::resume_in(shards, SimTime::new(start));
-        for shard in 0..threads {
+        for shard in 0..chunks {
             par.schedule(
                 shard,
                 SimTime::new((from_ms as u64 + 1) * MS),
@@ -1165,7 +1253,7 @@ impl NeuralMachine {
             match event_chip(&p.event) {
                 Some(chip) => par.schedule(owner[chip as usize] as usize, at, p.event),
                 None => {
-                    for shard in 0..threads {
+                    for shard in 0..chunks {
                         par.schedule(shard, at, p.event);
                     }
                 }
@@ -1181,12 +1269,12 @@ impl NeuralMachine {
         // Link failures and repairs mutate every shard's fabric replica:
         // broadcast the schedules so all replicas stay consistent at `t`.
         for (t, chip, dir) in faults {
-            for shard in 0..threads {
+            for shard in 0..chunks {
                 par.schedule(shard, SimTime::new(t), MachineEvent::FailLink { chip, dir });
             }
         }
         for (t, chip, dir) in repairs {
-            for shard in 0..threads {
+            for shard in 0..chunks {
                 par.schedule(
                     shard,
                     SimTime::new(t),
@@ -1194,7 +1282,13 @@ impl NeuralMachine {
                 );
             }
         }
-        par.run_until(SimTime::new(Self::segment_end_ns(target)), lookahead);
+        // The worker pool stays at the requested thread count: the
+        // extra shards are there to be *stolen*, not to spawn threads.
+        par.run_until_with_workers(
+            SimTime::new(Self::segment_end_ns(target)),
+            lookahead,
+            threads,
+        );
         let stats = par.stats().clone();
         let queue_peaks = par.queue_peaks();
 
@@ -1246,7 +1340,7 @@ impl NeuralMachine {
             },
             None => stats,
         });
-        base.timer_chips = (0..chips as u32).collect();
+        base.rebuild_timer_cores();
         for (a, b) in base.chip_events.iter_mut().zip(&carry_chip_events) {
             *a += *b;
         }
@@ -1349,6 +1443,39 @@ impl NeuralMachine {
             .sum()
     }
 
+    /// Whole-machine *host-resident* synaptic bytes: arenas, row
+    /// tables, key blocks and compressed lazy recipes actually held in
+    /// memory. For a lazily loaded machine this is far below
+    /// [`NeuralMachine::total_sdram_bytes`] (the modelled DMA
+    /// footprint) until spikes touch rows.
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.matrix.resident_bytes())
+            .sum()
+    }
+
+    /// Whole-machine count of synaptic rows still stored compressed
+    /// (generator recipe only, no materialized words). Falls as DMA
+    /// touches materialize rows during a run.
+    pub fn total_lazy_rows(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.matrix.lazy_rows())
+            .sum()
+    }
+
+    /// Whole-machine synapse count across every loaded core's matrix.
+    pub fn total_synapses(&self) -> u64 {
+        self.cores
+            .iter()
+            .flatten()
+            .map(|c| c.matrix.total_synapses())
+            .sum()
+    }
+
     /// Direct fabric access (advanced inspection).
     pub fn fabric(&self) -> &Fabric {
         &self.fabric
@@ -1422,7 +1549,7 @@ impl NeuralMachine {
                 last_post_ms,
                 base_key,
                 ..
-            } = c;
+            } = &mut **c;
             let base_key = *base_key;
             let tok = self.obs.phases().start();
             neurons.step_tick(
@@ -1507,7 +1634,10 @@ impl NeuralMachine {
                         let last_pre =
                             std::mem::replace(&mut c.row_last_pre_ms[row as usize], now_ms);
                         let last_post_ms = &c.last_post_ms;
-                        for w in c.matrix.row_mut(row) {
+                        // `ensure_row_mut`: a lazily stored row is
+                        // materialized on this first write touch, so
+                        // STDP keeps rewriting arena words in place.
+                        for w in c.matrix.ensure_row_mut(row) {
                             let n = w.target() as usize;
                             let last_post = last_post_ms[n];
                             let mut dw = 0i16;
@@ -1532,8 +1662,10 @@ impl NeuralMachine {
                     if modified {
                         c.dirty_rows.push(row);
                     }
-                    let AppCore { matrix, ring, .. } = c;
-                    for w in matrix.row(row) {
+                    let AppCore { matrix, ring, .. } = &mut **c;
+                    // The DMA touch: a compressed (lazily stored) row is
+                    // regenerated into the arena here, on first fetch.
+                    for w in matrix.ensure_row(row) {
                         ring.deposit(w.delay_ms(), w.target() as usize, w.weight_raw() as i32);
                     }
                     if modified {
@@ -1568,26 +1700,26 @@ impl NeuralMachine {
         self.dispatch(chip, core, ctx);
     }
 
-    /// The coalesced 1 ms timer: services every chip in
-    /// `self.timer_chips` in ascending dense-id order — the same order
-    /// per-chip timer events used to pop in (their tie rank was the
-    /// chip id), so the replay is bit-identical with one queue event
-    /// per tick instead of one per chip.
+    /// The coalesced 1 ms timer: services every *loaded* core in
+    /// `self.timer_cores` in ascending `(chip, core)` order — the same
+    /// order per-chip timer events used to pop in (their tie rank was
+    /// the chip id, then cores ascending within the chip), so the
+    /// replay is bit-identical while the per-tick cost tracks loaded
+    /// cores, not mesh size: a million-core mesh with ten loaded cores
+    /// pays for ten, not for 1.3 M empty `Option` probes.
     fn on_timer(&mut self, ctx: &mut Context<MachineEvent>) {
         let tick_ms = ctx.now().ticks() / MS;
-        for i in 0..self.timer_chips.len() {
-            let chip = self.timer_chips[i];
-            for core in 1..self.cfg.cores_per_chip {
-                let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
-                if let Some(c) = self.cores[idx].as_mut() {
-                    c.timer_pending += 1;
-                    if c.timer_pending > 1 {
-                        // The previous tick has not even started: a
-                        // real-time violation.
-                        c.overruns += 1;
-                    }
-                    self.dispatch(chip, core, ctx);
+        for i in 0..self.timer_cores.len() {
+            let (chip, core) = self.timer_cores[i];
+            let idx = chip as usize * self.cfg.cores_per_chip as usize + core as usize;
+            if let Some(c) = self.cores[idx].as_mut() {
+                c.timer_pending += 1;
+                if c.timer_pending > 1 {
+                    // The previous tick has not even started: a
+                    // real-time violation.
+                    c.overruns += 1;
                 }
+                self.dispatch(chip, core, ctx);
             }
         }
         if tick_ms < self.duration_ms as u64 {

@@ -106,21 +106,21 @@ impl Synapses {
         }
     }
 
+    /// The distribution in `spinn-neuron`'s generator-spec form — the
+    /// single implementation both the eager build stream and lazy row
+    /// replay draw from (one code path, one bit-exact stream).
+    pub fn gen(&self) -> spinn_neuron::gen::GenSynapses {
+        spinn_neuron::gen::GenSynapses {
+            weight_min_raw: self.weight_min_raw,
+            weight_max_raw: self.weight_max_raw,
+            delay_min_ms: self.delay_min_ms,
+            delay_max_ms: self.delay_max_ms,
+        }
+    }
+
     /// Draws a concrete (weight, delay) pair.
     pub fn sample(&self, rng: &mut Xoshiro256) -> (i16, u8) {
-        let w = if self.weight_min_raw == self.weight_max_raw {
-            self.weight_min_raw
-        } else {
-            let span = (self.weight_max_raw as i32 - self.weight_min_raw as i32 + 1) as u64;
-            (self.weight_min_raw as i32 + rng.gen_range_u64(span) as i32) as i16
-        };
-        let d = if self.delay_min_ms == self.delay_max_ms {
-            self.delay_min_ms
-        } else {
-            let span = (self.delay_max_ms - self.delay_min_ms + 1) as u64;
-            self.delay_min_ms + rng.gen_range_u64(span) as u8
-        };
-        (w, d)
+        self.gen().sample(rng)
     }
 }
 

@@ -17,6 +17,10 @@
 //! * [`synmatrix`] — the per-core **master population table** over one
 //!   contiguous synaptic arena (CSR layout), the §5.2/§6 SDRAM memory
 //!   model the machine's packet hot path indexes into.
+//! * [`gen`] — generator recipes for **compressed, lazily materialized**
+//!   rows: a full-machine build stores connector specs and RNG stream
+//!   positions instead of expanded words, regenerating rows bit-exactly
+//!   on first DMA touch.
 //! * [`pool`] — structure-of-arrays neuron state, the flat-array form
 //!   of the timer handler's per-tick update.
 //! * [`ring`] — the **deferred-event input ring buffer** implementing
@@ -52,6 +56,7 @@
 
 pub mod coding;
 pub mod fixed;
+pub mod gen;
 pub mod izhikevich;
 pub mod lif;
 pub mod model;

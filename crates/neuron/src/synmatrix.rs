@@ -32,6 +32,7 @@
 //! at a time and never materializes a global edge list), then packs the
 //! arena with a stable counting sort in `finish`.
 
+use crate::gen::{GenSpec, GenState};
 use crate::synapse::SynapticWord;
 
 /// Bytes of SDRAM a row of `len` synapses occupies (one header word
@@ -39,6 +40,48 @@ use crate::synapse::SynapticWord;
 #[inline]
 pub const fn row_sdram_bytes(len: usize) -> usize {
     4 + 4 * len
+}
+
+/// Sentinel arena offset marking a row whose words have not been
+/// materialized yet (the row's recipe lives in the lazy arena). Row
+/// *lengths* are always concrete — only the words are deferred.
+const LAZY_OFFSET: u32 = u32::MAX;
+
+/// One projection's generator recipe for a contiguous run of rows
+/// (one source slice's block as seen by one destination core).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contribution {
+    /// The projection recipe (connector, distribution, target window).
+    pub spec: GenSpec,
+    /// First row this contribution covers.
+    pub first_row: u32,
+    /// Rows covered: `first_row .. first_row + n_rows`.
+    pub n_rows: u32,
+    /// Global source index of `first_row`'s source neuron.
+    pub src_lo: u32,
+    /// Per-row RNG stream positions; empty for analytic specs,
+    /// otherwise exactly `n_rows` entries.
+    pub states: Vec<GenState>,
+}
+
+/// The compressed side of a lazily-built matrix: generator recipes in
+/// projection order (row regeneration replays them in this order, which
+/// is exactly the eager build's push order).
+#[derive(Clone, Debug, Default, PartialEq)]
+struct LazyArena {
+    contribs: Vec<Contribution>,
+}
+
+impl LazyArena {
+    fn resident_bytes(&self) -> u64 {
+        self.contribs
+            .iter()
+            .map(|c| {
+                std::mem::size_of::<Contribution>() as u64
+                    + (c.states.len() * std::mem::size_of::<GenState>()) as u64
+            })
+            .sum()
+    }
 }
 
 /// One master-population-table entry: all keys matching
@@ -81,11 +124,14 @@ struct RowRef {
 /// assert!(m.row(m.lookup(0x1003).unwrap()).is_empty());
 /// assert_eq!(m.lookup(0x1004), None);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SynapticMatrix {
     entries: Vec<MptEntry>,
     rows: Vec<RowRef>,
     words: Vec<SynapticWord>,
+    /// Generator recipes for rows still in compressed form (`None` for
+    /// a fully eager matrix).
+    lazy: Option<Box<LazyArena>>,
 }
 
 impl SynapticMatrix {
@@ -113,18 +159,130 @@ impl SynapticMatrix {
     }
 
     /// The synapses of row `row` (a slice of the arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is still in compressed (lazy) form — DMA touch
+    /// points go through [`SynapticMatrix::ensure_row`] first.
     #[inline]
     pub fn row(&self, row: u32) -> &[SynapticWord] {
         let r = self.rows[row as usize];
+        assert!(
+            r.offset != LAZY_OFFSET || r.len == 0,
+            "row {row} not materialized (lazy arena); call ensure_row first"
+        );
+        if r.len == 0 {
+            return &[];
+        }
         &self.words[r.offset as usize..(r.offset + r.len) as usize]
     }
 
     /// Mutable access to row `row` — STDP rewrites weights in place
     /// before the row is DMAed back to SDRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unmaterialized row, like [`SynapticMatrix::row`].
     #[inline]
     pub fn row_mut(&mut self, row: u32) -> &mut [SynapticWord] {
         let r = self.rows[row as usize];
+        assert!(
+            r.offset != LAZY_OFFSET || r.len == 0,
+            "row {row} not materialized (lazy arena); call ensure_row_mut first"
+        );
+        if r.len == 0 {
+            return &mut [];
+        }
         &mut self.words[r.offset as usize..(r.offset + r.len) as usize]
+    }
+
+    /// [`SynapticMatrix::row`], materializing the row first if it is
+    /// still compressed — the entry point of every DMA touch.
+    #[inline]
+    pub fn ensure_row(&mut self, row: u32) -> &[SynapticWord] {
+        self.materialize(row);
+        self.row(row)
+    }
+
+    /// [`SynapticMatrix::row_mut`] with on-demand materialization.
+    #[inline]
+    pub fn ensure_row_mut(&mut self, row: u32) -> &mut [SynapticWord] {
+        self.materialize(row);
+        self.row_mut(row)
+    }
+
+    /// The row's words without mutating the matrix: a borrowed slice
+    /// when materialized, a regenerated copy otherwise (inspection
+    /// paths — the hot path uses [`SynapticMatrix::ensure_row`]).
+    pub fn row_words(&self, row: u32) -> std::borrow::Cow<'_, [SynapticWord]> {
+        let r = self.rows[row as usize];
+        if r.offset != LAZY_OFFSET || r.len == 0 {
+            std::borrow::Cow::Borrowed(self.row(row))
+        } else {
+            std::borrow::Cow::Owned(self.generate(row))
+        }
+    }
+
+    /// Whether `row`'s words are resident in the arena.
+    #[inline]
+    pub fn is_row_materialized(&self, row: u32) -> bool {
+        let r = self.rows[row as usize];
+        r.offset != LAZY_OFFSET || r.len == 0
+    }
+
+    /// Rows still in compressed form.
+    pub fn lazy_rows(&self) -> u64 {
+        if self.lazy.is_none() {
+            return 0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.offset == LAZY_OFFSET && r.len > 0)
+            .count() as u64
+    }
+
+    /// Materializes every remaining lazy row (tests and full-fidelity
+    /// snapshots; runs rely on touch-driven materialization instead).
+    pub fn materialize_all(&mut self) {
+        if self.lazy.is_none() {
+            return;
+        }
+        for row in 0..self.rows.len() as u32 {
+            self.materialize(row);
+        }
+    }
+
+    /// Regenerates an unmaterialized row's words from its recipes.
+    fn generate(&self, row: u32) -> Vec<SynapticWord> {
+        let r = self.rows[row as usize];
+        let lazy = self.lazy.as_ref().expect("lazy row without arena");
+        let mut out = Vec::with_capacity(r.len as usize);
+        for c in &lazy.contribs {
+            if row < c.first_row || row >= c.first_row + c.n_rows {
+                continue;
+            }
+            let i = row - c.first_row;
+            let state = (!c.states.is_empty()).then(|| &c.states[i as usize]);
+            c.spec.append_row(c.src_lo + i, state, &mut out);
+        }
+        debug_assert_eq!(
+            out.len(),
+            r.len as usize,
+            "regenerated row {row} length diverged from the build pass"
+        );
+        out
+    }
+
+    /// Expands `row` into the arena if it is still compressed.
+    fn materialize(&mut self, row: u32) {
+        let r = self.rows[row as usize];
+        if r.offset != LAZY_OFFSET || r.len == 0 {
+            return;
+        }
+        let words = self.generate(row);
+        let offset = self.words.len() as u32;
+        self.words.extend_from_slice(&words);
+        self.rows[row as usize].offset = offset;
     }
 
     /// Number of synapses in row `row`.
@@ -164,11 +322,15 @@ impl SynapticMatrix {
     }
 
     /// Host-resident bytes of the matrix itself (arena + descriptors +
-    /// table) — the "resident synapse bytes" figure of experiment E15.
+    /// table + compressed recipes) — the "resident synapse bytes"
+    /// figure of experiments E15/E20. Only *materialized* words count:
+    /// a lazy matrix's untouched rows cost their recipe, not their
+    /// expansion.
     pub fn resident_bytes(&self) -> u64 {
         (self.words.len() * std::mem::size_of::<SynapticWord>()
             + self.rows.len() * std::mem::size_of::<RowRef>()
             + self.entries.len() * std::mem::size_of::<MptEntry>()) as u64
+            + self.lazy.as_ref().map_or(0, |l| l.resident_bytes())
     }
 
     /// Iterates `(key, row_index)` over every row of every block, keys
@@ -278,7 +440,10 @@ impl SynapticMatrix {
             if len != self.row_len(row) {
                 return Err(WireError::Corrupt("delta row length"));
             }
-            for w in self.row_mut(row) {
+            // A delta can land on a freshly rebuilt lazy matrix
+            // (restore path): give the row arena backing first, then
+            // overwrite it with the checkpointed words.
+            for w in self.ensure_row_mut(row) {
                 *w = SynapticWord::from_bits(dec.u32()?);
             }
             applied.push(row);
@@ -287,10 +452,11 @@ impl SynapticMatrix {
     }
 
     /// Rewrites row `row` with `words`: in place when it fits, else as
-    /// a fresh run at the end of the arena.
+    /// a fresh run at the end of the arena. An unmaterialized row is
+    /// simply replaced wholesale — its recipe is abandoned.
     fn replace_row(&mut self, row: u32, words: &[SynapticWord]) {
         let r = &mut self.rows[row as usize];
-        if words.len() <= r.len as usize {
+        if r.offset != LAZY_OFFSET && words.len() <= r.len as usize {
             r.len = words.len() as u32;
             let start = r.offset as usize;
             self.words[start..start + words.len()].copy_from_slice(words);
@@ -313,6 +479,8 @@ pub struct SynapticMatrixBuilder {
     entries: Vec<MptEntry>,
     n_rows: u32,
     staged: Vec<(u32, SynapticWord)>,
+    lazy_contribs: Vec<Contribution>,
+    lazy_lens: Vec<(u32, u32)>,
 }
 
 impl SynapticMatrixBuilder {
@@ -385,10 +553,95 @@ impl SynapticMatrixBuilder {
         self.staged.len()
     }
 
+    /// Registers a generator recipe covering `n_rows` rows starting at
+    /// `first_row` (sources `src_lo..`), returning its handle for
+    /// [`SynapticMatrixBuilder::lazy_state`]. A builder is either fully
+    /// lazy or fully eager: mixing recipes and [`push`]ed words on one
+    /// core is rejected in `finish` (the loader decides per core).
+    ///
+    /// [`push`]: SynapticMatrixBuilder::push
+    pub fn lazy_contribution(
+        &mut self,
+        first_row: u32,
+        n_rows: u32,
+        src_lo: u32,
+        spec: GenSpec,
+    ) -> usize {
+        debug_assert!(
+            first_row + n_rows <= self.n_rows,
+            "contribution outside declared blocks"
+        );
+        self.lazy_contribs.push(Contribution {
+            spec,
+            first_row,
+            n_rows,
+            src_lo,
+            states: Vec::new(),
+        });
+        self.lazy_contribs.len() - 1
+    }
+
+    /// Appends the next row's captured RNG state to a contribution
+    /// (rows in ascending order; exactly `n_rows` calls for stateful
+    /// specs, none for analytic ones).
+    pub fn lazy_state(&mut self, contrib: usize, state: GenState) {
+        let c = &mut self.lazy_contribs[contrib];
+        debug_assert!((c.states.len() as u32) < c.n_rows, "too many states");
+        c.states.push(state);
+    }
+
+    /// Adds `len` lazily-generated synapses to `row`'s length (the
+    /// build pass counts what the recipe will regenerate).
+    #[inline]
+    pub fn lazy_len(&mut self, row: u32, len: u32) {
+        debug_assert!(row < self.n_rows, "row {row} outside declared blocks");
+        if len > 0 {
+            self.lazy_lens.push((row, len));
+        }
+    }
+
+    /// Whether any generator recipes were registered.
+    pub fn is_lazy(&self) -> bool {
+        !self.lazy_contribs.is_empty()
+    }
+
     /// Packs the staged synapses into the contiguous arena. Stable: the
-    /// words of each row keep their push order.
+    /// words of each row keep their push order. A lazy builder instead
+    /// records row lengths and keeps the recipes — rows materialize on
+    /// first DMA touch.
     pub fn finish(self) -> SynapticMatrix {
         let n = self.n_rows as usize;
+        if !self.lazy_contribs.is_empty() {
+            assert!(
+                self.staged.is_empty(),
+                "a core's builder cannot mix lazy recipes with eager words"
+            );
+            for c in &self.lazy_contribs {
+                debug_assert!(
+                    c.states.is_empty() || c.states.len() == c.n_rows as usize,
+                    "contribution states must cover all rows or none"
+                );
+            }
+            let mut counts = vec![0u32; n];
+            for &(row, len) in &self.lazy_lens {
+                counts[row as usize] += len;
+            }
+            let rows = counts
+                .into_iter()
+                .map(|len| RowRef {
+                    offset: LAZY_OFFSET,
+                    len,
+                })
+                .collect();
+            return SynapticMatrix {
+                entries: self.entries,
+                rows,
+                words: Vec::new(),
+                lazy: Some(Box::new(LazyArena {
+                    contribs: self.lazy_contribs,
+                })),
+            };
+        }
         let mut counts = vec![0u32; n];
         for &(row, _) in &self.staged {
             counts[row as usize] += 1;
@@ -410,6 +663,7 @@ impl SynapticMatrixBuilder {
             entries: self.entries,
             rows,
             words,
+            lazy: None,
         }
     }
 }
@@ -568,6 +822,117 @@ mod tests {
             m.row(r).iter().map(|x| x.weight_raw()).collect::<Vec<_>>(),
             vec![50, 100]
         );
+    }
+
+    fn lazy_a2a_builder(n_rows: u32, window: (u32, u32)) -> SynapticMatrixBuilder {
+        use crate::gen::{GenConnector, GenSpec, GenSynapses};
+        let mut b = SynapticMatrixBuilder::new();
+        let first = b.block(0x1000, !0xFFF, n_rows);
+        let spec = GenSpec {
+            conn: GenConnector::AllToAll { skip_self: false },
+            syn: GenSynapses {
+                weight_min_raw: 320,
+                weight_max_raw: 320,
+                delay_min_ms: 2,
+                delay_max_ms: 2,
+            },
+            n_src: n_rows,
+            n_dst: 16,
+            dst_lo: window.0,
+            dst_hi: window.1,
+        };
+        for row in 0..n_rows {
+            let len = spec.row_len(row).unwrap();
+            b.lazy_len(first + row, len);
+        }
+        b.lazy_contribution(first, n_rows, 0, spec);
+        b
+    }
+
+    #[test]
+    fn lazy_rows_materialize_on_touch() {
+        let mut m = lazy_a2a_builder(4, (4, 8)).finish();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.total_synapses(), 16); // lens known without words
+        assert_eq!(m.lazy_rows(), 4);
+        let before = m.resident_bytes();
+        let row = m.lookup(0x1002).unwrap();
+        assert!(!m.is_row_materialized(row));
+        let words: Vec<_> = m.ensure_row(row).to_vec();
+        assert_eq!(words.len(), 4);
+        assert_eq!(
+            words.iter().map(|w| w.target()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(m.is_row_materialized(row));
+        assert_eq!(m.lazy_rows(), 3);
+        assert!(m.resident_bytes() > before, "touch grows the arena");
+        // Touch again: idempotent, same slice.
+        assert_eq!(m.ensure_row(row), &words[..]);
+        // Non-mutating inspection of an untouched row.
+        let other = m.lookup(0x1003).unwrap();
+        let cow = m.row_words(other);
+        assert_eq!(cow.len(), 4);
+        assert!(!m.is_row_materialized(other), "row_words must not touch");
+    }
+
+    #[test]
+    fn lazy_matrix_matches_eager_equivalent() {
+        let mut lazy = lazy_a2a_builder(16, (0, 16)).finish();
+        // The eager twin: same block, words pushed as the stream would.
+        let mut b = SynapticMatrixBuilder::new();
+        let first = b.block(0x1000, !0xFFF, 16);
+        for row in 0..16 {
+            for d in 0u32..16 {
+                b.push(first + row, SynapticWord::new(320, 2, d as u16));
+            }
+        }
+        let eager = b.finish();
+        assert!(
+            lazy.resident_bytes() < eager.resident_bytes(),
+            "recipe ({} B) must undercut the expansion ({} B)",
+            lazy.resident_bytes(),
+            eager.resident_bytes()
+        );
+        assert_eq!(lazy.sdram_bytes(), eager.sdram_bytes());
+        lazy.materialize_all();
+        for row in 0..16 {
+            assert_eq!(lazy.row(row), eager.row(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn lazy_rows_survive_stdp_delta_roundtrip() {
+        let mut m = lazy_a2a_builder(3, (0, 5)).finish();
+        // STDP-style in-place rewrite through the ensure path.
+        let row = m.lookup(0x1001).unwrap();
+        for w in m.ensure_row_mut(row) {
+            *w = w.with_weight_raw(99);
+        }
+        let mut enc = spinn_sim::wire::Enc::new();
+        m.encode_rows(&[row], &mut enc);
+        let bytes = enc.into_bytes();
+        // Restore onto a *fresh, unmaterialized* twin: apply_rows must
+        // materialize the target row before overwriting it.
+        let mut fresh = lazy_a2a_builder(3, (0, 5)).finish();
+        assert_eq!(fresh.lazy_rows(), 3);
+        let mut dec = spinn_sim::wire::Dec::new(&bytes);
+        let applied = fresh.apply_rows(&mut dec).unwrap();
+        assert_eq!(applied, vec![row]);
+        assert!(fresh.row(row).iter().all(|w| w.weight_raw() == 99));
+        // Untouched rows still lazy, still regenerate identically.
+        fresh.materialize_all();
+        m.materialize_all();
+        for r in 0..3 {
+            assert_eq!(fresh.row(r), m.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not materialized")]
+    fn immutable_row_access_rejects_lazy_rows() {
+        let m = lazy_a2a_builder(2, (0, 4)).finish();
+        let _ = m.row(0);
     }
 
     #[test]

@@ -478,6 +478,11 @@ impl Tracer {
         self.overwritten
     }
 
+    /// The ring's bound, records.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Takes every record (oldest first) and resets the loss counter.
     pub fn drain(&mut self) -> (Vec<TraceRecord>, u64) {
         let lost = std::mem::take(&mut self.overwritten);
@@ -560,6 +565,11 @@ impl Observability {
         self.tracer.is_some()
     }
 
+    /// The live tracer's ring capacity (0 when not tracing).
+    pub fn trace_cap(&self) -> usize {
+        self.tracer.as_ref().map_or(0, Tracer::cap)
+    }
+
     /// Appends a trace record (a no-op branch unless tracing).
     #[inline]
     pub fn trace(&mut self, time_ns: u64, kind: TraceKind, a: u32, b: u32) {
@@ -594,6 +604,10 @@ pub struct RunTelemetry {
     shards: Vec<ShardTelemetry>,
     trace: VecDeque<TraceRecord>,
     trace_overwritten: u64,
+    /// Largest per-shard trace ring capacity seen across absorbed
+    /// segments — records which bound (configured or auto-scaled) the
+    /// run actually traced under.
+    trace_cap: u64,
 }
 
 impl RunTelemetry {
@@ -620,6 +634,14 @@ impl RunTelemetry {
     /// Trace records lost to ring bounds (per-shard and merged).
     pub fn trace_overwritten(&self) -> u64 {
         self.trace_overwritten
+    }
+
+    /// The per-shard trace ring capacity the run traced under (the
+    /// largest across absorbed segments; 0 when nothing traced). This
+    /// is the *resolved* bound — when the machine config leaves
+    /// `trace_cap` at auto, this reports what the auto-scaling chose.
+    pub fn trace_cap(&self) -> u64 {
+        self.trace_cap
     }
 
     /// Fraction of all recorded trace events lost to ring overwrites,
@@ -673,6 +695,7 @@ impl RunTelemetry {
             slot.merge(seg);
         }
         if let Some(t) = &mut obs.tracer {
+            self.trace_cap = self.trace_cap.max(t.cap() as u64);
             let (records, lost) = t.drain();
             self.trace_overwritten += lost;
             for r in records {
@@ -712,6 +735,7 @@ impl RunTelemetry {
             }
         }
         self.shards.sort_by_key(|s| s.shard);
+        self.trace_cap = self.trace_cap.max(other.trace_cap);
         self.trace_overwritten += other.trace_overwritten;
         for r in &other.trace {
             if self.trace.len() == RUN_TRACE_CAP {
@@ -851,10 +875,11 @@ impl RunTelemetry {
             );
             let _ = writeln!(
                 out,
-                "  trace:             {} record(s), {} overwritten ({:.1}% lost)",
+                "  trace:             {} record(s), {} overwritten ({:.1}% lost), ring cap {}",
                 self.trace.len(),
                 self.trace_overwritten,
-                100.0 * self.trace_overwrite_ratio()
+                100.0 * self.trace_overwrite_ratio(),
+                self.trace_cap
             );
         }
         if self.shards.len() > 1 {

@@ -321,9 +321,34 @@ where
     /// Panics if `lookahead_ns == 0`, or (in debug builds) if a shard
     /// violates the lookahead contract.
     pub fn run_until(&mut self, deadline: SimTime, lookahead_ns: u64) {
+        self.run_until_with_workers(deadline, lookahead_ns, usize::MAX);
+    }
+
+    /// [`ParEngine::run_until`] with an explicit cap on the worker pool.
+    ///
+    /// The pool size is `min(shards, host cores, max_workers)`. This is
+    /// what makes *over-decomposition* useful: cut the model into more
+    /// shards than workers and the claim counters turn each window
+    /// phase into a work-stealing scan — an idle worker picks up the
+    /// next unclaimed shard instead of waiting at the barrier for
+    /// whoever owns the hot region. Results are bit-identical for every
+    /// worker count (the schedule depends only on the shard cut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookahead_ns == 0`, or (in debug builds) if a shard
+    /// violates the lookahead contract.
+    pub fn run_until_with_workers(
+        &mut self,
+        deadline: SimTime,
+        lookahead_ns: u64,
+        max_workers: usize,
+    ) {
         assert!(lookahead_ns > 0, "conservative windows need lookahead > 0");
         let n = self.shards.len();
-        let workers = n.min(std::thread::available_parallelism().map_or(1, |p| p.get()));
+        let workers = n
+            .min(std::thread::available_parallelism().map_or(1, |p| p.get()))
+            .min(max_workers.max(1));
         if workers == 1 {
             // One worker owns every shard: the claim counters, slot
             // mutexes and barriers would synchronize the worker with
@@ -721,6 +746,26 @@ mod tests {
     fn zero_lookahead_rejected() {
         let mut par = ring(2);
         par.run_until(SimTime::new(10), 0);
+    }
+
+    #[test]
+    fn worker_cap_is_result_invariant() {
+        // Over-decomposed runs (more shards than workers) must replay
+        // the exact same schedule whatever the pool size.
+        let run = |cap: usize| {
+            let mut par = ring(4);
+            par.schedule(0, SimTime::ZERO, 12);
+            par.run_until_with_workers(SimTime::new(10_000), 50, cap);
+            let models = par.into_models();
+            let mut times: Vec<u64> = models.iter().flat_map(|m| m.handled.clone()).collect();
+            times.sort_unstable();
+            times
+        };
+        let baseline = run(usize::MAX);
+        assert_eq!(baseline.len(), 13);
+        for cap in [1, 2, 3] {
+            assert_eq!(run(cap), baseline, "cap {cap} diverged");
+        }
     }
 
     #[test]

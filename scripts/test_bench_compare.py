@@ -14,7 +14,16 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_compare  # noqa: E402
 
 
-def report(sweep=None, micro=None, phase=None, resil=None, commit="deadbeef"):
+def report(
+    sweep=None,
+    micro=None,
+    phase=None,
+    resil=None,
+    scaling=None,
+    memory=None,
+    stealing=None,
+    commit="deadbeef",
+):
     records = []
     for (mesh, queue, threads, bio_ms), sps in (sweep or {}).items():
         records.append(
@@ -45,8 +54,66 @@ def report(sweep=None, micro=None, phase=None, resil=None, commit="deadbeef"):
                 "metrics": dict(metrics),
             }
         )
+    for cfg, metrics in scaling or []:
+        records.append({"name": "scaling", "config": dict(cfg), "metrics": dict(metrics)})
+    for (mesh, arm), metrics in (memory or {}).items():
+        records.append(
+            {
+                "name": "memory",
+                "config": {"mesh": mesh, "arm": arm},
+                "metrics": dict(metrics),
+            }
+        )
+    for cfg, metrics in stealing or []:
+        records.append(
+            {"name": "work_stealing", "config": dict(cfg), "metrics": dict(metrics)}
+        )
     records.extend(resil or [])
     return {"experiment": "EX", "commit": commit, "records": records}
+
+
+def scaling_row(chips=65536, cores=1114112, synapses=2**30, bps=1.4):
+    """One synthetic E20 scaling row at full-machine scale."""
+    return (
+        {"mesh": "256x256", "chips": chips, "machine_cores": cores, "threads": 1},
+        {"synapses": synapses, "bytes_per_synapse": bps, "wall_ms": 9000.0},
+    )
+
+
+def memory_arms(lazy_bps=1.3, eager_bps=4.5, mesh="64x64"):
+    """Paired lazy/eager loader-footprint rows."""
+    return {
+        (mesh, "lazy"): {"bytes_per_synapse": lazy_bps, "resident_mb": 90.0},
+        (mesh, "eager"): {"bytes_per_synapse": eager_bps, "resident_mb": 300.0},
+    }
+
+
+def stealing_rows(
+    static_wall=300.0,
+    steal_wall=220.0,
+    static_share=0.4,
+    steal_share=0.15,
+    effective=4,
+    host_cores=8,
+):
+    """Paired static/steal work-stealing rows on one skewed mesh."""
+    return [
+        (
+            {
+                "mesh": "16x16",
+                "arm": arm,
+                "threads": 4,
+                "effective_threads": effective,
+                "host_cores": host_cores,
+                "bio_ms": 60,
+            },
+            {"wall_ms": wall, "barrier_wait_share": share},
+        )
+        for arm, wall, share in [
+            ("static", static_wall, static_share),
+            ("steal", steal_wall, steal_share),
+        ]
+    ]
 
 
 def resil_records(
@@ -290,6 +357,106 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(self.run_main([worse, base, "--kind", "resil"]), 1)
         self.assertEqual(self.run_main([base, base, "--kind", "resil"]), 0)
 
+    def test_parallel_speedup_skips_on_one_core_host(self):
+        # A 4-thread row measured on a one-core host is the 1-thread run
+        # wearing a different label; comparing the two is noise. The
+        # check must warn and pass, even when the "4T" wall is slower.
+        phase = {
+            (1, 30): {"wall_ms": 100.0, "barrier_wait_share": 0.0},
+            (4, 30): {"wall_ms": 130.0, "barrier_wait_share": 0.0},
+        }
+        rep = {
+            "experiment": "EX",
+            "commit": "deadbeef",
+            "records": [
+                {
+                    "name": "phase_breakdown",
+                    "config": {"threads": t, "bio_ms": b, "host_cores": 1},
+                    "metrics": dict(m),
+                }
+                for (t, b), m in phase.items()
+            ],
+        }
+        path = self.write("rep.json", rep)
+        self.assertEqual(self.run_main(["--parallel-speedup", path]), 0)
+
+    def test_memory_gate_passes_at_full_scale(self):
+        rep = self.write(
+            "rep.json", report(scaling=[scaling_row()], memory=memory_arms())
+        )
+        self.assertEqual(self.run_main(["--memory", rep]), 0)
+
+    def test_memory_gate_fails_below_scale_floors(self):
+        rep = self.write(
+            "rep.json",
+            report(
+                scaling=[scaling_row(chips=1024, cores=17408, synapses=2**24)],
+                memory=memory_arms(),
+            ),
+        )
+        self.assertEqual(self.run_main(["--memory", rep]), 1)
+
+    def test_memory_gate_fails_when_lazy_not_smaller(self):
+        rep = self.write(
+            "rep.json",
+            report(
+                scaling=[scaling_row()],
+                memory=memory_arms(lazy_bps=5.0, eager_bps=4.5),
+            ),
+        )
+        self.assertEqual(self.run_main(["--memory", rep]), 1)
+
+    def test_memory_gate_fails_without_paired_arms(self):
+        rep = self.write("rep.json", report(scaling=[scaling_row()]))
+        self.assertEqual(self.run_main(["--memory", rep]), 1)
+
+    def test_memory_gate_without_scaling_rows_is_exit_2(self):
+        rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--memory", rep]), 2)
+
+    def test_memory_kind_compares_footprint_pairwise(self):
+        # Lower is better for bytes/synapse: 1.3 -> 2.0 regresses >20%.
+        base = self.write("base.json", report(memory=memory_arms(lazy_bps=1.3)))
+        worse = self.write("worse.json", report(memory=memory_arms(lazy_bps=2.0)))
+        self.assertEqual(self.run_main([worse, base, "--kind", "memory"]), 1)
+        self.assertEqual(self.run_main([base, base, "--kind", "memory"]), 0)
+
+    def test_work_stealing_gate_passes_when_stealing_pays(self):
+        rep = self.write("rep.json", report(stealing=stealing_rows()))
+        self.assertEqual(self.run_main(["--work-stealing", rep]), 0)
+
+    def test_work_stealing_gate_fails_when_steal_is_slower(self):
+        rep = self.write(
+            "rep.json",
+            report(stealing=stealing_rows(static_wall=200.0, steal_wall=260.0)),
+        )
+        self.assertEqual(self.run_main(["--work-stealing", rep]), 1)
+
+    def test_work_stealing_gate_fails_when_stealing_raises_barrier(self):
+        rep = self.write(
+            "rep.json",
+            report(stealing=stealing_rows(static_share=0.1, steal_share=0.5)),
+        )
+        self.assertEqual(self.run_main(["--work-stealing", rep]), 1)
+
+    def test_work_stealing_gate_skips_on_collapsed_host(self):
+        # One host core: both arms ran the identical serial schedule, so
+        # a slower steal arm is chunking overhead, not a stealing
+        # regression — the gate must skip, not fail.
+        rep = self.write(
+            "rep.json",
+            report(
+                stealing=stealing_rows(
+                    static_wall=200.0, steal_wall=260.0, host_cores=1
+                )
+            ),
+        )
+        self.assertEqual(self.run_main(["--work-stealing", rep]), 0)
+
+    def test_work_stealing_gate_without_pairs_is_exit_2(self):
+        rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--work-stealing", rep]), 2)
+
     def test_committed_e19_resilience_gate_holds(self):
         # The committed E19 artifact must clear its own acceptance gate,
         # exactly as CI runs it.
@@ -306,7 +473,7 @@ class BenchCompareTest(unittest.TestCase):
         # below instead of sitting in the sweep chain.
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         chain = [
-            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16, 18)
+            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16, 18, 20)
         ]
         for path in chain:
             self.assertTrue(os.path.exists(path), f"{path} must be committed")
@@ -314,6 +481,18 @@ class BenchCompareTest(unittest.TestCase):
             ["--chain", *chain, "--allow-missing-rows", "--max-regress", "0.35"]
         )
         self.assertEqual(code, 0)
+
+    def test_committed_e20_gates_hold(self):
+        # The committed scaling-study artifact must clear its own
+        # acceptance gates, exactly as CI runs them: full-machine scale
+        # and lazy-vs-eager footprint, plus the work-stealing arms
+        # (which may legitimately skip on a collapsed host — the gate
+        # encodes that honesty, so exit 0 either way is the contract).
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        e20 = os.path.join(root, "BENCH_e20.json")
+        self.assertTrue(os.path.exists(e20), f"{e20} must be committed")
+        self.assertEqual(self.run_main(["--memory", e20]), 0)
+        self.assertEqual(self.run_main(["--work-stealing", e20]), 0)
 
     def test_committed_e18_gates_hold(self):
         # The collected-win acceptance gates, run on the committed

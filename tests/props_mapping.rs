@@ -136,7 +136,9 @@ proptest! {
         for img in &app.images {
             let n = img.neurons.len() as u16;
             for (_, row_idx) in img.matrix.iter_rows() {
-                for w in img.matrix.row(row_idx) {
+                // `row_words` regenerates lazily stored rows without
+                // materializing them, so this walks compressed arenas too.
+                for w in img.matrix.row_words(row_idx).iter() {
                     prop_assert!((1..=16).contains(&w.delay_ms()));
                     prop_assert!(w.target() < n);
                 }
