@@ -1,8 +1,8 @@
-//! Prints every experiment's table (E1-E20, A1-A2). `SPINN_FULL=1` for
-//! the full-size versions recorded in EXPERIMENTS.md.
+//! Prints every experiment's table (E1-E21, A1-A2). `SPINN_FULL=1` for
+//! the full-size versions quoted in the README.
 //!
 //! Experiments with machine-readable benchmark emitters (E14, E15,
-//! E16, E17, E18, E19, E20) also write their commit-stamped
+//! E16, E17, E18, E19, E20, E21) also write their commit-stamped
 //! `BENCH_*.json` artifact to the repository root.
 //!
 //! Usage: `run_experiments [NAME...]` — with arguments, only the named
@@ -116,12 +116,22 @@ fn main() {
         }
     }
 
+    if wanted("E21") {
+        println!("==================================================================");
+        let report = e::e21_serving::report(quick);
+        println!("{}", e::e21_serving::format_report(&report));
+        match report.write_to(&record::repo_root()) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write BENCH_e21.json: {err}"),
+        }
+    }
+
     // A typo'd filter (e.g. `run_experiments E17`) must not masquerade
     // as a successful run that silently produced nothing.
     let known: Vec<&str> = runs
         .iter()
         .map(|(n, _)| *n)
-        .chain(["E14", "E15", "E16", "E17", "E18", "E19", "E20"])
+        .chain(["E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"])
         .collect();
     let unknown: Vec<&String> = filter
         .iter()

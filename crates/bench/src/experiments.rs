@@ -3879,3 +3879,461 @@ pub mod e20_scaling {
         }
     }
 }
+
+/// E21 — multi-tenant serving under load: a seeded synthetic-client
+/// load generator driving `spinn-serve`'s bounded queue, warm-session
+/// pool and LRU eviction.
+///
+/// Three arms:
+///
+/// * **steady** — the resident budget fits the whole model fleet, at
+///   several closed-loop client-concurrency levels. Jobs/sec, p50/p99
+///   latency and the warm-hit ratio (> 0.8 is the gated floor: after
+///   each model's one cold build, every job must ride a warm session).
+/// * **churn** — the same job stream under a budget roughly half the
+///   fleet's footprint, forcing checkpoint-evictions and snapshot
+///   rehydrates. The per-job spike streams must match the steady arm
+///   bit-for-bit (`eviction_bit_exact`): eviction is a memory policy,
+///   never a result change.
+/// * **quota** — two tenants with tight in-flight and tick budgets
+///   under an open-loop burst; the accept/reject sequence must be
+///   identical across two replays (`deterministic`).
+///
+/// `scripts/bench_compare.py --serving` gates all three, and the
+/// E14-grid sweep rows keep E21 chainable after E20.
+pub mod e21_serving {
+    use super::*;
+    use crate::record::{BenchRecord, BenchReport};
+    use spinn_serve::{
+        AdmitError, JobId, JobSpec, ModelId, ServeConfig, Server, Stimulus, TenantId, TenantQuota,
+    };
+    use spinnaker::prelude::*;
+    use spinnaker::sim::Xoshiro256;
+    use std::time::Instant;
+
+    /// FNV-1a over a job's spike stream — the per-job fingerprint the
+    /// eviction bit-exactness verdict compares across arms.
+    fn spike_fp(spikes: &[PopSpike]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |w: u64| {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for s in spikes {
+            eat(u64::from(s.time_ms));
+            eat(s.pop.index() as u64);
+            eat(u64::from(s.neuron));
+        }
+        h
+    }
+
+    /// The model fleet: variants of E16's stimulus-driven serving
+    /// chain at staggered sizes, so slots have distinct footprints and
+    /// distinct (but deterministic) spike streams.
+    fn fleet(models: u32, pops: u32, size: u32, p: f64) -> Vec<NetworkGraph> {
+        (0..models)
+            .map(|m| super::e16_sessions::serving_net(pops, size + 64 * m, p))
+            .collect()
+    }
+
+    /// Everything one load-generator arm measures.
+    struct ArmOutcome {
+        jobs: u64,
+        wall_ms: f64,
+        latencies_ms: Vec<f64>,
+        warm_hit_ratio: f64,
+        coalesced_jobs: u64,
+        batches: u64,
+        cold_builds: u64,
+        evictions: u64,
+        rehydrates: u64,
+        peak_resident_bytes: u64,
+        /// `(job sequence number, spike fingerprint)`, sorted by
+        /// sequence — comparable across arms that share a seed.
+        fingerprints: Vec<(u64, u64)>,
+    }
+
+    /// Runs one closed-loop arm: `clients` synthetic clients, each
+    /// keeping exactly one job outstanding until it has submitted
+    /// `jobs_per_client` jobs. Which model a client's next job targets
+    /// is a pure function of `(seed, client, submission index)`, so
+    /// two arms sharing a seed see identical job streams whatever
+    /// their budgets do to the session pool.
+    #[allow(clippy::too_many_arguments)]
+    fn run_arm(
+        nets: &[NetworkGraph],
+        cfg: &SimConfig,
+        budget_bytes: u64,
+        clients: u32,
+        jobs_per_client: u32,
+        run_ms: u32,
+        seed: u64,
+    ) -> ArmOutcome {
+        let mut server = Server::new(ServeConfig {
+            queue_cap: (2 * clients as usize).max(8),
+            resident_budget_bytes: budget_bytes,
+            max_batch: 8,
+            threads: 1,
+        });
+        let tenants: Vec<TenantId> = (0..clients)
+            .map(|c| server.register_tenant(&format!("client{c}"), TenantQuota::unlimited()))
+            .collect();
+        let models: Vec<ModelId> = nets
+            .iter()
+            .map(|n| server.register_model(n.clone(), cfg.clone()))
+            .collect();
+        let input = PopulationId::from_index(0);
+        let mut rngs: Vec<Xoshiro256> = (0..u64::from(clients))
+            .map(|c| Xoshiro256::seed_from_u64(seed ^ (c + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        let mut submitted = vec![0u32; clients as usize];
+        let mut outstanding: Vec<Option<JobId>> = vec![None; clients as usize];
+        let mut latencies_ms = Vec::new();
+        let mut fingerprints = Vec::new();
+        let mut jobs = 0u64;
+        let t0 = Instant::now();
+        loop {
+            let mut progressed = false;
+            for c in 0..clients as usize {
+                if outstanding[c].is_some() || submitted[c] >= jobs_per_client {
+                    continue;
+                }
+                let spec = JobSpec {
+                    tenant: tenants[c],
+                    model: models[rngs[c].gen_range_usize(models.len())],
+                    run_ms,
+                    stimulus: vec![Stimulus {
+                        pop: input,
+                        rate_hz: 8.0 + 2.0 * f64::from(submitted[c] % 4),
+                        seed: seed ^ ((c as u64 + 1) << 32) ^ u64::from(submitted[c] + 1),
+                    }],
+                };
+                match server.submit(spec) {
+                    Ok(id) => {
+                        outstanding[c] = Some(id);
+                        submitted[c] += 1;
+                        progressed = true;
+                    }
+                    Err(AdmitError::QueueFull { .. }) => {} // serve first, retry next round
+                    Err(e) => panic!("closed-loop submission must admit: {e}"),
+                }
+            }
+            let results = server.poll().expect("serving batch runs");
+            if results.is_empty() && !progressed && outstanding.iter().all(Option::is_none) {
+                break;
+            }
+            for r in results {
+                jobs += 1;
+                latencies_ms.push(r.latency_ms());
+                fingerprints.push((r.job.sequence(), spike_fp(&r.spikes)));
+                for slot in outstanding.iter_mut() {
+                    if *slot == Some(r.job) {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        fingerprints.sort_unstable();
+        let stats = server.stats();
+        let pool = server.pool_stats();
+        assert_eq!(stats.jobs_completed, jobs, "every admitted job completes");
+        ArmOutcome {
+            jobs,
+            wall_ms,
+            latencies_ms,
+            warm_hit_ratio: stats.warm_hit_ratio(),
+            coalesced_jobs: stats.coalesced_jobs,
+            batches: stats.batches,
+            cold_builds: pool.cold_builds,
+            evictions: pool.evictions,
+            rehydrates: pool.rehydrates,
+            peak_resident_bytes: pool.peak_resident_bytes,
+            fingerprints,
+        }
+    }
+
+    /// Percentile over an unsorted latency sample (nearest-rank).
+    fn percentile_ms(samples: &[f64], q: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// One serving row from an arm outcome.
+    fn serving_record(
+        arm: &str,
+        clients: u32,
+        models: u32,
+        run_ms: u32,
+        o: &ArmOutcome,
+    ) -> BenchRecord {
+        BenchRecord::new("serving")
+            .config("arm", arm)
+            .config("clients", clients)
+            .config("models", models)
+            .config("run_ms", run_ms)
+            .config("jobs", o.jobs)
+            .metric("wall_ms", o.wall_ms)
+            .metric("jobs_per_sec", o.jobs as f64 / (o.wall_ms / 1e3))
+            .metric("p50_latency_ms", percentile_ms(&o.latencies_ms, 0.50))
+            .metric("p99_latency_ms", percentile_ms(&o.latencies_ms, 0.99))
+            .metric("warm_hit_ratio", o.warm_hit_ratio)
+            .metric("cold_builds", o.cold_builds)
+            .metric("evictions", o.evictions)
+            .metric("rehydrates", o.rehydrates)
+            .metric("batches", o.batches)
+            .metric("coalesced_jobs", o.coalesced_jobs)
+            .metric(
+                "peak_resident_mb",
+                o.peak_resident_bytes as f64 / (1024.0 * 1024.0),
+            )
+    }
+
+    /// The open-loop quota burst: two tenants, tight quotas, polls
+    /// interleaved at fixed submission indices. Returns the admitted
+    /// count, the per-reason rejection counts and the compact
+    /// accept/reject trace replays are compared by.
+    fn run_quota_arm(
+        net: &NetworkGraph,
+        cfg: &SimConfig,
+        run_ms: u32,
+        seed: u64,
+    ) -> (u64, u64, u64, u64, String) {
+        let mut server = Server::new(ServeConfig {
+            queue_cap: 4,
+            resident_budget_bytes: u64::MAX,
+            max_batch: 4,
+            threads: 1,
+        });
+        // "bounded" trips the in-flight and tick-budget limits;
+        // "greedy" mostly trips the shared queue cap.
+        let bounded = server.register_tenant("bounded", TenantQuota::new(2, u64::from(run_ms) * 6));
+        let greedy = server.register_tenant("greedy", TenantQuota::new(8, u64::MAX));
+        let model = server.register_model(net.clone(), cfg.clone());
+        let input = PopulationId::from_index(0);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let (mut admitted, mut q_full, mut in_flight, mut budget) = (0u64, 0u64, 0u64, 0u64);
+        let mut trace = String::new();
+        for i in 0..28u32 {
+            let tenant = if rng.gen_bool(0.5) { bounded } else { greedy };
+            let spec = JobSpec {
+                tenant,
+                model,
+                run_ms,
+                stimulus: vec![Stimulus {
+                    pop: input,
+                    rate_hz: 10.0,
+                    seed: seed ^ u64::from(i + 1),
+                }],
+            };
+            trace.push(if tenant == bounded { 'b' } else { 'g' });
+            match server.submit(spec) {
+                Ok(_) => {
+                    admitted += 1;
+                    trace.push('A');
+                }
+                Err(AdmitError::QueueFull { .. }) => {
+                    q_full += 1;
+                    trace.push('Q');
+                }
+                Err(AdmitError::InFlightLimit { .. }) => {
+                    in_flight += 1;
+                    trace.push('F');
+                }
+                Err(AdmitError::TickBudget { .. }) => {
+                    budget += 1;
+                    trace.push('T');
+                }
+                Err(e) => panic!("unexpected admission failure: {e}"),
+            }
+            // Serve a batch every few submissions so slots free up and
+            // the queue refills — interleaving acceptance and each
+            // rejection class along one deterministic trace.
+            if i % 7 == 6 {
+                let served = server.poll().expect("quota-arm batch runs");
+                trace.push_str(&format!("p{}", served.len()));
+            }
+        }
+        server.drain().expect("quota-arm drain runs");
+        (admitted, q_full, in_flight, budget, trace)
+    }
+
+    /// The E21 report: steady-state serving at several concurrency
+    /// levels, the eviction-churn arm with its bit-exactness verdict,
+    /// the quota-determinism arm, and the E14-grid sweep rows.
+    pub fn report(quick: bool) -> BenchReport {
+        let mut report = BenchReport::new(
+            "E21",
+            "multi-tenant serving: warm-pool throughput, LRU eviction, quota admission",
+            quick,
+        );
+        let models = 3u32;
+        let (pops, size, p) = if quick {
+            (6u32, 400u32, 0.03)
+        } else {
+            (8, 800, 0.02)
+        };
+        let run_ms = 5u32;
+        let nets = fleet(models, pops, size, p);
+        let cfg = SimConfig::new(4, 4).with_neurons_per_core(256);
+        let seed = 0xE21;
+
+        // Steady arm: unbounded budget, >= 3 client-concurrency
+        // levels. jobs-per-client scales down as clients scale up so
+        // every level serves a comparable total.
+        let client_levels: &[u32] = if quick { &[1, 4, 16] } else { &[1, 4, 16, 32] };
+        let total_jobs = if quick { 48u32 } else { 96 };
+        let mut steady_c4: Option<ArmOutcome> = None;
+        for &clients in client_levels {
+            let per_client = (total_jobs / clients).max(1);
+            let o = run_arm(&nets, &cfg, u64::MAX, clients, per_client, run_ms, seed);
+            report.push(serving_record("steady", clients, models, run_ms, &o));
+            if clients == 4 {
+                steady_c4 = Some(o);
+            }
+        }
+        let steady_c4 = steady_c4.expect("client level 4 always runs");
+
+        // Churn arm: same seed and client level as steady's clients=4
+        // run, under a budget of roughly half the fleet's footprint —
+        // evictions and rehydrates become mandatory, the spike streams
+        // must not notice.
+        let churn_budget = (steady_c4.peak_resident_bytes / 2).max(1);
+        let o = run_arm(
+            &nets,
+            &cfg,
+            churn_budget,
+            4,
+            (total_jobs / 4).max(1),
+            run_ms,
+            seed,
+        );
+        let eviction_bit_exact = o.fingerprints == steady_c4.fingerprints;
+        report.push(
+            serving_record("churn", 4, models, run_ms, &o)
+                .config("budget_mb", churn_budget as f64 / (1024.0 * 1024.0)),
+        );
+        report.push(
+            BenchRecord::new("serving_determinism")
+                .config("clients", 4u32)
+                .config("jobs", o.jobs)
+                .metric("eviction_bit_exact", eviction_bit_exact)
+                .metric("evictions", o.evictions)
+                .metric("rehydrates", o.rehydrates),
+        );
+
+        // Quota arm, replayed: the accept/reject trace must be
+        // identical run-to-run.
+        let (admitted, q_full, in_flight, budget, trace_a) =
+            run_quota_arm(&nets[0], &cfg, run_ms, seed);
+        let (_, _, _, _, trace_b) = run_quota_arm(&nets[0], &cfg, run_ms, seed);
+        report.push(
+            BenchRecord::new("serving_quota")
+                .config("tenants", 2u32)
+                .config("submissions", 28u32)
+                .metric("admitted", admitted)
+                .metric("rejected_total", q_full + in_flight + budget)
+                .metric("rejected_queue_full", q_full)
+                .metric("rejected_in_flight", in_flight)
+                .metric("rejected_tick_budget", budget)
+                .metric("deterministic", trace_a == trace_b),
+        );
+
+        // The E14/E16/E20-compatible spikes/sec sweep — the rows the
+        // benchmark trajectory chains across committed baselines.
+        let (edges, ms): (&[u32], u32) = if quick {
+            (&[8], 100)
+        } else {
+            (&[8, 16, 32], 200)
+        };
+        for &edge in edges {
+            let sweep_net = super::e12_parallel_execution::synfire_net(16, 512);
+            for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                for threads in [1u32, 2, 4, 16] {
+                    super::e14_event_core::sweep_case_best_of(
+                        &mut report,
+                        &sweep_net,
+                        edge,
+                        threads,
+                        queue,
+                        ms,
+                        3,
+                    );
+                }
+            }
+        }
+        report
+    }
+
+    /// The E21 table.
+    pub fn run(quick: bool) -> String {
+        format_report(&report(quick))
+    }
+
+    /// Formats a report as the human-readable E21 table.
+    pub fn format_report(report: &BenchReport) -> String {
+        use super::e14_event_core::{num_field as num, str_field};
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "E21: multi-tenant serving — warm-pool throughput, LRU eviction, quota admission ({} mode, commit {})",
+            report.mode,
+            &report.commit[..report.commit.len().min(12)],
+        );
+        let _ = writeln!(
+            out,
+            "   the machine as a shared instrument: seeded synthetic clients against a\n   bounded queue over warm RunSessions, evicting under a resident-byte budget\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8} {:>6} {:>10} {:>10} {:>10} {:>9} {:>7} {:>7}",
+            "arm", "clients", "jobs", "jobs/sec", "p50 ms", "p99 ms", "warm-hit", "evict", "rehydr"
+        );
+        for r in report.records.iter().filter(|r| r.name == "serving") {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8.0} {:>6.0} {:>10.1} {:>10.2} {:>10.2} {:>8.0}% {:>7.0} {:>7.0}",
+                str_field(&r.config, "arm"),
+                num(&r.config, "clients"),
+                num(&r.config, "jobs"),
+                num(&r.metrics, "jobs_per_sec"),
+                num(&r.metrics, "p50_latency_ms"),
+                num(&r.metrics, "p99_latency_ms"),
+                100.0 * num(&r.metrics, "warm_hit_ratio"),
+                num(&r.metrics, "evictions"),
+                num(&r.metrics, "rehydrates"),
+            );
+        }
+        for r in report
+            .records
+            .iter()
+            .filter(|r| r.name == "serving_determinism")
+        {
+            let _ = writeln!(
+                out,
+                "\n  eviction bit-exact: {} ({:.0} evictions, {:.0} rehydrates across the churn arm)",
+                str_field(&r.metrics, "eviction_bit_exact"),
+                num(&r.metrics, "evictions"),
+                num(&r.metrics, "rehydrates"),
+            );
+        }
+        for r in report.records.iter().filter(|r| r.name == "serving_quota") {
+            let _ = writeln!(
+                out,
+                "  quota burst: {:.0} admitted / {:.0} rejected ({:.0} queue-full, {:.0} in-flight, {:.0} tick-budget), deterministic: {}",
+                num(&r.metrics, "admitted"),
+                num(&r.metrics, "rejected_total"),
+                num(&r.metrics, "rejected_queue_full"),
+                num(&r.metrics, "rejected_in_flight"),
+                num(&r.metrics, "rejected_tick_budget"),
+                str_field(&r.metrics, "deterministic"),
+            );
+        }
+        out
+    }
+}

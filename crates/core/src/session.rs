@@ -195,6 +195,16 @@ impl RunSession {
         self.machine_ref()
     }
 
+    /// Host bytes this warm session keeps resident for synaptic state
+    /// (delegates to `NeuralMachine::total_resident_bytes`). This is
+    /// the unit the serving layer's eviction budget is accounted in;
+    /// under the lazy loader it grows as rows materialize, so callers
+    /// holding sessions against a byte budget should re-read it after
+    /// each run segment.
+    pub fn resident_bytes(&self) -> u64 {
+        self.machine_ref().total_resident_bytes()
+    }
+
     /// The events the paused run still has queued (in-flight packets,
     /// blocked-link retries, future stimuli), in canonical order.
     pub fn pending_events(&self) -> &[PendingEvent] {

@@ -839,6 +839,16 @@ impl NeuralMachine {
     /// epoch's measured per-chip event counts reseed the partition for
     /// the next, so a hot region that no static estimate could predict
     /// stops serializing the shards after the first epoch.
+    ///
+    /// Within every window the shard partition is *over-decomposed*
+    /// into `threads ×` [`MachineConfig::chunk_factor`] chip-contiguous
+    /// chunks (capped at the chip count and at 1024 — split/merge cost
+    /// is per chunk), and the worker pool claims chunks off
+    /// `spinn-par`'s shared atomic claim counter: a worker that drew a
+    /// light chunk steals the tail of a hot one instead of idling at
+    /// the barrier. `chunk_factor == 1` restores the static
+    /// one-shard-per-worker split; either way the spike stream is
+    /// bit-identical (`tests/work_stealing_conformance.rs`).
     pub fn run_parallel(self, ms: u32, threads: usize) -> NeuralMachine {
         /// Epoch length: long enough to amortize the shard split/merge,
         /// short enough that a run settles onto measured weights early.

@@ -579,6 +579,71 @@ impl Observability {
     }
 }
 
+/// One entry of the per-tenant serving-counter registry.
+///
+/// Unlike [`Counter`], these are *not* hot-path counters: the serving
+/// layer (`spinn-serve`) records them once per job on the host side, so
+/// they carry no atomic or padding machinery and are always on. They
+/// live in [`RunTelemetry`] so a server's accounting rides the same
+/// report/merge pipeline as the machine counters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum TenantCounter {
+    /// Jobs that passed admission control.
+    JobsAdmitted,
+    /// Jobs rejected at admission (queue full, quota breach, …).
+    JobsRejected,
+    /// Jobs run to completion.
+    JobsCompleted,
+    /// Biological milliseconds simulated on the tenant's behalf (the
+    /// unit the tick budget is charged in).
+    BioMs,
+    /// Spikes returned to the tenant.
+    Spikes,
+    /// Jobs served on an already-resident warm session.
+    WarmHits,
+    /// Jobs that paid a cold build or a snapshot rehydrate first.
+    ColdServes,
+}
+
+impl TenantCounter {
+    /// Number of per-tenant counters.
+    pub const COUNT: usize = 7;
+
+    /// Every per-tenant counter, in registry order.
+    pub const ALL: [TenantCounter; TenantCounter::COUNT] = [
+        TenantCounter::JobsAdmitted,
+        TenantCounter::JobsRejected,
+        TenantCounter::JobsCompleted,
+        TenantCounter::BioMs,
+        TenantCounter::Spikes,
+        TenantCounter::WarmHits,
+        TenantCounter::ColdServes,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantCounter::JobsAdmitted => "jobs_admitted",
+            TenantCounter::JobsRejected => "jobs_rejected",
+            TenantCounter::JobsCompleted => "jobs_completed",
+            TenantCounter::BioMs => "bio_ms",
+            TenantCounter::Spikes => "spikes",
+            TenantCounter::WarmHits => "warm_hits",
+            TenantCounter::ColdServes => "cold_serves",
+        }
+    }
+}
+
+/// One tenant's accumulated serving counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The serving layer's tenant id.
+    pub tenant: u32,
+    /// Counter totals, indexed by [`TenantCounter`].
+    pub counters: [u64; TenantCounter::COUNT],
+}
+
 /// Telemetry of one shard as accumulated into a [`RunTelemetry`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardTelemetry {
@@ -602,6 +667,9 @@ const RUN_TRACE_CAP: usize = 64 * 1024;
 pub struct RunTelemetry {
     mode: ObsMode,
     shards: Vec<ShardTelemetry>,
+    /// Per-tenant serving counters, ordered by tenant id. Populated by
+    /// the serving layer (machine runs leave this empty).
+    tenants: Vec<TenantStats>,
     trace: VecDeque<TraceRecord>,
     trace_overwritten: u64,
     /// Largest per-shard trace ring capacity seen across absorbed
@@ -624,6 +692,42 @@ impl RunTelemetry {
     /// Per-shard telemetry, ordered by shard id.
     pub fn shards(&self) -> &[ShardTelemetry] {
         &self.shards
+    }
+
+    /// Per-tenant serving counters, ordered by tenant id (empty unless
+    /// a serving layer recorded into this telemetry).
+    pub fn tenants(&self) -> &[TenantStats] {
+        &self.tenants
+    }
+
+    /// Adds `n` to tenant `tenant`'s counter `c`, creating the tenant
+    /// row on first touch. Host-side (no atomics): meant for the
+    /// serving layer's once-per-job accounting, not the machine hot
+    /// path.
+    pub fn tenant_add(&mut self, tenant: u32, c: TenantCounter, n: u64) {
+        let entry = match self.tenants.iter_mut().find(|t| t.tenant == tenant) {
+            Some(e) => e,
+            None => {
+                self.tenants.push(TenantStats {
+                    tenant,
+                    counters: [0; TenantCounter::COUNT],
+                });
+                self.tenants.sort_by_key(|t| t.tenant);
+                self.tenants
+                    .iter_mut()
+                    .find(|t| t.tenant == tenant)
+                    .expect("just inserted")
+            }
+        };
+        entry.counters[c as usize] += n;
+    }
+
+    /// One tenant's counter total (0 for unknown tenants).
+    pub fn tenant_total(&self, tenant: u32, c: TenantCounter) -> u64 {
+        self.tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map_or(0, |t| t.counters[c as usize])
     }
 
     /// The merged event trace, oldest first.
@@ -709,8 +813,19 @@ impl RunTelemetry {
     }
 
     /// Folds another run's telemetry into this one (shards merge by
-    /// id) — the segment-carry path of the sharded machine.
+    /// id, tenants by tenant id) — the segment-carry path of the
+    /// sharded machine and the server-report path of the serving
+    /// layer.
     pub fn merge(&mut self, other: &RunTelemetry) {
+        // Tenant counters are host-side and mode-independent, so they
+        // merge even from an otherwise-disabled telemetry.
+        for ot in &other.tenants {
+            for (i, &c) in TenantCounter::ALL.iter().enumerate() {
+                if ot.counters[i] > 0 {
+                    self.tenant_add(ot.tenant, c, ot.counters[i]);
+                }
+            }
+        }
         if other.mode == ObsMode::Disabled {
             return;
         }
@@ -891,6 +1006,22 @@ impl RunTelemetry {
                 self.shards.len()
             );
         }
+        for t in &self.tenants {
+            let served = t.counters[TenantCounter::JobsCompleted as usize];
+            let warm = t.counters[TenantCounter::WarmHits as usize];
+            let _ = writeln!(
+                out,
+                "  tenant {:<4}        {} admitted / {} rejected / {} served, {} bio-ms, {} spikes, warm {}/{}",
+                t.tenant,
+                t.counters[TenantCounter::JobsAdmitted as usize],
+                t.counters[TenantCounter::JobsRejected as usize],
+                served,
+                t.counters[TenantCounter::BioMs as usize],
+                t.counters[TenantCounter::Spikes as usize],
+                warm,
+                served,
+            );
+        }
         out
     }
 
@@ -1045,6 +1176,32 @@ mod tests {
         run.absorb(&mut obs);
         assert!(!run.is_enabled());
         assert!(run.shards().is_empty());
+    }
+
+    #[test]
+    fn tenant_counters_accumulate_merge_and_render() {
+        let mut a = RunTelemetry::default();
+        a.tenant_add(1, TenantCounter::JobsAdmitted, 3);
+        a.tenant_add(1, TenantCounter::JobsCompleted, 2);
+        a.tenant_add(0, TenantCounter::JobsRejected, 1);
+        assert_eq!(a.tenant_total(1, TenantCounter::JobsAdmitted), 3);
+        assert_eq!(a.tenant_total(9, TenantCounter::JobsAdmitted), 0);
+        // Rows stay ordered by tenant id.
+        assert_eq!(
+            a.tenants().iter().map(|t| t.tenant).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // Merge folds tenants even from a mode-Disabled telemetry.
+        let mut b = RunTelemetry::default();
+        b.tenant_add(1, TenantCounter::JobsAdmitted, 4);
+        b.tenant_add(2, TenantCounter::WarmHits, 5);
+        a.merge(&b);
+        assert!(!a.is_enabled());
+        assert_eq!(a.tenant_total(1, TenantCounter::JobsAdmitted), 7);
+        assert_eq!(a.tenant_total(2, TenantCounter::WarmHits), 5);
+        let table = a.render_table();
+        assert!(table.contains("tenant 1"), "{table}");
+        assert!(table.contains("admitted"), "{table}");
     }
 
     #[test]

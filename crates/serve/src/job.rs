@@ -1,0 +1,130 @@
+//! Job vocabulary: who runs what, and what comes back.
+//!
+//! The ids are deliberately opaque newtypes handed out by
+//! [`Server::register_tenant`](crate::Server::register_tenant),
+//! [`Server::register_model`](crate::Server::register_model) and
+//! [`Server::submit`](crate::Server::submit) — a caller cannot forge a
+//! tenant or model it never registered, and a stale `JobId` from
+//! another server simply never matches.
+
+use spinnaker::prelude::{PopSpike, PopulationId};
+
+/// A registered tenant (user/group) of a [`Server`](crate::Server).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub(crate) u32);
+
+impl TenantId {
+    /// The dense registration index (also the
+    /// [`spinn_obs::TenantCounter`] row key in the server telemetry).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// A registered model: one `(NetworkGraph, SimConfig)` pair, and the
+/// unit of warm-session sharing — every job naming the same `ModelId`
+/// can ride the same resident machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelId(pub(crate) u32);
+
+impl ModelId {
+    /// The dense registration index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model{}", self.0)
+    }
+}
+
+/// An admitted job. Ids are assigned densely in admission order, so
+/// sorting results by `JobId` recovers the submission sequence.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub(crate) u64);
+
+impl JobId {
+    /// The dense admission sequence number.
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// One Poisson stimulus program entry of a [`JobSpec`]: every neuron
+/// of `pop` fires independently at `rate_hz`, seeded by `seed` (the
+/// session layer's `(seed, tick)`-pure stream, so the stimulus — and
+/// the run — is independent of batching and eviction).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Stimulus {
+    /// The population to drive.
+    pub pop: PopulationId,
+    /// Per-neuron Poisson rate, Hz.
+    pub rate_hz: f64,
+    /// RNG stream seed.
+    pub seed: u64,
+}
+
+/// A unit of work: run `model`'s warm session for `run_ms` biological
+/// milliseconds under this job's stimulus program, and return the
+/// spikes the segment emitted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Who is asking (admission control charges this tenant's quota).
+    pub tenant: TenantId,
+    /// Which registered model to run against.
+    pub model: ModelId,
+    /// Biological milliseconds to simulate (the tick-budget unit;
+    /// must be non-zero).
+    pub run_ms: u32,
+    /// Stimulus sources attached for this job only — the session's
+    /// previous sources are detached first.
+    pub stimulus: Vec<Stimulus>,
+}
+
+/// A completed job's readout.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The admission id this result answers.
+    pub job: JobId,
+    /// The tenant that submitted it.
+    pub tenant: TenantId,
+    /// The model it ran against.
+    pub model: ModelId,
+    /// Biological milliseconds simulated.
+    pub run_ms: u32,
+    /// Spikes emitted during the job's segment, drained from the
+    /// session (population coordinates, session-relative tick times).
+    pub spikes: Vec<PopSpike>,
+    /// Whether the job ran on an already-resident session. The first
+    /// job of a batch reports the acquire outcome (cold build and
+    /// snapshot rehydrate are both misses); followers coalesced onto
+    /// the same session are warm by construction.
+    pub warm_hit: bool,
+    /// Wall-clock spent queued before dispatch, ms.
+    pub queue_wait_ms: f64,
+    /// Wall-clock spent running the segment (including any build or
+    /// rehydrate this job paid for), ms.
+    pub service_ms: f64,
+}
+
+impl JobResult {
+    /// Queue wait plus service: the latency a closed-loop client
+    /// observes, ms.
+    pub fn latency_ms(&self) -> f64 {
+        self.queue_wait_ms + self.service_ms
+    }
+}

@@ -1,0 +1,143 @@
+//! Admission control: per-tenant quotas and the typed rejection.
+//!
+//! Quotas bound the two resources a tenant can hog: *queue slots*
+//! (via [`TenantQuota::max_in_flight`] plus the server-wide queue cap)
+//! and *machine time* (via [`TenantQuota::tick_budget_ms`], charged in
+//! biological milliseconds at admission). Checks run synchronously in
+//! [`Server::submit`](crate::Server::submit), in a fixed order, with
+//! no clock reads — so a seeded arrival sequence produces the same
+//! accept/reject verdicts on every replay, which is exactly what the
+//! conformance suite asserts.
+
+use crate::job::{ModelId, TenantId};
+
+/// A tenant's admission limits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Jobs the tenant may have admitted-but-unfinished at once
+    /// (queued or mid-batch). Submissions beyond this are rejected
+    /// with [`AdmitError::InFlightLimit`].
+    pub max_in_flight: u32,
+    /// Total biological milliseconds the tenant may ever be charged.
+    /// Charged at admission ([`JobSpec::run_ms`](crate::JobSpec));
+    /// once exhausted, submissions are rejected with
+    /// [`AdmitError::TickBudget`].
+    pub tick_budget_ms: u64,
+}
+
+impl TenantQuota {
+    /// No effective limits (both fields at their max).
+    pub fn unlimited() -> TenantQuota {
+        TenantQuota {
+            max_in_flight: u32::MAX,
+            tick_budget_ms: u64::MAX,
+        }
+    }
+
+    /// A bounded quota.
+    pub fn new(max_in_flight: u32, tick_budget_ms: u64) -> TenantQuota {
+        TenantQuota {
+            max_in_flight,
+            tick_budget_ms,
+        }
+    }
+}
+
+impl Default for TenantQuota {
+    /// Defaults to [`TenantQuota::unlimited`].
+    fn default() -> TenantQuota {
+        TenantQuota::unlimited()
+    }
+}
+
+/// Why [`Server::submit`](crate::Server::submit) refused a job.
+///
+/// `PartialEq` on purpose: the determinism tests compare whole
+/// rejection sequences across replays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The server's bounded queue is at capacity — back off and retry.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        cap: usize,
+    },
+    /// The tenant already has its quota of admitted-but-unfinished
+    /// jobs.
+    InFlightLimit {
+        /// The offending tenant.
+        tenant: TenantId,
+        /// Its `max_in_flight` limit.
+        limit: u32,
+    },
+    /// Admitting the job would overdraw the tenant's machine-time
+    /// budget.
+    TickBudget {
+        /// The offending tenant.
+        tenant: TenantId,
+        /// Biological milliseconds still available.
+        remaining_ms: u64,
+        /// Biological milliseconds the job asked for.
+        requested_ms: u32,
+    },
+    /// The spec names a tenant this server never registered.
+    UnknownTenant(TenantId),
+    /// The spec names a model this server never registered.
+    UnknownModel(ModelId),
+    /// The spec asks for zero biological milliseconds.
+    EmptyJob,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::QueueFull { cap } => {
+                write!(f, "job queue full ({cap} slots)")
+            }
+            AdmitError::InFlightLimit { tenant, limit } => {
+                write!(f, "{tenant} already has {limit} job(s) in flight")
+            }
+            AdmitError::TickBudget {
+                tenant,
+                remaining_ms,
+                requested_ms,
+            } => write!(
+                f,
+                "{tenant} tick budget exhausted: {remaining_ms} bio-ms left, {requested_ms} requested"
+            ),
+            AdmitError::UnknownTenant(t) => write!(f, "unregistered {t}"),
+            AdmitError::UnknownModel(m) => write!(f, "unregistered {m}"),
+            AdmitError::EmptyJob => f.write_str("job requests zero biological milliseconds"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Server-side per-tenant ledger backing the quota checks.
+#[derive(Clone, Debug)]
+pub(crate) struct TenantLedger {
+    /// Operator-facing label (reports only; never a lookup key).
+    pub(crate) name: String,
+    /// The admission limits.
+    pub(crate) quota: TenantQuota,
+    /// Jobs admitted but not yet completed.
+    pub(crate) in_flight: u32,
+    /// Biological milliseconds charged so far.
+    pub(crate) bio_ms_used: u64,
+}
+
+impl TenantLedger {
+    pub(crate) fn new(name: &str, quota: TenantQuota) -> TenantLedger {
+        TenantLedger {
+            name: name.to_string(),
+            quota,
+            in_flight: 0,
+            bio_ms_used: 0,
+        }
+    }
+
+    /// Biological milliseconds the tenant can still be charged.
+    pub(crate) fn remaining_ms(&self) -> u64 {
+        self.quota.tick_budget_ms.saturating_sub(self.bio_ms_used)
+    }
+}

@@ -1,0 +1,365 @@
+//! The server: bounded queue, admission, batching, dispatch.
+//!
+//! A [`Server`] is single-threaded and synchronous by design — the
+//! *sessions* it serves shard their event loops across workers
+//! ([`ServeConfig::threads`]), but admission and dispatch decisions
+//! happen in submission order with no clock reads, which is what makes
+//! the whole layer replayable. An async front-end (or a process-level
+//! queue like the batch systems the original machine-room operators
+//! ran) layers on top without touching the invariants here.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use spinn_obs::{RunTelemetry, TenantCounter};
+use spinnaker::prelude::*;
+
+use crate::job::{JobId, JobResult, JobSpec, ModelId, TenantId};
+use crate::pool::{AcquireOutcome, PoolStats, SessionPool};
+use crate::quota::{AdmitError, TenantLedger, TenantQuota};
+
+/// Server sizing and policy knobs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded-queue capacity; submissions beyond it are rejected
+    /// with [`AdmitError::QueueFull`].
+    pub queue_cap: usize,
+    /// Resident-byte budget across all warm sessions (see
+    /// [`SessionPool`]); `u64::MAX` disables eviction pressure.
+    pub resident_budget_bytes: u64,
+    /// Most queued jobs one [`Server::poll`] coalesces onto a single
+    /// warm session (all sharing the head-of-queue job's model).
+    pub max_batch: usize,
+    /// Worker threads each served segment runs on (results are
+    /// bit-identical at any count; this trades wall-clock only).
+    pub threads: u32,
+}
+
+impl Default for ServeConfig {
+    /// 64 queue slots, unbounded residency, batches of 8, serial
+    /// segments.
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_cap: 64,
+            resident_budget_bytes: u64::MAX,
+            max_batch: 8,
+            threads: 1,
+        }
+    }
+}
+
+/// A queued, admitted job.
+#[derive(Debug)]
+struct Queued {
+    id: JobId,
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+/// Server-level accounting (see also [`PoolStats`] via
+/// [`Server::pool_stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Jobs run to completion.
+    pub jobs_completed: u64,
+    /// Jobs that ran on an already-warm session (batch followers
+    /// included).
+    pub warm_hits: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Extra jobs coalesced onto a batch leader's acquire
+    /// (`jobs_completed - batches` when every poll found work).
+    pub coalesced_jobs: u64,
+    /// Submissions refused at admission.
+    pub rejected: u64,
+}
+
+impl ServeStats {
+    /// Fraction of completed jobs that hit a warm session (0.0 before
+    /// any job completes).
+    pub fn warm_hit_ratio(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.jobs_completed as f64
+        }
+    }
+}
+
+/// A multi-tenant serving front-end over a [`SessionPool`] (see the
+/// [crate docs](crate) for the full dataflow).
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServeConfig,
+    pool: SessionPool,
+    tenants: Vec<TenantLedger>,
+    queue: VecDeque<Queued>,
+    next_job: u64,
+    stats: ServeStats,
+    telemetry: RunTelemetry,
+}
+
+impl Server {
+    /// An empty server with the given sizing.
+    pub fn new(cfg: ServeConfig) -> Server {
+        Server {
+            pool: SessionPool::new(cfg.resident_budget_bytes),
+            cfg,
+            tenants: Vec::new(),
+            queue: VecDeque::new(),
+            next_job: 0,
+            stats: ServeStats::default(),
+            telemetry: RunTelemetry::default(),
+        }
+    }
+
+    /// Registers a tenant under `quota` and returns its id (`name` is
+    /// a report label only).
+    pub fn register_tenant(&mut self, name: &str, quota: TenantQuota) -> TenantId {
+        let id = u32::try_from(self.tenants.len()).expect("tenant count fits u32");
+        self.tenants.push(TenantLedger::new(name, quota));
+        TenantId(id)
+    }
+
+    /// Registers a model (nothing is built until its first job
+    /// dispatches) and returns its id.
+    pub fn register_model(&mut self, net: NetworkGraph, cfg: SimConfig) -> ModelId {
+        self.pool.register(net, cfg)
+    }
+
+    /// Admission control: validates the spec, charges the tenant's
+    /// quota, and enqueues. Synchronous, clock-free and deterministic
+    /// in arrival order — replaying a submission sequence replays the
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`AdmitError`]; checks run in the order unknown-ids /
+    /// empty-job / queue-full / in-flight / tick-budget, and every
+    /// rejection of a known tenant is counted against it in the
+    /// server telemetry.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        if (spec.tenant.0 as usize) >= self.tenants.len() {
+            return Err(AdmitError::UnknownTenant(spec.tenant));
+        }
+        let verdict = self.admit_checks(&spec);
+        if let Err(e) = verdict {
+            self.stats.rejected += 1;
+            self.telemetry
+                .tenant_add(spec.tenant.0, TenantCounter::JobsRejected, 1);
+            return Err(e);
+        }
+        let ledger = &mut self.tenants[spec.tenant.0 as usize];
+        ledger.in_flight += 1;
+        ledger.bio_ms_used += u64::from(spec.run_ms);
+        self.telemetry
+            .tenant_add(spec.tenant.0, TenantCounter::JobsAdmitted, 1);
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.queue.push_back(Queued {
+            id,
+            spec,
+            enqueued: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// The quota/capacity checks behind [`Server::submit`] (tenant id
+    /// already validated).
+    fn admit_checks(&self, spec: &JobSpec) -> Result<(), AdmitError> {
+        if !self.pool.contains(spec.model) {
+            return Err(AdmitError::UnknownModel(spec.model));
+        }
+        if spec.run_ms == 0 {
+            return Err(AdmitError::EmptyJob);
+        }
+        if self.queue.len() >= self.cfg.queue_cap {
+            return Err(AdmitError::QueueFull {
+                cap: self.cfg.queue_cap,
+            });
+        }
+        let ledger = &self.tenants[spec.tenant.0 as usize];
+        if ledger.in_flight >= ledger.quota.max_in_flight {
+            return Err(AdmitError::InFlightLimit {
+                tenant: spec.tenant,
+                limit: ledger.quota.max_in_flight,
+            });
+        }
+        let remaining = ledger.remaining_ms();
+        if u64::from(spec.run_ms) > remaining {
+            return Err(AdmitError::TickBudget {
+                tenant: spec.tenant,
+                remaining_ms: remaining,
+                requested_ms: spec.run_ms,
+            });
+        }
+        Ok(())
+    }
+
+    /// Dispatches one batch: the head-of-queue job picks the model,
+    /// up to [`ServeConfig::max_batch`] queued jobs on that model run
+    /// back-to-back on one warm session (FIFO order preserved within
+    /// the batch; other models keep their queue positions). Returns
+    /// the batch's results, empty when the queue is idle.
+    ///
+    /// # Errors
+    ///
+    /// A build or snapshot-restore failure surfaces the underlying
+    /// [`SpinnError`]; the batch's jobs stay queued for a retry.
+    pub fn poll(&mut self) -> Result<Vec<JobResult>, SpinnError> {
+        let Some(front) = self.queue.front() else {
+            return Ok(Vec::new());
+        };
+        let model = front.spec.model;
+        let outcome = self.pool.acquire(model)?;
+
+        // Coalesce: pull every same-model job (bounded by max_batch)
+        // out of the queue, preserving relative order.
+        let mut batch = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() && batch.len() < self.cfg.max_batch.max(1) {
+            if self.queue[i].spec.model == model {
+                batch.push(self.queue.remove(i).expect("index in bounds"));
+            } else {
+                i += 1;
+            }
+        }
+
+        let threads = self.cfg.threads;
+        let mut results = Vec::with_capacity(batch.len());
+        for (k, job) in batch.into_iter().enumerate() {
+            let warm = if k == 0 {
+                outcome == AcquireOutcome::Warm
+            } else {
+                true
+            };
+            let dispatched = Instant::now();
+            let queue_wait_ms = dispatched.duration_since(job.enqueued).as_secs_f64() * 1e3;
+            let session = self
+                .pool
+                .session_mut(model)
+                .expect("acquire left the model resident");
+            session.set_threads(threads);
+            session.clear_stimulus_sources();
+            for s in &job.spec.stimulus {
+                session.add_poisson(s.pop, s.rate_hz, s.seed);
+            }
+            session.run_for(job.spec.run_ms);
+            let spikes = session.take_spikes();
+            let service_ms = dispatched.elapsed().as_secs_f64() * 1e3;
+
+            let tenant = job.spec.tenant;
+            self.tenants[tenant.0 as usize].in_flight -= 1;
+            self.telemetry
+                .tenant_add(tenant.0, TenantCounter::JobsCompleted, 1);
+            self.telemetry
+                .tenant_add(tenant.0, TenantCounter::BioMs, u64::from(job.spec.run_ms));
+            self.telemetry
+                .tenant_add(tenant.0, TenantCounter::Spikes, spikes.len() as u64);
+            self.telemetry.tenant_add(
+                tenant.0,
+                if warm {
+                    TenantCounter::WarmHits
+                } else {
+                    TenantCounter::ColdServes
+                },
+                1,
+            );
+            self.stats.jobs_completed += 1;
+            if warm {
+                self.stats.warm_hits += 1;
+            }
+            if k > 0 {
+                self.stats.coalesced_jobs += 1;
+            }
+
+            results.push(JobResult {
+                job: job.id,
+                tenant,
+                model,
+                run_ms: job.spec.run_ms,
+                spikes,
+                warm_hit: warm,
+                queue_wait_ms,
+                service_ms,
+            });
+        }
+        self.stats.batches += 1;
+        // Lazy rows may have materialized during the batch — re-read
+        // the footprint and re-enforce the budget.
+        self.pool.refresh_accounting(model);
+        Ok(results)
+    }
+
+    /// Polls until the queue is empty, returning every result in
+    /// dispatch order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SpinnError`] a batch hits (already-produced results
+    /// are dropped; their jobs completed and stay charged).
+    pub fn drain(&mut self) -> Result<Vec<JobResult>, SpinnError> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            out.extend(self.poll()?);
+        }
+        Ok(out)
+    }
+
+    /// Checkpoints `model` out of residency (see [`SessionPool::evict`]).
+    pub fn evict(&mut self, model: ModelId) -> bool {
+        self.pool.evict(model)
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs a tenant has admitted-but-unfinished.
+    pub fn in_flight(&self, tenant: TenantId) -> u32 {
+        self.tenants
+            .get(tenant.0 as usize)
+            .map_or(0, |l| l.in_flight)
+    }
+
+    /// Biological milliseconds a tenant can still be charged.
+    pub fn remaining_tick_budget(&self, tenant: TenantId) -> u64 {
+        self.tenants
+            .get(tenant.0 as usize)
+            .map_or(0, TenantLedger::remaining_ms)
+    }
+
+    /// A tenant's report label.
+    pub fn tenant_name(&self, tenant: TenantId) -> Option<&str> {
+        self.tenants.get(tenant.0 as usize).map(|l| l.name.as_str())
+    }
+
+    /// Summed resident bytes across warm sessions.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pool.resident_bytes()
+    }
+
+    /// Server-level accounting.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Pool-level accounting (builds, rehydrates, evictions, peak
+    /// bytes).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The sizing this server was built with.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// The server's telemetry: per-tenant
+    /// [`TenantCounter`] rows, renderable/mergeable through the
+    /// standard [`RunTelemetry`] pipeline.
+    pub fn telemetry(&self) -> &RunTelemetry {
+        &self.telemetry
+    }
+}

@@ -62,6 +62,16 @@ skips rather than comparing two identical serial runs. The same
 honesty rule applies to ``--parallel-speedup`` when the report was
 measured on a one-core host.
 
+    python3 scripts/bench_compare.py --serving REPORT.json
+
+gates a serving report (E21): steady-arm ``serving`` rows at >= 3
+client-concurrency levels with positive jobs/sec and sane p50/p99
+latency, a warm-hit ratio above 0.8 on every steady row, a churn arm
+that actually evicted and rehydrated sessions with a bit-exact spike
+verdict, and a deterministic quota-rejection replay. ``serving`` rows
+(jobs/sec keyed by (arm, clients), higher is better) also join the
+pairwise and chain comparisons.
+
 Chain mode compares each consecutive pair (old -> new) and appends a
 markdown trajectory table to ``$GITHUB_STEP_SUMMARY`` when that
 variable is set (always also printed to stdout).
@@ -183,6 +193,20 @@ def resil_rows(report):
     return rows
 
 
+def serving_rows(report):
+    """(arm, clients) -> jobs_per_sec (higher is better) for the E21
+    load-generator rows (``serving`` records)."""
+    rows = {}
+    for record in report.get("records", []):
+        if record.get("name") != "serving":
+            continue
+        cfg = record.get("config", {})
+        jps = record.get("metrics", {}).get("jobs_per_sec")
+        if jps is not None:
+            rows[(cfg.get("arm"), cfg.get("clients"))] = float(jps)
+    return rows
+
+
 # (label, extractor, True when higher is better)
 KINDS = {
     "sweep": ("end_to_end_sweep spikes/sec", sweep_rows, True),
@@ -190,6 +214,7 @@ KINDS = {
     "perf": ("phase_breakdown ns per unit of work", perf_rows, False),
     "resil": ("fault-sweep delivery ratio", resil_rows, True),
     "memory": ("loader footprint bytes/synapse", memory_rows, False),
+    "serving": ("serving jobs/sec", serving_rows, True),
 }
 
 
@@ -479,6 +504,112 @@ def check_resilience(name):
     return failures
 
 
+def check_serving(name):
+    """Single-report gate on a serving report (E21):
+
+    * ``serving`` rows cover at least 3 distinct client-concurrency
+      levels on the steady arm, each with positive jobs/sec and
+      finite p50 <= p99 latency actually reported;
+    * every steady-arm row holds the warm-hit floor (> 0.8): after
+      each model's one cold build, jobs must ride warm sessions;
+    * the churn arm really exercised the eviction path (evictions and
+      rehydrates both positive) and ``serving_determinism`` confirms
+      the evicted runs' spike streams matched the steady arm
+      bit-for-bit;
+    * the ``serving_quota`` burst rejected at least one job and its
+      accept/reject trace replayed identically (``deterministic``).
+
+    The load generator is seeded and the server clock-free in its
+    decisions, so these are exact reproducible verdicts. Returns the
+    number of failed checks (exits 2 if the report has no serving
+    rows)."""
+    report = load(name)
+    steady = {}
+    churn = []
+    determinism = None
+    quota = None
+    for record in report.get("records", []):
+        cfg = record.get("config", {})
+        m = record.get("metrics", {})
+        if record.get("name") == "serving":
+            if cfg.get("arm") == "steady":
+                steady[cfg.get("clients")] = m
+            elif cfg.get("arm") == "churn":
+                churn.append(m)
+        elif record.get("name") == "serving_determinism":
+            determinism = m
+        elif record.get("name") == "serving_quota":
+            quota = m
+    if not steady:
+        fail_usage(
+            f"{name} has no steady-arm serving rows — not a serving report "
+            "(regenerate with `cargo run --release -p spinn-bench "
+            "--bin run_experiments -- E21`)"
+        )
+    failures = 0
+    print(f"serving check on {name}:")
+    levels = sorted(k for k in steady if k is not None)
+    ok_levels = len(levels) >= 3
+    failures += not ok_levels
+    print(
+        f"  steady client levels: {levels} "
+        f"{'ok' if ok_levels else '<< need >= 3 concurrency levels'}"
+    )
+    for clients in levels:
+        m = steady[clients]
+        jps = float(m.get("jobs_per_sec", 0.0))
+        p50 = float(m.get("p50_latency_ms", float("nan")))
+        p99 = float(m.get("p99_latency_ms", float("nan")))
+        warm = float(m.get("warm_hit_ratio", 0.0))
+        ok_thru = jps > 0.0 and p50 <= p99 and p50 > 0.0
+        ok_warm = warm > 0.8
+        failures += (not ok_thru) + (not ok_warm)
+        print(
+            f"  clients={clients}: {jps:.1f} jobs/sec, p50 {p50:.2f} ms, "
+            f"p99 {p99:.2f} ms {'ok' if ok_thru else '<< need positive jobs/sec and p50 <= p99'}; "
+            f"warm-hit {warm:.1%} {'ok' if ok_warm else '<< floor is 80%'}"
+        )
+    if not churn:
+        print("  no churn-arm serving row << required", file=sys.stderr)
+        failures += 1
+    for m in churn:
+        ev = float(m.get("evictions", 0.0))
+        rh = float(m.get("rehydrates", 0.0))
+        ok = ev > 0.0 and rh > 0.0
+        failures += not ok
+        print(
+            f"  churn: {ev:.0f} evictions, {rh:.0f} rehydrates "
+            f"{'ok' if ok else '<< the tight budget must force the eviction path'}"
+        )
+    if determinism is None:
+        print("  no serving_determinism record << required", file=sys.stderr)
+        failures += 1
+    else:
+        exact = determinism.get("eviction_bit_exact")
+        ok = exact is True
+        failures += not ok
+        print(
+            f"  eviction bit-exact: {exact} "
+            f"{'ok' if ok else '<< evicted spike streams must match the steady arm'}"
+        )
+    if quota is None:
+        print("  no serving_quota record << required", file=sys.stderr)
+        failures += 1
+    else:
+        rejected = float(quota.get("rejected_total", 0.0))
+        det = quota.get("deterministic")
+        ok_rej = rejected > 0.0
+        ok_det = det is True
+        failures += (not ok_rej) + (not ok_det)
+        print(
+            f"  quota burst: {rejected:.0f} rejected "
+            f"{'ok' if ok_rej else '<< the burst must trip a quota'}; "
+            f"deterministic: {det} "
+            f"{'ok' if ok_det else '<< replays must reject identically'}"
+        )
+    return failures
+
+
 def compare_kind(kind, new_report, base_report, new_name, base_name, args):
     """Compares one row kind; returns (rows, failures) where rows are
     (key, base, new, delta, regressed) tuples. Exits 2 on missing rows
@@ -599,7 +730,7 @@ def main(argv=None):
     )
     ap.add_argument(
         "--kind",
-        choices=["sweep", "micro", "perf", "resil", "memory", "all"],
+        choices=["sweep", "micro", "perf", "resil", "memory", "serving", "all"],
         default="all",
         help="row kinds to compare (default: all kinds present in both reports)",
     )
@@ -630,6 +761,14 @@ def main(argv=None):
         "workers (warns and skips on collapsed hosts)",
     )
     ap.add_argument(
+        "--serving",
+        action="store_true",
+        help="check a single serving report (E21): >= 3 steady client "
+        "levels with jobs/sec and p50/p99 reported, warm-hit ratio above "
+        "0.8, a churn arm that evicted and rehydrated bit-exactly, and a "
+        "deterministic quota-rejection replay",
+    )
+    ap.add_argument(
         "--allow-missing-rows",
         action="store_true",
         help="skip rows present in only one report instead of failing "
@@ -637,7 +776,7 @@ def main(argv=None):
     )
     args = ap.parse_args(argv)
     kinds = (
-        ["sweep", "micro", "perf", "resil", "memory"]
+        ["sweep", "micro", "perf", "resil", "memory", "serving"]
         if args.kind == "all"
         else [args.kind]
     )
@@ -649,6 +788,7 @@ def main(argv=None):
             ("--resilience", args.resilience),
             ("--memory", args.memory),
             ("--work-stealing", args.work_stealing),
+            ("--serving", args.serving),
         ]
         if on
     ]
@@ -695,6 +835,18 @@ def main(argv=None):
             print(f"FAIL: {failures} work-stealing check(s) failed", file=sys.stderr)
             sys.exit(1)
         print("OK: chunked stealing pays (or the host honestly can't show it)")
+        return
+    if args.serving:
+        if args.chain or len(args.reports) != 1:
+            fail_usage("--serving takes exactly one report")
+        failures = check_serving(args.reports[0])
+        if failures:
+            print(f"FAIL: {failures} serving check(s) failed", file=sys.stderr)
+            sys.exit(1)
+        print(
+            "OK: the pool serves warm across concurrency levels, evicts "
+            "bit-exactly, and rejects deterministically"
+        )
         return
 
     failures = 0

@@ -22,6 +22,7 @@ def report(
     scaling=None,
     memory=None,
     stealing=None,
+    serving=None,
     commit="deadbeef",
 ):
     records = []
@@ -69,6 +70,7 @@ def report(
             {"name": "work_stealing", "config": dict(cfg), "metrics": dict(metrics)}
         )
     records.extend(resil or [])
+    records.extend(serving or [])
     return {"experiment": "EX", "commit": commit, "records": records}
 
 
@@ -151,6 +153,79 @@ def resil_records(
                 "name": "campaign",
                 "config": {"seed": 1},
                 "metrics": {"determinism_bit_exact": bit_exact},
+            }
+        )
+    return records
+
+
+def serving_records(
+    levels=(1, 4, 16),
+    warm=0.94,
+    jps=1500.0,
+    p50=1.0,
+    p99=5.0,
+    evictions=20,
+    rehydrates=18,
+    bit_exact=True,
+    rejected=15,
+    deterministic=True,
+    with_churn=True,
+    with_determinism=True,
+    with_quota=True,
+):
+    """Synthetic serving-report records (E21 shape)."""
+    records = [
+        {
+            "name": "serving",
+            "config": {"arm": "steady", "clients": c, "models": 3, "jobs": 48},
+            "metrics": {
+                "jobs_per_sec": jps + 10.0 * c,
+                "p50_latency_ms": p50,
+                "p99_latency_ms": p99,
+                "warm_hit_ratio": warm,
+                "evictions": 0,
+                "rehydrates": 0,
+            },
+        }
+        for c in levels
+    ]
+    if with_churn:
+        records.append(
+            {
+                "name": "serving",
+                "config": {"arm": "churn", "clients": 4, "models": 3, "jobs": 48},
+                "metrics": {
+                    "jobs_per_sec": jps / 3.0,
+                    "p50_latency_ms": p50 * 4,
+                    "p99_latency_ms": p99 * 4,
+                    "warm_hit_ratio": 0.5,
+                    "evictions": evictions,
+                    "rehydrates": rehydrates,
+                },
+            }
+        )
+    if with_determinism:
+        records.append(
+            {
+                "name": "serving_determinism",
+                "config": {"clients": 4, "jobs": 48},
+                "metrics": {
+                    "eviction_bit_exact": bit_exact,
+                    "evictions": evictions,
+                    "rehydrates": rehydrates,
+                },
+            }
+        )
+    if with_quota:
+        records.append(
+            {
+                "name": "serving_quota",
+                "config": {"tenants": 2, "submissions": 28},
+                "metrics": {
+                    "admitted": 13,
+                    "rejected_total": rejected,
+                    "deterministic": deterministic,
+                },
             }
         )
     return records
@@ -457,6 +532,83 @@ class BenchCompareTest(unittest.TestCase):
         rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
         self.assertEqual(self.run_main(["--work-stealing", rep]), 2)
 
+    def test_serving_gate_passes_on_healthy_report(self):
+        rep = self.write("rep.json", report(serving=serving_records()))
+        self.assertEqual(self.run_main(["--serving", rep]), 0)
+
+    def test_serving_gate_fails_below_warm_hit_floor(self):
+        rep = self.write("rep.json", report(serving=serving_records(warm=0.5)))
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_with_fewer_than_three_levels(self):
+        rep = self.write(
+            "rep.json", report(serving=serving_records(levels=(1, 4)))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_on_inverted_latency_percentiles(self):
+        # p50 above p99 means the percentile math (or the recorder) broke.
+        rep = self.write(
+            "rep.json", report(serving=serving_records(p50=9.0, p99=2.0))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_when_churn_never_evicted(self):
+        rep = self.write(
+            "rep.json",
+            report(serving=serving_records(evictions=0, rehydrates=0)),
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_without_churn_arm(self):
+        rep = self.write(
+            "rep.json", report(serving=serving_records(with_churn=False))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_on_inexact_eviction_replay(self):
+        rep = self.write(
+            "rep.json", report(serving=serving_records(bit_exact=False))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_when_quota_burst_rejects_nothing(self):
+        rep = self.write("rep.json", report(serving=serving_records(rejected=0)))
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_on_nondeterministic_quota_trace(self):
+        rep = self.write(
+            "rep.json", report(serving=serving_records(deterministic=False))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_fails_without_quota_record(self):
+        rep = self.write(
+            "rep.json", report(serving=serving_records(with_quota=False))
+        )
+        self.assertEqual(self.run_main(["--serving", rep]), 1)
+
+    def test_serving_gate_without_serving_rows_is_exit_2(self):
+        rep = self.write("rep.json", report(sweep={self.sweep_key(): 1.0}))
+        self.assertEqual(self.run_main(["--serving", rep]), 2)
+
+    def test_serving_kind_compares_throughput_pairwise(self):
+        # Higher is better for jobs/sec: 1500 -> 1000 regresses >20%.
+        base = self.write("base.json", report(serving=serving_records()))
+        worse = self.write(
+            "worse.json", report(serving=serving_records(jps=1000.0))
+        )
+        self.assertEqual(self.run_main([worse, base, "--kind", "serving"]), 1)
+        self.assertEqual(self.run_main([base, base, "--kind", "serving"]), 0)
+
+    def test_committed_e21_serving_gate_holds(self):
+        # The committed serving artifact must clear its own acceptance
+        # gate, exactly as CI runs it.
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        e21 = os.path.join(root, "BENCH_e21.json")
+        self.assertTrue(os.path.exists(e21), f"{e21} must be committed")
+        self.assertEqual(self.run_main(["--serving", e21]), 0)
+
     def test_committed_e19_resilience_gate_holds(self):
         # The committed E19 artifact must clear its own acceptance gate,
         # exactly as CI runs it.
@@ -473,7 +625,8 @@ class BenchCompareTest(unittest.TestCase):
         # below instead of sitting in the sweep chain.
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         chain = [
-            os.path.join(root, f"BENCH_e{n}.json") for n in (14, 15, 16, 18, 20)
+            os.path.join(root, f"BENCH_e{n}.json")
+            for n in (14, 15, 16, 18, 20, 21)
         ]
         for path in chain:
             self.assertTrue(os.path.exists(path), f"{path} must be committed")
